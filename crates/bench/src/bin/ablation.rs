@@ -1,0 +1,264 @@
+//! Ablation studies for the design choices DESIGN.md calls out — these
+//! go beyond the paper's figures and probe *why* the Read-Write design
+//! wins and where its knobs sit.
+//!
+//! 1. **Zero-copy decomposition**: how much of the RW design's client
+//!    CPU win is the zero-copy direct-I/O path vs the protocol change
+//!    itself (DONE elimination, server push)?
+//! 2. **ORD sensitivity**: the paper blames the IRD/ORD ≤ 8 limit for
+//!    WRITE-path throttling; sweep the window and find where it
+//!    actually binds given in-order responder execution.
+//! 3. **Inline threshold**: when do small RPCs stop fitting inline and
+//!    start paying long-call RDMA Reads?
+//! 4. **Credit window**: the paper's stated future work — how deep must
+//!    the flow-control window be to keep the pipe full per thread
+//!    count?
+
+use rpcrdma::{Design, StrategyKind};
+use sim_core::sweep::parallel_sweep;
+use sim_core::Simulation;
+use workloads::{
+    build_rdma, mb, pct, run_iozone, solaris_sdr, Backend, IoMode, IozoneParams, Profile, Table,
+};
+
+const FILE: u64 = 32 << 20;
+
+fn iozone(
+    profile: Profile,
+    design: Design,
+    strategy: StrategyKind,
+    mode: IoMode,
+    threads: u32,
+    record: u64,
+) -> workloads::IozoneResult {
+    let mut sim = Simulation::new(0xAB1A);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let bed = build_rdma(&h, &profile, design, strategy, Backend::Tmpfs, 1);
+        run_iozone(
+            &h,
+            &bed,
+            IozoneParams {
+                threads_per_client: threads,
+                file_size: FILE,
+                record,
+                mode,
+            },
+        )
+        .await
+    })
+}
+
+fn zero_copy_decomposition() {
+    let base = solaris_sdr();
+    let mut no_zc = base;
+    no_zc.rpc.zero_copy_read = false;
+
+    let rows: Vec<(&str, Profile, Design)> = vec![
+        ("Read-Read (baseline)", base, Design::ReadRead),
+        ("Read-Write, copy-out", no_zc, Design::ReadWrite),
+        ("Read-Write, zero-copy", base, Design::ReadWrite),
+    ];
+    let results = parallel_sweep(rows.clone(), |(_, p, d)| {
+        (
+            iozone(p, d, StrategyKind::Dynamic, IoMode::Read, 1, 128 * 1024),
+            iozone(p, d, StrategyKind::Dynamic, IoMode::Read, 8, 128 * 1024),
+        )
+    });
+    let mut t = Table::new(
+        "Ablation 1 — where the Read-Write win comes from (READ, 128K)",
+        &["variant", "1-thr MB/s", "8-thr MB/s", "8-thr client CPU"],
+    );
+    for ((label, _, _), (one, eight)) in rows.iter().zip(results) {
+        t.row(&[
+            label.to_string(),
+            mb(one.bandwidth_mb),
+            mb(eight.bandwidth_mb),
+            pct(eight.client_cpu),
+        ]);
+    }
+    bench::emit("ablation_zerocopy", &t);
+    println!(
+        "Takeaway: the protocol change (no RDMA_DONE, server push) buys the \
+         bandwidth; the zero-copy path buys the flat client CPU curve.\n"
+    );
+}
+
+fn ord_sensitivity() {
+    let orders = [1usize, 2, 4, 8, 16, 32];
+    let results = parallel_sweep(orders.to_vec(), |ord| {
+        let mut p = solaris_sdr();
+        p.hca.max_ord = ord;
+        p.hca.max_ird = ord;
+        iozone(
+            p,
+            Design::ReadWrite,
+            StrategyKind::Cache,
+            IoMode::Write,
+            8,
+            128 * 1024,
+        )
+    });
+    let mut t = Table::new(
+        "Ablation 2 — ORD/IRD window vs NFS WRITE bandwidth (8 threads, cache)",
+        &["ord/ird", "write MB/s"],
+    );
+    for (ord, r) in orders.iter().zip(results) {
+        t.row(&[ord.to_string(), mb(r.bandwidth_mb)]);
+    }
+    bench::emit("ablation_ord", &t);
+    println!(
+        "Takeaway: because an RC responder executes reads in order, the \
+         window stops mattering once request latency is covered — the \
+         serialized read engine, not the depth-8 limit, is the real WRITE \
+         ceiling.\n"
+    );
+}
+
+fn inline_threshold_sweep() {
+    // The inline threshold decides when an RPC reply still fits in the
+    // Send and when it must become a long reply (reply-chunk RDMA
+    // Write + registration). READDIR of a populated directory is the
+    // canonical boundary case (paper §3.1).
+    let thresholds = [256u64, 1024, 4096, 16384];
+    let results = parallel_sweep(thresholds.to_vec(), |inline| {
+        let mut p = solaris_sdr();
+        p.rpc.inline_threshold = inline;
+        let mut sim = Simulation::new(0x1712);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let bed = build_rdma(
+                &h,
+                &p,
+                Design::ReadWrite,
+                StrategyKind::Dynamic,
+                Backend::Tmpfs,
+                1,
+            );
+            let root = bed.server.root_handle();
+            let c = &bed.clients[0];
+            let dir = c.nfs.mkdir(root, "crowd").await.unwrap();
+            // ~60 bytes of XDR per entry: 50 entries ≈ 3 KiB reply.
+            for i in 0..50 {
+                c.nfs
+                    .create(dir.handle(), &format!("entry-{i:04}"))
+                    .await
+                    .unwrap();
+            }
+            let t0 = h.now();
+            let rounds = 200;
+            for _ in 0..rounds {
+                let entries = c.nfs.readdir(dir.handle()).await.unwrap();
+                assert_eq!(entries.len(), 50);
+            }
+            let secs = h.now().saturating_since(t0).as_secs_f64();
+            rounds as f64 / secs
+        })
+    });
+    let mut t = Table::new(
+        "Ablation 3 — inline threshold vs READDIR throughput (50 entries, ~3 KiB reply)",
+        &["inline bytes", "readdir ops/s", "path taken"],
+    );
+    for (inline, ops) in thresholds.iter().zip(results) {
+        let path = if *inline >= 4096 {
+            "inline reply"
+        } else {
+            "long reply (reply chunk)"
+        };
+        t.row(&[inline.to_string(), format!("{ops:.0}"), path.to_string()]);
+    }
+    bench::emit("ablation_inline", &t);
+    println!(
+        "Takeaway: crossing the threshold adds a registration + RDMA Write \
+         to every READDIR; generous inline space is cheap insurance for \
+         metadata-heavy workloads.\n"
+    );
+}
+
+fn credit_window_sweep() {
+    let credits = [1u32, 2, 4, 8, 16, 32, 64];
+    let results = parallel_sweep(credits.to_vec(), |cr| {
+        let mut p = solaris_sdr();
+        p.rpc.credits = cr;
+        iozone(
+            p,
+            Design::ReadWrite,
+            StrategyKind::Cache,
+            IoMode::Read,
+            8,
+            128 * 1024,
+        )
+    });
+    let mut t = Table::new(
+        "Ablation 4 — credit window vs READ bandwidth (8 threads, cache)",
+        &["credits", "read MB/s"],
+    );
+    for (cr, r) in credits.iter().zip(results) {
+        t.row(&[cr.to_string(), mb(r.bandwidth_mb)]);
+    }
+    bench::emit("ablation_credits", &t);
+    println!(
+        "Takeaway (the paper's future work): the window must cover the \
+         pipeline depth of the bottleneck stage (~4 ops here); beyond \
+         that, extra credits only cost receive buffers.\n"
+    );
+}
+
+fn msgp_small_write_fast_path() {
+    // RDMA_MSGP (the paper's Figure-2 message type 2, implemented as an
+    // extension): small writes ride inline instead of paying a
+    // registration plus a server-side RDMA Read.
+    let sizes = [512u64, 1024, 4096, 16384];
+    let results = parallel_sweep(
+        sizes
+            .iter()
+            .flat_map(|&s| [(s, false), (s, true)])
+            .collect::<Vec<_>>(),
+        |(record, msgp)| {
+            // Linux profile: the lean task queue leaves registration as
+            // the binding constraint, which is what MSGP removes.
+            let mut p = workloads::linux_sdr();
+            p.rpc.msgp_small_writes = msgp;
+            // MSGP only helps below the inline threshold; lift it so
+            // every swept size qualifies when enabled.
+            p.rpc.inline_threshold = 16 * 1024;
+            p.rpc.recv_buffer_size = 64 * 1024;
+            iozone(
+                p,
+                Design::ReadWrite,
+                StrategyKind::Dynamic,
+                IoMode::Write,
+                8,
+                record,
+            )
+        },
+    );
+    let mut t = Table::new(
+        "Ablation 5 — RDMA_MSGP padded-inline small writes (8 threads)",
+        &["record", "chunked MB/s", "MSGP MB/s", "speedup"],
+    );
+    for (i, record) in sizes.iter().enumerate() {
+        let base = &results[i * 2];
+        let msgp = &results[i * 2 + 1];
+        t.row(&[
+            record.to_string(),
+            mb(base.bandwidth_mb),
+            mb(msgp.bandwidth_mb),
+            format!("{:.2}x", msgp.bandwidth_mb / base.bandwidth_mb),
+        ]);
+    }
+    bench::emit("ablation_msgp", &t);
+    println!(
+        "Takeaway: below the inline threshold, MSGP removes both per-op \
+         registrations and the serialized RDMA Read — the small-write \
+         path the chunked protocol penalizes most.\n"
+    );
+}
+
+fn main() {
+    zero_copy_decomposition();
+    ord_sensitivity();
+    inline_threshold_sweep();
+    credit_window_sweep();
+    msgp_small_write_fast_path();
+}

@@ -1,0 +1,13 @@
+//! Runs every table/figure harness in sequence (same binaries, shared
+//! process). Results land in `results/`.
+
+fn main() {
+    let bins = ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"];
+    for bin in bins {
+        println!("==== {bin} ====");
+        let status = std::process::Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .status()
+            .expect("spawn figure binary");
+        assert!(status.success(), "{bin} failed");
+    }
+}

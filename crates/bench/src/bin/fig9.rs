@@ -1,0 +1,74 @@
+//! Figure 9: registration strategies on Linux — Register vs FMR vs
+//! all-physical, IOzone read and write bandwidth plus client CPU.
+
+use bench::{emit, file_size_scaled, sweep_iozone, IozonePoint, THREADS};
+use rpcrdma::{Design, StrategyKind};
+use workloads::{linux_sdr, mb, pct, IoMode, Table};
+
+fn main() {
+    let profile = linux_sdr();
+    let strategies = [
+        ("Register", StrategyKind::Dynamic),
+        ("FMR", StrategyKind::Fmr),
+        ("All-Physical", StrategyKind::AllPhysical),
+    ];
+    for (mode, name, paper) in [
+        (
+            IoMode::Read,
+            "fig9a",
+            "Paper: all-physical yields the best read throughput (~900 MB/s).",
+        ),
+        (
+            IoMode::Write,
+            "fig9b",
+            "Paper: all-physical degrades writes vs FMR — no local \
+             scatter/gather, so each write fans into multiple read chunks \
+             and hits the RDMA Read limits.",
+        ),
+    ] {
+        let mut points = Vec::new();
+        for (label, strategy) in strategies {
+            for threads in THREADS {
+                points.push(IozonePoint {
+                    label: label.to_string(),
+                    profile,
+                    design: Design::ReadWrite,
+                    strategy,
+                    mode,
+                    threads,
+                    record: 128 * 1024,
+                    file_size: file_size_scaled(),
+                });
+            }
+        }
+        let results = sweep_iozone(points);
+        let which = if mode == IoMode::Read { "Read" } else { "Write" };
+        let mut t = Table::new(
+            format!("Figure 9 ({which}) — registration strategies on Linux"),
+            &[
+                "threads",
+                "Register MB/s",
+                "FMR MB/s",
+                "All-Phys MB/s",
+                "Register CPU",
+                "FMR CPU",
+                "All-Phys CPU",
+            ],
+        );
+        for threads in THREADS {
+            let get = |series: &str| {
+                results
+                    .iter()
+                    .find(|(p, _)| p.label == series && p.threads == threads)
+                    .map(|(_, r)| (mb(r.bandwidth_mb), pct(r.client_cpu)))
+                    .unwrap_or_default()
+            };
+            let (r_bw, r_cpu) = get("Register");
+            let (f_bw, f_cpu) = get("FMR");
+            let (a_bw, a_cpu) = get("All-Physical");
+            t.row(&[threads.to_string(), r_bw, f_bw, a_bw, r_cpu, f_cpu, a_cpu]);
+        }
+        emit(name, &t);
+        println!("{paper}\n");
+    }
+}

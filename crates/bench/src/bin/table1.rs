@@ -1,0 +1,20 @@
+//! Regenerates Table 1: communication-primitive properties.
+
+use ib_verbs::ops::table1_rows;
+use workloads::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1 — Communication Primitive Properties",
+        &["Property", "Channel Primitives", "Memory Primitives"],
+    );
+    for (prop, channel, memory) in table1_rows() {
+        let tick = |b: bool| if b { "X".to_string() } else { "".to_string() };
+        t.row(&[prop.to_string(), tick(channel), tick(memory)]);
+    }
+    bench::emit("table1", &t);
+    println!(
+        "(Channel primitives pre-post receive buffers; memory primitives \
+         expose a buffer via a steering tag exchanged in a rendezvous.)"
+    );
+}

@@ -1,0 +1,351 @@
+//! Server page cache: LRU residency over a disk array.
+//!
+//! Timing and contents are deliberately separated: file contents live
+//! in per-file extent maps (always correct), while the cache tracks
+//! *which ranges are memory-resident* and charges disk time for
+//! misses, write-back for dirty evictions, and nothing for hits. This
+//! is the mechanism behind Figure 10: client working sets that fit in
+//! server RAM read at wire speed; bigger ones collapse to the RAID's
+//! aggregate rate.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+
+use crate::disk::Raid0;
+use crate::vfs::FileId;
+
+/// Cache-page key: (file, page index).
+type PageKey = (u64, u64);
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Clean,
+    Dirty,
+}
+
+struct CacheInner {
+    /// Resident pages: state + recency stamp.
+    pages: HashMap<PageKey, (PageState, u64)>,
+    /// Recency order: stamp -> key (front = coldest). O(log n) LRU.
+    order: BTreeMap<u64, PageKey>,
+    next_stamp: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: PageKey, state: PageState) {
+        if let Some((_, old)) = self.pages.get(&key) {
+            self.order.remove(old);
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.insert(stamp, key);
+        self.pages.insert(key, (state, stamp));
+    }
+
+    fn remove(&mut self, key: &PageKey) -> Option<PageState> {
+        let (state, stamp) = self.pages.remove(key)?;
+        self.order.remove(&stamp);
+        Some(state)
+    }
+
+    fn pop_coldest(&mut self) -> Option<(PageKey, PageState)> {
+        let (&stamp, &key) = self.order.iter().next()?;
+        self.order.remove(&stamp);
+        let (state, _) = self.pages.remove(&key)?;
+        Some((key, state))
+    }
+}
+
+/// LRU page cache over a RAID-0 array.
+pub struct PageCache {
+    raid: Raid0,
+    page_size: u64,
+    capacity_pages: u64,
+    /// Pages fetched per miss (sequential readahead, like the kernel's
+    /// readahead window); amortizes disk positioning across streams.
+    readahead_pages: u64,
+    inner: RefCell<CacheInner>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    writebacks: Cell<u64>,
+}
+
+impl PageCache {
+    /// A cache of `capacity_bytes` RAM in `page_size` units over `raid`.
+    pub fn new(raid: Raid0, capacity_bytes: u64, page_size: u64) -> PageCache {
+        assert!(page_size.is_power_of_two());
+        PageCache {
+            raid,
+            page_size,
+            capacity_pages: (capacity_bytes / page_size).max(1),
+            readahead_pages: 8,
+            inner: RefCell::new(CacheInner {
+                pages: HashMap::new(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+            }),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            writebacks: Cell::new(0),
+        }
+    }
+
+    /// Cache page size.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Misses so far (each cost a disk read).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Dirty evictions so far (each cost a disk write).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.get()
+    }
+
+    /// Resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.inner.borrow().pages.len() as u64
+    }
+
+    /// Make `[off, off+len)` of `file` resident for reading, charging
+    /// disk time for missing pages. `disk_base` maps the file onto the
+    /// array's address space.
+    pub async fn read_range(&self, file: FileId, disk_base: u64, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = off / self.page_size;
+        let last = (off + len - 1) / self.page_size;
+        let mut page = first;
+        while page <= last {
+            let key = (file.0, page);
+            let state = self.inner.borrow().pages.get(&key).map(|(s, _)| *s);
+            if let Some(state) = state {
+                self.hits.set(self.hits.get() + 1);
+                self.inner.borrow_mut().touch(key, state);
+                page += 1;
+                continue;
+            }
+            // Miss: fetch a readahead window of consecutive missing
+            // pages in one disk request.
+            let mut run = 1u64;
+            while run < self.readahead_pages {
+                let next = (file.0, page + run);
+                if self.inner.borrow().pages.contains_key(&next) {
+                    break;
+                }
+                run += 1;
+            }
+            // Only the demanded pages count as misses; readahead pages
+            // beyond `last` are speculative.
+            let demanded = (last.min(page + run - 1) - page) + 1;
+            self.misses.set(self.misses.get() + demanded);
+            self.evict_for(run).await;
+            self.raid
+                .transfer(disk_base + page * self.page_size, run * self.page_size)
+                .await;
+            {
+                let mut inner = self.inner.borrow_mut();
+                for p in page..page + run {
+                    inner.touch((file.0, p), PageState::Clean);
+                }
+            }
+            page += run;
+        }
+    }
+
+    /// Mark `[off, off+len)` of `file` resident and dirty (write-back
+    /// caching: no disk time now; evictions and commits pay it).
+    pub async fn write_range(&self, file: FileId, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = off / self.page_size;
+        let last = (off + len - 1) / self.page_size;
+        for page in first..=last {
+            let key = (file.0, page);
+            let known = self.inner.borrow().pages.contains_key(&key);
+            if !known {
+                self.evict_for(1).await;
+            }
+            self.inner.borrow_mut().touch(key, PageState::Dirty);
+        }
+    }
+
+    /// Flush all dirty pages of `file` to the array.
+    pub async fn commit(&self, file: FileId, disk_base: u64) {
+        let dirty: Vec<u64> = {
+            let inner = self.inner.borrow();
+            inner
+                .pages
+                .iter()
+                .filter(|((f, _), (s, _))| *f == file.0 && *s == PageState::Dirty)
+                .map(|((_, p), _)| *p)
+                .collect()
+        };
+        if dirty.is_empty() {
+            return;
+        }
+        self.writebacks.set(self.writebacks.get() + dirty.len() as u64);
+        // Coalesce into one sequential sweep per commit.
+        let bytes = dirty.len() as u64 * self.page_size;
+        self.raid.transfer(disk_base, bytes).await;
+        let mut inner = self.inner.borrow_mut();
+        for p in dirty {
+            let key = (file.0, p);
+            if let Some((_, stamp)) = inner.pages.get(&key).copied() {
+                inner.pages.insert(key, (PageState::Clean, stamp));
+            }
+        }
+    }
+
+    /// Drop all pages of `file` (delete/truncate).
+    pub fn invalidate(&self, file: FileId) {
+        let mut inner = self.inner.borrow_mut();
+        let victims: Vec<PageKey> = inner
+            .pages
+            .keys()
+            .filter(|(f, _)| *f == file.0)
+            .copied()
+            .collect();
+        for key in victims {
+            inner.remove(&key);
+        }
+    }
+
+    async fn evict_for(&self, need: u64) {
+        loop {
+            let victim = {
+                let mut inner = self.inner.borrow_mut();
+                if (inner.pages.len() as u64) + need <= self.capacity_pages {
+                    return;
+                }
+                inner.pop_coldest()
+            };
+            let Some((key, state)) = victim else { return };
+            if state == PageState::Dirty {
+                self.writebacks.set(self.writebacks.get() + 1);
+                self.raid.transfer(key.1 * self.page_size, self.page_size).await;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Raid0;
+    use sim_core::{SimTime, Simulation};
+
+    fn cache(sim: &Simulation, capacity: u64) -> PageCache {
+        let raid = Raid0::paper_array(&sim.handle());
+        PageCache::new(raid, capacity, 256 * 1024)
+    }
+
+    #[test]
+    fn first_read_misses_then_hits() {
+        let mut sim = Simulation::new(1);
+        let c = cache(&sim, 64 << 20);
+        sim.block_on({
+            async move {
+                c.read_range(FileId(5), 0, 0, 1 << 20).await;
+                assert_eq!(c.misses(), 4);
+                assert_eq!(c.hits(), 0);
+                c.read_range(FileId(5), 0, 0, 1 << 20).await;
+                assert_eq!(c.hits(), 4);
+                assert_eq!(c.misses(), 4);
+            }
+        });
+    }
+
+    #[test]
+    fn hits_cost_no_time() {
+        let mut sim = Simulation::new(1);
+        let c = std::rc::Rc::new(cache(&sim, 64 << 20));
+        let c2 = c.clone();
+        let (t1, t2) = sim.block_on({
+            let h = sim.handle();
+            async move {
+                let t0 = h.now();
+                c2.read_range(FileId(1), 0, 0, 1 << 20).await;
+                let t1 = h.now().saturating_since(t0);
+                let t0 = h.now();
+                c2.read_range(FileId(1), 0, 0, 1 << 20).await;
+                let t2 = h.now().saturating_since(t0);
+                (t1, t2)
+            }
+        });
+        assert!(t1.as_nanos() > 0);
+        assert_eq!(t2.as_nanos(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut sim = Simulation::new(1);
+        // Room for 8 pages of 256K = 2 MiB.
+        let c = std::rc::Rc::new(cache(&sim, 2 << 20));
+        let c2 = c.clone();
+        sim.block_on(async move {
+            // Fill with file 1 (8 pages).
+            c2.read_range(FileId(1), 0, 0, 2 << 20).await;
+            assert_eq!(c2.resident_pages(), 8);
+            // Read file 2: evicts file 1's coldest pages.
+            c2.read_range(FileId(2), 1 << 30, 0, 1 << 20).await;
+            assert_eq!(c2.resident_pages(), 8);
+            let before = c2.misses();
+            // Oldest file-1 pages are gone: re-reading them misses.
+            c2.read_range(FileId(1), 0, 0, 1 << 20).await;
+            assert!(c2.misses() > before);
+        });
+    }
+
+    #[test]
+    fn dirty_eviction_pays_writeback() {
+        let mut sim = Simulation::new(1);
+        let c = std::rc::Rc::new(cache(&sim, 2 << 20));
+        let c2 = c.clone();
+        sim.block_on(async move {
+            c2.write_range(FileId(1), 0, 2 << 20).await; // 8 dirty pages
+            let t0 = SimTime::ZERO;
+            let _ = t0;
+            // Displace them with reads.
+            c2.read_range(FileId(2), 1 << 30, 0, 2 << 20).await;
+            assert!(c2.writebacks() >= 8, "writebacks {}", c2.writebacks());
+        });
+    }
+
+    #[test]
+    fn commit_flushes_dirty_pages_once() {
+        let mut sim = Simulation::new(1);
+        let c = std::rc::Rc::new(cache(&sim, 64 << 20));
+        let c2 = c.clone();
+        sim.block_on(async move {
+            c2.write_range(FileId(1), 0, 1 << 20).await;
+            c2.commit(FileId(1), 0).await;
+            assert_eq!(c2.writebacks(), 4);
+            // Second commit: nothing dirty.
+            c2.commit(FileId(1), 0).await;
+            assert_eq!(c2.writebacks(), 4);
+        });
+    }
+
+    #[test]
+    fn invalidate_drops_residency() {
+        let mut sim = Simulation::new(1);
+        let c = std::rc::Rc::new(cache(&sim, 64 << 20));
+        let c2 = c.clone();
+        sim.block_on(async move {
+            c2.read_range(FileId(1), 0, 0, 1 << 20).await;
+            c2.invalidate(FileId(1));
+            assert_eq!(c2.resident_pages(), 0);
+        });
+    }
+}

@@ -1,0 +1,168 @@
+//! Data-store back ends: tmpfs (memory) and the cached disk store.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sim_core::{ExtentMap, Payload};
+
+use crate::disk::Raid0;
+use crate::pagecache::PageCache;
+use crate::vfs::{DataStore, FileId, Fs, LocalBoxFuture};
+
+/// Shared per-file content maps (contents are always exact; only
+/// timing differs between stores).
+#[derive(Default)]
+struct Contents {
+    files: RefCell<HashMap<u64, ExtentMap>>,
+}
+
+impl Contents {
+    fn read(&self, file: FileId, off: u64, len: u64) -> Payload {
+        self.files
+            .borrow()
+            .get(&file.0)
+            .map(|m| m.read(off, len))
+            .unwrap_or_else(|| Payload::zeros(len))
+    }
+
+    fn write(&self, file: FileId, off: u64, data: Payload) {
+        self.files
+            .borrow_mut()
+            .entry(file.0)
+            .or_default()
+            .write(off, data);
+    }
+
+    fn delete(&self, file: FileId) {
+        self.files.borrow_mut().remove(&file.0);
+    }
+}
+
+/// Memory-backed store: the paper's tmpfs configuration. Data access
+/// costs nothing here; the NFS/RPC layers charge the copies.
+#[derive(Default)]
+pub struct MemStore {
+    contents: Rc<Contents>,
+}
+
+impl DataStore for MemStore {
+    fn read(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<Payload> {
+        let data = self.contents.read(file, off, len);
+        Box::pin(async move { data })
+    }
+
+    fn write(&self, file: FileId, off: u64, data: Payload) -> LocalBoxFuture<u64> {
+        let n = data.len();
+        self.contents.write(file, off, data);
+        Box::pin(async move { n })
+    }
+
+    fn commit(&self, _file: FileId) -> LocalBoxFuture<()> {
+        Box::pin(async {})
+    }
+
+    fn truncate(&self, _file: FileId, _size: u64) {}
+
+    fn delete(&self, file: FileId) {
+        self.contents.delete(file);
+    }
+}
+
+/// A tmpfs file system (paper §5.1/§5.2 back end).
+pub type Tmpfs = Fs<MemStore>;
+
+/// Create a tmpfs.
+pub fn tmpfs(sim: &sim_core::Sim) -> Tmpfs {
+    Fs::new(sim, MemStore::default())
+}
+
+/// Disk-backed store with a server page cache (paper §5.3 back end:
+/// XFS on an 8-disk RAID-0 behind the Linux page cache).
+pub struct CachedDiskStore {
+    contents: Rc<Contents>,
+    cache: Rc<PageCache>,
+    /// File -> base address in the array's space (simple contiguous
+    /// allocation; fragmentation is not modelled).
+    layout: RefCell<HashMap<u64, u64>>,
+    next_base: std::cell::Cell<u64>,
+}
+
+impl CachedDiskStore {
+    /// Build over a RAID array with `ram_bytes` of page cache.
+    pub fn new(raid: Raid0, ram_bytes: u64, cache_page: u64) -> CachedDiskStore {
+        CachedDiskStore {
+            contents: Rc::default(),
+            cache: Rc::new(PageCache::new(raid, ram_bytes, cache_page)),
+            layout: RefCell::new(HashMap::new()),
+            next_base: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The page cache (for statistics).
+    pub fn cache(&self) -> &Rc<PageCache> {
+        &self.cache
+    }
+
+    fn base_of(&self, file: FileId) -> u64 {
+        *self.layout.borrow_mut().entry(file.0).or_insert_with(|| {
+            // Reserve a generous fixed extent per file (64 GiB apart);
+            // the array address space is virtual.
+            let base = self.next_base.get();
+            self.next_base.set(base + (64 << 30));
+            base
+        })
+    }
+}
+
+impl DataStore for CachedDiskStore {
+    fn read(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<Payload> {
+        let cache = self.cache.clone();
+        let contents = self.contents.clone();
+        let base = self.base_of(file);
+        Box::pin(async move {
+            cache.read_range(file, base, off, len).await;
+            contents.read(file, off, len)
+        })
+    }
+
+    fn write(&self, file: FileId, off: u64, data: Payload) -> LocalBoxFuture<u64> {
+        let cache = self.cache.clone();
+        let contents = self.contents.clone();
+        Box::pin(async move {
+            let n = data.len();
+            contents.write(file, off, data);
+            cache.write_range(file, off, n).await;
+            n
+        })
+    }
+
+    fn commit(&self, file: FileId) -> LocalBoxFuture<()> {
+        let cache = self.cache.clone();
+        let base = self.base_of(file);
+        Box::pin(async move {
+            cache.commit(file, base).await;
+        })
+    }
+
+    fn truncate(&self, file: FileId, size: u64) {
+        if size == 0 {
+            self.cache.invalidate(file);
+        }
+    }
+
+    fn delete(&self, file: FileId) {
+        self.contents.delete(file);
+        self.cache.invalidate(file);
+    }
+}
+
+/// A disk-backed file system.
+pub type DiskFs = Fs<CachedDiskStore>;
+
+/// Create the paper's §5.3 configuration: 8 × 30 MB/s RAID-0 with
+/// `ram_bytes` of server page cache.
+pub fn diskfs(sim: &sim_core::Sim, ram_bytes: u64) -> DiskFs {
+    let raid = Raid0::paper_array(sim);
+    Fs::new(sim, CachedDiskStore::new(raid, ram_bytes, 256 * 1024))
+}

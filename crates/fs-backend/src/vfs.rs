@@ -1,0 +1,505 @@
+//! The VFS interface the NFS server dispatches into, plus the shared
+//! namespace (inode/dentry) implementation both back ends reuse.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use sim_core::{Payload, Sim, SimTime};
+
+/// Single-threaded boxed future.
+pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T> + 'static>>;
+
+/// File identifier (inode number); NFS file handles wrap these.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// File types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Dir,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// File attributes (the fattr3 subset the workloads need).
+#[derive(Clone, Copy, Debug)]
+pub struct Attr {
+    /// Inode number.
+    pub id: FileId,
+    /// Type.
+    pub kind: FileKind,
+    /// Size in bytes.
+    pub size: u64,
+    /// Link count.
+    pub nlink: u32,
+    /// Last modification (virtual time).
+    pub mtime: SimTime,
+    /// Last attribute change.
+    pub ctime: SimTime,
+}
+
+/// A directory entry.
+#[derive(Clone, Debug)]
+pub struct DirEntry {
+    /// Entry name.
+    pub name: String,
+    /// Inode.
+    pub id: FileId,
+    /// Type.
+    pub kind: FileKind,
+}
+
+/// File-system errors (mapped to NFS status codes by the server).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsError {
+    /// No such file or directory.
+    NotFound,
+    /// Name already exists.
+    Exists,
+    /// Operation requires a directory.
+    NotDir,
+    /// Operation not valid on a directory.
+    IsDir,
+    /// Directory not empty.
+    NotEmpty,
+    /// Stale file id (deleted).
+    Stale,
+    /// Not a symlink.
+    NotSymlink,
+    /// Out of space.
+    NoSpace,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Aggregate file-system statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsStat {
+    /// Total bytes of file data stored.
+    pub bytes_used: u64,
+    /// Number of live inodes.
+    pub inodes: u64,
+}
+
+/// Where file *data* lives and what it costs to touch it. The
+/// namespace above it is shared between tmpfs and the disk back end.
+pub trait DataStore {
+    /// Read `[off, off+len)` of `file` (timing included).
+    fn read(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<Payload>;
+    /// Write data at `off` (timing included); returns bytes written.
+    fn write(&self, file: FileId, off: u64, data: Payload) -> LocalBoxFuture<u64>;
+    /// Flush dirty state for `file` to stable storage.
+    fn commit(&self, file: FileId) -> LocalBoxFuture<()>;
+    /// Discard data beyond `size` / zero-extend bookkeeping.
+    fn truncate(&self, file: FileId, size: u64);
+    /// Drop all data for `file`.
+    fn delete(&self, file: FileId);
+}
+
+struct Inode {
+    attr: Attr,
+    /// Directory contents (name -> id), for directories.
+    children: Option<HashMap<String, FileId>>,
+    /// Symlink target.
+    target: Option<String>,
+}
+
+struct NamespaceInner {
+    sim: Sim,
+    inodes: RefCell<HashMap<u64, Inode>>,
+    next_id: std::cell::Cell<u64>,
+    root: FileId,
+}
+
+/// The shared directory-tree / inode-table layer.
+///
+/// Combined with a [`DataStore`], this forms a complete file system:
+/// [`Fs`].
+pub struct Fs<S: DataStore> {
+    ns: Rc<NamespaceInner>,
+    store: S,
+}
+
+impl<S: DataStore> Fs<S> {
+    /// Create a file system with an empty root directory.
+    pub fn new(sim: &Sim, store: S) -> Self {
+        let root = FileId(1);
+        let now = sim.now();
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            1,
+            Inode {
+                attr: Attr {
+                    id: root,
+                    kind: FileKind::Dir,
+                    size: 0,
+                    nlink: 2,
+                    mtime: now,
+                    ctime: now,
+                },
+                children: Some(HashMap::new()),
+                target: None,
+            },
+        );
+        Fs {
+            ns: Rc::new(NamespaceInner {
+                sim: sim.clone(),
+                inodes: RefCell::new(inodes),
+                next_id: std::cell::Cell::new(2),
+                root,
+            }),
+            store,
+        }
+    }
+
+    /// The data store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Root directory id.
+    pub fn root(&self) -> FileId {
+        self.ns.root
+    }
+
+    fn now(&self) -> SimTime {
+        self.ns.sim.now()
+    }
+
+    fn alloc_id(&self) -> FileId {
+        let id = self.ns.next_id.get();
+        self.ns.next_id.set(id + 1);
+        FileId(id)
+    }
+
+    /// Attributes of `id`.
+    pub fn getattr(&self, id: FileId) -> FsResult<Attr> {
+        self.ns
+            .inodes
+            .borrow()
+            .get(&id.0)
+            .map(|i| i.attr)
+            .ok_or(FsError::Stale)
+    }
+
+    /// Truncate or extend a regular file.
+    pub fn setattr_size(&self, id: FileId, size: u64) -> FsResult<Attr> {
+        let mut inodes = self.ns.inodes.borrow_mut();
+        let inode = inodes.get_mut(&id.0).ok_or(FsError::Stale)?;
+        if inode.attr.kind != FileKind::Regular {
+            return Err(FsError::IsDir);
+        }
+        inode.attr.size = size;
+        inode.attr.mtime = self.ns.sim.now();
+        inode.attr.ctime = inode.attr.mtime;
+        let attr = inode.attr;
+        drop(inodes);
+        self.store.truncate(id, size);
+        Ok(attr)
+    }
+
+    /// Find `name` in directory `dir`.
+    pub fn lookup(&self, dir: FileId, name: &str) -> FsResult<Attr> {
+        let inodes = self.ns.inodes.borrow();
+        let d = inodes.get(&dir.0).ok_or(FsError::Stale)?;
+        let children = d.children.as_ref().ok_or(FsError::NotDir)?;
+        let id = children.get(name).ok_or(FsError::NotFound)?;
+        Ok(inodes[&id.0].attr)
+    }
+
+    fn link_new(
+        &self,
+        dir: FileId,
+        name: &str,
+        kind: FileKind,
+        target: Option<String>,
+    ) -> FsResult<Attr> {
+        let id = self.alloc_id();
+        let now = self.now();
+        let mut inodes = self.ns.inodes.borrow_mut();
+        let d = inodes.get_mut(&dir.0).ok_or(FsError::Stale)?;
+        let children = d.children.as_mut().ok_or(FsError::NotDir)?;
+        if children.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        children.insert(name.to_string(), id);
+        d.attr.mtime = now;
+        let attr = Attr {
+            id,
+            kind,
+            size: target.as_ref().map(|t| t.len() as u64).unwrap_or(0),
+            nlink: if kind == FileKind::Dir { 2 } else { 1 },
+            mtime: now,
+            ctime: now,
+        };
+        inodes.insert(
+            id.0,
+            Inode {
+                attr,
+                children: (kind == FileKind::Dir).then(HashMap::new),
+                target,
+            },
+        );
+        Ok(attr)
+    }
+
+    /// Create a regular file.
+    pub fn create(&self, dir: FileId, name: &str) -> FsResult<Attr> {
+        self.link_new(dir, name, FileKind::Regular, None)
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, dir: FileId, name: &str) -> FsResult<Attr> {
+        self.link_new(dir, name, FileKind::Dir, None)
+    }
+
+    /// Create a symlink to `target`.
+    pub fn symlink(&self, dir: FileId, name: &str, target: &str) -> FsResult<Attr> {
+        self.link_new(dir, name, FileKind::Symlink, Some(target.to_string()))
+    }
+
+    /// Read a symlink's target.
+    pub fn readlink(&self, id: FileId) -> FsResult<String> {
+        let inodes = self.ns.inodes.borrow();
+        let inode = inodes.get(&id.0).ok_or(FsError::Stale)?;
+        inode.target.clone().ok_or(FsError::NotSymlink)
+    }
+
+    /// Remove a non-directory entry.
+    pub fn remove(&self, dir: FileId, name: &str) -> FsResult<()> {
+        let removed = {
+            let mut inodes = self.ns.inodes.borrow_mut();
+            let d = inodes.get_mut(&dir.0).ok_or(FsError::Stale)?;
+            let children = d.children.as_mut().ok_or(FsError::NotDir)?;
+            let id = *children.get(name).ok_or(FsError::NotFound)?;
+            if inodes[&id.0].attr.kind == FileKind::Dir {
+                return Err(FsError::IsDir);
+            }
+            let d = inodes.get_mut(&dir.0).unwrap();
+            d.children.as_mut().unwrap().remove(name);
+            d.attr.mtime = self.ns.sim.now();
+            inodes.remove(&id.0);
+            id
+        };
+        self.store.delete(removed);
+        Ok(())
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, dir: FileId, name: &str) -> FsResult<()> {
+        let mut inodes = self.ns.inodes.borrow_mut();
+        let d = inodes.get(&dir.0).ok_or(FsError::Stale)?;
+        let children = d.children.as_ref().ok_or(FsError::NotDir)?;
+        let id = *children.get(name).ok_or(FsError::NotFound)?;
+        let victim = inodes.get(&id.0).ok_or(FsError::Stale)?;
+        let vc = victim.children.as_ref().ok_or(FsError::NotDir)?;
+        if !vc.is_empty() {
+            return Err(FsError::NotEmpty);
+        }
+        let d = inodes.get_mut(&dir.0).unwrap();
+        d.children.as_mut().unwrap().remove(name);
+        d.attr.mtime = self.ns.sim.now();
+        inodes.remove(&id.0);
+        Ok(())
+    }
+
+    /// Rename within/between directories.
+    pub fn rename(&self, fdir: FileId, fname: &str, tdir: FileId, tname: &str) -> FsResult<()> {
+        let mut inodes = self.ns.inodes.borrow_mut();
+        let id = {
+            let f = inodes.get(&fdir.0).ok_or(FsError::Stale)?;
+            let children = f.children.as_ref().ok_or(FsError::NotDir)?;
+            *children.get(fname).ok_or(FsError::NotFound)?
+        };
+        {
+            let t = inodes.get(&tdir.0).ok_or(FsError::Stale)?;
+            let tc = t.children.as_ref().ok_or(FsError::NotDir)?;
+            if tc.contains_key(tname) {
+                return Err(FsError::Exists);
+            }
+        }
+        let now = self.ns.sim.now();
+        inodes
+            .get_mut(&fdir.0)
+            .unwrap()
+            .children
+            .as_mut()
+            .unwrap()
+            .remove(fname);
+        inodes.get_mut(&fdir.0).unwrap().attr.mtime = now;
+        inodes
+            .get_mut(&tdir.0)
+            .unwrap()
+            .children
+            .as_mut()
+            .unwrap()
+            .insert(tname.to_string(), id);
+        inodes.get_mut(&tdir.0).unwrap().attr.mtime = now;
+        Ok(())
+    }
+
+    /// List a directory.
+    pub fn readdir(&self, dir: FileId) -> FsResult<Vec<DirEntry>> {
+        let inodes = self.ns.inodes.borrow();
+        let d = inodes.get(&dir.0).ok_or(FsError::Stale)?;
+        let children = d.children.as_ref().ok_or(FsError::NotDir)?;
+        let mut out: Vec<DirEntry> = children
+            .iter()
+            .map(|(name, id)| DirEntry {
+                name: name.clone(),
+                id: *id,
+                kind: inodes[&id.0].attr.kind,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    /// Read file data.
+    pub async fn read(&self, id: FileId, off: u64, len: u64) -> FsResult<Payload> {
+        let attr = self.getattr(id)?;
+        if attr.kind != FileKind::Regular {
+            return Err(FsError::IsDir);
+        }
+        if off >= attr.size {
+            return Ok(Payload::empty());
+        }
+        let n = len.min(attr.size - off);
+        Ok(self.store.read(id, off, n).await)
+    }
+
+    /// Write file data, extending the size as needed.
+    pub async fn write(&self, id: FileId, off: u64, data: Payload) -> FsResult<u64> {
+        {
+            let mut inodes = self.ns.inodes.borrow_mut();
+            let inode = inodes.get_mut(&id.0).ok_or(FsError::Stale)?;
+            if inode.attr.kind != FileKind::Regular {
+                return Err(FsError::IsDir);
+            }
+            inode.attr.size = inode.attr.size.max(off + data.len());
+            inode.attr.mtime = self.ns.sim.now();
+        }
+        Ok(self.store.write(id, off, data).await)
+    }
+
+    /// Flush a file to stable storage.
+    pub async fn commit(&self, id: FileId) -> FsResult<()> {
+        self.getattr(id)?;
+        self.store.commit(id).await;
+        Ok(())
+    }
+
+    /// Aggregate statistics.
+    pub fn fsstat(&self) -> FsStat {
+        let inodes = self.ns.inodes.borrow();
+        FsStat {
+            bytes_used: inodes.values().map(|i| i.attr.size).sum(),
+            inodes: inodes.len() as u64,
+        }
+    }
+}
+
+/// Object-safe facade over [`Fs`] so servers can hold any back end.
+pub trait Vfs {
+    /// Root directory id.
+    fn root(&self) -> FileId;
+    /// Attributes of `id`.
+    fn getattr(&self, id: FileId) -> FsResult<Attr>;
+    /// Truncate/extend a file.
+    fn setattr_size(&self, id: FileId, size: u64) -> FsResult<Attr>;
+    /// Find `name` in `dir`.
+    fn lookup(&self, dir: FileId, name: &str) -> FsResult<Attr>;
+    /// Create a regular file.
+    fn create(&self, dir: FileId, name: &str) -> FsResult<Attr>;
+    /// Create a directory.
+    fn mkdir(&self, dir: FileId, name: &str) -> FsResult<Attr>;
+    /// Create a symlink.
+    fn symlink(&self, dir: FileId, name: &str, target: &str) -> FsResult<Attr>;
+    /// Read a symlink target.
+    fn readlink(&self, id: FileId) -> FsResult<String>;
+    /// Remove a non-directory.
+    fn remove(&self, dir: FileId, name: &str) -> FsResult<()>;
+    /// Remove an empty directory.
+    fn rmdir(&self, dir: FileId, name: &str) -> FsResult<()>;
+    /// Rename an entry.
+    fn rename(&self, fdir: FileId, fname: &str, tdir: FileId, tname: &str) -> FsResult<()>;
+    /// List a directory.
+    fn readdir(&self, dir: FileId) -> FsResult<Vec<DirEntry>>;
+    /// Read file data.
+    fn read(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<Payload>>;
+    /// Write file data.
+    fn write(&self, id: FileId, off: u64, data: Payload) -> LocalBoxFuture<FsResult<u64>>;
+    /// Flush to stable storage.
+    fn commit(&self, id: FileId) -> LocalBoxFuture<FsResult<()>>;
+    /// Aggregate statistics.
+    fn fsstat(&self) -> FsStat;
+}
+
+impl<S: DataStore + 'static> Vfs for Rc<Fs<S>> {
+    fn root(&self) -> FileId {
+        Fs::root(self)
+    }
+    fn getattr(&self, id: FileId) -> FsResult<Attr> {
+        Fs::getattr(self, id)
+    }
+    fn setattr_size(&self, id: FileId, size: u64) -> FsResult<Attr> {
+        Fs::setattr_size(self, id, size)
+    }
+    fn lookup(&self, dir: FileId, name: &str) -> FsResult<Attr> {
+        Fs::lookup(self, dir, name)
+    }
+    fn create(&self, dir: FileId, name: &str) -> FsResult<Attr> {
+        Fs::create(self, dir, name)
+    }
+    fn mkdir(&self, dir: FileId, name: &str) -> FsResult<Attr> {
+        Fs::mkdir(self, dir, name)
+    }
+    fn symlink(&self, dir: FileId, name: &str, target: &str) -> FsResult<Attr> {
+        Fs::symlink(self, dir, name, target)
+    }
+    fn readlink(&self, id: FileId) -> FsResult<String> {
+        Fs::readlink(self, id)
+    }
+    fn remove(&self, dir: FileId, name: &str) -> FsResult<()> {
+        Fs::remove(self, dir, name)
+    }
+    fn rmdir(&self, dir: FileId, name: &str) -> FsResult<()> {
+        Fs::rmdir(self, dir, name)
+    }
+    fn rename(&self, fdir: FileId, fname: &str, tdir: FileId, tname: &str) -> FsResult<()> {
+        Fs::rename(self, fdir, fname, tdir, tname)
+    }
+    fn readdir(&self, dir: FileId) -> FsResult<Vec<DirEntry>> {
+        Fs::readdir(self, dir)
+    }
+    fn read(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<Payload>> {
+        let fs = self.clone();
+        Box::pin(async move { fs.as_ref().read(id, off, len).await })
+    }
+    fn write(&self, id: FileId, off: u64, data: Payload) -> LocalBoxFuture<FsResult<u64>> {
+        let fs = self.clone();
+        Box::pin(async move { fs.as_ref().write(id, off, data).await })
+    }
+    fn commit(&self, id: FileId) -> LocalBoxFuture<FsResult<()>> {
+        let fs = self.clone();
+        Box::pin(async move { fs.as_ref().commit(id).await })
+    }
+    fn fsstat(&self) -> FsStat {
+        Fs::fsstat(self)
+    }
+}

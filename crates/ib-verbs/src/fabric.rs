@@ -1,0 +1,272 @@
+//! The switched fabric: per-node uplink/downlink with cut-through
+//! forwarding.
+//!
+//! Every node owns a transmit wire and a receive wire of equal rate
+//! (full duplex). A transfer holds the source's transmit wire and the
+//! destination's receive wire simultaneously for one serialization time
+//! (cut-through, as IB switches do), then experiences propagation
+//! latency. The receive wire of a busy server is therefore the shared
+//! bottleneck across clients — the effect behind Figure 10.
+//!
+//! Deadlock freedom: a transfer holds exactly one tx resource while
+//! waiting for one rx resource; no holder of an rx resource ever waits
+//! on a tx resource, so no cycle can form.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sim_core::sync::{channel, Receiver, Sender};
+use sim_core::{transfer_time, Resource, Sim, SimDuration};
+
+use crate::types::NodeId;
+
+struct Port<M> {
+    tx: Resource,
+    rx: Resource,
+    bandwidth: u64,
+    latency: SimDuration,
+    inbox: Sender<M>,
+    rx_bytes: Cell<u64>,
+    tx_bytes: Cell<u64>,
+}
+
+struct FabricInner<M> {
+    sim: Sim,
+    ports: RefCell<HashMap<NodeId, Rc<Port<M>>>>,
+}
+
+/// A fabric carrying messages of type `M` between nodes.
+pub struct Fabric<M> {
+    inner: Rc<FabricInner<M>>,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<M: 'static> Fabric<M> {
+    /// Create an empty fabric.
+    pub fn new(sim: &Sim) -> Self {
+        Fabric {
+            inner: Rc::new(FabricInner {
+                sim: sim.clone(),
+                ports: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Attach `node` with the given port rate (bytes/s) and one-way
+    /// latency. Returns the node's inbound message stream.
+    pub fn attach(&self, node: NodeId, bandwidth: u64, latency: SimDuration) -> Receiver<M> {
+        let (inbox, rx_inbox) = channel();
+        let port = Rc::new(Port {
+            tx: Resource::new(&self.inner.sim, format!("node{}.tx", node.0), 1),
+            rx: Resource::new(&self.inner.sim, format!("node{}.rx", node.0), 1),
+            bandwidth,
+            latency,
+            inbox,
+            rx_bytes: Cell::new(0),
+            tx_bytes: Cell::new(0),
+        });
+        let prev = self.inner.ports.borrow_mut().insert(node, port);
+        assert!(prev.is_none(), "node {node:?} attached twice");
+        rx_inbox
+    }
+
+    fn port(&self, node: NodeId) -> Rc<Port<M>> {
+        self.inner
+            .ports
+            .borrow()
+            .get(&node)
+            .unwrap_or_else(|| panic!("node {node:?} not attached"))
+            .clone()
+    }
+
+    /// Move `wire_bytes` from `from` to `to` and deliver `msg` to the
+    /// destination inbox when the last byte lands.
+    pub async fn send(&self, from: NodeId, to: NodeId, wire_bytes: u64, msg: M) {
+        self.raw_transfer(from, to, wire_bytes).await;
+        // Receiver may have shut down (e.g. crash-injection tests).
+        let _ = self.port(to).inbox.send(msg);
+    }
+
+    /// Occupy the wire for a transfer without delivering a message
+    /// (used for RDMA Read response data, which completes a waiting
+    /// requester directly).
+    pub async fn raw_transfer(&self, from: NodeId, to: NodeId, wire_bytes: u64) {
+        let src = self.port(from);
+        let dst = self.port(to);
+        let bw = src.bandwidth.min(dst.bandwidth);
+        let occupancy = transfer_time(wire_bytes, bw);
+        if !occupancy.is_zero() {
+            // Cut-through: hold tx, then rx, for one serialization time.
+            let _tx_slot = src.tx.acquire().await;
+            let _rx_slot = dst.rx.acquire().await;
+            self.inner.sim.sleep(occupancy).await;
+            src.tx.charge(occupancy);
+            dst.rx.charge(occupancy);
+            src.tx_bytes.set(src.tx_bytes.get() + wire_bytes);
+            dst.rx_bytes.set(dst.rx_bytes.get() + wire_bytes);
+        }
+        if !dst.latency.is_zero() {
+            self.inner.sim.sleep(dst.latency).await;
+        }
+    }
+
+    /// One-way latency into `node`.
+    pub fn latency_to(&self, node: NodeId) -> SimDuration {
+        self.port(node).latency
+    }
+
+    /// Transmit-side wire utilization of a node's port.
+    pub fn tx_utilization(&self, node: NodeId) -> f64 {
+        self.port(node).tx.utilization()
+    }
+
+    /// Receive-side wire utilization of a node's port.
+    pub fn rx_utilization(&self, node: NodeId) -> f64 {
+        self.port(node).rx.utilization()
+    }
+
+    /// Bytes received by a node since its accounting window opened.
+    pub fn rx_bytes(&self, node: NodeId) -> u64 {
+        self.port(node).rx_bytes.get()
+    }
+
+    /// Bytes transmitted by a node since its accounting window opened.
+    pub fn tx_bytes(&self, node: NodeId) -> u64 {
+        self.port(node).tx_bytes.get()
+    }
+
+    /// Reset port accounting for all nodes (exclude warmup).
+    pub fn reset_accounting(&self) {
+        for p in self.inner.ports.borrow().values() {
+            p.tx.reset_accounting();
+            p.rx.reset_accounting();
+            p.rx_bytes.set(0);
+            p.tx_bytes.set(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{SimTime, Simulation};
+
+    const GB: u64 = 1_000_000_000;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn point_to_point_delivery_time() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<u32> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, us(2));
+        let mut inbox = fab.attach(NodeId(1), GB, us(2));
+        let f2 = fab.clone();
+        sim.spawn(async move {
+            f2.send(NodeId(0), NodeId(1), 1_000_000, 7).await;
+        });
+        let msg = sim.block_on(async move { inbox.recv().await.unwrap() });
+        assert_eq!(msg, 7);
+        // 1 MB at 1 GB/s = 1 ms serialization + 2 us latency.
+        assert_eq!(sim.now(), SimTime::from_nanos(1_002_000));
+    }
+
+    #[test]
+    fn cut_through_does_not_double_serialization() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<()> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        let _i = fab.attach(NodeId(1), GB, SimDuration::ZERO);
+        let f2 = fab.clone();
+        sim.block_on(async move { f2.raw_transfer(NodeId(0), NodeId(1), 1_000_000).await });
+        // One serialization, not two.
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn server_rx_is_shared_bottleneck() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<()> = Fabric::new(&h);
+        let server = NodeId(0);
+        let _si = fab.attach(server, GB, SimDuration::ZERO);
+        for c in 1..=4 {
+            fab.attach(NodeId(c), GB, SimDuration::ZERO);
+        }
+        for c in 1..=4u32 {
+            let f = fab.clone();
+            sim.spawn(async move {
+                f.raw_transfer(NodeId(c), server, 1_000_000).await;
+            });
+        }
+        sim.run();
+        // Four 1 MB transfers share the server's 1 GB/s rx wire: 4 ms.
+        assert_eq!(sim.now(), SimTime::from_nanos(4_000_000));
+    }
+
+    #[test]
+    fn duplex_directions_are_independent() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<()> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        fab.attach(NodeId(1), GB, SimDuration::ZERO);
+        let f1 = fab.clone();
+        let f2 = fab.clone();
+        sim.spawn(async move { f1.raw_transfer(NodeId(0), NodeId(1), 1_000_000).await });
+        sim.spawn(async move { f2.raw_transfer(NodeId(1), NodeId(0), 1_000_000).await });
+        sim.run();
+        // Opposite directions overlap fully.
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn mismatched_rates_use_slower() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<()> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        fab.attach(NodeId(1), 125_000_000, SimDuration::ZERO); // GigE-ish
+        let f = fab.clone();
+        sim.block_on(async move { f.raw_transfer(NodeId(0), NodeId(1), 1_000_000).await });
+        assert_eq!(sim.now(), SimTime::from_nanos(8_000_000));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<()> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        fab.attach(NodeId(1), GB, SimDuration::ZERO);
+        let f = fab.clone();
+        sim.block_on(async move {
+            f.raw_transfer(NodeId(0), NodeId(1), 500).await;
+            f.raw_transfer(NodeId(0), NodeId(1), 250).await;
+        });
+        assert_eq!(fab.rx_bytes(NodeId(1)), 750);
+        assert_eq!(fab.tx_bytes(NodeId(0)), 750);
+        assert_eq!(fab.rx_bytes(NodeId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_panics() {
+        let sim = Simulation::new(1);
+        let fab: Fabric<()> = Fabric::new(&sim.handle());
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,388 @@
+//! The Host Channel Adapter: TPT, registration engine, QP management
+//! and the inbound-message dispatcher.
+//!
+//! Cost structure (paper §4.3): a dynamic registration pins pages on
+//! the host CPU, then performs one serialized transaction against the
+//! HCA's TPT engine across the I/O bus; deregistration reverses both.
+//! The TPT engine is a single-slot [`Resource`], so concurrent
+//! registrations from many server threads queue — this contention is
+//! the dominant bottleneck the paper's registration strategies attack.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sim_core::sync::Receiver;
+use sim_core::{Cpu, Payload, Resource, Sim, SimDuration};
+
+use crate::config::HcaConfig;
+use crate::cq::{Completion, Cq};
+use crate::fabric::Fabric;
+use crate::memory::{Buffer, HostMem};
+use crate::qp::{sender_loop, Qp, WireMsg};
+use crate::tpt::{ExposureReport, RemoteOp, Tpt};
+use crate::types::{Access, NodeId, Opcode, QpNum, Rkey, VerbsError};
+
+/// Registration statistics, for tests and the experiment reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegStats {
+    /// Dynamic registrations performed.
+    pub dynamic_regs: u64,
+    /// Dynamic deregistrations performed.
+    pub deregs: u64,
+    /// FMR map operations performed.
+    pub fmr_maps: u64,
+    /// FMR unmap operations performed.
+    pub fmr_unmaps: u64,
+    /// Memory regions dropped while still valid (leaks — each one is a
+    /// protocol bug or an injected failure).
+    pub leaked_mrs: u64,
+    /// Pages pinned (all modes).
+    pub pages_pinned: u64,
+}
+
+pub(crate) struct HcaInner {
+    pub(crate) sim: Sim,
+    pub(crate) node: NodeId,
+    pub(crate) cfg: HcaConfig,
+    pub(crate) cpu: Cpu,
+    pub(crate) mem: Rc<HostMem>,
+    pub(crate) tpt: RefCell<Tpt>,
+    /// The serialized TPT-update engine (one I/O bus transaction at a
+    /// time).
+    pub(crate) tpt_engine: Resource,
+    pub(crate) fabric: Fabric<WireMsg>,
+    pub(crate) qps: RefCell<HashMap<u32, Qp>>,
+    next_qpn: Cell<u32>,
+    pub(crate) stats: RefCell<RegStats>,
+}
+
+/// Handle to a simulated HCA.
+#[derive(Clone)]
+pub struct Hca {
+    pub(crate) inner: Rc<HcaInner>,
+}
+
+impl Hca {
+    /// Create an HCA for `node`, attach it to `fabric` and start its
+    /// inbound dispatcher.
+    pub fn new(
+        sim: &Sim,
+        node: NodeId,
+        cfg: HcaConfig,
+        cpu: Cpu,
+        mem: Rc<HostMem>,
+        fabric: &Fabric<WireMsg>,
+    ) -> Hca {
+        let inbox = fabric.attach(node, cfg.link_bandwidth, cfg.link_latency);
+        let hca = Hca {
+            inner: Rc::new(HcaInner {
+                sim: sim.clone(),
+                node,
+                cfg,
+                cpu,
+                mem,
+                tpt: RefCell::new(Tpt::new(sim.fork_rng())),
+                tpt_engine: Resource::new(sim, format!("hca{}.tpt", node.0), 1),
+                fabric: fabric.clone(),
+                qps: RefCell::new(HashMap::new()),
+                next_qpn: Cell::new(1),
+                stats: RefCell::new(RegStats::default()),
+            }),
+        };
+        let h2 = hca.clone();
+        sim.spawn(async move { dispatch_loop(h2, inbox).await });
+        hca
+    }
+
+    /// The node this HCA serves.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &HcaConfig {
+        &self.inner.cfg
+    }
+
+    /// The host CPU this HCA charges driver work to.
+    pub fn cpu(&self) -> &Cpu {
+        &self.inner.cpu
+    }
+
+    /// The host memory manager.
+    pub fn mem(&self) -> &Rc<HostMem> {
+        &self.inner.mem
+    }
+
+    /// The fabric this HCA is attached to.
+    pub fn fabric(&self) -> &Fabric<WireMsg> {
+        &self.inner.fabric
+    }
+
+    /// Registration statistics snapshot.
+    pub fn reg_stats(&self) -> RegStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Security ledger snapshot.
+    pub fn exposure_report(&self) -> ExposureReport {
+        self.inner.tpt.borrow().exposure_report(self.inner.sim.now())
+    }
+
+    /// Probability a uniformly guessed steering tag grants a read.
+    pub fn guess_hit_probability(&self) -> f64 {
+        self.inner.tpt.borrow().guess_hit_probability()
+    }
+
+    /// Live TPT entries.
+    pub fn tpt_entries(&self) -> usize {
+        self.inner.tpt.borrow().len()
+    }
+
+    /// Utilization of the TPT engine since its window opened.
+    pub fn tpt_engine_utilization(&self) -> f64 {
+        self.inner.tpt_engine.utilization()
+    }
+
+    /// Reset per-run accounting (TPT engine window).
+    pub fn reset_accounting(&self) {
+        self.inner.tpt_engine.reset_accounting();
+    }
+
+    // -- Registration --------------------------------------------------
+
+    /// Dynamically register `[offset, offset+len)` of `buffer`: pin the
+    /// pages (host CPU) and run one TPT transaction (serialized engine).
+    pub async fn register(
+        &self,
+        buffer: &Buffer,
+        offset: u64,
+        len: u64,
+        access: Access,
+    ) -> crate::mr::Mr {
+        assert!(offset + len <= buffer.len(), "register out of bounds");
+        let pages = len.div_ceil(crate::memory::PAGE_SIZE).max(1);
+        self.pin_pages(pages).await;
+        self.inner
+            .tpt_engine
+            .use_for(self.inner.cfg.reg_cost(pages))
+            .await;
+        let base = buffer.addr() + offset;
+        let rkey = self.inner.tpt.borrow_mut().insert(
+            buffer.clone(),
+            base,
+            len,
+            access,
+            self.inner.sim.now(),
+        );
+        self.inner.stats.borrow_mut().dynamic_regs += 1;
+        self.inner.sim.trace("reg", || {
+            format!(
+                "node{} register {len}B ({pages} pages) -> {rkey:?} exposed={}",
+                self.inner.node.0,
+                access.remotely_exposed()
+            )
+        });
+        crate::mr::Mr::new_dynamic(self.clone(), rkey, buffer.clone(), base, len, access, pages)
+    }
+
+    /// Charge the CPU for pinning `pages` pages.
+    pub async fn pin_pages(&self, pages: u64) {
+        self.inner.stats.borrow_mut().pages_pinned += pages;
+        self.inner
+            .cpu
+            .execute(SimDuration::from_nanos(
+                self.inner.cfg.pin_per_page.as_nanos() * pages,
+            ))
+            .await;
+    }
+
+    /// Charge the CPU for unpinning `pages` pages (half the pin cost).
+    pub async fn unpin_pages(&self, pages: u64) {
+        self.inner
+            .cpu
+            .execute(SimDuration::from_nanos(
+                self.inner.cfg.pin_per_page.as_nanos() * pages / 2,
+            ))
+            .await;
+    }
+
+    /// Enable the privileged all-physical (global) steering tag.
+    /// Kernel consumers only (paper §4.3, "All Physical Memory
+    /// Registration").
+    pub fn enable_all_physical(&self) -> Rkey {
+        self.inner.tpt.borrow_mut().enable_global_rkey()
+    }
+
+    /// The global steering tag, if enabled.
+    pub fn global_rkey(&self) -> Option<Rkey> {
+        self.inner.tpt.borrow().global_rkey()
+    }
+
+    // -- Queue pairs ----------------------------------------------------
+
+    pub(crate) fn alloc_qp(&self, send_cq: Cq, recv_cq: Cq) -> (Qp, Receiver<crate::qp::Wqe>) {
+        let qpn = QpNum(self.inner.next_qpn.get());
+        self.inner.next_qpn.set(qpn.0 + 1);
+        let (qp, wqe_rx) = Qp::new(
+            self.inner.sim.clone(),
+            self.inner.cfg,
+            self.inner.node,
+            qpn,
+            self.inner.fabric.clone(),
+            send_cq,
+            recv_cq,
+        );
+        self.inner.qps.borrow_mut().insert(qpn.0, qp.clone());
+        (qp, wqe_rx)
+    }
+}
+
+/// Create and connect a reliable-connection queue pair between two
+/// HCAs. Each side gets fresh send/recv CQs bound to its host CPU.
+pub fn connect(a: &Hca, b: &Hca) -> (Qp, Qp) {
+    let (qa, rx_a) = a.alloc_qp(Cq::new(a.inner.cpu.clone()), Cq::new(a.inner.cpu.clone()));
+    let (qb, rx_b) = b.alloc_qp(Cq::new(b.inner.cpu.clone()), Cq::new(b.inner.cpu.clone()));
+    qa.inner.peer_node.set(b.inner.node);
+    qa.inner.peer_qpn.set(qb.qpn());
+    qa.inner.connected.set(true);
+    qb.inner.peer_node.set(a.inner.node);
+    qb.inner.peer_qpn.set(qa.qpn());
+    qb.inner.connected.set(true);
+    a.inner
+        .sim
+        .spawn(sender_loop(qa.inner.clone(), rx_a));
+    b.inner
+        .sim
+        .spawn(sender_loop(qb.inner.clone(), rx_b));
+    (qa, qb)
+}
+
+/// Inbound message dispatcher: the responder side of every operation.
+async fn dispatch_loop(hca: Hca, mut inbox: Receiver<WireMsg>) {
+    while let Ok(msg) = inbox.recv().await {
+        match msg {
+            WireMsg::Send { dst_qpn, data, ack } => {
+                let qp = hca.inner.qps.borrow().get(&dst_qpn.0).cloned();
+                let Some(qp) = qp else {
+                    ack.send(Err(VerbsError::NotConnected));
+                    continue;
+                };
+                let posted = qp.take_recv();
+                let Some(recv) = posted else {
+                    qp.inner.set_error();
+                    ack.send(Err(VerbsError::ReceiverNotReady));
+                    continue;
+                };
+                if data.len() > recv.len {
+                    qp.inner.set_error();
+                    ack.send(Err(VerbsError::ReceiveTooSmall {
+                        needed: data.len(),
+                        have: recv.len,
+                    }));
+                    continue;
+                }
+                // DMA placement into the posted buffer: no host CPU.
+                recv.buffer.write(recv.offset, data.clone());
+                qp.inner.recv_cq.push(Completion {
+                    wr_id: recv.wr_id,
+                    opcode: Opcode::Recv,
+                    result: Ok(data.len()),
+                    payload: Some(data),
+                });
+                ack.send(Ok(()));
+            }
+            WireMsg::Write {
+                dst_qpn,
+                raddr,
+                rkey,
+                data,
+                ack,
+            } => {
+                let mem = hca.inner.mem.clone();
+                let check = hca.inner.tpt.borrow_mut().check_remote(
+                    rkey,
+                    raddr,
+                    data.len(),
+                    RemoteOp::Write,
+                    hca.inner.sim.now(),
+                    move |a, l| mem.lookup(a, l),
+                );
+                match check {
+                    Ok((buffer, off)) => {
+                        buffer.write(off, data);
+                        ack.send(Ok(()));
+                    }
+                    Err(e) => {
+                        if let Some(qp) = hca.inner.qps.borrow().get(&dst_qpn.0) {
+                            qp.inner.set_error();
+                        }
+                        ack.send(Err(e));
+                    }
+                }
+            }
+            WireMsg::ReadReq {
+                dst_qpn,
+                raddr,
+                rkey,
+                len,
+                resp,
+            } => {
+                let mem = hca.inner.mem.clone();
+                let check = hca.inner.tpt.borrow_mut().check_remote(
+                    rkey,
+                    raddr,
+                    len,
+                    RemoteOp::Read,
+                    hca.inner.sim.now(),
+                    move |a, l| mem.lookup(a, l),
+                );
+                let qp = hca.inner.qps.borrow().get(&dst_qpn.0).cloned();
+                match (check, qp) {
+                    (Ok((buffer, off)), Some(qp)) => {
+                        // Service the read concurrently, bounded by IRD.
+                        let hca2 = hca.clone();
+                        hca.inner.sim.spawn(async move {
+                            let _slot = qp.inner.read_engine.acquire().await;
+                            hca2.inner
+                                .sim
+                                .sleep(hca2.inner.cfg.read_turnaround)
+                                .await;
+                            let payload = buffer.read(off, len);
+                            let requester = qp.inner.peer_node.get();
+                            hca2.inner
+                                .fabric
+                                .raw_transfer(
+                                    hca2.inner.node,
+                                    requester,
+                                    hca2.inner.cfg.wire_header_bytes + len,
+                                )
+                                .await;
+                            resp.send(Ok(payload));
+                        });
+                    }
+                    (Err(e), qp) => {
+                        if let Some(qp) = qp {
+                            qp.inner.set_error();
+                        }
+                        // Nak propagation delay.
+                        let hca2 = hca.clone();
+                        hca.inner.sim.spawn(async move {
+                            hca2.inner.sim.sleep(hca2.inner.cfg.link_latency).await;
+                            resp.send(Err(e));
+                        });
+                    }
+                    (Ok(_), None) => {
+                        resp.send(Err(VerbsError::NotConnected));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: materialize a payload for assertions in tests.
+pub fn payload_bytes(p: &Payload) -> Vec<u8> {
+    p.materialize().to_vec()
+}

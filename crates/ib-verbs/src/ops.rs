@@ -1,0 +1,92 @@
+//! Communication-primitive property matrix (paper Table 1).
+//!
+//! The paper classifies InfiniBand operations into *Channel primitives*
+//! (Send/Receive, two-sided) and *Memory primitives* (RDMA Read/Write,
+//! one-sided) along four security/involvement axes. This module states
+//! the matrix as data so the `table1` bench target can print it and the
+//! test suite can verify each property against the simulator's actual
+//! behaviour.
+
+/// Properties of a communication-primitive class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrimitiveProperties {
+    /// Human-readable class name.
+    pub name: &'static str,
+    /// Is the receive-side buffer exposed to the remote peer (can the
+    /// peer target arbitrary offsets in it)?
+    pub receive_buffer_exposed: bool,
+    /// Must the receiver pre-post a buffer before the data can land?
+    pub receive_buffer_pre_posted: bool,
+    /// Does the operation carry a steering tag naming remote memory?
+    pub steering_tag: bool,
+    /// Does using the primitive require a prior message exchange to
+    /// communicate the buffer address and steering tag (rendezvous)?
+    pub rendezvous: bool,
+}
+
+/// Channel primitives: RDMA Send + RDMA Receive.
+pub const CHANNEL: PrimitiveProperties = PrimitiveProperties {
+    name: "Channel Primitives (Send/Receive)",
+    receive_buffer_exposed: false,
+    receive_buffer_pre_posted: true,
+    steering_tag: false,
+    rendezvous: false,
+};
+
+/// Memory primitives: RDMA Write + RDMA Read.
+pub const MEMORY: PrimitiveProperties = PrimitiveProperties {
+    name: "Memory Primitives (RDMA Read/Write)",
+    receive_buffer_exposed: true,
+    receive_buffer_pre_posted: false,
+    steering_tag: true,
+    rendezvous: true,
+};
+
+/// The full Table 1 matrix, row-major: (property, channel, memory).
+pub fn table1_rows() -> Vec<(&'static str, bool, bool)> {
+    vec![
+        (
+            "Receive Buffer Exposed",
+            CHANNEL.receive_buffer_exposed,
+            MEMORY.receive_buffer_exposed,
+        ),
+        (
+            "Receive Buffer Pre-Posted",
+            CHANNEL.receive_buffer_pre_posted,
+            MEMORY.receive_buffer_pre_posted,
+        ),
+        ("Steering Tag", CHANNEL.steering_tag, MEMORY.steering_tag),
+        ("Rendezvous", CHANNEL.rendezvous, MEMORY.rendezvous),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn matrix_matches_paper_table1() {
+        // Paper Table 1: channel primitives only tick "pre-posted";
+        // memory primitives tick the other three.
+        assert!(!CHANNEL.receive_buffer_exposed);
+        assert!(CHANNEL.receive_buffer_pre_posted);
+        assert!(!CHANNEL.steering_tag);
+        assert!(!CHANNEL.rendezvous);
+
+        assert!(MEMORY.receive_buffer_exposed);
+        assert!(!MEMORY.receive_buffer_pre_posted);
+        assert!(MEMORY.steering_tag);
+        assert!(MEMORY.rendezvous);
+    }
+
+    #[test]
+    fn rows_cover_all_four_properties() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        let ticks_channel = rows.iter().filter(|(_, c, _)| *c).count();
+        let ticks_memory = rows.iter().filter(|(_, _, m)| *m).count();
+        assert_eq!(ticks_channel, 1);
+        assert_eq!(ticks_memory, 3);
+    }
+}

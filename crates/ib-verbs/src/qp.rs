@@ -1,0 +1,501 @@
+//! Reliable-Connection queue pairs.
+//!
+//! A [`Qp`] processes work-queue elements strictly in post order on a
+//! per-QP sender task (as an HCA's send queue does). The ordering rules
+//! the paper's designs depend on fall out of the model:
+//!
+//! * **RDMA Write → Send**: both travel the same FIFO wire in post
+//!   order, so the Send's arrival guarantees the Write's data is placed
+//!   at the responder — the Read-Write design's correctness argument.
+//! * **RDMA Read ↛ Send**: a Read WQE only occupies the send queue for
+//!   its *request*; the response returns later. A Send posted after a
+//!   Read can therefore arrive at the peer before the Read data has
+//!   been placed locally — the requester must block on the Read's
+//!   completion first (paper §4.1, "Synchronous RDMA Read").
+//! * **ORD head-of-line blocking**: when `max_ord` Reads are in flight,
+//!   the next Read WQE stalls the entire send queue.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use sim_core::sync::{channel, oneshot, OneshotSender, Receiver, Sender, Semaphore};
+use sim_core::{Payload, Sim};
+
+use crate::config::HcaConfig;
+use crate::cq::{Completion, Cq};
+use crate::fabric::Fabric;
+use crate::memory::Buffer;
+use crate::types::{NodeId, Opcode, QpNum, Rkey, VerbsError, WrId};
+
+/// Messages on the fabric between HCAs.
+pub enum WireMsg {
+    /// Two-sided Send: channel semantics, consumes a posted receive.
+    Send {
+        /// Destination queue pair.
+        dst_qpn: QpNum,
+        /// Message body.
+        data: Payload,
+        /// Ack/nak path back to the requester.
+        ack: OneshotSender<Result<(), VerbsError>>,
+    },
+    /// One-sided RDMA Write.
+    Write {
+        /// Destination queue pair (for error propagation only).
+        dst_qpn: QpNum,
+        /// Target virtual address at the responder.
+        raddr: u64,
+        /// Steering tag authorizing the access.
+        rkey: Rkey,
+        /// Data to place.
+        data: Payload,
+        /// Ack/nak path back to the requester.
+        ack: OneshotSender<Result<(), VerbsError>>,
+    },
+    /// RDMA Read request (the response returns via `resp`).
+    ReadReq {
+        /// Destination queue pair (IRD accounting, error propagation).
+        dst_qpn: QpNum,
+        /// Source virtual address at the responder.
+        raddr: u64,
+        /// Steering tag authorizing the access.
+        rkey: Rkey,
+        /// Bytes to read.
+        len: u64,
+        /// Response path carrying the data (or a nak).
+        resp: OneshotSender<Result<Payload, VerbsError>>,
+    },
+}
+
+/// A posted receive buffer.
+pub struct PostedRecv {
+    /// Buffer the payload will be DMA'd into.
+    pub buffer: Buffer,
+    /// Offset within the buffer.
+    pub offset: u64,
+    /// Capacity available.
+    pub len: u64,
+    /// Echoed in the receive completion.
+    pub wr_id: WrId,
+}
+
+pub(crate) enum Wqe {
+    Send {
+        wr_id: WrId,
+        data: Payload,
+        signaled: bool,
+    },
+    Write {
+        wr_id: WrId,
+        data: Payload,
+        raddr: u64,
+        rkey: Rkey,
+        signaled: bool,
+    },
+    Read {
+        wr_id: WrId,
+        dst: Buffer,
+        dst_off: u64,
+        raddr: u64,
+        rkey: Rkey,
+        len: u64,
+    },
+}
+
+pub(crate) struct QpInner {
+    pub(crate) sim: Sim,
+    pub(crate) cfg: HcaConfig,
+    pub(crate) node: NodeId,
+    pub(crate) qpn: QpNum,
+    pub(crate) peer_node: Cell<NodeId>,
+    pub(crate) peer_qpn: Cell<QpNum>,
+    pub(crate) connected: Cell<bool>,
+    pub(crate) error: Cell<bool>,
+    pub(crate) fabric: Fabric<WireMsg>,
+    pub(crate) send_cq: Cq,
+    pub(crate) recv_cq: Cq,
+    pub(crate) recv_queue: RefCell<VecDeque<PostedRecv>>,
+    /// Shared receive queue; when set, arrivals consume from it instead
+    /// of the per-QP queue.
+    pub(crate) srq: RefCell<Option<crate::srq::Srq>>,
+    /// Outstanding outbound RDMA Reads (requester side).
+    pub(crate) ord: Semaphore,
+    /// Responder-side read execution engine. RC responders return read
+    /// responses strictly in PSN order, so execution is serial per QP;
+    /// IRD only bounds how many requests may be queued (enforced by the
+    /// peer's ORD in this workspace's configurations).
+    pub(crate) read_engine: Semaphore,
+    wqe_tx: Sender<Wqe>,
+}
+
+impl QpInner {
+    pub(crate) fn set_error(&self) {
+        self.error.set(true);
+    }
+}
+
+/// Handle to a reliable-connection queue pair.
+#[derive(Clone)]
+pub struct Qp {
+    pub(crate) inner: Rc<QpInner>,
+}
+
+impl Qp {
+    pub(crate) fn new(
+        sim: Sim,
+        cfg: HcaConfig,
+        node: NodeId,
+        qpn: QpNum,
+        fabric: Fabric<WireMsg>,
+        send_cq: Cq,
+        recv_cq: Cq,
+    ) -> (Qp, Receiver<Wqe>) {
+        let (wqe_tx, wqe_rx) = channel();
+        let qp = Qp {
+            inner: Rc::new(QpInner {
+                sim,
+                cfg,
+                node,
+                qpn,
+                peer_node: Cell::new(NodeId(u32::MAX)),
+                peer_qpn: Cell::new(QpNum(u32::MAX)),
+                connected: Cell::new(false),
+                error: Cell::new(false),
+                fabric,
+                send_cq,
+                recv_cq,
+                recv_queue: RefCell::new(VecDeque::new()),
+                srq: RefCell::new(None),
+                ord: Semaphore::new(cfg.max_ord),
+                read_engine: Semaphore::new(1),
+                wqe_tx,
+            }),
+        };
+        (qp, wqe_rx)
+    }
+
+    /// This QP's number.
+    pub fn qpn(&self) -> QpNum {
+        self.inner.qpn
+    }
+
+    /// The node this QP lives on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// True once [`crate::hca::connect`] has paired this QP.
+    pub fn is_connected(&self) -> bool {
+        self.inner.connected.get()
+    }
+
+    /// True if the QP has transitioned to the error state.
+    pub fn is_error(&self) -> bool {
+        self.inner.error.get()
+    }
+
+    /// The send-side completion queue.
+    pub fn send_cq(&self) -> &Cq {
+        &self.inner.send_cq
+    }
+
+    /// The receive-side completion queue.
+    pub fn recv_cq(&self) -> &Cq {
+        &self.inner.recv_cq
+    }
+
+    /// Number of receives currently posted (per-QP queue only; SRQ
+    /// buffers are counted by [`crate::srq::Srq::posted`]).
+    pub fn posted_recvs(&self) -> usize {
+        self.inner.recv_queue.borrow().len()
+    }
+
+    /// Attach a shared receive queue: subsequent arrivals consume SRQ
+    /// buffers. Real verbs fix this at creation time; attach before
+    /// any traffic for the same effect.
+    pub fn set_srq(&self, srq: crate::srq::Srq) {
+        *self.inner.srq.borrow_mut() = Some(srq);
+    }
+
+    /// Take the next posted receive: SRQ first if attached.
+    pub(crate) fn take_recv(&self) -> Option<PostedRecv> {
+        if let Some(srq) = self.inner.srq.borrow().as_ref() {
+            return srq.pop();
+        }
+        self.inner.recv_queue.borrow_mut().pop_front()
+    }
+
+    /// Force the QP into the error state (failure injection: peer
+    /// crash, retry-count exceeded, cable pull). As on real hardware,
+    /// posted receives are flushed with error completions, which is
+    /// how consumers blocked on the receive CQ learn about the
+    /// teardown.
+    pub fn force_error(&self) {
+        self.inner.set_error();
+        let flushed: Vec<PostedRecv> = self.inner.recv_queue.borrow_mut().drain(..).collect();
+        for r in flushed {
+            self.inner.recv_cq.push(Completion {
+                wr_id: r.wr_id,
+                opcode: Opcode::Recv,
+                result: Err(VerbsError::Flushed),
+                payload: None,
+            });
+        }
+    }
+
+    fn check_postable(&self) -> Result<(), VerbsError> {
+        if self.inner.error.get() {
+            return Err(VerbsError::Flushed);
+        }
+        if !self.inner.connected.get() {
+            return Err(VerbsError::NotConnected);
+        }
+        Ok(())
+    }
+
+    /// Post a receive buffer.
+    pub fn post_recv(
+        &self,
+        buffer: Buffer,
+        offset: u64,
+        len: u64,
+        wr_id: WrId,
+    ) -> Result<(), VerbsError> {
+        if self.inner.error.get() {
+            return Err(VerbsError::Flushed);
+        }
+        if offset + len > buffer.len() {
+            return Err(VerbsError::LocalProtection("recv range out of buffer"));
+        }
+        self.inner.recv_queue.borrow_mut().push_back(PostedRecv {
+            buffer,
+            offset,
+            len,
+            wr_id,
+        });
+        Ok(())
+    }
+
+    /// Post a two-sided Send of `data`.
+    pub fn post_send(&self, data: Payload, wr_id: WrId, signaled: bool) -> Result<(), VerbsError> {
+        self.check_postable()?;
+        self.inner
+            .wqe_tx
+            .send(Wqe::Send {
+                wr_id,
+                data,
+                signaled,
+            })
+            .map_err(|_| VerbsError::Flushed)
+    }
+
+    /// Post an RDMA Write of `data` to `(raddr, rkey)` at the peer.
+    pub fn post_rdma_write(
+        &self,
+        data: Payload,
+        raddr: u64,
+        rkey: Rkey,
+        wr_id: WrId,
+        signaled: bool,
+    ) -> Result<(), VerbsError> {
+        self.check_postable()?;
+        self.inner
+            .wqe_tx
+            .send(Wqe::Write {
+                wr_id,
+                data,
+                raddr,
+                rkey,
+                signaled,
+            })
+            .map_err(|_| VerbsError::Flushed)
+    }
+
+    /// Post an RDMA Read of `len` bytes from `(raddr, rkey)` at the
+    /// peer into `dst` at `dst_off`. Always signaled (the requester
+    /// must observe the completion before using the data — §4.1).
+    pub fn post_rdma_read(
+        &self,
+        dst: Buffer,
+        dst_off: u64,
+        raddr: u64,
+        rkey: Rkey,
+        len: u64,
+        wr_id: WrId,
+    ) -> Result<(), VerbsError> {
+        self.check_postable()?;
+        if dst_off + len > dst.len() {
+            return Err(VerbsError::LocalProtection("read dest out of buffer"));
+        }
+        self.inner
+            .wqe_tx
+            .send(Wqe::Read {
+                wr_id,
+                dst,
+                dst_off,
+                raddr,
+                rkey,
+                len,
+            })
+            .map_err(|_| VerbsError::Flushed)
+    }
+}
+
+/// Per-QP send-queue engine: drains WQEs strictly in post order.
+pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
+    while let Ok(wqe) = wqe_rx.recv().await {
+        if qp.error.get() {
+            flush_wqe(&qp, wqe);
+            continue;
+        }
+        // HCA WQE processing (doorbell, fetch, DMA setup).
+        qp.sim.sleep(qp.cfg.wqe_process).await;
+        let peer = qp.peer_node.get();
+        qp.sim.trace("wire", || {
+            let (kind, len) = match &wqe {
+                Wqe::Send { data, .. } => ("send", data.len()),
+                Wqe::Write { data, .. } => ("rdma-write", data.len()),
+                Wqe::Read { len, .. } => ("rdma-read", *len),
+            };
+            format!("node{} qp{} {kind} {len}B -> node{}", qp.node.0, qp.qpn.0, peer.0)
+        });
+        match wqe {
+            Wqe::Send {
+                wr_id,
+                data,
+                signaled,
+            } => {
+                let (ack_tx, ack_rx) = oneshot();
+                let bytes = qp.cfg.wire_header_bytes + data.len();
+                qp.fabric
+                    .send(
+                        qp.node,
+                        peer,
+                        bytes,
+                        WireMsg::Send {
+                            dst_qpn: qp.peer_qpn.get(),
+                            data: data.clone(),
+                            ack: ack_tx,
+                        },
+                    )
+                    .await;
+                let qp2 = qp.clone();
+                let dlen = data.len();
+                qp.sim.clone().spawn(async move {
+                    let res = ack_rx.await.unwrap_or(Err(VerbsError::Flushed));
+                    // Ack propagation back to the requester.
+                    qp2.sim.sleep(qp2.fabric.latency_to(qp2.node)).await;
+                    finish(&qp2, wr_id, Opcode::Send, res.map(|()| dlen), signaled);
+                });
+            }
+            Wqe::Write {
+                wr_id,
+                data,
+                raddr,
+                rkey,
+                signaled,
+            } => {
+                let (ack_tx, ack_rx) = oneshot();
+                let bytes = qp.cfg.wire_header_bytes + data.len();
+                let dlen = data.len();
+                qp.fabric
+                    .send(
+                        qp.node,
+                        peer,
+                        bytes,
+                        WireMsg::Write {
+                            dst_qpn: qp.peer_qpn.get(),
+                            raddr,
+                            rkey,
+                            data,
+                            ack: ack_tx,
+                        },
+                    )
+                    .await;
+                let qp2 = qp.clone();
+                qp.sim.clone().spawn(async move {
+                    let res = ack_rx.await.unwrap_or(Err(VerbsError::Flushed));
+                    qp2.sim.sleep(qp2.fabric.latency_to(qp2.node)).await;
+                    finish(&qp2, wr_id, Opcode::RdmaWrite, res.map(|()| dlen), signaled);
+                });
+            }
+            Wqe::Read {
+                wr_id,
+                dst,
+                dst_off,
+                raddr,
+                rkey,
+                len,
+            } => {
+                // ORD: if the outstanding-read window is full, the whole
+                // send queue stalls here (head-of-line blocking).
+                let permit = qp.ord.acquire().await;
+                let (resp_tx, resp_rx) = oneshot();
+                qp.fabric
+                    .send(
+                        qp.node,
+                        peer,
+                        qp.cfg.wire_header_bytes + 28, // request only
+                        WireMsg::ReadReq {
+                            dst_qpn: qp.peer_qpn.get(),
+                            raddr,
+                            rkey,
+                            len,
+                            resp: resp_tx,
+                        },
+                    )
+                    .await;
+                let qp2 = qp.clone();
+                qp.sim.clone().spawn(async move {
+                    let res = resp_rx.await.unwrap_or(Err(VerbsError::Flushed));
+                    drop(permit);
+                    match res {
+                        Ok(payload) => {
+                            let n = payload.len();
+                            dst.write(dst_off, payload);
+                            finish(&qp2, wr_id, Opcode::RdmaRead, Ok(n), true);
+                        }
+                        Err(e) => {
+                            finish(&qp2, wr_id, Opcode::RdmaRead, Err(e), true);
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn finish(
+    qp: &Rc<QpInner>,
+    wr_id: WrId,
+    opcode: Opcode,
+    result: Result<u64, VerbsError>,
+    signaled: bool,
+) {
+    let failed = result.is_err();
+    if failed {
+        qp.set_error();
+    }
+    if signaled || failed {
+        qp.send_cq.push(Completion {
+            wr_id,
+            opcode,
+            result,
+            payload: None,
+        });
+    }
+}
+
+fn flush_wqe(qp: &Rc<QpInner>, wqe: Wqe) {
+    let (wr_id, opcode) = match &wqe {
+        Wqe::Send { wr_id, .. } => (*wr_id, Opcode::Send),
+        Wqe::Write { wr_id, .. } => (*wr_id, Opcode::RdmaWrite),
+        Wqe::Read { wr_id, .. } => (*wr_id, Opcode::RdmaRead),
+    };
+    qp.send_cq.push(Completion {
+        wr_id,
+        opcode,
+        result: Err(VerbsError::Flushed),
+        payload: None,
+    });
+}

@@ -1,0 +1,106 @@
+//! Shared Receive Queues.
+//!
+//! With per-QP receive queues, a server must pre-post a full credit
+//! window of buffers for *every* client connection, even idle ones —
+//! the buffer-management scaling problem the paper's future work calls
+//! out. An SRQ pools posted receives across all QPs attached to it:
+//! buffer demand tracks the *aggregate* arrival rate instead of the
+//! connection count. (Linux's NFS/RDMA server adopted SRQs for exactly
+//! this reason.)
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::memory::Buffer;
+use crate::qp::PostedRecv;
+use crate::types::{VerbsError, WrId};
+
+struct SrqInner {
+    queue: RefCell<VecDeque<PostedRecv>>,
+    /// Buffers consumed by arrivals (diagnostic).
+    consumed: Cell<u64>,
+    /// Low-water notification threshold.
+    limit: Cell<usize>,
+    /// Times the queue dipped below the limit after a pop.
+    limit_events: Cell<u64>,
+}
+
+/// A shared receive queue; attach to QPs at connect time.
+#[derive(Clone)]
+pub struct Srq {
+    inner: Rc<SrqInner>,
+}
+
+impl Default for Srq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Srq {
+    /// An empty SRQ.
+    pub fn new() -> Srq {
+        Srq {
+            inner: Rc::new(SrqInner {
+                queue: RefCell::new(VecDeque::new()),
+                consumed: Cell::new(0),
+                limit: Cell::new(0),
+                limit_events: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Post a receive buffer to the shared pool.
+    pub fn post_recv(
+        &self,
+        buffer: Buffer,
+        offset: u64,
+        len: u64,
+        wr_id: WrId,
+    ) -> Result<(), VerbsError> {
+        if offset + len > buffer.len() {
+            return Err(VerbsError::LocalProtection("srq recv range out of buffer"));
+        }
+        self.inner.queue.borrow_mut().push_back(PostedRecv {
+            buffer,
+            offset,
+            len,
+            wr_id,
+        });
+        Ok(())
+    }
+
+    /// Arm the low-water mark: [`Srq::limit_events`] counts pops that
+    /// leave fewer than `limit` buffers (consumers use this to re-post
+    /// in batches, the classic SRQ-limit pattern).
+    pub fn set_limit(&self, limit: usize) {
+        self.inner.limit.set(limit);
+    }
+
+    /// Buffers currently posted.
+    pub fn posted(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    /// Buffers consumed by arrivals so far.
+    pub fn consumed(&self) -> u64 {
+        self.inner.consumed.get()
+    }
+
+    /// Times the pool dipped below the armed limit.
+    pub fn limit_events(&self) -> u64 {
+        self.inner.limit_events.get()
+    }
+
+    pub(crate) fn pop(&self) -> Option<PostedRecv> {
+        let r = self.inner.queue.borrow_mut().pop_front();
+        if r.is_some() {
+            self.inner.consumed.set(self.inner.consumed.get() + 1);
+            if self.inner.queue.borrow().len() < self.inner.limit.get() {
+                self.inner.limit_events.set(self.inner.limit_events.get() + 1);
+            }
+        }
+        r
+    }
+}

@@ -1,0 +1,168 @@
+//! Identifiers, access rights and error types for the simulated verbs
+//! interface. Shapes follow the InfiniBand Architecture Specification
+//! (rel. 1.2) closely enough that the RPC/RDMA layer above reads like
+//! its kernel counterpart.
+
+use core::fmt;
+
+/// A node (host) on the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Queue pair number, unique per HCA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QpNum(pub u32);
+
+/// A 32-bit steering tag (remote key). Handing one of these to a peer
+/// is what "exposes" a buffer — the heart of the paper's security
+/// argument.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rkey(pub u32);
+
+impl fmt::Debug for Rkey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey:{:08x}", self.0)
+    }
+}
+
+/// Work request identifier, echoed in the matching completion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct WrId(pub u64);
+
+/// Memory-region access rights.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Access(u8);
+
+impl Access {
+    /// Local read/write only (DMA by the owning HCA).
+    pub const LOCAL: Access = Access(0);
+    /// Peer may RDMA Read this region.
+    pub const REMOTE_READ: Access = Access(1);
+    /// Peer may RDMA Write this region.
+    pub const REMOTE_WRITE: Access = Access(2);
+
+    /// Combine rights.
+    pub const fn union(self, other: Access) -> Access {
+        Access(self.0 | other.0)
+    }
+
+    /// True if the region is visible to remote peers at all.
+    pub const fn remotely_exposed(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True if remote reads are allowed.
+    pub const fn allows_remote_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if remote writes are allowed.
+    pub const fn allows_remote_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Raw flag bits (stable; usable as a map key).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::ops::BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        self.union(rhs)
+    }
+}
+
+/// Completion / verb errors. Mirrors the IB completion status codes the
+/// modelled protocol paths can hit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerbsError {
+    /// rkey unknown, out of bounds, wrong rights or already invalidated.
+    RemoteAccess {
+        /// The offending steering tag.
+        rkey: Rkey,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Local buffer reference out of bounds or unregistered.
+    LocalProtection(&'static str),
+    /// A Send arrived with no posted receive buffer (receiver not ready).
+    ReceiverNotReady,
+    /// Posted receive buffer too small for the arriving Send.
+    ReceiveTooSmall {
+        /// Incoming message length.
+        needed: u64,
+        /// Size of the posted buffer.
+        have: u64,
+    },
+    /// QP transitioned to the error state; work request flushed.
+    Flushed,
+    /// QP not connected / peer unknown.
+    NotConnected,
+    /// FMR pool exhausted or region larger than the pool's max size;
+    /// caller must fall back to regular registration.
+    FmrUnavailable(&'static str),
+    /// ORD/IRD misconfiguration or other immediate post failure.
+    InvalidRequest(&'static str),
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::RemoteAccess { rkey, reason } => {
+                write!(f, "remote access error on {rkey:?}: {reason}")
+            }
+            VerbsError::LocalProtection(r) => write!(f, "local protection error: {r}"),
+            VerbsError::ReceiverNotReady => write!(f, "receiver not ready (no posted receive)"),
+            VerbsError::ReceiveTooSmall { needed, have } => {
+                write!(f, "posted receive too small: need {needed}, have {have}")
+            }
+            VerbsError::Flushed => write!(f, "work request flushed (QP in error state)"),
+            VerbsError::NotConnected => write!(f, "queue pair not connected"),
+            VerbsError::FmrUnavailable(r) => write!(f, "FMR unavailable: {r}"),
+            VerbsError::InvalidRequest(r) => write!(f, "invalid request: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+/// Opcode recorded in completions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Opcode {
+    /// Two-sided send (channel semantics).
+    Send,
+    /// Receive completion for an incoming Send.
+    Recv,
+    /// One-sided RDMA Write.
+    RdmaWrite,
+    /// One-sided RDMA Read.
+    RdmaRead,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_flags_compose() {
+        let rw = Access::REMOTE_READ | Access::REMOTE_WRITE;
+        assert!(rw.allows_remote_read());
+        assert!(rw.allows_remote_write());
+        assert!(rw.remotely_exposed());
+        assert!(!Access::LOCAL.remotely_exposed());
+        assert!(!Access::REMOTE_READ.allows_remote_write());
+        assert!(!Access::REMOTE_WRITE.allows_remote_read());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = VerbsError::RemoteAccess {
+            rkey: Rkey(0xdeadbeef),
+            reason: "bounds",
+        };
+        assert!(e.to_string().contains("deadbeef"));
+        assert!(VerbsError::ReceiverNotReady.to_string().contains("posted"));
+    }
+}

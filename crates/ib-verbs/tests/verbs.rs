@@ -1,0 +1,618 @@
+//! End-to-end behavioural tests of the simulated verbs layer: data
+//! movement, protection enforcement, IB ordering semantics, and
+//! registration cost accounting.
+
+use std::rc::Rc;
+
+use ib_verbs::{
+    connect, Access, Fabric, Hca, HcaConfig, HostMem, NodeId, Opcode, PhysLayout, VerbsError,
+    WrId,
+};
+use sim_core::{Cpu, CpuCosts, Payload, Sim, SimDuration, Simulation};
+
+struct Host {
+    hca: Hca,
+    mem: Rc<HostMem>,
+}
+
+fn host(sim: &Sim, fabric: &Fabric<ib_verbs::WireMsg>, id: u32, cfg: HcaConfig) -> Host {
+    let node = NodeId(id);
+    let cpu = Cpu::new(sim, format!("cpu{id}"), 2, CpuCosts::default());
+    let mem = Rc::new(HostMem::new(node, PhysLayout::default(), sim.fork_rng()));
+    let hca = Hca::new(sim, node, cfg, cpu, mem.clone(), fabric);
+    Host { hca, mem }
+}
+
+fn two_hosts(sim: &Sim) -> (Host, Host) {
+    let fabric = Fabric::new(sim);
+    let a = host(sim, &fabric, 0, HcaConfig::sdr());
+    let b = host(sim, &fabric, 1, HcaConfig::sdr());
+    (a, b)
+}
+
+#[test]
+fn send_recv_roundtrip_delivers_bytes() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, qb) = connect(&a.hca, &b.hca);
+
+    let rbuf = b.mem.alloc(4096);
+    qb.post_recv(rbuf.clone(), 0, 4096, WrId(100)).unwrap();
+    qa.post_send(Payload::real(vec![7u8; 256]), WrId(1), true)
+        .unwrap();
+
+    let (recv, send) = sim.block_on(async move {
+        let r = qb.recv_cq().next().await;
+        let s = qa.send_cq().next().await;
+        (r, s)
+    });
+    assert_eq!(recv.wr_id, WrId(100));
+    assert_eq!(recv.opcode, Opcode::Recv);
+    assert_eq!(recv.result, Ok(256));
+    assert_eq!(&rbuf.read(0, 256).materialize()[..], &[7u8; 256]);
+    assert_eq!(send.result, Ok(256));
+}
+
+#[test]
+fn send_without_posted_recv_errors_both_sides() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, qb) = connect(&a.hca, &b.hca);
+
+    qa.post_send(Payload::real(vec![1u8; 64]), WrId(1), true)
+        .unwrap();
+    let s = sim.block_on({
+        let qa = qa.clone();
+        async move { qa.send_cq().next().await }
+    });
+    assert_eq!(s.result, Err(VerbsError::ReceiverNotReady));
+    assert!(qa.is_error());
+    assert!(qb.is_error());
+    // Subsequent posts are rejected.
+    assert!(matches!(
+        qa.post_send(Payload::empty(), WrId(2), true),
+        Err(VerbsError::Flushed)
+    ));
+}
+
+#[test]
+fn rdma_write_places_data_without_remote_cpu() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+
+    let target = b.mem.alloc(8192);
+    let b_cpu_before = b.hca.cpu().busy_time();
+    let (mr, comp) = sim.block_on({
+        let bh = b.hca.clone();
+        let target = target.clone();
+        let qa = qa.clone();
+        async move {
+            let mr = bh
+                .register(&target, 0, 8192, Access::REMOTE_WRITE)
+                .await;
+            qa.post_rdma_write(
+                Payload::real(vec![9u8; 1024]),
+                mr.addr() + 100,
+                mr.rkey(),
+                WrId(5),
+                true,
+            )
+            .unwrap();
+            let c = qa.send_cq().next().await;
+            (mr, c)
+        }
+    });
+    assert_eq!(comp.result, Ok(1024));
+    assert_eq!(&target.read(100, 1024).materialize()[..], &[9u8; 1024]);
+    // Remote CPU did only the registration work, nothing per-byte.
+    let reg_cost = b.hca.cpu().busy_time() - b_cpu_before;
+    assert!(reg_cost < SimDuration::from_micros(10));
+    drop(mr);
+}
+
+#[test]
+fn rdma_read_fetches_remote_data() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+
+    let src = b.mem.alloc(4096);
+    src.write(0, Payload::real((0u8..=255).collect::<Vec<_>>()));
+    let dst = a.mem.alloc(4096);
+
+    let comp = sim.block_on({
+        let bh = b.hca.clone();
+        let src = src.clone();
+        let dst = dst.clone();
+        let qa = qa.clone();
+        async move {
+            let mr = bh.register(&src, 0, 4096, Access::REMOTE_READ).await;
+            qa.post_rdma_read(dst.clone(), 0, mr.addr(), mr.rkey(), 256, WrId(9))
+                .unwrap();
+            let c = qa.send_cq().next().await;
+            mr.deregister().await;
+            c
+        }
+    });
+    assert_eq!(comp.result, Ok(256));
+    assert_eq!(
+        dst.read(0, 256).materialize(),
+        src.read(0, 256).materialize()
+    );
+}
+
+#[test]
+fn rdma_read_with_guessed_rkey_is_rejected_and_audited() {
+    let mut sim = Simulation::new(42);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+
+    // The server holds a remotely-readable secret.
+    let secret = b.mem.alloc(4096);
+    secret.write(0, Payload::real(vec![0x5a; 64]));
+    let dst = a.mem.alloc(4096);
+
+    let comp = sim.block_on({
+        let bh = b.hca.clone();
+        let secret = secret.clone();
+        let dst = dst.clone();
+        let qa = qa.clone();
+        async move {
+            let mr = bh.register(&secret, 0, 4096, Access::REMOTE_READ).await;
+            // Attacker guesses a steering tag.
+            let guess = ib_verbs::Rkey(mr.rkey().0 ^ 0x1357_9bdf);
+            qa.post_rdma_read(dst.clone(), 0, mr.addr(), guess, 64, WrId(66))
+                .unwrap();
+            let c = qa.send_cq().next().await;
+            mr.deregister().await;
+            c
+        }
+    });
+    assert!(matches!(
+        comp.result,
+        Err(VerbsError::RemoteAccess { .. })
+    ));
+    assert!(qa.is_error(), "attacker connection must be torn down");
+    assert_eq!(b.hca.exposure_report().violations, 1);
+    // No data leaked.
+    assert_eq!(&dst.read(0, 64).materialize()[..], &[0u8; 64]);
+}
+
+#[test]
+fn write_send_ordering_guarantee_holds() {
+    // The Read-Write design's correctness: when the RPC Reply (Send)
+    // arrives, the preceding RDMA Write data must already be placed.
+    let mut sim = Simulation::new(7);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, qb) = connect(&a.hca, &b.hca);
+
+    let data_buf = b.mem.alloc(1 << 20);
+    let reply_buf = b.mem.alloc(4096);
+    qb.post_recv(reply_buf, 0, 4096, WrId(200)).unwrap();
+
+    let observed = sim.block_on({
+        let bh = b.hca.clone();
+        let data_buf = data_buf.clone();
+        let qa = qa.clone();
+        let qb = qb.clone();
+        async move {
+            let mr = bh
+                .register(&data_buf, 0, 1 << 20, Access::REMOTE_WRITE)
+                .await;
+            // Large write followed immediately by a small send.
+            qa.post_rdma_write(
+                Payload::synthetic(3, 1 << 20),
+                mr.addr(),
+                mr.rkey(),
+                WrId(1),
+                false,
+            )
+            .unwrap();
+            qa.post_send(Payload::real(vec![1]), WrId(2), true).unwrap();
+            // Receiver: at the instant the Send arrives, check the data.
+            let _ = qb.recv_cq().next().await;
+            let got = data_buf.read(0, 1 << 20);
+            mr.deregister().await;
+            got
+        }
+    });
+    assert!(
+        observed.content_eq(&Payload::synthetic(3, 1 << 20)),
+        "send overtook the RDMA write"
+    );
+}
+
+#[test]
+fn read_then_send_has_no_ordering_guarantee() {
+    // Paper §4.1: the requester of an RDMA Read must NOT assume a
+    // subsequent Send waits for the read data. We verify the hazard is
+    // modelled: the send arrives at the peer before the read completes
+    // locally.
+    let mut sim = Simulation::new(7);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, qb) = connect(&a.hca, &b.hca);
+
+    let src = b.mem.alloc(1 << 20); // 1 MiB read: slow
+    let dst = a.mem.alloc(1 << 20);
+    let notice = b.mem.alloc(64);
+    qb.post_recv(notice, 0, 64, WrId(300)).unwrap();
+
+    let (send_arrival, read_done) = sim.block_on({
+        let bh = b.hca.clone();
+        let h2 = h.clone();
+        let src = src.clone();
+        let dst = dst.clone();
+        let qa = qa.clone();
+        let qb = qb.clone();
+        async move {
+            let mr = bh.register(&src, 0, 1 << 20, Access::REMOTE_READ).await;
+            qa.post_rdma_read(dst, 0, mr.addr(), mr.rkey(), 1 << 20, WrId(1))
+                .unwrap();
+            qa.post_send(Payload::real(vec![1]), WrId(2), false).unwrap();
+            let _ = qb.recv_cq().next().await;
+            let send_arrival = h2.now();
+            let c = qa.send_cq().next().await;
+            assert_eq!(c.opcode, Opcode::RdmaRead);
+            let read_done = h2.now();
+            mr.deregister().await;
+            (send_arrival, read_done)
+        }
+    });
+    assert!(
+        send_arrival < read_done,
+        "expected the send to overtake the read response"
+    );
+}
+
+#[test]
+fn ord_limit_stalls_send_queue() {
+    // With max_ord outstanding reads, the next WQE (even a Send) waits.
+    let mut sim = Simulation::new(7);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let mut cfg = HcaConfig::sdr();
+    cfg.max_ord = 2;
+    cfg.max_ird = 2;
+    // Huge turnaround so reads visibly serialize.
+    cfg.read_turnaround = SimDuration::from_micros(500);
+    let a = host(&h, &fabric, 0, cfg);
+    let b = host(&h, &fabric, 1, cfg);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+
+    let src = b.mem.alloc(1 << 20);
+    let dst = a.mem.alloc(1 << 20);
+
+    let completion_times = sim.block_on({
+        let bh = b.hca.clone();
+        let h2 = h.clone();
+        let src = src.clone();
+        let dst = dst.clone();
+        let qa = qa.clone();
+        async move {
+            let mr = bh.register(&src, 0, 1 << 20, Access::REMOTE_READ).await;
+            for i in 0..6u64 {
+                qa.post_rdma_read(
+                    dst.clone(),
+                    i * 1024,
+                    mr.addr() + i * 1024,
+                    mr.rkey(),
+                    1024,
+                    WrId(i),
+                )
+                .unwrap();
+            }
+            let mut times = Vec::new();
+            for _ in 0..6 {
+                let c = qa.send_cq().next().await;
+                assert!(c.result.is_ok());
+                times.push(h2.now());
+            }
+            mr.deregister().await;
+            times
+        }
+    });
+    // 6 reads with window 2 and 500us turnaround: finish in ~3 waves.
+    let span = completion_times[5].saturating_since(completion_times[0]);
+    assert!(
+        span >= SimDuration::from_micros(900),
+        "reads did not serialize under the ORD/IRD window: span {span}"
+    );
+}
+
+#[test]
+fn registration_pays_tpt_and_pin_costs() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, _b) = two_hosts(&h);
+    let buf = a.mem.alloc(128 * 1024);
+    let cfg = *a.hca.config();
+
+    sim.block_on({
+        let hca = a.hca.clone();
+        let buf = buf.clone();
+        async move {
+            let mr = hca.register(&buf, 0, 128 * 1024, Access::REMOTE_WRITE).await;
+            mr.deregister().await;
+        }
+    });
+    // TPT engine: one register + one invalidate transaction.
+    let expect_tpt = cfg.reg_cost(32) + cfg.dereg_cost(32);
+    let stats = a.hca.reg_stats();
+    assert_eq!(stats.dynamic_regs, 1);
+    assert_eq!(stats.deregs, 1);
+    assert_eq!(stats.pages_pinned, 32);
+    assert!(sim.now().as_nanos() >= expect_tpt.as_nanos());
+}
+
+#[test]
+fn fmr_map_is_cheaper_than_dynamic_registration() {
+    // On the Solaris/SDR profile FMR is only marginally cheaper (the
+    // paper's Figure 7 finding); on the Linux/DDR profile the gap is
+    // large (Figure 9). Both orderings must hold.
+    fn measure(cfg: HcaConfig) -> (SimDuration, SimDuration) {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fabric = Fabric::new(&h);
+        let a = host(&h, &fabric, 0, cfg);
+        let buf = a.mem.alloc(128 * 1024);
+        sim.block_on({
+            let hca = a.hca.clone();
+            let h2 = h.clone();
+            async move {
+                let t0 = h2.now();
+                let mr = hca.register(&buf, 0, 128 * 1024, Access::REMOTE_WRITE).await;
+                mr.deregister().await;
+                let t_dynamic = h2.now().saturating_since(t0);
+
+                let pool = ib_verbs::FmrPool::from_config(&hca);
+                let t1 = h2.now();
+                let mr = pool
+                    .map(&buf, 0, 128 * 1024, Access::REMOTE_WRITE)
+                    .await
+                    .unwrap();
+                mr.deregister().await;
+                let t_fmr = h2.now().saturating_since(t1);
+                (t_dynamic, t_fmr)
+            }
+        })
+    }
+    let (dyn_sdr, fmr_sdr) = measure(HcaConfig::sdr());
+    assert!(
+        fmr_sdr < dyn_sdr,
+        "SDR: FMR ({fmr_sdr}) must beat dynamic ({dyn_sdr})"
+    );
+    let (dyn_ddr, fmr_ddr) = measure(HcaConfig::ddr());
+    assert!(
+        fmr_ddr.as_nanos() * 4 < dyn_ddr.as_nanos() * 3,
+        "DDR: FMR ({fmr_ddr}) should be clearly cheaper than dynamic ({dyn_ddr})"
+    );
+    // The relative FMR advantage is larger on the Linux/DDR profile.
+    let ratio_sdr = fmr_sdr.as_nanos() as f64 / dyn_sdr.as_nanos() as f64;
+    let ratio_ddr = fmr_ddr.as_nanos() as f64 / dyn_ddr.as_nanos() as f64;
+    assert!(
+        ratio_ddr < ratio_sdr,
+        "DDR ratio {ratio_ddr:.2} should beat SDR ratio {ratio_sdr:.2}"
+    );
+}
+
+#[test]
+fn fmr_pool_exhaustion_and_oversize_fall_back() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, _b) = two_hosts(&h);
+    let buf = a.mem.alloc(4 << 20);
+
+    sim.block_on({
+        let hca = a.hca.clone();
+        let buf = buf.clone();
+        async move {
+            let pool = ib_verbs::FmrPool::new(&hca, 2, 1 << 20);
+            // Oversize region: immediate fallback.
+            let e = pool.map(&buf, 0, 2 << 20, Access::REMOTE_READ).await;
+            assert!(matches!(e, Err(VerbsError::FmrUnavailable(_))));
+            // Exhaust the pool.
+            let m1 = pool.map(&buf, 0, 4096, Access::REMOTE_READ).await.unwrap();
+            let m2 = pool.map(&buf, 4096, 4096, Access::REMOTE_READ).await.unwrap();
+            assert_eq!(pool.available(), 0);
+            let e = pool.map(&buf, 8192, 4096, Access::REMOTE_READ).await;
+            assert!(matches!(e, Err(VerbsError::FmrUnavailable(_))));
+            assert_eq!(pool.fallbacks(), 2);
+            // Unmapping returns entries to the pool.
+            m1.deregister().await;
+            m2.deregister().await;
+            assert_eq!(pool.available(), 2);
+            let m3 = pool.map(&buf, 8192, 4096, Access::REMOTE_READ).await;
+            assert!(m3.is_ok());
+            m3.unwrap().deregister().await;
+        }
+    });
+}
+
+#[test]
+fn dropped_mr_is_counted_as_leak_and_invalidated() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+    let buf = b.mem.alloc(4096);
+    let dst = a.mem.alloc(4096);
+
+    let comp = sim.block_on({
+        let bh = b.hca.clone();
+        let buf = buf.clone();
+        let qa = qa.clone();
+        let dst = dst.clone();
+        async move {
+            let mr = bh.register(&buf, 0, 4096, Access::REMOTE_READ).await;
+            let rkey = mr.rkey();
+            let addr = mr.addr();
+            drop(mr); // leak: no deregister() call
+            qa.post_rdma_read(dst, 0, addr, rkey, 64, WrId(1)).unwrap();
+            qa.send_cq().next().await
+        }
+    });
+    assert!(comp.is_err(), "dropped MR must not remain accessible");
+    assert_eq!(b.hca.reg_stats().leaked_mrs, 1);
+}
+
+#[test]
+fn all_physical_global_rkey_reaches_memory_without_tpt_cost() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+
+    let src = b.mem.alloc(8192);
+    src.write(0, Payload::real(vec![0xAB; 128]));
+    let dst = a.mem.alloc(8192);
+    let g = b.hca.enable_all_physical();
+
+    let comp = sim.block_on({
+        let qa = qa.clone();
+        let dst = dst.clone();
+        let src = src.clone();
+        async move {
+            qa.post_rdma_read(dst, 0, src.addr(), g, 128, WrId(1)).unwrap();
+            qa.send_cq().next().await
+        }
+    });
+    assert_eq!(comp.result, Ok(128));
+    assert_eq!(&dst.read(0, 128).materialize()[..], &[0xAB; 128]);
+    // No dynamic registration happened on the responder.
+    assert_eq!(b.hca.reg_stats().dynamic_regs, 0);
+}
+
+#[test]
+fn exposure_ledger_distinguishes_designs() {
+    // Read-Read style (server exposes, remote-read) accumulates
+    // exposure; Read-Write style (server registers local-only for its
+    // RDMA Writes) accumulates none.
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (_a, b) = two_hosts(&h);
+    let buf = b.mem.alloc(1 << 20);
+
+    sim.block_on({
+        let bh = b.hca.clone();
+        let h2 = h.clone();
+        let buf = buf.clone();
+        async move {
+            // "Read-Read": exposed for 1ms.
+            let mr = bh.register(&buf, 0, 1 << 20, Access::REMOTE_READ).await;
+            h2.sleep(SimDuration::from_millis(1)).await;
+            mr.deregister().await;
+            // "Read-Write": local-only for the same duration.
+            let mr = bh.register(&buf, 0, 1 << 20, Access::LOCAL).await;
+            h2.sleep(SimDuration::from_millis(1)).await;
+            mr.deregister().await;
+        }
+    });
+    let rep = b.hca.exposure_report();
+    assert_eq!(rep.exposures, 1, "only the remote-read reg is an exposure");
+    assert!(rep.byte_ns >= (1 << 20) as u128 * 1_000_000);
+    assert_eq!(rep.current_bytes, 0);
+}
+
+#[test]
+fn srq_shares_buffers_across_connections() {
+    // Two clients, one server SRQ: sends from both consume the shared
+    // pool, in arrival order, and completions land on each QP's own
+    // receive CQ.
+    let mut sim = Simulation::new(51);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let server = host(&h, &fabric, 0, HcaConfig::sdr());
+    let c1 = host(&h, &fabric, 1, HcaConfig::sdr());
+    let c2 = host(&h, &fabric, 2, HcaConfig::sdr());
+
+    let (q1, s1) = connect(&c1.hca, &server.hca);
+    let (q2, s2) = connect(&c2.hca, &server.hca);
+    let srq = ib_verbs::Srq::new();
+    s1.set_srq(srq.clone());
+    s2.set_srq(srq.clone());
+    // Only 3 shared buffers serve both connections.
+    for i in 0..3 {
+        let buf = server.mem.alloc(4096);
+        srq.post_recv(buf, 0, 4096, WrId(100 + i)).unwrap();
+    }
+    srq.set_limit(2);
+
+    sim.block_on({
+        let s1 = s1.clone();
+        let s2 = s2.clone();
+        async move {
+            q1.post_send(Payload::real(vec![1u8; 64]), WrId(1), false).unwrap();
+            q2.post_send(Payload::real(vec![2u8; 64]), WrId(2), false).unwrap();
+            q1.post_send(Payload::real(vec![3u8; 64]), WrId(3), false).unwrap();
+            // Each connection's arrivals complete on its own recv CQ.
+            let a = s1.recv_cq().next().await;
+            let b = s2.recv_cq().next().await;
+            let c = s1.recv_cq().next().await;
+            assert!(a.result.is_ok() && b.result.is_ok() && c.result.is_ok());
+            assert_eq!(a.payload.unwrap().materialize()[0], 1);
+            assert_eq!(b.payload.unwrap().materialize()[0], 2);
+            assert_eq!(c.payload.unwrap().materialize()[0], 3);
+        }
+    });
+    assert_eq!(srq.posted(), 0);
+    assert_eq!(srq.consumed(), 3);
+    assert!(srq.limit_events() >= 1, "low-water mark never tripped");
+}
+
+#[test]
+fn srq_exhaustion_is_receiver_not_ready() {
+    let mut sim = Simulation::new(52);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let server = host(&h, &fabric, 0, HcaConfig::sdr());
+    let c1 = host(&h, &fabric, 1, HcaConfig::sdr());
+    let (q1, s1) = connect(&c1.hca, &server.hca);
+    let srq = ib_verbs::Srq::new();
+    s1.set_srq(srq.clone());
+    // Empty SRQ: the send must fail exactly like an unposted receive.
+    let comp = sim.block_on({
+        let q1 = q1.clone();
+        async move {
+            q1.post_send(Payload::real(vec![9u8; 16]), WrId(1), true).unwrap();
+            q1.send_cq().next().await
+        }
+    });
+    assert_eq!(comp.result, Err(VerbsError::ReceiverNotReady));
+    assert!(q1.is_error());
+}
+
+#[test]
+fn concurrent_registrations_queue_on_tpt_engine() {
+    // Eight "server threads" registering concurrently serialize on the
+    // single TPT engine — the contention behind Figure 7.
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let (a, _b) = two_hosts(&h);
+    let cfg = *a.hca.config();
+
+    for _ in 0..8 {
+        let hca = a.hca.clone();
+        let buf = a.mem.alloc(128 * 1024);
+        sim.spawn(async move {
+            let mr = hca.register(&buf, 0, 128 * 1024, Access::LOCAL).await;
+            mr.deregister().await;
+        });
+    }
+    sim.run();
+    let serialized = (cfg.reg_cost(32) + cfg.dereg_cost(32)).as_nanos() * 8;
+    assert!(
+        sim.now().as_nanos() >= serialized,
+        "TPT transactions must serialize: {} < {}",
+        sim.now().as_nanos(),
+        serialized
+    );
+    assert!(a.hca.tpt_engine_utilization() > 0.9);
+}

@@ -1,0 +1,23 @@
+//! # nfs — NFSv3 client and server
+//!
+//! An NFSv3 implementation (RFC 1813 subset) whose server is reachable
+//! over both transports in this workspace: the paper's RPC/RDMA
+//! transport (READ/WRITE data via chunks, READDIR/READLINK via long
+//! replies) and the baseline TCP stream transport (data inline).
+//! Procedures round-trip through real XDR ([`proto`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod mount;
+pub mod proto;
+pub mod server;
+
+pub use client::{NfsClient, NfsError, NfsResult};
+pub use proto::{
+    DirOpArgs, Fattr, FileHandle, NfsProc, NfsStat, ReadArgs, ReadResHead, WireDirEntry,
+    WriteArgsHead, WriteRes, NFS_PROGRAM, NFS_VERSION,
+};
+pub use mount::{MountClient, Mountd, MountdHandle, MOUNT_PROGRAM, MOUNT_VERSION};
+pub use server::{NfsServer, NfsServerHandle, NfsServerStats};

@@ -1,0 +1,538 @@
+//! NFSv3 protocol types and XDR codecs (RFC 1813 subset).
+//!
+//! Arguments and results round-trip through real XDR so protocol tests
+//! exercise marshalling. One deliberate transport difference, exactly
+//! as in kernel NFS: over TCP the READ/WRITE data is inline in the XDR
+//! body; over RPC/RDMA it moves out of band via chunks and only the
+//! count appears here.
+
+use bytes::Bytes;
+use fs_backend::{Attr, FileKind, FsError};
+use sim_core::SimTime;
+use xdr::{Decoder, Encoder, Result as XdrResult, XdrCodec, XdrError};
+
+/// The NFS program number.
+pub const NFS_PROGRAM: u32 = 100_003;
+/// NFS version 3.
+pub const NFS_VERSION: u32 = 3;
+
+/// NFSv3 procedure numbers (RFC 1813).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum NfsProc {
+    Null = 0,
+    Getattr = 1,
+    Setattr = 2,
+    Lookup = 3,
+    Access = 4,
+    Readlink = 5,
+    Read = 6,
+    Write = 7,
+    Create = 8,
+    Mkdir = 9,
+    Symlink = 10,
+    Remove = 12,
+    Rmdir = 13,
+    Rename = 14,
+    Readdir = 16,
+    ReaddirPlus = 17,
+    Fsstat = 18,
+    Commit = 21,
+}
+
+impl NfsProc {
+    /// Parse a wire procedure number.
+    pub fn from_u32(v: u32) -> Option<NfsProc> {
+        Some(match v {
+            0 => NfsProc::Null,
+            1 => NfsProc::Getattr,
+            2 => NfsProc::Setattr,
+            3 => NfsProc::Lookup,
+            4 => NfsProc::Access,
+            5 => NfsProc::Readlink,
+            6 => NfsProc::Read,
+            7 => NfsProc::Write,
+            8 => NfsProc::Create,
+            9 => NfsProc::Mkdir,
+            10 => NfsProc::Symlink,
+            12 => NfsProc::Remove,
+            13 => NfsProc::Rmdir,
+            14 => NfsProc::Rename,
+            16 => NfsProc::Readdir,
+            17 => NfsProc::ReaddirPlus,
+            18 => NfsProc::Fsstat,
+            21 => NfsProc::Commit,
+            _ => return None,
+        })
+    }
+}
+
+/// NFSv3 status codes (subset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum NfsStat {
+    Ok = 0,
+    NoEnt = 2,
+    Io = 5,
+    Exist = 17,
+    NotDir = 20,
+    IsDir = 21,
+    Inval = 22,
+    NotEmpty = 66,
+    Stale = 70,
+}
+
+impl NfsStat {
+    /// Parse a wire status.
+    pub fn from_u32(v: u32) -> XdrResult<NfsStat> {
+        Ok(match v {
+            0 => NfsStat::Ok,
+            2 => NfsStat::NoEnt,
+            5 => NfsStat::Io,
+            17 => NfsStat::Exist,
+            20 => NfsStat::NotDir,
+            21 => NfsStat::IsDir,
+            22 => NfsStat::Inval,
+            66 => NfsStat::NotEmpty,
+            70 => NfsStat::Stale,
+            d => return Err(XdrError::BadDiscriminant(d)),
+        })
+    }
+}
+
+impl From<FsError> for NfsStat {
+    fn from(e: FsError) -> NfsStat {
+        match e {
+            FsError::NotFound => NfsStat::NoEnt,
+            FsError::Exists => NfsStat::Exist,
+            FsError::NotDir => NfsStat::NotDir,
+            FsError::IsDir => NfsStat::IsDir,
+            FsError::NotEmpty => NfsStat::NotEmpty,
+            FsError::Stale => NfsStat::Stale,
+            FsError::NotSymlink => NfsStat::Inval,
+            FsError::NoSpace => NfsStat::Io,
+        }
+    }
+}
+
+/// An NFS file handle (opaque to clients; wraps the inode number).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FileHandle(pub u64);
+
+impl XdrCodec for FileHandle {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_opaque(&self.0.to_be_bytes());
+    }
+
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        let raw = dec.get_opaque()?;
+        if raw.len() != 8 {
+            return Err(XdrError::LengthOutOfRange(raw.len() as u32));
+        }
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&raw);
+        Ok(FileHandle(u64::from_be_bytes(a)))
+    }
+}
+
+/// fattr3 (subset: the fields the workloads consume).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fattr {
+    /// File type.
+    pub kind: FileKind,
+    /// Link count.
+    pub nlink: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// File id (inode).
+    pub fileid: u64,
+    /// Modification time, virtual nanoseconds.
+    pub mtime_ns: u64,
+    /// Change time, virtual nanoseconds.
+    pub ctime_ns: u64,
+}
+
+impl Fattr {
+    /// Build from a VFS attribute record.
+    pub fn from_attr(a: &Attr) -> Fattr {
+        Fattr {
+            kind: a.kind,
+            nlink: a.nlink,
+            size: a.size,
+            fileid: a.id.0,
+            mtime_ns: a.mtime.as_nanos(),
+            ctime_ns: a.ctime.as_nanos(),
+        }
+    }
+
+    /// The file handle for this attribute record.
+    pub fn handle(&self) -> FileHandle {
+        FileHandle(self.fileid)
+    }
+
+    /// Modification instant.
+    pub fn mtime(&self) -> SimTime {
+        SimTime::from_nanos(self.mtime_ns)
+    }
+}
+
+fn kind_to_u32(k: FileKind) -> u32 {
+    match k {
+        FileKind::Regular => 1,
+        FileKind::Dir => 2,
+        FileKind::Symlink => 5,
+    }
+}
+
+fn kind_from_u32(v: u32) -> XdrResult<FileKind> {
+    Ok(match v {
+        1 => FileKind::Regular,
+        2 => FileKind::Dir,
+        5 => FileKind::Symlink,
+        d => return Err(XdrError::BadDiscriminant(d)),
+    })
+}
+
+impl XdrCodec for Fattr {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(kind_to_u32(self.kind))
+            .put_u32(0o644) // mode
+            .put_u32(self.nlink)
+            .put_u32(0) // uid
+            .put_u32(0) // gid
+            .put_u64(self.size)
+            .put_u64(self.size) // used
+            .put_u64(0) // rdev
+            .put_u64(1) // fsid
+            .put_u64(self.fileid)
+            // atime/mtime/ctime as (secs, nsecs)
+            .put_u32((self.mtime_ns / 1_000_000_000) as u32)
+            .put_u32((self.mtime_ns % 1_000_000_000) as u32)
+            .put_u32((self.mtime_ns / 1_000_000_000) as u32)
+            .put_u32((self.mtime_ns % 1_000_000_000) as u32)
+            .put_u32((self.ctime_ns / 1_000_000_000) as u32)
+            .put_u32((self.ctime_ns % 1_000_000_000) as u32);
+    }
+
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        let kind = kind_from_u32(dec.get_u32()?)?;
+        let _mode = dec.get_u32()?;
+        let nlink = dec.get_u32()?;
+        let _uid = dec.get_u32()?;
+        let _gid = dec.get_u32()?;
+        let size = dec.get_u64()?;
+        let _used = dec.get_u64()?;
+        let _rdev = dec.get_u64()?;
+        let _fsid = dec.get_u64()?;
+        let fileid = dec.get_u64()?;
+        let _at_s = dec.get_u32()?;
+        let _at_n = dec.get_u32()?;
+        let mt_s = dec.get_u32()?;
+        let mt_n = dec.get_u32()?;
+        let ct_s = dec.get_u32()?;
+        let ct_n = dec.get_u32()?;
+        Ok(Fattr {
+            kind,
+            nlink,
+            size,
+            fileid,
+            mtime_ns: mt_s as u64 * 1_000_000_000 + mt_n as u64,
+            ctime_ns: ct_s as u64 * 1_000_000_000 + ct_n as u64,
+        })
+    }
+}
+
+/// A directory entry on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDirEntry {
+    /// Inode number.
+    pub fileid: u64,
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub kind: FileKind,
+}
+
+impl XdrCodec for WireDirEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.fileid)
+            .put_string(&self.name)
+            .put_u32(kind_to_u32(self.kind));
+    }
+
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(WireDirEntry {
+            fileid: dec.get_u64()?,
+            name: dec.get_string()?,
+            kind: kind_from_u32(dec.get_u32()?)?,
+        })
+    }
+}
+
+/// ACCESS request/response bits (RFC 1813 §3.3.4).
+pub mod access {
+    /// Read file data or directory contents.
+    pub const READ: u32 = 0x0001;
+    /// Look up a name in a directory.
+    pub const LOOKUP: u32 = 0x0002;
+    /// Rewrite existing file data.
+    pub const MODIFY: u32 = 0x0004;
+    /// Append/extend.
+    pub const EXTEND: u32 = 0x0008;
+    /// Delete entries from a directory.
+    pub const DELETE: u32 = 0x0010;
+    /// Execute (files) / search (directories).
+    pub const EXECUTE: u32 = 0x0020;
+    /// Everything.
+    pub const ALL: u32 = 0x003f;
+}
+
+// ---------------------------------------------------------------------
+// Helpers shared by args/results
+// ---------------------------------------------------------------------
+
+/// Encode `(status)` and on success run `f` for the body.
+pub fn encode_res(stat: NfsStat, f: impl FnOnce(&mut Encoder)) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.put_u32(stat as u32);
+    if stat == NfsStat::Ok {
+        f(&mut enc);
+    }
+    enc.finish()
+}
+
+/// Decode `(status)`; on success run `f` for the body.
+pub fn decode_res<T>(
+    body: Bytes,
+    f: impl FnOnce(&mut Decoder) -> XdrResult<T>,
+) -> XdrResult<Result<T, NfsStat>> {
+    let mut dec = Decoder::new(body);
+    let stat = NfsStat::from_u32(dec.get_u32()?)?;
+    if stat == NfsStat::Ok {
+        Ok(Ok(f(&mut dec)?))
+    } else {
+        Ok(Err(stat))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed argument/result records
+// ---------------------------------------------------------------------
+
+/// LOOKUP / CREATE / MKDIR / REMOVE / RMDIR arguments: (dir, name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirOpArgs {
+    /// Parent directory handle.
+    pub dir: FileHandle,
+    /// Entry name.
+    pub name: String,
+}
+
+impl XdrCodec for DirOpArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        self.dir.encode(enc);
+        enc.put_string(&self.name);
+    }
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(DirOpArgs {
+            dir: FileHandle::decode(dec)?,
+            name: dec.get_string()?,
+        })
+    }
+}
+
+/// READ arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadArgs {
+    /// File handle.
+    pub file: FileHandle,
+    /// Byte offset.
+    pub offset: u64,
+    /// Bytes requested.
+    pub count: u32,
+}
+
+impl XdrCodec for ReadArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        self.file.encode(enc);
+        enc.put_u64(self.offset).put_u32(self.count);
+    }
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(ReadArgs {
+            file: FileHandle::decode(dec)?,
+            offset: dec.get_u64()?,
+            count: dec.get_u32()?,
+        })
+    }
+}
+
+/// READ result head (data travels inline over TCP, via chunks over
+/// RDMA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadResHead {
+    /// Post-op attributes.
+    pub attr: Fattr,
+    /// Bytes returned.
+    pub count: u32,
+    /// End of file reached.
+    pub eof: bool,
+}
+
+impl XdrCodec for ReadResHead {
+    fn encode(&self, enc: &mut Encoder) {
+        self.attr.encode(enc);
+        enc.put_u32(self.count).put_bool(self.eof);
+    }
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(ReadResHead {
+            attr: Fattr::decode(dec)?,
+            count: dec.get_u32()?,
+            eof: dec.get_bool()?,
+        })
+    }
+}
+
+/// WRITE argument head (data inline over TCP, via read chunks over
+/// RDMA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteArgsHead {
+    /// File handle.
+    pub file: FileHandle,
+    /// Byte offset.
+    pub offset: u64,
+    /// Bytes being written.
+    pub count: u32,
+    /// Stability: false = UNSTABLE (needs COMMIT), true = FILE_SYNC.
+    pub stable: bool,
+}
+
+impl XdrCodec for WriteArgsHead {
+    fn encode(&self, enc: &mut Encoder) {
+        self.file.encode(enc);
+        enc.put_u64(self.offset)
+            .put_u32(self.count)
+            .put_bool(self.stable);
+    }
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(WriteArgsHead {
+            file: FileHandle::decode(dec)?,
+            offset: dec.get_u64()?,
+            count: dec.get_u32()?,
+            stable: dec.get_bool()?,
+        })
+    }
+}
+
+/// WRITE result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteRes {
+    /// Post-op attributes.
+    pub attr: Fattr,
+    /// Bytes committed to the file.
+    pub count: u32,
+}
+
+impl XdrCodec for WriteRes {
+    fn encode(&self, enc: &mut Encoder) {
+        self.attr.encode(enc);
+        enc.put_u32(self.count);
+    }
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(WriteRes {
+            attr: Fattr::decode(dec)?,
+            count: dec.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr() -> Fattr {
+        Fattr {
+            kind: FileKind::Regular,
+            nlink: 1,
+            size: 12345,
+            fileid: 42,
+            mtime_ns: 5_500_000_123,
+            ctime_ns: 6_000_000_456,
+        }
+    }
+
+    #[test]
+    fn fattr_roundtrip() {
+        let a = attr();
+        assert_eq!(Fattr::from_bytes(a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn file_handle_roundtrip() {
+        let fh = FileHandle(0xdead_beef_0000_0042);
+        assert_eq!(FileHandle::from_bytes(fh.to_bytes()).unwrap(), fh);
+    }
+
+    #[test]
+    fn args_roundtrip() {
+        let a = DirOpArgs {
+            dir: FileHandle(1),
+            name: "hello.txt".into(),
+        };
+        assert_eq!(DirOpArgs::from_bytes(a.to_bytes()).unwrap(), a);
+
+        let r = ReadArgs {
+            file: FileHandle(9),
+            offset: 1 << 40,
+            count: 131072,
+        };
+        assert_eq!(ReadArgs::from_bytes(r.to_bytes()).unwrap(), r);
+
+        let w = WriteArgsHead {
+            file: FileHandle(9),
+            offset: 4096,
+            count: 65536,
+            stable: false,
+        };
+        assert_eq!(WriteArgsHead::from_bytes(w.to_bytes()).unwrap(), w);
+    }
+
+    #[test]
+    fn res_encoding_success_and_error() {
+        let body = encode_res(NfsStat::Ok, |e| {
+            attr().encode(e);
+        });
+        let got = decode_res(body, Fattr::decode).unwrap();
+        assert_eq!(got, Ok(attr()));
+
+        let body = encode_res(NfsStat::NoEnt, |_| unreachable!());
+        let got = decode_res(body, Fattr::decode).unwrap();
+        assert_eq!(got, Err(NfsStat::NoEnt));
+    }
+
+    #[test]
+    fn error_mapping() {
+        assert_eq!(NfsStat::from(FsError::NotFound), NfsStat::NoEnt);
+        assert_eq!(NfsStat::from(FsError::Stale), NfsStat::Stale);
+        assert_eq!(NfsStat::from(FsError::NotEmpty), NfsStat::NotEmpty);
+    }
+
+    #[test]
+    fn proc_numbers_stable() {
+        assert_eq!(NfsProc::from_u32(6), Some(NfsProc::Read));
+        assert_eq!(NfsProc::from_u32(7), Some(NfsProc::Write));
+        assert_eq!(NfsProc::from_u32(4), Some(NfsProc::Access));
+        assert_eq!(NfsProc::from_u32(17), Some(NfsProc::ReaddirPlus));
+        assert_eq!(NfsProc::from_u32(11), None);
+        assert_eq!(NfsProc::from_u32(999), None);
+    }
+
+    #[test]
+    fn dir_entry_roundtrip() {
+        let e = WireDirEntry {
+            fileid: 7,
+            name: "subdir".into(),
+            kind: FileKind::Dir,
+        };
+        assert_eq!(WireDirEntry::from_bytes(e.to_bytes()).unwrap(), e);
+    }
+}

@@ -1,0 +1,381 @@
+//! The NFSv3 server: one protocol implementation reachable over both
+//! the RPC/RDMA transport (chunk-aware, the paper's subject) and the
+//! TCP stream transport (bulk data inline, the baseline).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use fs_backend::Vfs;
+use onc_rpc::{AcceptStat, CallContext, DispatchResult, LocalBoxFuture, RpcService};
+use rpcrdma::{RdmaDispatch, RdmaService};
+use sim_core::Payload;
+use xdr::{Decoder, Encoder, XdrCodec};
+
+use crate::proto::*;
+
+/// Operation counters.
+#[derive(Default)]
+pub struct NfsServerStats {
+    /// READ calls served.
+    pub reads: Cell<u64>,
+    /// WRITE calls served.
+    pub writes: Cell<u64>,
+    /// All other calls served.
+    pub others: Cell<u64>,
+    /// Data bytes read from the VFS.
+    pub bytes_read: Cell<u64>,
+    /// Data bytes written to the VFS.
+    pub bytes_written: Cell<u64>,
+}
+
+/// The server. Construct once, register with one or both transports.
+pub struct NfsServer {
+    fs: Rc<dyn Vfs>,
+    /// Statistics.
+    pub stats: NfsServerStats,
+}
+
+/// Internal dispatch result: head plus optional bulk payload.
+struct OpResult {
+    head: Bytes,
+    bulk: Option<Payload>,
+}
+
+impl NfsServer {
+    /// Serve `fs`.
+    pub fn new(fs: Rc<dyn Vfs>) -> Rc<NfsServer> {
+        Rc::new(NfsServer {
+            fs,
+            stats: NfsServerStats::default(),
+        })
+    }
+
+    /// The root file handle clients mount.
+    pub fn root_handle(&self) -> FileHandle {
+        FileHandle(self.fs.root().0)
+    }
+
+    fn fid(fh: FileHandle) -> fs_backend::FileId {
+        fs_backend::FileId(fh.0)
+    }
+
+    /// Execute one NFS procedure. `bulk_in` carries WRITE data when the
+    /// transport moved it out of band (RDMA); over TCP the data is
+    /// still inline in `args` and `bulk_in` is `None`.
+    async fn run_op(
+        self: &Rc<Self>,
+        proc_num: u32,
+        args: Bytes,
+        bulk_in: Option<Payload>,
+        inline_bulk: bool,
+    ) -> Result<OpResult, AcceptStat> {
+        let Some(proc_id) = NfsProc::from_u32(proc_num) else {
+            return Err(AcceptStat::ProcUnavail);
+        };
+        let bad = |_e: xdr::XdrError| AcceptStat::GarbageArgs;
+        let fs = &self.fs;
+        let ok = |head: Bytes| Ok(OpResult { head, bulk: None });
+
+        match proc_id {
+            NfsProc::Null => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                ok(Bytes::new())
+            }
+            NfsProc::Getattr => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let res = fs.getattr(Self::fid(fh));
+                ok(match res {
+                    Ok(a) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&a).encode(e)),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Setattr => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let mut dec = Decoder::new(args);
+                let fh = FileHandle::decode(&mut dec).map_err(bad)?;
+                let size = dec.get_u64().map_err(bad)?;
+                let res = fs.setattr_size(Self::fid(fh), size);
+                ok(match res {
+                    Ok(a) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&a).encode(e)),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Lookup => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let a = DirOpArgs::from_bytes(args).map_err(bad)?;
+                let res = fs.lookup(Self::fid(a.dir), &a.name);
+                ok(match res {
+                    Ok(attr) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&attr).encode(e)),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Access => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let mut dec = Decoder::new(args);
+                let fh = FileHandle::decode(&mut dec).map_err(bad)?;
+                let requested = dec.get_u32().map_err(bad)?;
+                let res = fs.getattr(Self::fid(fh));
+                ok(match res {
+                    Ok(a) => encode_res(NfsStat::Ok, |e| {
+                        Fattr::from_attr(&a).encode(e);
+                        // AUTH_NONE deployment: grant whatever was asked
+                        // within the mode-0644 envelope.
+                        e.put_u32(requested & access::ALL);
+                    }),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Readlink => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let res = fs.readlink(Self::fid(fh));
+                ok(match res {
+                    Ok(target) => encode_res(NfsStat::Ok, |e| {
+                        e.put_string(&target);
+                    }),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Read => {
+                self.stats.reads.set(self.stats.reads.get() + 1);
+                let a = ReadArgs::from_bytes(args).map_err(bad)?;
+                let id = Self::fid(a.file);
+                match fs.read(id, a.offset, a.count as u64).await {
+                    Ok(data) => {
+                        let attr = fs.getattr(id).map_err(|_| AcceptStat::GarbageArgs)?;
+                        let n = data.len();
+                        self.stats
+                            .bytes_read
+                            .set(self.stats.bytes_read.get() + n);
+                        let eof = a.offset + n >= attr.size;
+                        let head = ReadResHead {
+                            attr: Fattr::from_attr(&attr),
+                            count: n as u32,
+                            eof,
+                        };
+                        if inline_bulk {
+                            // TCP: data inline in the XDR body.
+                            let mut enc = Encoder::new();
+                            enc.put_u32(NfsStat::Ok as u32);
+                            head.encode(&mut enc);
+                            enc.put_opaque(&data.materialize());
+                            Ok(OpResult {
+                                head: enc.finish(),
+                                bulk: None,
+                            })
+                        } else {
+                            Ok(OpResult {
+                                head: encode_res(NfsStat::Ok, |e| head.encode(e)),
+                                bulk: Some(data),
+                            })
+                        }
+                    }
+                    Err(e) => ok(encode_res(e.into(), |_| {})),
+                }
+            }
+            NfsProc::Write => {
+                self.stats.writes.set(self.stats.writes.get() + 1);
+                let mut dec = Decoder::new(args.clone());
+                let head = WriteArgsHead::decode(&mut dec).map_err(bad)?;
+                let data = if inline_bulk {
+                    Payload::real(dec.get_opaque().map_err(bad)?)
+                } else {
+                    bulk_in.ok_or(AcceptStat::GarbageArgs)?
+                };
+                if data.len() != head.count as u64 {
+                    return Err(AcceptStat::GarbageArgs);
+                }
+                let id = Self::fid(head.file);
+                let n = data.len();
+                match fs.write(id, head.offset, data).await {
+                    Ok(written) => {
+                        self.stats
+                            .bytes_written
+                            .set(self.stats.bytes_written.get() + written);
+                        if head.stable {
+                            let _ = fs.commit(id).await;
+                        }
+                        let attr = fs.getattr(id).map_err(|_| AcceptStat::GarbageArgs)?;
+                        debug_assert_eq!(written, n);
+                        ok(encode_res(NfsStat::Ok, |e| {
+                            WriteRes {
+                                attr: Fattr::from_attr(&attr),
+                                count: written as u32,
+                            }
+                            .encode(e)
+                        }))
+                    }
+                    Err(e) => ok(encode_res(e.into(), |_| {})),
+                }
+            }
+            NfsProc::Create | NfsProc::Mkdir => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let a = DirOpArgs::from_bytes(args).map_err(bad)?;
+                let res = if proc_id == NfsProc::Create {
+                    fs.create(Self::fid(a.dir), &a.name)
+                } else {
+                    fs.mkdir(Self::fid(a.dir), &a.name)
+                };
+                ok(match res {
+                    Ok(attr) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&attr).encode(e)),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Symlink => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let mut dec = Decoder::new(args);
+                let dir = FileHandle::decode(&mut dec).map_err(bad)?;
+                let name = dec.get_string().map_err(bad)?;
+                let target = dec.get_string().map_err(bad)?;
+                let res = fs.symlink(Self::fid(dir), &name, &target);
+                ok(match res {
+                    Ok(attr) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&attr).encode(e)),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Remove | NfsProc::Rmdir => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let a = DirOpArgs::from_bytes(args).map_err(bad)?;
+                let res = if proc_id == NfsProc::Remove {
+                    fs.remove(Self::fid(a.dir), &a.name)
+                } else {
+                    fs.rmdir(Self::fid(a.dir), &a.name)
+                };
+                ok(match res {
+                    Ok(()) => encode_res(NfsStat::Ok, |_| {}),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Rename => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let mut dec = Decoder::new(args);
+                let fdir = FileHandle::decode(&mut dec).map_err(bad)?;
+                let fname = dec.get_string().map_err(bad)?;
+                let tdir = FileHandle::decode(&mut dec).map_err(bad)?;
+                let tname = dec.get_string().map_err(bad)?;
+                let res = fs.rename(Self::fid(fdir), &fname, Self::fid(tdir), &tname);
+                ok(match res {
+                    Ok(()) => encode_res(NfsStat::Ok, |_| {}),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Readdir => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let res = fs.readdir(Self::fid(fh));
+                ok(match res {
+                    Ok(entries) => encode_res(NfsStat::Ok, |e| {
+                        let wire: Vec<WireDirEntry> = entries
+                            .iter()
+                            .map(|d| WireDirEntry {
+                                fileid: d.id.0,
+                                name: d.name.clone(),
+                                kind: d.kind,
+                            })
+                            .collect();
+                        e.put_array(&wire, |e, w| w.encode(e));
+                    }),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::ReaddirPlus => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let res = fs.readdir(Self::fid(fh));
+                ok(match res {
+                    Ok(entries) => encode_res(NfsStat::Ok, |e| {
+                        // Entries with post-op attributes and handles,
+                        // saving the client a GETATTR per name.
+                        e.put_u32(entries.len() as u32);
+                        for d in &entries {
+                            WireDirEntry {
+                                fileid: d.id.0,
+                                name: d.name.clone(),
+                                kind: d.kind,
+                            }
+                            .encode(e);
+                            match fs.getattr(d.id) {
+                                Ok(a) => {
+                                    e.put_bool(true);
+                                    Fattr::from_attr(&a).encode(e);
+                                }
+                                Err(_) => {
+                                    e.put_bool(false);
+                                }
+                            }
+                            FileHandle(d.id.0).encode(e);
+                        }
+                    }),
+                    Err(e) => encode_res(e.into(), |_| {}),
+                })
+            }
+            NfsProc::Fsstat => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let _fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let st = fs.fsstat();
+                ok(encode_res(NfsStat::Ok, |e| {
+                    e.put_u64(st.bytes_used).put_u64(st.inodes);
+                }))
+            }
+            NfsProc::Commit => {
+                self.stats.others.set(self.stats.others.get() + 1);
+                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                match fs.commit(Self::fid(fh)).await {
+                    Ok(()) => ok(encode_res(NfsStat::Ok, |_| {})),
+                    Err(e) => ok(encode_res(e.into(), |_| {})),
+                }
+            }
+        }
+    }
+}
+
+/// Clonable handle registering the server with either transport.
+#[derive(Clone)]
+pub struct NfsServerHandle(pub Rc<NfsServer>);
+
+impl RdmaService for NfsServerHandle {
+    fn program(&self) -> u32 {
+        NFS_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        NFS_VERSION
+    }
+    fn call(
+        &self,
+        _cx: CallContext,
+        proc_num: u32,
+        args: Bytes,
+        bulk_in: Option<Payload>,
+    ) -> LocalBoxFuture<RdmaDispatch> {
+        let server = self.0.clone();
+        Box::pin(async move {
+            match server.run_op(proc_num, args, bulk_in, false).await {
+                Ok(r) => RdmaDispatch::success(r.head, r.bulk),
+                Err(stat) => RdmaDispatch::error(stat),
+            }
+        })
+    }
+}
+
+impl RpcService for NfsServerHandle {
+    fn program(&self) -> u32 {
+        NFS_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        NFS_VERSION
+    }
+    fn call(&self, _cx: CallContext, proc_num: u32, args: Bytes) -> LocalBoxFuture<DispatchResult> {
+        let server = self.0.clone();
+        Box::pin(async move {
+            match server.run_op(proc_num, args, None, true).await {
+                Ok(r) => {
+                    debug_assert!(r.bulk.is_none(), "TCP path returns data inline");
+                    DispatchResult::success(r.head)
+                }
+                Err(stat) => DispatchResult::error(stat),
+            }
+        })
+    }
+}

@@ -1,0 +1,315 @@
+//! Full-stack NFS tests: client ↔ server over RPC/RDMA (both designs)
+//! and TCP, against tmpfs and disk-backed file systems.
+
+use std::rc::Rc;
+
+use fs_backend::{tmpfs, FileKind};
+use ib_verbs::{connect, Fabric, Hca, HcaConfig, HostMem, NodeId, PhysLayout};
+use net_stack::{TcpConfig, TcpNet};
+use nfs::{NfsClient, NfsError, NfsServer, NfsServerHandle, NfsStat};
+use onc_rpc::{serve_stream_bulk_connection, BulkServiceRef, StreamRpcClient};
+use rpcrdma::{Design, RdmaRpcClient, RdmaRpcServer, Registrar, RpcRdmaConfig, StrategyKind};
+use sim_core::{Cpu, CpuCosts, Payload, Sim, Simulation};
+
+struct Bed {
+    client: Rc<NfsClient>,
+    server: Rc<NfsServer>,
+    client_mem: Rc<HostMem>,
+}
+
+fn rdma_bed(sim: &Sim, design: Design, strategy: StrategyKind) -> Bed {
+    let fabric = Fabric::new(sim);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(sim, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), sim.fork_rng()));
+        let hca = Hca::new(sim, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (chca, cmem) = mk(0);
+    let (shca, _) = mk(1);
+    let fs = Rc::new(tmpfs(sim));
+    let server = NfsServer::new(Rc::new(fs.clone()));
+    let cfg = RpcRdmaConfig::solaris().with_design(design);
+    let (qc, qs) = connect(&chca, &shca);
+    let rpc_server = RdmaRpcServer::new(
+        sim,
+        &shca,
+        Rc::new(NfsServerHandle(server.clone())),
+        Registrar::new(&shca, strategy),
+        cfg,
+    );
+    rpc_server.serve_connection(qs);
+    let rpc_client = RdmaRpcClient::new(
+        sim,
+        &chca,
+        qc,
+        Registrar::new(&chca, strategy),
+        cfg,
+        nfs::NFS_PROGRAM,
+        nfs::NFS_VERSION,
+    );
+    Bed {
+        client: Rc::new(NfsClient::over_rdma(rpc_client)),
+        server,
+        client_mem: cmem,
+    }
+}
+
+/// Async-friendly TCP testbed: must be awaited inside the simulation.
+async fn tcp_bed_async(sim: &Sim) -> Bed {
+    let net = TcpNet::new(sim, TcpConfig::ipoib());
+    let c_cpu = Cpu::new(sim, "c", 2, CpuCosts::default());
+    let s_cpu = Cpu::new(sim, "s", 2, CpuCosts::default());
+    net.attach(NodeId(0), c_cpu);
+    net.attach(NodeId(1), s_cpu);
+    let fs = Rc::new(tmpfs(sim));
+    let server = NfsServer::new(Rc::new(fs.clone()));
+    let handle = NfsServerHandle(server.clone());
+    let mut listener = net.listen(NodeId(1), 2049);
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        loop {
+            let conn = listener.accept().await;
+            let svc: BulkServiceRef = Rc::new(handle.clone());
+            let sim3 = sim2.clone();
+            sim2.spawn(async move {
+                serve_stream_bulk_connection(sim3, conn, svc).await;
+            });
+        }
+    });
+    let cmem = Rc::new(HostMem::new(
+        NodeId(0),
+        PhysLayout::default(),
+        sim.fork_rng(),
+    ));
+    let stream = net.connect(NodeId(0), NodeId(1), 2049).await;
+    let rpc = StreamRpcClient::new(sim, stream, nfs::NFS_PROGRAM, nfs::NFS_VERSION);
+    Bed {
+        client: Rc::new(NfsClient::over_tcp(rpc)),
+        server,
+        client_mem: cmem,
+    }
+}
+
+async fn exercise_full_protocol(bed: &Bed) {
+    let client = &bed.client;
+    let root = bed.server.root_handle();
+
+    client.null().await.unwrap();
+
+    // Directory tree.
+    let dir = client.mkdir(root, "work").await.unwrap();
+    let file = client.create(dir.handle(), "data.bin").await.unwrap();
+    client
+        .symlink(dir.handle(), "link", "data.bin")
+        .await
+        .unwrap();
+    assert_eq!(
+        client
+            .readlink(client.lookup(dir.handle(), "link").await.unwrap().handle())
+            .await
+            .unwrap(),
+        "data.bin"
+    );
+
+    // Write + read back (128 KiB, checked bytes).
+    let user = bed.client_mem.alloc(256 * 1024);
+    let pattern: Vec<u8> = (0..131_072u32).map(|i| (i % 253) as u8).collect();
+    user.write(0, Payload::real(pattern.clone()));
+    let n = client
+        .write(file.handle(), 0, &user, 0, 131_072, false)
+        .await
+        .unwrap();
+    assert_eq!(n, 131_072);
+
+    let dst = bed.client_mem.alloc(256 * 1024);
+    let (data, eof) = client
+        .read(file.handle(), 0, 131_072, Some((&dst, 0)))
+        .await
+        .unwrap();
+    assert_eq!(&data.materialize()[..], &pattern[..]);
+    assert!(eof);
+    assert_eq!(&dst.read(0, 131_072).materialize()[..], &pattern[..]);
+
+    // Partial read in the middle.
+    let (mid, eof) = client.read(file.handle(), 1000, 5000, None).await.unwrap();
+    assert_eq!(&mid.materialize()[..], &pattern[1000..6000]);
+    assert!(!eof);
+
+    // Attributes reflect the write.
+    let attr = client.getattr(file.handle()).await.unwrap();
+    assert_eq!(attr.size, 131_072);
+    assert_eq!(attr.kind, FileKind::Regular);
+
+    // Readdir sees all three entries.
+    let entries = client.readdir(dir.handle()).await.unwrap();
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["data.bin", "link"]);
+
+    // ACCESS: granted bits within the requested envelope.
+    let granted = client
+        .access(file.handle(), nfs::proto::access::READ | nfs::proto::access::MODIFY)
+        .await
+        .unwrap();
+    assert_eq!(
+        granted,
+        nfs::proto::access::READ | nfs::proto::access::MODIFY
+    );
+    assert!(matches!(
+        client.access(nfs::FileHandle(99999), nfs::proto::access::READ).await,
+        Err(NfsError::Status(NfsStat::Stale))
+    ));
+
+    // READDIRPLUS: entries come back with attributes and handles.
+    let plus = client.readdirplus(dir.handle()).await.unwrap();
+    assert_eq!(plus.len(), 2);
+    let (entry, attr, fh) = &plus[0];
+    assert_eq!(entry.name, "data.bin");
+    assert_eq!(attr.unwrap().size, 131_072);
+    assert_eq!(fh.0, entry.fileid);
+
+    // Rename + remove + errors.
+    client
+        .rename(dir.handle(), "data.bin", root, "moved.bin")
+        .await
+        .unwrap();
+    assert!(matches!(
+        client.lookup(dir.handle(), "data.bin").await.unwrap_err(),
+        NfsError::Status(NfsStat::NoEnt)
+    ));
+    client.lookup(root, "moved.bin").await.unwrap();
+    client.remove(dir.handle(), "link").await.unwrap();
+    client.rmdir(root, "work").await.unwrap();
+    assert!(matches!(
+        client.rmdir(root, "work").await.unwrap_err(),
+        NfsError::Status(NfsStat::NoEnt)
+    ));
+
+    // Truncate via SETATTR.
+    let attr = client.setattr_size(file.handle(), 1000).await.unwrap();
+    assert_eq!(attr.size, 1000);
+
+    // COMMIT and FSSTAT.
+    client.commit(file.handle()).await.unwrap();
+    let (bytes_used, inodes) = client.fsstat(root).await.unwrap();
+    assert_eq!(bytes_used, 1000);
+    assert!(inodes >= 2);
+}
+
+#[test]
+fn full_protocol_over_rdma_read_write_design() {
+    let mut sim = Simulation::new(21);
+    let h = sim.handle();
+    let bed = rdma_bed(&h, Design::ReadWrite, StrategyKind::Dynamic);
+    sim.block_on(async move { exercise_full_protocol(&bed).await });
+}
+
+#[test]
+fn full_protocol_over_rdma_read_read_design() {
+    let mut sim = Simulation::new(22);
+    let h = sim.handle();
+    let bed = rdma_bed(&h, Design::ReadRead, StrategyKind::Dynamic);
+    sim.block_on(async move { exercise_full_protocol(&bed).await });
+}
+
+#[test]
+fn full_protocol_over_rdma_cache_and_allphysical() {
+    for strategy in [StrategyKind::Cache, StrategyKind::AllPhysical, StrategyKind::Fmr] {
+        let mut sim = Simulation::new(23);
+        let h = sim.handle();
+        let bed = rdma_bed(&h, Design::ReadWrite, strategy);
+        sim.block_on(async move { exercise_full_protocol(&bed).await });
+    }
+}
+
+#[test]
+fn full_protocol_over_tcp() {
+    let mut sim = Simulation::new(24);
+    let h = sim.handle();
+    let bed_fut = {
+        let h = h.clone();
+        async move {
+            let bed = tcp_bed_async(&h).await;
+            exercise_full_protocol(&bed).await;
+        }
+    };
+    sim.block_on(bed_fut);
+}
+
+#[test]
+fn big_file_sequential_io_rdma() {
+    // 8 MiB written and read back in 1 MiB records over the RW design.
+    let mut sim = Simulation::new(25);
+    let h = sim.handle();
+    let bed = rdma_bed(&h, Design::ReadWrite, StrategyKind::Cache);
+    sim.block_on(async move {
+        let root = bed.server.root_handle();
+        let f = bed.client.create(root, "big").await.unwrap();
+        let buf = bed.client_mem.alloc(1 << 20);
+        let total: u64 = 8 << 20;
+        let mut off = 0u64;
+        while off < total {
+            buf.write(0, Payload::synthetic(off, 1 << 20));
+            bed.client
+                .write(f.handle(), off, &buf, 0, 1 << 20, false)
+                .await
+                .unwrap();
+            off += 1 << 20;
+        }
+        let attr = bed.client.getattr(f.handle()).await.unwrap();
+        assert_eq!(attr.size, total);
+        // Read back and verify each record.
+        let dst = bed.client_mem.alloc(1 << 20);
+        let mut off = 0u64;
+        while off < total {
+            let (data, _) = bed
+                .client
+                .read(f.handle(), off, 1 << 20, Some((&dst, 0)))
+                .await
+                .unwrap();
+            assert!(
+                data.content_eq(&Payload::synthetic(off, 1 << 20)),
+                "corruption at offset {off}"
+            );
+            off += 1 << 20;
+        }
+    });
+}
+
+#[test]
+fn tcp_and_rdma_agree_on_contents() {
+    // The same logical operations produce identical file contents
+    // regardless of transport.
+    let digest = |run: &dyn Fn(&mut Simulation) -> Vec<u8>| {
+        let mut sim = Simulation::new(77);
+        run(&mut sim)
+    };
+    let rdma = digest(&|sim: &mut Simulation| {
+        let h = sim.handle();
+        let bed = rdma_bed(&h, Design::ReadWrite, StrategyKind::Dynamic);
+        sim.block_on(async move {
+            let root = bed.server.root_handle();
+            let f = bed.client.create(root, "x").await.unwrap();
+            let buf = bed.client_mem.alloc(4096);
+            buf.write(0, Payload::real((0u8..=255).cycle().take(4096).collect::<Vec<_>>()));
+            bed.client.write(f.handle(), 0, &buf, 0, 4096, true).await.unwrap();
+            let (data, _) = bed.client.read(f.handle(), 0, 4096, None).await.unwrap();
+            data.materialize().to_vec()
+        })
+    });
+    let tcp = digest(&|sim: &mut Simulation| {
+        let h = sim.handle();
+        sim.block_on(async move {
+            let bed = tcp_bed_async(&h).await;
+            let root = bed.server.root_handle();
+            let f = bed.client.create(root, "x").await.unwrap();
+            let buf = bed.client_mem.alloc(4096);
+            buf.write(0, Payload::real((0u8..=255).cycle().take(4096).collect::<Vec<_>>()));
+            bed.client.write(f.handle(), 0, &buf, 0, 4096, true).await.unwrap();
+            let (data, _) = bed.client.read(f.handle(), 0, 4096, None).await.unwrap();
+            data.materialize().to_vec()
+        })
+    });
+    assert_eq!(rdma, tcp);
+}

@@ -1,0 +1,19 @@
+//! # onc-rpc — ONC Remote Procedure Call (RFC 1831 subset)
+//!
+//! The RPC layer NFS rides on: call/reply message formats with XID
+//! matching ([`msg`]), a transport-agnostic service interface
+//! ([`service`]) and the record-marked stream transport
+//! ([`stream_transport`]) used for the NFS/TCP baselines. The RDMA
+//! transport — the paper's subject — lives in the `rpcrdma` crate and
+//! plugs into the same [`RpcService`] interface.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod msg;
+pub mod service;
+pub mod stream_transport;
+
+pub use msg::{AcceptStat, CallHeader, ReplyHeader, RPC_VERSION};
+pub use service::{BulkDispatch, BulkService, BulkServiceRef, ServiceRegistry, PROG_WILDCARD, CallContext, DispatchResult, LocalBoxFuture, RpcService, ServiceRef};
+pub use stream_transport::{serve_stream_bulk_connection, serve_stream_connection, RpcError, StreamRpcClient};

@@ -1,0 +1,252 @@
+//! The service interface an RPC program exposes to transports.
+//!
+//! One implementation (the NFS server) is reachable over both the
+//! stream transport in this crate and the RPC/RDMA transport in the
+//! `rpcrdma` crate — mirroring how a kernel RPC program is transport
+//! agnostic.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::msg::AcceptStat;
+
+/// Single-threaded boxed future (the simulator is `!Send` by design).
+pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T> + 'static>>;
+
+/// Context a transport provides with each call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CallContext {
+    /// Fabric node the call arrived from (0 if unknown).
+    pub peer: u32,
+    /// RPC program number from the call header.
+    pub prog: u32,
+    /// RPC program version from the call header.
+    pub vers: u32,
+}
+
+/// Sentinel program number: a [`BulkService`] returning this from
+/// `program()` accepts calls for any program (it dispatches internally
+/// by `cx.prog`, like a portmapped RPC server).
+pub const PROG_WILDCARD: u32 = u32::MAX;
+
+/// Routes calls to multiple RPC programs sharing one transport
+/// endpoint (e.g. NFS + MOUNT on the same connection).
+pub struct ServiceRegistry {
+    services: std::collections::HashMap<(u32, u32), BulkServiceRef>,
+}
+
+impl ServiceRegistry {
+    /// Empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry {
+            services: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Register a program implementation.
+    pub fn register(mut self, svc: BulkServiceRef) -> Self {
+        let key = (svc.program(), svc.version());
+        let prev = self.services.insert(key, svc);
+        assert!(prev.is_none(), "program {key:?} registered twice");
+        self
+    }
+
+    /// Finish into a dispatchable service.
+    pub fn into_service(self) -> BulkServiceRef {
+        Rc::new(self)
+    }
+}
+
+impl Default for ServiceRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BulkService for ServiceRegistry {
+    fn program(&self) -> u32 {
+        PROG_WILDCARD
+    }
+    fn version(&self) -> u32 {
+        0
+    }
+    fn call(
+        &self,
+        cx: CallContext,
+        proc_num: u32,
+        args: Bytes,
+        bulk_in: Option<sim_core::Payload>,
+    ) -> LocalBoxFuture<BulkDispatch> {
+        match self.services.get(&(cx.prog, cx.vers)) {
+            Some(svc) => svc.call(cx, proc_num, args, bulk_in),
+            None => Box::pin(async { BulkDispatch::error(AcceptStat::ProgUnavail) }),
+        }
+    }
+}
+
+/// Result of dispatching a call.
+pub struct DispatchResult {
+    /// Accept status for the reply header.
+    pub stat: AcceptStat,
+    /// Encoded results (empty unless `stat == Success`).
+    pub body: Bytes,
+}
+
+impl DispatchResult {
+    /// Successful result with the given body.
+    pub fn success(body: Bytes) -> Self {
+        DispatchResult {
+            stat: AcceptStat::Success,
+            body,
+        }
+    }
+
+    /// Error result with no body.
+    pub fn error(stat: AcceptStat) -> Self {
+        DispatchResult {
+            stat,
+            body: Bytes::new(),
+        }
+    }
+}
+
+/// Result of a bulk-aware dispatch: an XDR head plus optional bulk
+/// payload that transports move by their own best means (chunks over
+/// RDMA, a trailing segment over streams).
+pub struct BulkDispatch {
+    /// Accept status for the reply header.
+    pub stat: AcceptStat,
+    /// Encoded result head (without the bulk data).
+    pub head: Bytes,
+    /// Bulk result data (e.g. NFS READ data).
+    pub bulk_out: Option<sim_core::Payload>,
+}
+
+impl BulkDispatch {
+    /// Successful dispatch.
+    pub fn success(head: Bytes, bulk_out: Option<sim_core::Payload>) -> Self {
+        BulkDispatch {
+            stat: AcceptStat::Success,
+            head,
+            bulk_out,
+        }
+    }
+
+    /// Failed dispatch with no body.
+    pub fn error(stat: AcceptStat) -> Self {
+        BulkDispatch {
+            stat,
+            head: Bytes::new(),
+            bulk_out: None,
+        }
+    }
+}
+
+/// A bulk-aware RPC program: receives argument heads plus out-of-band
+/// bulk input (NFS WRITE data) and returns result heads plus bulk
+/// output (NFS READ data). Both the RPC/RDMA transport and the stream
+/// transport dispatch to this.
+pub trait BulkService {
+    /// Program number served.
+    fn program(&self) -> u32;
+    /// Version served.
+    fn version(&self) -> u32;
+    /// Execute one call.
+    fn call(
+        &self,
+        cx: CallContext,
+        proc_num: u32,
+        args: Bytes,
+        bulk_in: Option<sim_core::Payload>,
+    ) -> LocalBoxFuture<BulkDispatch>;
+}
+
+/// Shared handle to a bulk-aware service.
+pub type BulkServiceRef = Rc<dyn BulkService>;
+
+/// An RPC program implementation.
+pub trait RpcService {
+    /// Program number served.
+    fn program(&self) -> u32;
+    /// Version served.
+    fn version(&self) -> u32;
+    /// Execute one procedure call.
+    fn call(&self, cx: CallContext, proc_num: u32, args: Bytes) -> LocalBoxFuture<DispatchResult>;
+}
+
+/// Shared handle to a service.
+pub type ServiceRef = Rc<dyn RpcService>;
+
+/// Dispatch a decoded call to a service, handling program/version
+/// mismatches uniformly across transports.
+pub async fn dispatch(
+    service: &ServiceRef,
+    cx: CallContext,
+    prog: u32,
+    vers: u32,
+    proc_num: u32,
+    args: Bytes,
+) -> DispatchResult {
+    if prog != service.program() || vers != service.version() {
+        return DispatchResult::error(AcceptStat::ProgUnavail);
+    }
+    service.call(cx, proc_num, args).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Simulation;
+
+    struct Echo;
+    impl RpcService for Echo {
+        fn program(&self) -> u32 {
+            200_000
+        }
+        fn version(&self) -> u32 {
+            1
+        }
+        fn call(
+            &self,
+            _cx: CallContext,
+            proc_num: u32,
+            args: Bytes,
+        ) -> LocalBoxFuture<DispatchResult> {
+            Box::pin(async move {
+                match proc_num {
+                    0 => DispatchResult::success(args),
+                    _ => DispatchResult::error(AcceptStat::ProcUnavail),
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn dispatch_routes_and_rejects() {
+        let mut sim = Simulation::new(1);
+        let svc: ServiceRef = Rc::new(Echo);
+        let (ok, bad_prog, bad_proc) = sim.block_on(async move {
+            let ok = dispatch(
+                &svc,
+                CallContext::default(),
+                200_000,
+                1,
+                0,
+                Bytes::from_static(b"hi"),
+            )
+            .await;
+            let bad_prog =
+                dispatch(&svc, CallContext::default(), 999, 1, 0, Bytes::new()).await;
+            let bad_proc =
+                dispatch(&svc, CallContext::default(), 200_000, 1, 42, Bytes::new()).await;
+            (ok, bad_prog, bad_proc)
+        });
+        assert_eq!(ok.stat, AcceptStat::Success);
+        assert_eq!(&ok.body[..], b"hi");
+        assert_eq!(bad_prog.stat, AcceptStat::ProgUnavail);
+        assert_eq!(bad_proc.stat, AcceptStat::ProcUnavail);
+    }
+}

@@ -1,0 +1,588 @@
+//! The RPC/RDMA client engine.
+//!
+//! Implements both bulk-transfer designs (paper §4):
+//!
+//! * **Read-Write** (the paper's proposal): the client encodes Write /
+//!   Reply chunk lists in the call; NFS READ and long-reply data is
+//!   RDMA-written by the server before the reply Send, whose arrival
+//!   guarantees placement. Zero-copy direct I/O lands data straight in
+//!   the user buffer.
+//! * **Read-Read** (Callaghan's original): the reply carries Read
+//!   chunks naming *server* buffers; the client pulls with RDMA Read,
+//!   copies out, and sends `RDMA_DONE` so the server can deregister.
+//!
+//! Registration points follow the paper's Figure 4: the client
+//! registers bulk buffers before the call (points 1–2) and
+//! deregisters after the reply (point 10).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, WrId};
+use onc_rpc::msg::{decode_reply, encode_call};
+use onc_rpc::{AcceptStat, CallHeader, RpcError};
+use sim_core::sync::{oneshot, OneshotSender, Semaphore};
+use sim_core::{Payload, Sim};
+use xdr::XdrCodec;
+
+use crate::config::{Design, RpcRdmaConfig};
+use crate::header::{MsgType, RdmaHeader, ReadChunk};
+use crate::reg::{IoBuf, Registrar};
+use crate::router::CompletionRouter;
+
+/// Bulk-data parameters for one call.
+#[derive(Default)]
+pub struct BulkParams {
+    /// Data the server will pull (NFS WRITE payload): caller's buffer
+    /// window.
+    pub send: Option<(Buffer, u64, u64)>,
+    /// Maximum bulk result expected (NFS READ): the transport
+    /// provisions a write-chunk sink of this size.
+    pub recv_max: Option<u64>,
+    /// User destination buffer for the bulk result (enables the
+    /// zero-copy direct-I/O path in the Read-Write design).
+    pub recv_user: Option<(Buffer, u64)>,
+    /// Maximum long-reply size (READDIR/READLINK): provisions a reply
+    /// chunk.
+    pub long_reply_max: Option<u64>,
+}
+
+/// A completed call.
+#[derive(Debug)]
+pub struct CallReply {
+    /// Decoded RPC result head.
+    pub body: Bytes,
+    /// Bulk result data, if any.
+    pub bulk: Option<Payload>,
+}
+
+/// Client-side transport statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Calls completed.
+    pub calls: u64,
+    /// Bulk bytes sent (write path).
+    pub bulk_out: u64,
+    /// Bulk bytes received (read path).
+    pub bulk_in: u64,
+    /// RDMA_DONE messages sent (Read-Read design only).
+    pub dones_sent: u64,
+    /// Small writes sent via the RDMA_MSGP padded-inline fast path.
+    pub msgp_sends: u64,
+    /// Client-side data copies, bytes (zero-copy path avoids these).
+    pub copied_bytes: u64,
+}
+
+struct ClientInner {
+    #[allow(dead_code)]
+    sim: Sim,
+    hca: Hca,
+    qp: Qp,
+    registrar: Registrar,
+    cfg: RpcRdmaConfig,
+    prog: u32,
+    vers: u32,
+    next_xid: Cell<u32>,
+    next_wr: Cell<u64>,
+    pending: RefCell<HashMap<u32, OneshotSender<(RdmaHeader, Bytes)>>>,
+    credits: Semaphore,
+    /// Credits the server last granted us.
+    granted: Cell<u32>,
+    /// Permits to swallow (grant was reduced below what we hold).
+    credit_deficit: Cell<u32>,
+    router: CompletionRouter,
+    stats: RefCell<ClientStats>,
+    dead: Cell<bool>,
+}
+
+/// Handle to an RPC/RDMA client endpoint (one per connection).
+#[derive(Clone)]
+pub struct RdmaRpcClient {
+    inner: Rc<ClientInner>,
+}
+
+impl RdmaRpcClient {
+    /// Wrap a connected QP as an RPC/RDMA client for `(prog, vers)`.
+    /// Posts the credit window of receive buffers and starts the reply
+    /// dispatcher.
+    pub fn new(
+        sim: &Sim,
+        hca: &Hca,
+        qp: Qp,
+        registrar: Registrar,
+        cfg: RpcRdmaConfig,
+        prog: u32,
+        vers: u32,
+    ) -> RdmaRpcClient {
+        let inner = Rc::new(ClientInner {
+            sim: sim.clone(),
+            hca: hca.clone(),
+            qp: qp.clone(),
+            registrar,
+            cfg,
+            prog,
+            vers,
+            next_xid: Cell::new(1),
+            next_wr: Cell::new(1 << 32),
+            pending: RefCell::new(HashMap::new()),
+            credits: Semaphore::new(cfg.credits as usize),
+            granted: Cell::new(cfg.credits),
+            credit_deficit: Cell::new(0),
+            router: CompletionRouter::spawn(sim, qp.send_cq().clone()),
+            stats: RefCell::new(ClientStats::default()),
+            dead: Cell::new(false),
+        });
+        // Fail all pending calls if the connection errors.
+        {
+            let weak = Rc::downgrade(&inner);
+            inner.router.set_error_handler(move |_c| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.dead.set(true);
+                    inner.pending.borrow_mut().clear();
+                }
+            });
+        }
+        // Pre-posted receive pool; buffers are registered once at setup
+        // (amortized, so no per-op cost is charged here).
+        let mut recv_bufs = Vec::new();
+        for i in 0..cfg.credits as u64 {
+            let buf = hca.mem().alloc(cfg.recv_buffer_size);
+            qp.post_recv(buf.clone(), 0, cfg.recv_buffer_size, WrId(i))
+                .expect("posting initial receives");
+            recv_bufs.push(buf);
+        }
+        let inner2 = inner.clone();
+        sim.spawn(async move { reply_dispatcher(inner2, recv_bufs).await });
+        RdmaRpcClient { inner }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClientStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// The underlying queue pair (for diagnostics).
+    pub fn qp(&self) -> &Qp {
+        &self.inner.qp
+    }
+
+    fn alloc_wr(&self) -> WrId {
+        let id = self.inner.next_wr.get();
+        self.inner.next_wr.set(id + 1);
+        WrId(id)
+    }
+
+    /// Issue one RPC for this client's bound program.
+    pub async fn call(
+        &self,
+        proc_num: u32,
+        args: Bytes,
+        bulk: BulkParams,
+    ) -> Result<CallReply, RpcError> {
+        self.call_as(self.inner.prog, self.inner.vers, proc_num, args, bulk)
+            .await
+    }
+
+    /// Issue one RPC for an explicit `(prog, vers)` — for connections
+    /// shared by several programs (e.g. NFS + MOUNT behind a
+    /// [`onc_rpc::ServiceRegistry`]).
+    pub async fn call_as(
+        &self,
+        prog: u32,
+        vers: u32,
+        proc_num: u32,
+        args: Bytes,
+        bulk: BulkParams,
+    ) -> Result<CallReply, RpcError> {
+        let inner = &self.inner;
+        if inner.dead.get() {
+            return Err(RpcError::Disconnected);
+        }
+        let cpu = inner.hca.cpu().clone();
+        // Syscall + VFS + RPC marshalling.
+        cpu.execute(inner.cfg.per_op_client_cpu).await;
+
+        let credit = inner.credits.acquire().await;
+        let xid = inner.next_xid.get();
+        inner.next_xid.set(xid.wrapping_add(1));
+        inner.sim.trace("rpc", || {
+            format!("client call xid={xid} prog={prog} proc={proc_num}")
+        });
+
+        let rpc_msg = encode_call(
+            &CallHeader {
+                xid,
+                prog,
+                vers,
+                proc_num,
+            },
+            &args,
+        );
+
+        let mut hdr = RdmaHeader::new(xid, inner.cfg.credits, MsgType::Msg);
+        let mut held: Vec<IoBuf> = Vec::new();
+        let mut sink: Option<IoBuf> = None;
+        let mut reply_sink: Option<IoBuf> = None;
+
+        // --- Small-write fast path: RDMA_MSGP (padded inline). --------
+        // The data rides inside the Send, aligned for direct placement:
+        // no registration, no chunk, no server-side RDMA Read.
+        let mut msgp_data: Option<Payload> = None;
+        if let Some((buffer, off, len)) = &bulk.send {
+            if inner.cfg.msgp_small_writes
+                && *len <= inner.cfg.inline_threshold
+                && rpc_msg.len() as u64 <= inner.cfg.inline_threshold
+            {
+                msgp_data = Some(buffer.read(*off, *len));
+                cpu.copy(*len).await; // staged into the inline buffer
+                inner.stats.borrow_mut().bulk_out += len;
+                inner.stats.borrow_mut().msgp_sends += 1;
+            }
+        }
+
+        // --- Read chunks: NFS WRITE payload the server will pull. ----
+        if let (Some((buffer, off, len)), None) = (&bulk.send, &msgp_data) {
+            let io = inner
+                .registrar
+                .acquire_user(buffer, *off, *len, Access::REMOTE_READ)
+                .await;
+            if inner.registrar.is_staged() {
+                // Stage into the pre-registered slab buffer.
+                io.write(0, buffer.read(*off, *len));
+                cpu.copy(*len).await;
+                inner.stats.borrow_mut().copied_bytes += len;
+            }
+            let position = rpc_msg.len() as u32;
+            for seg in io.segments(0, *len, &inner.hca) {
+                hdr.read_chunks.push(ReadChunk {
+                    position,
+                    segment: seg,
+                });
+            }
+            inner.stats.borrow_mut().bulk_out += len;
+            held.push(io);
+        }
+
+        // --- Write / reply chunks (Read-Write design only). ----------
+        if inner.cfg.design == Design::ReadWrite {
+            if let Some(max) = bulk.recv_max {
+                let zero_copy = inner.cfg.zero_copy_read
+                    && !inner.registrar.is_staged()
+                    && bulk.recv_user.is_some();
+                let io = if zero_copy {
+                    let (ubuf, uoff) = bulk.recv_user.as_ref().unwrap();
+                    inner
+                        .registrar
+                        .acquire_user(ubuf, *uoff, max, Access::REMOTE_WRITE)
+                        .await
+                } else {
+                    inner
+                        .registrar
+                        .acquire_scratch(max, Access::REMOTE_WRITE)
+                        .await
+                };
+                hdr.write_chunks.push(io.segments(0, max, &inner.hca));
+                sink = Some(io);
+            }
+            if let Some(max) = bulk.long_reply_max {
+                let io = inner
+                    .registrar
+                    .acquire_scratch(max, Access::REMOTE_WRITE)
+                    .await;
+                hdr.reply_chunk = Some(io.segments(0, max, &inner.hca));
+                reply_sink = Some(io);
+            }
+        }
+
+        // --- Long call: the RPC message itself moves via a read chunk.
+        let inline_body: Bytes;
+        if let Some(data) = &msgp_data {
+            // RDMA_MSGP framing: head, padding to the alignment, data.
+            let align = inner.cfg.msgp_align as usize;
+            hdr.msg_type = MsgType::Msgp;
+            hdr.msgp = Some((align as u32, rpc_msg.len() as u32));
+            let pad = (align - rpc_msg.len() % align) % align;
+            let mut body = Vec::with_capacity(rpc_msg.len() + pad + data.len() as usize);
+            body.extend_from_slice(&rpc_msg);
+            body.resize(rpc_msg.len() + pad, 0);
+            body.extend_from_slice(&data.materialize());
+            inline_body = Bytes::from(body);
+        } else if rpc_msg.len() as u64 > inner.cfg.inline_threshold {
+            hdr.msg_type = MsgType::Nomsg;
+            let buf = inner.hca.mem().alloc(rpc_msg.len() as u64);
+            buf.write(0, Payload::real(rpc_msg.clone()));
+            cpu.copy(rpc_msg.len() as u64).await; // marshal into DMA buffer
+            let io = inner
+                .registrar
+                .acquire_user(&buf, 0, rpc_msg.len() as u64, Access::REMOTE_READ)
+                .await;
+            for seg in io.segments(0, rpc_msg.len() as u64, &inner.hca) {
+                hdr.read_chunks.push(ReadChunk {
+                    position: 0,
+                    segment: seg,
+                });
+            }
+            held.push(io);
+            inline_body = Bytes::new();
+        } else {
+            inline_body = rpc_msg;
+        }
+
+        // --- Send the call. ------------------------------------------
+        let hdr_bytes = hdr.to_bytes();
+        // Staging copy into the pre-registered inline send buffer.
+        cpu.copy((hdr_bytes.len() + inline_body.len()) as u64).await;
+        let mut wire = Vec::with_capacity(hdr_bytes.len() + inline_body.len());
+        wire.extend_from_slice(&hdr_bytes);
+        wire.extend_from_slice(&inline_body);
+
+        let (tx, rx) = oneshot();
+        inner.pending.borrow_mut().insert(xid, tx);
+        inner
+            .qp
+            .post_send(Payload::real(wire), self.alloc_wr(), false)
+            .map_err(|_| RpcError::Disconnected)?;
+
+        // --- Await the reply. -----------------------------------------
+        let (rhdr, reply_body) = rx.await.map_err(|_| RpcError::Disconnected)?;
+        inner.sim.trace("rpc", || {
+            format!("client reply xid={xid} type={:?}", rhdr.msg_type)
+        });
+        self.apply_credit_grant(rhdr.credits);
+
+        let result = self
+            .finish_call(&rhdr, reply_body, &bulk, &mut sink, &mut reply_sink, &cpu)
+            .await;
+
+        // Release every held registration (Figure 4, point 10): the
+        // reply's arrival guarantees the server is done with them.
+        for io in held {
+            inner.registrar.release(io).await;
+        }
+        if let Some(io) = sink.take() {
+            inner.registrar.release(io).await;
+        }
+        if let Some(io) = reply_sink.take() {
+            inner.registrar.release(io).await;
+        }
+        // Return (or swallow, if the server shrank its grant) the
+        // flow-control credit.
+        let deficit = inner.credit_deficit.get();
+        if deficit > 0 {
+            inner.credit_deficit.set(deficit - 1);
+            credit.forget();
+        } else {
+            drop(credit);
+        }
+        if result.is_ok() {
+            inner.stats.borrow_mut().calls += 1;
+        }
+        result
+    }
+
+    /// Resize the outstanding-call window to the server's latest grant
+    /// (dynamic credit flow control). Grants are clamped to the
+    /// configured maximum, which sized the receive pools.
+    fn apply_credit_grant(&self, grant: u32) {
+        let inner = &self.inner;
+        let grant = grant.clamp(1, inner.cfg.credits);
+        let current = inner.granted.get();
+        if grant > current {
+            // Window grows: release the difference immediately (minus
+            // any outstanding deficit first).
+            let mut growth = grant - current;
+            let deficit = inner.credit_deficit.get();
+            let cancel = deficit.min(growth);
+            inner.credit_deficit.set(deficit - cancel);
+            growth -= cancel;
+            if growth > 0 {
+                inner.credits.add_permits(growth as usize);
+            }
+        } else if grant < current {
+            // Window shrinks: retire idle permits immediately, and
+            // swallow the rest as in-flight calls complete.
+            let mut to_remove = current - grant;
+            while to_remove > 0 {
+                match inner.credits.try_acquire() {
+                    Some(permit) => {
+                        permit.forget();
+                        to_remove -= 1;
+                    }
+                    None => break,
+                }
+            }
+            inner
+                .credit_deficit
+                .set(inner.credit_deficit.get() + to_remove);
+        }
+        inner.granted.set(grant);
+    }
+
+    /// Decode the reply and collect bulk data per the active design.
+    async fn finish_call(
+        &self,
+        rhdr: &RdmaHeader,
+        reply_body: Bytes,
+        bulk: &BulkParams,
+        sink: &mut Option<IoBuf>,
+        reply_sink: &mut Option<IoBuf>,
+        cpu: &sim_core::Cpu,
+    ) -> Result<CallReply, RpcError> {
+        let inner = &self.inner;
+        match inner.cfg.design {
+            Design::ReadWrite => {
+                // Long reply: the RPC message was RDMA-written into the
+                // reply chunk.
+                let rpc_reply = if rhdr.msg_type == MsgType::Nomsg {
+                    let io = reply_sink.as_ref().ok_or(RpcError::BadReply)?;
+                    let actual: u64 = rhdr
+                        .reply_chunk
+                        .as_ref()
+                        .map(|segs| segs.iter().map(|s| s.len).sum())
+                        .unwrap_or(0);
+                    cpu.copy(actual).await; // reply must be unmarshalled
+                    inner.stats.borrow_mut().copied_bytes += actual;
+                    io.read(0, actual).materialize()
+                } else {
+                    reply_body
+                };
+                let (rh, body) = decode_reply(rpc_reply).map_err(|_| RpcError::BadReply)?;
+                if rh.stat != AcceptStat::Success {
+                    return Err(RpcError::Rejected(rh.stat));
+                }
+                // Bulk data was RDMA-written into the write chunk; the
+                // echoed chunk list tells us how much (paper §4).
+                let bulk_data = if let Some(io) = sink.as_ref() {
+                    let actual = rhdr.write_chunk_bytes(0);
+                    let data = io.read(0, actual);
+                    let zero_copy = inner.cfg.zero_copy_read
+                        && !inner.registrar.is_staged()
+                        && bulk.recv_user.is_some();
+                    if !zero_copy {
+                        // Copy out of the bounce buffer to the user.
+                        cpu.copy(actual).await;
+                        inner.stats.borrow_mut().copied_bytes += actual;
+                        if let Some((ubuf, uoff)) = &bulk.recv_user {
+                            ubuf.write(*uoff, data.clone());
+                        }
+                    }
+                    inner.stats.borrow_mut().bulk_in += actual;
+                    Some(data)
+                } else {
+                    None
+                };
+                Ok(CallReply {
+                    body,
+                    bulk: bulk_data,
+                })
+            }
+            Design::ReadRead => {
+                // Bulk (and long replies) arrive as read chunks naming
+                // server memory; pull them, copy out, send RDMA_DONE.
+                let mut pulled: Option<Payload> = None;
+                if !rhdr.read_chunks.is_empty() {
+                    let total: u64 = rhdr.read_chunk_bytes();
+                    let io = inner
+                        .registrar
+                        .acquire_scratch(total, Access::LOCAL)
+                        .await;
+                    // Post every read, then await; ORD throttles depth.
+                    let mut off = 0u64;
+                    let mut waits = Vec::new();
+                    for chunk in &rhdr.read_chunks {
+                        let wr = self.alloc_wr();
+                        waits.push(inner.router.expect(wr));
+                        inner
+                            .qp
+                            .post_rdma_read(
+                                io.buffer().clone(),
+                                io.base() + off,
+                                chunk.segment.addr,
+                                chunk.segment.rkey,
+                                chunk.segment.len,
+                                wr,
+                            )
+                            .map_err(|_| RpcError::Disconnected)?;
+                        off += chunk.segment.len;
+                    }
+                    for rx in waits {
+                        let c = rx.await.map_err(|_| RpcError::Disconnected)?;
+                        if c.result.is_err() {
+                            return Err(RpcError::Disconnected);
+                        }
+                    }
+                    // Client-side copy: the Read-Read design has no
+                    // zero-copy path (paper §4.2 / Figure 5 CPU lines).
+                    cpu.copy(total).await;
+                    inner.stats.borrow_mut().copied_bytes += total;
+                    inner.stats.borrow_mut().bulk_in += total;
+                    let data = io.read(0, total);
+                    if let Some((ubuf, uoff)) = &bulk.recv_user {
+                        ubuf.write(*uoff, data.clone());
+                    }
+                    inner.registrar.release(io).await;
+                    // RDMA_DONE lets the server free its exposed
+                    // buffers — unless we are modelling a malicious or
+                    // crashed client (§4.1 failure injection).
+                    if !inner.cfg.suppress_done {
+                        let done = RdmaHeader::new(rhdr.xid, inner.cfg.credits, MsgType::Done);
+                        inner
+                            .qp
+                            .post_send(Payload::real(done.to_bytes()), self.alloc_wr(), false)
+                            .map_err(|_| RpcError::Disconnected)?;
+                        inner.stats.borrow_mut().dones_sent += 1;
+                    }
+                    pulled = Some(data);
+                }
+                let rpc_reply = if rhdr.msg_type == MsgType::Nomsg {
+                    // Long reply: the pulled data IS the RPC message.
+                    pulled.take().ok_or(RpcError::BadReply)?.materialize()
+                } else {
+                    reply_body
+                };
+                let (rh, body) = decode_reply(rpc_reply).map_err(|_| RpcError::BadReply)?;
+                if rh.stat != AcceptStat::Success {
+                    return Err(RpcError::Rejected(rh.stat));
+                }
+                Ok(CallReply { body, bulk: pulled })
+            }
+        }
+    }
+}
+
+/// Consumes reply receives, reposts buffers, routes by XID.
+async fn reply_dispatcher(inner: Rc<ClientInner>, recv_bufs: Vec<Buffer>) {
+    loop {
+        let c = inner.qp.recv_cq().next().await;
+        if c.opcode != Opcode::Recv {
+            continue;
+        }
+        let Ok(_) = c.result else {
+            inner.dead.set(true);
+            inner.pending.borrow_mut().clear();
+            return;
+        };
+        // Recycle the receive buffer immediately.
+        let idx = c.wr_id.0 as usize;
+        if idx < recv_bufs.len() {
+            let _ = inner.qp.post_recv(
+                recv_bufs[idx].clone(),
+                0,
+                inner.cfg.recv_buffer_size,
+                c.wr_id,
+            );
+        }
+        let Some(payload) = c.payload else { continue };
+        let raw = payload.materialize();
+        let mut dec = xdr::Decoder::new(raw.clone());
+        let Ok(hdr) = RdmaHeader::decode(&mut dec) else {
+            continue;
+        };
+        let body = raw.slice(dec.position()..);
+        if let Some(tx) = inner.pending.borrow_mut().remove(&hdr.xid) {
+            tx.send((hdr, body));
+        }
+    }
+}

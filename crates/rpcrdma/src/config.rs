@@ -1,0 +1,111 @@
+//! RPC/RDMA transport configuration.
+
+use sim_core::SimDuration;
+
+/// Which bulk-transfer design the transport runs (paper §4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Design {
+    /// Callaghan's original: server exposes buffers, client pulls NFS
+    /// READ / long-reply data with RDMA Read and sends `RDMA_DONE`.
+    ReadRead,
+    /// The paper's proposal: client advertises Write/Reply chunks,
+    /// server pushes with RDMA Write; no server-side exposure, no
+    /// `RDMA_DONE`.
+    ReadWrite,
+}
+
+/// Transport parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcRdmaConfig {
+    /// Bulk-transfer design.
+    pub design: Design,
+    /// Messages up to this size travel inline in the Send (paper §3.1).
+    pub inline_threshold: u64,
+    /// Credit window: max outstanding calls per connection; also the
+    /// number of pre-posted receive buffers on each side.
+    pub credits: u32,
+    /// Size of each pre-posted receive buffer (must hold the RPC/RDMA
+    /// header plus an inline message).
+    pub recv_buffer_size: u64,
+    /// Serialized per-operation time in the server's RPC task queue
+    /// (Figure 1's "server task queue": interrupt handler hand-off,
+    /// transport walkers, dispatch). A property of the OS stack, not
+    /// the HCA — large on 2007 OpenSolaris, small on Linux.
+    pub server_op_serial: SimDuration,
+    /// Per-call client CPU (syscall, VFS, RPC marshalling).
+    pub per_op_client_cpu: SimDuration,
+    /// Per-call server CPU (decode, NFS dispatch bookkeeping).
+    pub per_op_server_cpu: SimDuration,
+    /// Client zero-copy direct-I/O path for NFS READ (paper §3.1,
+    /// "Zero Copy Path for Direct I/O"): the Read-Write design can
+    /// RDMA-write straight into the user buffer. The Read-Read design
+    /// always copies on the client.
+    pub zero_copy_read: bool,
+    /// Use `RDMA_MSGP` (padded inline) for bulk sends that fit the
+    /// inline threshold: the data rides in the Send, aligned so the
+    /// receiver places it without a pull-up copy — no chunk, no
+    /// registration, no server-side RDMA Read for small writes.
+    pub msgp_small_writes: bool,
+    /// Alignment for `RDMA_MSGP` payloads.
+    pub msgp_align: u32,
+    /// FAILURE INJECTION (Read-Read design): never send `RDMA_DONE`,
+    /// modelling the paper's §4.1 malicious/malfunctioning client that
+    /// pins server buffers indefinitely.
+    pub suppress_done: bool,
+    /// Server-side shared receive queue: one pool of `2 x credits`
+    /// posted buffers serves *all* client connections instead of a full
+    /// window per connection — the buffer-management direction of the
+    /// paper's future work (and of later Linux NFS/RDMA servers).
+    pub server_srq: bool,
+}
+
+impl RpcRdmaConfig {
+    /// Defaults for the paper's OpenSolaris/SDR testbed.
+    pub fn solaris() -> Self {
+        RpcRdmaConfig {
+            design: Design::ReadWrite,
+            inline_threshold: 1024,
+            credits: 32,
+            recv_buffer_size: 4096,
+            server_op_serial: SimDuration::from_micros(180),
+            per_op_client_cpu: SimDuration::from_micros(18),
+            per_op_server_cpu: SimDuration::from_micros(12),
+            zero_copy_read: true,
+            msgp_small_writes: false,
+            msgp_align: 64,
+            suppress_done: false,
+            server_srq: false,
+        }
+    }
+
+    /// Defaults for the paper's Linux testbed.
+    pub fn linux() -> Self {
+        RpcRdmaConfig {
+            server_op_serial: SimDuration::from_micros(22),
+            per_op_client_cpu: SimDuration::from_micros(10),
+            per_op_server_cpu: SimDuration::from_micros(7),
+            ..Self::solaris()
+        }
+    }
+
+    /// Switch the design.
+    pub fn with_design(mut self, design: Design) -> Self {
+        self.design = design;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles() {
+        let s = RpcRdmaConfig::solaris();
+        assert_eq!(s.design, Design::ReadWrite);
+        let l = RpcRdmaConfig::linux();
+        assert!(l.server_op_serial < s.server_op_serial);
+        let rr = s.with_design(Design::ReadRead);
+        assert_eq!(rr.design, Design::ReadRead);
+    }
+}

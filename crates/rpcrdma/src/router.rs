@@ -1,0 +1,75 @@
+//! Completion routing: lets many concurrent operations await specific
+//! work completions on one CQ, the way kernel ULPs demultiplex CQEs.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ib_verbs::{Completion, Cq, WrId};
+use sim_core::sync::{oneshot, OneshotReceiver, OneshotSender};
+use sim_core::Sim;
+
+type ErrorHandler = Box<dyn Fn(&Completion)>;
+
+struct RouterInner {
+    waiters: RefCell<HashMap<u64, OneshotSender<Completion>>>,
+    /// Completions that arrived with no waiter registered (normally
+    /// unsignaled successes flushed on error paths).
+    orphans: RefCell<Vec<Completion>>,
+    /// Callback invoked on any error completion (e.g. fail-all).
+    on_error: RefCell<Option<ErrorHandler>>,
+}
+
+/// Demultiplexes one CQ to per-WR waiters.
+#[derive(Clone)]
+pub struct CompletionRouter {
+    inner: Rc<RouterInner>,
+}
+
+impl CompletionRouter {
+    /// Spawn the router task draining `cq`.
+    pub fn spawn(sim: &Sim, cq: Cq) -> CompletionRouter {
+        let router = CompletionRouter {
+            inner: Rc::new(RouterInner {
+                waiters: RefCell::new(HashMap::new()),
+                orphans: RefCell::new(Vec::new()),
+                on_error: RefCell::new(None),
+            }),
+        };
+        let r2 = router.clone();
+        sim.spawn(async move {
+            loop {
+                let c = cq.next().await;
+                if c.is_err() {
+                    if let Some(cb) = r2.inner.on_error.borrow().as_ref() {
+                        cb(&c);
+                    }
+                }
+                let waiter = r2.inner.waiters.borrow_mut().remove(&c.wr_id.0);
+                match waiter {
+                    Some(tx) => tx.send(c),
+                    None => r2.inner.orphans.borrow_mut().push(c),
+                }
+            }
+        });
+        router
+    }
+
+    /// Register interest in `wr_id` *before* posting the work request.
+    pub fn expect(&self, wr_id: WrId) -> OneshotReceiver<Completion> {
+        let (tx, rx) = oneshot();
+        let prev = self.inner.waiters.borrow_mut().insert(wr_id.0, tx);
+        assert!(prev.is_none(), "duplicate waiter for {wr_id:?}");
+        rx
+    }
+
+    /// Install an error observer (used to fail pending RPCs).
+    pub fn set_error_handler(&self, f: impl Fn(&Completion) + 'static) {
+        *self.inner.on_error.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Completions that arrived with no waiter (diagnostics).
+    pub fn orphan_count(&self) -> usize {
+        self.inner.orphans.borrow().len()
+    }
+}

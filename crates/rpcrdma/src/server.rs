@@ -1,0 +1,597 @@
+//! The RPC/RDMA server engine.
+//!
+//! Models the OpenSolaris architecture of the paper's Figure 1: the
+//! interrupt handler feeds a serialized server task queue; worker
+//! "threads" (tasks) then run the NFS operation. The two designs
+//! diverge on the reply path:
+//!
+//! * **Read-Write**: bulk results are RDMA-written into the client's
+//!   Write/Reply chunks, then the RPC Reply is sent. InfiniBand's
+//!   Write→Send ordering guarantees placement, so the server never
+//!   waits on the writes; the *reply Send's completion* is the
+//!   deregistration point (paper §4.2).
+//! * **Read-Read**: bulk results are exposed via Read chunks in the
+//!   reply; the buffers stay registered (and remotely readable!) until
+//!   the client's `RDMA_DONE` — a malicious client can pin server
+//!   memory indefinitely (§4.1), which `pending_exposures` makes
+//!   measurable.
+//!
+//! NFS WRITE is identical in both designs: the server pulls the
+//! client's Read chunks with RDMA Read and *blocks* until completion,
+//! because a Send after a Read carries no ordering guarantee (§4.1).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Srq, WrId};
+use onc_rpc::msg::{decode_call, encode_reply};
+use onc_rpc::{CallContext, ReplyHeader};
+use sim_core::{Payload, Resource, Sim};
+use xdr::XdrCodec;
+
+use crate::config::{Design, RpcRdmaConfig};
+use crate::header::{MsgType, RdmaHeader, ReadChunk, Segment};
+use crate::reg::{IoBuf, Registrar};
+use crate::router::CompletionRouter;
+use crate::service::RdmaService;
+
+/// Server-side statistics (shared across connections).
+#[derive(Default)]
+pub struct ServerStats {
+    /// Operations dispatched.
+    pub ops: Cell<u64>,
+    /// Bulk bytes pulled from clients (WRITE path).
+    pub bulk_in: Cell<u64>,
+    /// Bulk bytes pushed/exposed to clients (READ path).
+    pub bulk_out: Cell<u64>,
+    /// `RDMA_DONE` messages processed (Read-Read design).
+    pub dones: Cell<u64>,
+    /// `RDMA_MSGP` padded-inline messages received.
+    pub msgp_recvs: Cell<u64>,
+    /// Exposed buffers currently awaiting `RDMA_DONE` — a resource the
+    /// client controls (§4.1 "Malicious or Malfunctioning clients").
+    pub exposures_pending: Cell<u64>,
+    /// Server-side staging copies, bytes.
+    pub copied_bytes: Cell<u64>,
+    /// Operations currently being serviced.
+    pub inflight: Cell<u64>,
+    /// High-water mark of concurrent operations.
+    pub peak_inflight: Cell<u64>,
+}
+
+/// A server endpoint shared by all client connections: the service,
+/// the serialized task queue, and counters.
+pub struct RdmaRpcServer {
+    sim: Sim,
+    hca: Hca,
+    service: Rc<dyn RdmaService>,
+    registrar: Registrar,
+    cfg: RpcRdmaConfig,
+    /// The serialized RPC task queue of Figure 1.
+    taskq: Resource,
+    /// Credits granted to clients in every reply header (dynamic flow
+    /// control — the paper's stated future work). Starts at the
+    /// configured window; lower it under memory pressure and clients
+    /// shrink their outstanding-call windows on the next reply.
+    credit_grant: Cell<u32>,
+    /// Shared receive pool when `cfg.server_srq` is set, with its
+    /// buffers (indexed by work-request id for re-posting).
+    srq: Option<(Srq, Vec<Buffer>)>,
+    /// Statistics.
+    pub stats: Rc<ServerStats>,
+}
+
+impl RdmaRpcServer {
+    /// Create the server endpoint.
+    pub fn new(
+        sim: &Sim,
+        hca: &Hca,
+        service: Rc<dyn RdmaService>,
+        registrar: Registrar,
+        cfg: RpcRdmaConfig,
+    ) -> Rc<RdmaRpcServer> {
+        let srq = cfg.server_srq.then(|| {
+            let srq = Srq::new();
+            let mut bufs = Vec::new();
+            for i in 0..(cfg.credits as u64 * 2) {
+                let buf = hca.mem().alloc(cfg.recv_buffer_size);
+                srq.post_recv(buf.clone(), 0, cfg.recv_buffer_size, WrId(i))
+                    .expect("posting srq receives");
+                bufs.push(buf);
+            }
+            srq.set_limit(cfg.credits as usize / 2);
+            (srq, bufs)
+        });
+        Rc::new(RdmaRpcServer {
+            sim: sim.clone(),
+            hca: hca.clone(),
+            service,
+            registrar,
+            cfg,
+            taskq: Resource::new(sim, "rpc-taskq", 1),
+            credit_grant: Cell::new(cfg.credits),
+            srq,
+            stats: Rc::new(ServerStats::default()),
+        })
+    }
+
+    /// The shared receive queue, when enabled.
+    pub fn srq(&self) -> Option<&Srq> {
+        self.srq.as_ref().map(|(s, _)| s)
+    }
+
+    /// The serialized task-queue resource (for utilization reports).
+    pub fn taskq(&self) -> &Resource {
+        &self.taskq
+    }
+
+    /// Change the credit grant carried in subsequent reply headers.
+    /// Clamped to `[1, cfg.credits]` (the receive pool is sized for the
+    /// configured window).
+    pub fn set_credit_grant(&self, credits: u32) {
+        self.credit_grant.set(credits.clamp(1, self.cfg.credits));
+    }
+
+    /// The grant currently in force.
+    pub fn credit_grant(&self) -> u32 {
+        self.credit_grant.get()
+    }
+
+    /// Attach one accepted connection (a connected QP) and serve it.
+    pub fn serve_connection(self: &Rc<Self>, qp: Qp) {
+        let server = self.clone();
+        self.sim.clone().spawn(async move {
+            connection_loop(server, qp).await;
+        });
+    }
+}
+
+struct ConnState {
+    wr_counter: Cell<u64>,
+    /// Read-Read design: xid -> buffers exposed until RDMA_DONE.
+    pending_exposures: RefCell<HashMap<u32, Vec<IoBuf>>>,
+    router: CompletionRouter,
+}
+
+impl ConnState {
+    fn alloc_wr(&self) -> WrId {
+        let id = self.wr_counter.get();
+        self.wr_counter.set(id + 1);
+        WrId(id)
+    }
+}
+
+async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
+    let cfg = server.cfg;
+    // Receive buffers: a shared pool (SRQ) across all connections, or a
+    // doubled credit window per connection (calls plus RDMA_DONEs).
+    let mut recv_bufs = Vec::new();
+    if let Some((srq, _)) = &server.srq {
+        qp.set_srq(srq.clone());
+    } else {
+        for i in 0..(cfg.credits as u64 * 2) {
+            let buf = server.hca.mem().alloc(cfg.recv_buffer_size);
+            if qp
+                .post_recv(buf.clone(), 0, cfg.recv_buffer_size, WrId(i))
+                .is_err()
+            {
+                return;
+            }
+            recv_bufs.push(buf);
+        }
+    }
+    let conn = Rc::new(ConnState {
+        wr_counter: Cell::new(1 << 40),
+        pending_exposures: RefCell::new(HashMap::new()),
+        router: CompletionRouter::spawn(&server.sim, qp.send_cq().clone()),
+    });
+
+    loop {
+        let c = qp.recv_cq().next().await;
+        if c.opcode != Opcode::Recv || c.result.is_err() {
+            return; // connection torn down
+        }
+        let idx = c.wr_id.0 as usize;
+        if let Some((srq, bufs)) = &server.srq {
+            if idx < bufs.len() {
+                let _ = srq.post_recv(bufs[idx].clone(), 0, cfg.recv_buffer_size, c.wr_id);
+            }
+        } else if idx < recv_bufs.len() {
+            let _ = qp.post_recv(recv_bufs[idx].clone(), 0, cfg.recv_buffer_size, c.wr_id);
+        }
+        let Some(payload) = c.payload else { continue };
+        let raw = payload.materialize();
+        let mut dec = xdr::Decoder::new(raw.clone());
+        let Ok(hdr) = RdmaHeader::decode(&mut dec) else {
+            continue; // garbage header: drop (a real server would NAK)
+        };
+        let body = raw.slice(dec.position()..);
+
+        match hdr.msg_type {
+            MsgType::Done => {
+                // Read-Read: the client is done pulling; release the
+                // exposed buffers (finally paying deregistration).
+                let bufs = conn.pending_exposures.borrow_mut().remove(&hdr.xid);
+                if let Some(bufs) = bufs {
+                    server.stats.dones.set(server.stats.dones.get() + 1);
+                    server
+                        .stats
+                        .exposures_pending
+                        .set(server.stats.exposures_pending.get() - bufs.len() as u64);
+                    let registrar = server.registrar.clone();
+                    server.sim.spawn(async move {
+                        for io in bufs {
+                            registrar.release(io).await;
+                        }
+                    });
+                }
+            }
+            MsgType::Msg | MsgType::Nomsg | MsgType::Msgp => {
+                let server = server.clone();
+                let qp = qp.clone();
+                let conn = conn.clone();
+                let peer = qp.node().0;
+                server.sim.clone().spawn(async move {
+                    handle_op(server, qp, conn, hdr, body, peer).await;
+                });
+            }
+        }
+    }
+}
+
+/// Decrements the in-flight gauge on every exit path of `handle_op`.
+struct InflightGuard(Rc<ServerStats>);
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight.set(self.0.inflight.get() - 1);
+    }
+}
+
+async fn handle_op(
+    server: Rc<RdmaRpcServer>,
+    qp: Qp,
+    conn: Rc<ConnState>,
+    hdr: RdmaHeader,
+    inline_body: Bytes,
+    peer: u32,
+) {
+    let cfg = server.cfg;
+    let cpu = server.hca.cpu().clone();
+    server.stats.inflight.set(server.stats.inflight.get() + 1);
+    server
+        .stats
+        .peak_inflight
+        .set(server.stats.peak_inflight.get().max(server.stats.inflight.get()));
+    let _inflight = InflightGuard(server.stats.clone());
+
+    server.sim.trace("rpc", || {
+        format!("server op xid={} type={:?}", hdr.xid, hdr.msg_type)
+    });
+    // Figure 1: the serialized server task queue.
+    server.taskq.use_for(cfg.server_op_serial).await;
+    // Decode + dispatch bookkeeping on a CPU core.
+    cpu.execute(cfg.per_op_server_cpu).await;
+
+    // ---- Pull read chunks (long call and/or WRITE payload). ---------
+    let mut call_msg = inline_body;
+    let mut bulk_in: Option<Payload> = None;
+    if hdr.msg_type == MsgType::Msgp {
+        // Padded inline: [head][padding][data]. The alignment means the
+        // data was placed directly — no pull-up copy, no RDMA Read.
+        let Some((align, head_len)) = hdr.msgp else { return };
+        let (align, head_len) = (align as usize, head_len as usize);
+        if head_len > call_msg.len() || align == 0 {
+            return; // malformed
+        }
+        let pad = (align - head_len % align) % align;
+        let data_off = head_len + pad;
+        if data_off > call_msg.len() {
+            return;
+        }
+        let data = call_msg.slice(data_off..);
+        server
+            .stats
+            .bulk_in
+            .set(server.stats.bulk_in.get() + data.len() as u64);
+        server.stats.msgp_recvs.set(server.stats.msgp_recvs.get() + 1);
+        bulk_in = Some(Payload::real(data));
+        call_msg = call_msg.slice(..head_len);
+    }
+    {
+        let long_call: Vec<&ReadChunk> =
+            hdr.read_chunks.iter().filter(|c| c.position == 0).collect();
+        let data_chunks: Vec<&ReadChunk> =
+            hdr.read_chunks.iter().filter(|c| c.position != 0).collect();
+        if hdr.msg_type == MsgType::Nomsg && !long_call.is_empty() {
+            let total: u64 = long_call.iter().map(|c| c.segment.len).sum();
+            let io = pull_chunks(&server, &qp, &conn, &long_call).await;
+            let Some(io) = io else { return };
+            call_msg = io.read(0, total).materialize();
+            cpu.copy(total).await; // header remainder is decoded/copied
+            server.registrar.release(io).await;
+        }
+        if !data_chunks.is_empty() {
+            let total: u64 = data_chunks.iter().map(|c| c.segment.len).sum();
+            let io = pull_chunks(&server, &qp, &conn, &data_chunks).await;
+            let Some(io) = io else { return };
+            bulk_in = Some(io.read(0, total));
+            if server.registrar.is_staged() {
+                // Data must move from the slab into the file system.
+                cpu.copy(total).await;
+                server
+                    .stats
+                    .copied_bytes
+                    .set(server.stats.copied_bytes.get() + total);
+            }
+            server.stats.bulk_in.set(server.stats.bulk_in.get() + total);
+            // Figure 4 points 8-9: server-side deregistration after the
+            // file system is done with the data.
+            server.registrar.release(io).await;
+        }
+    }
+
+    // ---- Dispatch to the RPC program. --------------------------------
+    let Ok((call_hdr, args)) = decode_call(call_msg) else {
+        return;
+    };
+    let cx = CallContext {
+        peer,
+        prog: call_hdr.prog,
+        vers: call_hdr.vers,
+    };
+    let wildcard = server.service.program() == onc_rpc::PROG_WILDCARD;
+    let dispatch = if !wildcard
+        && (call_hdr.prog != server.service.program()
+            || call_hdr.vers != server.service.version())
+    {
+        crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
+    } else {
+        server.service.call(cx, call_hdr.proc_num, args, bulk_in).await
+    };
+    server.stats.ops.set(server.stats.ops.get() + 1);
+
+    let mut reply_msg = encode_reply(
+        &ReplyHeader {
+            xid: call_hdr.xid,
+            stat: dispatch.stat,
+        },
+        &dispatch.head,
+    );
+    // Read-Write long replies need a client-provisioned reply chunk; a
+    // client that sent none gets an error reply instead of a stuck RPC
+    // (kernel RPC/RDMA returns RDMA_ERROR here).
+    if cfg.design == Design::ReadWrite
+        && reply_msg.len() as u64 > cfg.inline_threshold
+        && hdr.reply_chunk.is_none()
+    {
+        reply_msg = encode_reply(
+            &ReplyHeader {
+                xid: call_hdr.xid,
+                stat: onc_rpc::AcceptStat::GarbageArgs,
+            },
+            &Bytes::new(),
+        );
+    }
+
+    let mut rhdr = RdmaHeader::new(call_hdr.xid, server.credit_grant.get(), MsgType::Msg);
+    let mut to_release: Vec<IoBuf> = Vec::new();
+    let mut to_expose: Vec<IoBuf> = Vec::new();
+
+    match cfg.design {
+        Design::ReadWrite => {
+            // Bulk results: RDMA Write into the client's write chunk.
+            if let Some(bulk) = &dispatch.bulk_out {
+                if !hdr.write_chunks.is_empty() {
+                    let io = stage_source(&server, bulk, Access::LOCAL).await;
+                    write_into_segments(&server, &qp, &conn, &io, bulk.len(), &hdr.write_chunks[0])
+                        .await;
+                    rhdr.write_chunks
+                        .push(echo_actual(&hdr.write_chunks[0], bulk.len()));
+                    server
+                        .stats
+                        .bulk_out
+                        .set(server.stats.bulk_out.get() + bulk.len());
+                    to_release.push(io);
+                }
+            }
+            // Long reply via the client's reply chunk.
+            if reply_msg.len() as u64 > cfg.inline_threshold {
+                let Some(reply_segs) = hdr.reply_chunk.as_ref() else {
+                    return; // client provisioned no reply chunk: drop
+                };
+                let payload = Payload::real(reply_msg.clone());
+                let io = stage_source(&server, &payload, Access::LOCAL).await;
+                write_into_segments(&server, &qp, &conn, &io, payload.len(), reply_segs).await;
+                rhdr.msg_type = MsgType::Nomsg;
+                rhdr.reply_chunk = Some(echo_actual(reply_segs, payload.len()));
+                to_release.push(io);
+            }
+        }
+        Design::ReadRead => {
+            // Bulk results: expose and let the client pull.
+            if let Some(bulk) = &dispatch.bulk_out {
+                let io = stage_source(&server, bulk, Access::REMOTE_READ).await;
+                let position = reply_msg.len() as u32;
+                for seg in io.segments(0, bulk.len(), &server.hca) {
+                    rhdr.read_chunks.push(ReadChunk {
+                        position,
+                        segment: seg,
+                    });
+                }
+                server
+                    .stats
+                    .bulk_out
+                    .set(server.stats.bulk_out.get() + bulk.len());
+                to_expose.push(io);
+            }
+            if reply_msg.len() as u64 > cfg.inline_threshold {
+                // Long reply: expose the whole RPC message (position 0).
+                let payload = Payload::real(reply_msg.clone());
+                let io = stage_source(&server, &payload, Access::REMOTE_READ).await;
+                for seg in io.segments(0, payload.len(), &server.hca) {
+                    rhdr.read_chunks.push(ReadChunk {
+                        position: 0,
+                        segment: seg,
+                    });
+                }
+                rhdr.msg_type = MsgType::Nomsg;
+                to_expose.push(io);
+            }
+        }
+    }
+
+    // ---- Send the RPC Reply. ------------------------------------------
+    let inline: Bytes = if rhdr.msg_type == MsgType::Nomsg {
+        Bytes::new()
+    } else {
+        reply_msg
+    };
+    let rhdr_bytes = rhdr.to_bytes();
+    cpu.copy((rhdr_bytes.len() + inline.len()) as u64).await;
+    let mut wire = Vec::with_capacity(rhdr_bytes.len() + inline.len());
+    wire.extend_from_slice(&rhdr_bytes);
+    wire.extend_from_slice(&inline);
+
+    let wr = conn.alloc_wr();
+    // Signaled: the reply Send's completion is the proof that every
+    // preceding RDMA Write has been placed (§4.2), and therefore the
+    // deregistration point for Read-Write source buffers.
+    let wait = conn.router.expect(wr);
+    if qp.post_send(Payload::real(wire), wr, true).is_err() {
+        return;
+    }
+    let _ = wait.await;
+
+    if !to_expose.is_empty() {
+        // Read-Read: buffers stay exposed until RDMA_DONE.
+        server
+            .stats
+            .exposures_pending
+            .set(server.stats.exposures_pending.get() + to_expose.len() as u64);
+        conn.pending_exposures
+            .borrow_mut()
+            .insert(call_hdr.xid, to_expose);
+    }
+    for io in to_release {
+        server.registrar.release(io).await;
+    }
+}
+
+/// Pull a set of read chunks into one scratch buffer, blocking until
+/// every RDMA Read completes (§4.1's synchronous wait).
+async fn pull_chunks(
+    server: &Rc<RdmaRpcServer>,
+    qp: &Qp,
+    conn: &Rc<ConnState>,
+    chunks: &[&ReadChunk],
+) -> Option<IoBuf> {
+    let total: u64 = chunks.iter().map(|c| c.segment.len).sum();
+    let io = server
+        .registrar
+        .acquire_scratch(total, Access::LOCAL)
+        .await;
+    let mut off = 0u64;
+    let mut waits = Vec::new();
+    for chunk in chunks {
+        let wr = conn.alloc_wr();
+        waits.push(conn.router.expect(wr));
+        if qp
+            .post_rdma_read(
+                io.buffer().clone(),
+                io.base() + off,
+                chunk.segment.addr,
+                chunk.segment.rkey,
+                chunk.segment.len,
+                wr,
+            )
+            .is_err()
+        {
+            server.registrar.release(io).await;
+            return None;
+        }
+        off += chunk.segment.len;
+    }
+    for rx in waits {
+        match rx.await {
+            Ok(c) if c.result.is_ok() => {}
+            _ => {
+                server.registrar.release(io).await;
+                return None;
+            }
+        }
+    }
+    Some(io)
+}
+
+/// Stage a bulk payload into a DMA-able buffer. Non-cache strategies
+/// reference the file-system pages directly (no copy); the cache
+/// strategy copies into its pre-registered slab entry.
+async fn stage_source(server: &Rc<RdmaRpcServer>, data: &Payload, access: Access) -> IoBuf {
+    let io = server
+        .registrar
+        .acquire_scratch(data.len(), access)
+        .await;
+    io.write(0, data.clone());
+    if server.registrar.is_staged() {
+        server.hca.cpu().copy(data.len()).await;
+        server
+            .stats
+            .copied_bytes
+            .set(server.stats.copied_bytes.get() + data.len());
+    }
+    io
+}
+
+/// RDMA Write `len` bytes of `io` into the client's segments, in order.
+/// Unsignaled: the following reply Send provides the ordering fence.
+async fn write_into_segments(
+    server: &Rc<RdmaRpcServer>,
+    qp: &Qp,
+    conn: &Rc<ConnState>,
+    io: &IoBuf,
+    len: u64,
+    segs: &[Segment],
+) {
+    let _ = server;
+    let mut remaining = len;
+    let mut off = 0u64;
+    for seg in segs {
+        if remaining == 0 {
+            break;
+        }
+        let n = seg.len.min(remaining);
+        let data = io.read(off, n);
+        let wr = conn.alloc_wr();
+        if qp
+            .post_rdma_write(data, seg.addr, seg.rkey, wr, false)
+            .is_err()
+        {
+            return;
+        }
+        off += n;
+        remaining -= n;
+    }
+}
+
+/// Echo a chunk's segments with the actual byte counts written, so the
+/// client can size the result (paper §4: "the client uses this Write
+/// chunk list to determine how much data was returned").
+fn echo_actual(segs: &[Segment], len: u64) -> Vec<Segment> {
+    let mut remaining = len;
+    let mut out = Vec::new();
+    for seg in segs {
+        let n = seg.len.min(remaining);
+        out.push(Segment {
+            rkey: seg.rkey,
+            len: n,
+            addr: seg.addr,
+        });
+        remaining -= n;
+        if remaining == 0 {
+            break;
+        }
+    }
+    out
+}

@@ -1,0 +1,12 @@
+//! The chunk-aware service interface the RDMA transport dispatches to.
+//!
+//! This is the shared bulk-aware RPC program interface defined in
+//! `onc-rpc` ([`onc_rpc::BulkService`]): the service receives the
+//! decoded argument head plus an optional bulk payload (NFS WRITE data
+//! the transport already pulled with RDMA Read) and returns a result
+//! head plus an optional bulk payload (NFS READ data the transport
+//! pushes with RDMA Write or exposes for RDMA Read, depending on the
+//! design). The stream transport dispatches to the same trait, so one
+//! NFS server serves both.
+
+pub use onc_rpc::service::{BulkDispatch as RdmaDispatch, BulkService as RdmaService};

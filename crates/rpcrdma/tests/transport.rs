@@ -1,0 +1,1047 @@
+//! End-to-end RPC/RDMA transport tests: both designs, every
+//! registration strategy, bulk paths, long calls/replies, security
+//! properties, and failure injection.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ib_verbs::{connect, Fabric, Hca, HcaConfig, HostMem, NodeId, PhysLayout};
+use onc_rpc::{AcceptStat, CallContext, LocalBoxFuture};
+use rpcrdma::{
+    BulkParams, Design, RdmaDispatch, RdmaRpcClient, RdmaRpcServer, RdmaService, Registrar,
+    RpcRdmaConfig, StrategyKind,
+};
+use sim_core::{Cpu, CpuCosts, Payload, Sim, Simulation};
+
+const PROG: u32 = 100003;
+const VERS: u32 = 3;
+
+/// A toy "file server": proc 1 = read(len), proc 2 = write(data),
+/// proc 3 = echo args, proc 4 = bigdir (returns a long head).
+struct ToyFs {
+    seed: u64,
+}
+
+impl RdmaService for ToyFs {
+    fn program(&self) -> u32 {
+        PROG
+    }
+    fn version(&self) -> u32 {
+        VERS
+    }
+    fn call(
+        &self,
+        _cx: CallContext,
+        proc_num: u32,
+        args: Bytes,
+        bulk_in: Option<Payload>,
+    ) -> LocalBoxFuture<RdmaDispatch> {
+        let seed = self.seed;
+        Box::pin(async move {
+            match proc_num {
+                // read: args = len(u32); returns that much synthetic data
+                1 => {
+                    let mut dec = xdr::Decoder::new(args);
+                    let len = dec.get_u32().unwrap_or(0) as u64;
+                    let mut enc = xdr::Encoder::new();
+                    enc.put_u32(len as u32);
+                    RdmaDispatch::success(enc.finish(), Some(Payload::synthetic(seed, len)))
+                }
+                // write: bulk_in is the data; returns its checksum-ish len
+                2 => {
+                    let data = bulk_in.expect("write without bulk");
+                    let sum: u64 = data
+                        .materialize()
+                        .iter()
+                        .map(|&b| b as u64)
+                        .sum();
+                    let mut enc = xdr::Encoder::new();
+                    enc.put_u32(data.len() as u32).put_u64(sum);
+                    RdmaDispatch::success(enc.finish(), None)
+                }
+                // echo
+                3 => RdmaDispatch::success(args, None),
+                // bigdir: returns a head of the requested size (long reply)
+                4 => {
+                    let mut dec = xdr::Decoder::new(args);
+                    let len = dec.get_u32().unwrap_or(0) as usize;
+                    let mut enc = xdr::Encoder::new();
+                    enc.put_opaque(&vec![0x2f; len]);
+                    RdmaDispatch::success(enc.finish(), None)
+                }
+                _ => RdmaDispatch::error(AcceptStat::ProcUnavail),
+            }
+        })
+    }
+}
+
+struct TestBed {
+    client: RdmaRpcClient,
+    server: Rc<RdmaRpcServer>,
+    client_hca: Hca,
+    server_hca: Hca,
+    client_mem: Rc<HostMem>,
+}
+
+fn setup(sim: &Sim, design: Design, strategy: StrategyKind) -> TestBed {
+    let fabric = Fabric::new(sim);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(sim, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), sim.fork_rng()));
+        let hca = Hca::new(sim, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (client_hca, client_mem) = mk(0);
+    let (server_hca, _server_mem) = mk(1);
+    let cfg = RpcRdmaConfig::solaris().with_design(design);
+    let (qc, qs) = connect(&client_hca, &server_hca);
+    let server = RdmaRpcServer::new(
+        sim,
+        &server_hca,
+        Rc::new(ToyFs { seed: 42 }),
+        Registrar::new(&server_hca, strategy),
+        cfg,
+    );
+    server.serve_connection(qs);
+    let client = RdmaRpcClient::new(
+        sim,
+        &client_hca,
+        qc,
+        Registrar::new(&client_hca, strategy),
+        cfg,
+        PROG,
+        VERS,
+    );
+    TestBed {
+        client,
+        server,
+        client_hca,
+        server_hca,
+        client_mem,
+    }
+}
+
+fn all_strategies() -> [StrategyKind; 4] {
+    [
+        StrategyKind::Dynamic,
+        StrategyKind::Fmr,
+        StrategyKind::Cache,
+        StrategyKind::AllPhysical,
+    ]
+}
+
+fn read_args(len: u32) -> Bytes {
+    let mut enc = xdr::Encoder::new();
+    enc.put_u32(len);
+    enc.finish()
+}
+
+#[test]
+fn inline_echo_roundtrip_both_designs() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let bed = setup(&h, design, StrategyKind::Dynamic);
+        let client = bed.client.clone();
+        let got = sim.block_on(async move {
+            client
+                .call(3, Bytes::from_static(b"hello rpc-rdma!!"), BulkParams::default())
+                .await
+                .unwrap()
+        });
+        assert_eq!(&got.body[..], b"hello rpc-rdma!!");
+        assert!(got.bulk.is_none());
+    }
+}
+
+#[test]
+fn bulk_read_delivers_correct_data_every_design_and_strategy() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        for strategy in all_strategies() {
+            let mut sim = Simulation::new(7);
+            let h = sim.handle();
+            let bed = setup(&h, design, strategy);
+            let client = bed.client.clone();
+            let user = bed.client_mem.alloc(256 * 1024);
+            let user2 = user.clone();
+            let got = sim.block_on(async move {
+                client
+                    .call(
+                        1,
+                        read_args(200_000),
+                        BulkParams {
+                            recv_max: Some(256 * 1024),
+                            recv_user: Some((user2, 0)),
+                            ..Default::default()
+                        },
+                    )
+                    .await
+                    .unwrap()
+            });
+            let bulk = got.bulk.expect("bulk read data");
+            assert_eq!(bulk.len(), 200_000, "{design:?}/{strategy:?}");
+            assert!(
+                bulk.content_eq(&Payload::synthetic(42, 200_000)),
+                "data corrupted under {design:?}/{strategy:?}"
+            );
+            // The user buffer received the same bytes.
+            assert!(user
+                .read(0, 200_000)
+                .content_eq(&Payload::synthetic(42, 200_000)));
+        }
+    }
+}
+
+#[test]
+fn bulk_write_roundtrips_every_design_and_strategy() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        for strategy in all_strategies() {
+            let mut sim = Simulation::new(3);
+            let h = sim.handle();
+            let bed = setup(&h, design, strategy);
+            let client = bed.client.clone();
+            let data: Vec<u8> = (0..100_000u32).map(|i| (i % 241) as u8).collect();
+            let expect_sum: u64 = data.iter().map(|&b| b as u64).sum();
+            let user = bed.client_mem.alloc(128 * 1024);
+            user.write(0, Payload::real(data));
+            let got = sim.block_on(async move {
+                client
+                    .call(
+                        2,
+                        Bytes::new(),
+                        BulkParams {
+                            send: Some((user, 0, 100_000)),
+                            ..Default::default()
+                        },
+                    )
+                    .await
+                    .unwrap()
+            });
+            let mut dec = xdr::Decoder::new(got.body);
+            assert_eq!(dec.get_u32().unwrap(), 100_000, "{design:?}/{strategy:?}");
+            assert_eq!(
+                dec.get_u64().unwrap(),
+                expect_sum,
+                "write data corrupted under {design:?}/{strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn long_reply_roundtrips_both_designs() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut sim = Simulation::new(5);
+        let h = sim.handle();
+        let bed = setup(&h, design, StrategyKind::Dynamic);
+        let client = bed.client.clone();
+        let got = sim.block_on(async move {
+            client
+                .call(
+                    4,
+                    read_args(50_000),
+                    BulkParams {
+                        long_reply_max: Some(128 * 1024),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap()
+        });
+        let mut dec = xdr::Decoder::new(got.body);
+        let dir = dec.get_opaque().unwrap();
+        assert_eq!(dir.len(), 50_000, "{design:?}");
+        assert!(dir.iter().all(|&b| b == 0x2f));
+    }
+}
+
+#[test]
+fn long_call_roundtrips_both_designs() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut sim = Simulation::new(5);
+        let h = sim.handle();
+        let bed = setup(&h, design, StrategyKind::Dynamic);
+        let client = bed.client.clone();
+        // Args far beyond the 1 KiB inline threshold force RDMA_NOMSG.
+        // The echo reply is equally large, so provision a reply chunk.
+        let big_args: Vec<u8> = (0..20_000u32).map(|i| (i % 199) as u8).collect();
+        let expect = big_args.clone();
+        let got = sim.block_on(async move {
+            client
+                .call(
+                    3,
+                    Bytes::from(big_args),
+                    BulkParams {
+                        long_reply_max: Some(64 * 1024),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap()
+        });
+        assert_eq!(&got.body[..], &expect[..], "{design:?}");
+    }
+}
+
+#[test]
+fn oversize_reply_without_reply_chunk_fails_cleanly() {
+    // A Read-Write client that provisions no reply chunk for a long
+    // reply gets an RPC error, not a hung call.
+    let mut sim = Simulation::new(5);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadWrite, StrategyKind::Dynamic);
+    let client = bed.client.clone();
+    let err = sim.block_on(async move {
+        client
+            .call(4, read_args(50_000), BulkParams::default())
+            .await
+            .unwrap_err()
+    });
+    assert!(matches!(err, onc_rpc::RpcError::Rejected(_)), "{err:?}");
+}
+
+#[test]
+fn read_write_design_never_exposes_server_memory() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadWrite, StrategyKind::Dynamic);
+    let client = bed.client.clone();
+    sim.block_on(async move {
+        for _ in 0..5 {
+            client
+                .call(
+                    1,
+                    read_args(100_000),
+                    BulkParams {
+                        recv_max: Some(128 * 1024),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+        }
+    });
+    let server_report = bed.server_hca.exposure_report();
+    assert_eq!(
+        server_report.exposures, 0,
+        "Read-Write design must never remotely expose server buffers"
+    );
+    assert_eq!(server_report.current_bytes, 0);
+    // The client necessarily exposes its sink buffers.
+    let client_report = bed.client_hca.exposure_report();
+    assert!(client_report.exposures > 0);
+}
+
+#[test]
+fn read_read_design_exposes_server_memory() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadRead, StrategyKind::Dynamic);
+    let client = bed.client.clone();
+    sim.block_on(async move {
+        for _ in 0..5 {
+            client
+                .call(
+                    1,
+                    read_args(100_000),
+                    BulkParams {
+                        recv_max: Some(128 * 1024),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+        }
+    });
+    let server_report = bed.server_hca.exposure_report();
+    assert_eq!(server_report.exposures, 5, "each READ exposes a buffer");
+    assert!(server_report.byte_ns > 0);
+    // RDMA_DONE was sent and processed; nothing left pinned.
+    assert_eq!(bed.server.stats.dones.get(), 5);
+    assert_eq!(bed.server.stats.exposures_pending.get(), 0);
+    assert_eq!(server_report.current_bytes, 0);
+}
+
+#[test]
+fn read_read_eliminated_messages_show_up_as_more_interrupts() {
+    // The RW design removes the RDMA_DONE message and the server wait;
+    // measure message counts via stats.
+    let run = |design: Design| {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let bed = setup(&h, design, StrategyKind::Dynamic);
+        let client = bed.client.clone();
+        let user = bed.client_mem.alloc(65_536);
+        sim.block_on(async move {
+            for _ in 0..10 {
+                client
+                    .call(
+                        1,
+                        read_args(65_536),
+                        BulkParams {
+                            recv_max: Some(65_536),
+                            recv_user: Some((user.clone(), 0)),
+                            ..Default::default()
+                        },
+                    )
+                    .await
+                    .unwrap();
+            }
+        });
+        (
+            bed.client.stats().dones_sent,
+            bed.client.stats().copied_bytes,
+        )
+    };
+    let (dones_rr, copies_rr) = run(Design::ReadRead);
+    let (dones_rw, copies_rw) = run(Design::ReadWrite);
+    assert_eq!(dones_rr, 10);
+    assert_eq!(dones_rw, 0, "Read-Write eliminates RDMA_DONE");
+    assert!(copies_rr > 0, "Read-Read copies on the client");
+    assert_eq!(copies_rw, 0, "zero-copy direct I/O path");
+}
+
+#[test]
+fn read_write_is_faster_than_read_read() {
+    // Figure 5's headline: same workload, same strategy, RW > RR.
+    let run = |design: Design| {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let bed = setup(&h, design, StrategyKind::Dynamic);
+        let client = bed.client.clone();
+        sim.block_on(async move {
+            for _ in 0..50 {
+                client
+                    .call(
+                        1,
+                        read_args(131_072),
+                        BulkParams {
+                            recv_max: Some(131_072),
+                            ..Default::default()
+                        },
+                    )
+                    .await
+                    .unwrap();
+            }
+        });
+        sim.now().as_secs_f64()
+    };
+    let t_rr = run(Design::ReadRead);
+    let t_rw = run(Design::ReadWrite);
+    assert!(
+        t_rw < t_rr,
+        "Read-Write ({t_rw:.6}s) must beat Read-Read ({t_rr:.6}s)"
+    );
+}
+
+#[test]
+fn cache_strategy_is_faster_than_dynamic_after_warmup() {
+    let run = |strategy: StrategyKind| {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let bed = setup(&h, Design::ReadWrite, strategy);
+        let client = bed.client.clone();
+        sim.block_on(async move {
+            for _ in 0..50 {
+                client
+                    .call(
+                        1,
+                        read_args(131_072),
+                        BulkParams {
+                            recv_max: Some(131_072),
+                            ..Default::default()
+                        },
+                    )
+                    .await
+                    .unwrap();
+            }
+        });
+        sim.now().as_secs_f64()
+    };
+    let t_dyn = run(StrategyKind::Dynamic);
+    let t_cache = run(StrategyKind::Cache);
+    assert!(
+        t_cache * 1.4 < t_dyn,
+        "cache ({t_cache:.6}s) should be much faster than dynamic ({t_dyn:.6}s)"
+    );
+}
+
+#[test]
+fn malicious_client_withholding_done_pins_server_buffers() {
+    // §4.1: a client that never sends RDMA_DONE ties up server
+    // resources. We simulate by running Read-Read and counting
+    // pending exposures mid-flight — the exposure exists from reply
+    // until DONE; a crashed client leaves it forever. Here we verify
+    // the window exists and is attributable.
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadRead, StrategyKind::Dynamic);
+    let client = bed.client.clone();
+    sim.block_on(async move {
+        client
+            .call(
+                1,
+                read_args(100_000),
+                BulkParams {
+                    recv_max: Some(128 * 1024),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap();
+    });
+    // Normal flow: exposure opened then closed by DONE.
+    assert_eq!(bed.server.stats.dones.get(), 1);
+    assert_eq!(bed.server.stats.exposures_pending.get(), 0);
+    let report = bed.server_hca.exposure_report();
+    // The exposure window integrated nonzero byte-time: the attack
+    // surface the Read-Write design removes entirely.
+    assert!(report.byte_ns > 0);
+}
+
+#[test]
+fn concurrent_calls_from_many_tasks() {
+    let mut sim = Simulation::new(9);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadWrite, StrategyKind::Cache);
+    let done = sim_core::sync::Semaphore::new(0);
+    for i in 0..16u32 {
+        let client = bed.client.clone();
+        let done = done.clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            let _ = h2;
+            let len = 10_000 + i * 1000;
+            let got = client
+                .call(
+                    1,
+                    read_args(len),
+                    BulkParams {
+                        recv_max: Some(len as u64),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+            let bulk = got.bulk.unwrap();
+            assert_eq!(bulk.len(), len as u64);
+            assert!(bulk.content_eq(&Payload::synthetic(42, len as u64)));
+            done.add_permits(1);
+        });
+    }
+    sim.block_on(async move {
+        for _ in 0..16 {
+            done.acquire().await.forget();
+        }
+    });
+    assert_eq!(bed.server.stats.ops.get(), 16);
+}
+
+#[test]
+fn no_leaked_registrations_after_quiesce() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        for strategy in [StrategyKind::Dynamic, StrategyKind::Fmr] {
+            let mut sim = Simulation::new(2);
+            let h = sim.handle();
+            let bed = setup(&h, design, strategy);
+            let client = bed.client.clone();
+            let user = bed.client_mem.alloc(128 * 1024);
+            sim.block_on(async move {
+                for _ in 0..8 {
+                    client
+                        .call(
+                            1,
+                            read_args(100_000),
+                            BulkParams {
+                                recv_max: Some(128 * 1024),
+                                ..Default::default()
+                            },
+                        )
+                        .await
+                        .unwrap();
+                    client
+                        .call(
+                            2,
+                            Bytes::new(),
+                            BulkParams {
+                                send: Some((user.clone(), 0, 65_536)),
+                                ..Default::default()
+                            },
+                        )
+                        .await
+                        .unwrap();
+                }
+            });
+            sim.run();
+            for hca in [&bed.client_hca, &bed.server_hca] {
+                let stats = hca.reg_stats();
+                assert_eq!(
+                    stats.leaked_mrs, 0,
+                    "leaked MRs under {design:?}/{strategy:?}"
+                );
+                assert_eq!(
+                    stats.dynamic_regs + stats.fmr_maps,
+                    stats.deregs + stats.fmr_unmaps,
+                    "unbalanced reg/dereg under {design:?}/{strategy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn server_srq_serves_many_connections_from_one_pool() {
+    // Three clients on an SRQ-backed server: total posted buffers are
+    // 2x credits regardless of connection count (vs 3 x 2 x credits
+    // with per-QP queues), and traffic still flows correctly.
+    let mut sim = Simulation::new(93);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(&h, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), h.fork_rng()));
+        let hca = Hca::new(&h, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (s_hca, _) = mk(0);
+    let mut cfg = RpcRdmaConfig::solaris();
+    cfg.server_srq = true;
+    let server = RdmaRpcServer::new(
+        &h,
+        &s_hca,
+        Rc::new(ToyFs { seed: 3 }),
+        Registrar::new(&s_hca, StrategyKind::Dynamic),
+        cfg,
+    );
+    assert_eq!(
+        server.srq().unwrap().posted(),
+        cfg.credits as usize * 2,
+        "one shared pool"
+    );
+    let mut clients = Vec::new();
+    for i in 1..=3 {
+        let (c_hca, c_mem) = mk(i);
+        let (qc, qs) = connect(&c_hca, &s_hca);
+        server.serve_connection(qs);
+        clients.push((
+            RdmaRpcClient::new(
+                &h,
+                &c_hca,
+                qc,
+                Registrar::new(&c_hca, StrategyKind::Dynamic),
+                cfg,
+                PROG,
+                VERS,
+            ),
+            c_mem,
+        ));
+    }
+    let done = sim_core::sync::Semaphore::new(0);
+    for (ci, (client, mem)) in clients.iter().enumerate() {
+        for k in 0..8u64 {
+            let client = client.clone();
+            let done = done.clone();
+            let user = mem.alloc(32 * 1024);
+            user.write(0, Payload::synthetic(ci as u64 * 100 + k, 32 * 1024));
+            h.spawn(async move {
+                let got = client
+                    .call(
+                        2,
+                        Bytes::new(),
+                        BulkParams {
+                            send: Some((user, 0, 32 * 1024)),
+                            ..Default::default()
+                        },
+                    )
+                    .await
+                    .unwrap();
+                let mut dec = xdr::Decoder::new(got.body);
+                assert_eq!(dec.get_u32().unwrap(), 32 * 1024);
+                done.add_permits(1);
+            });
+        }
+    }
+    sim.block_on(async move {
+        for _ in 0..24 {
+            done.acquire().await.forget();
+        }
+    });
+    assert_eq!(server.stats.ops.get(), 24);
+    let srq = server.srq().unwrap();
+    assert_eq!(srq.consumed(), 24, "all arrivals came from the shared pool");
+    // Buffers recycled: the pool is full again.
+    assert_eq!(srq.posted(), cfg.credits as usize * 2);
+}
+
+#[test]
+fn dynamic_credit_grant_resizes_client_window() {
+    // The paper's future work: the server adjusts its credit grant and
+    // clients shrink/grow their outstanding-call windows accordingly.
+    let mut sim = Simulation::new(92);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadWrite, StrategyKind::Cache);
+    let server = bed.server.clone();
+    let client = bed.client.clone();
+
+    let fire = |n: u32, client: RdmaRpcClient, done: sim_core::sync::Semaphore| {
+        for _ in 0..n {
+            let client = client.clone();
+            let done = done.clone();
+            h.spawn(async move {
+                client
+                    .call(3, Bytes::from_static(b"load"), BulkParams::default())
+                    .await
+                    .unwrap();
+                done.add_permits(1);
+            });
+        }
+    };
+
+    // Phase 1: full window — many ops run concurrently at the server.
+    let done = sim_core::sync::Semaphore::new(0);
+    fire(64, client.clone(), done.clone());
+    sim.block_on({
+        let done = done.clone();
+        async move {
+            for _ in 0..64 {
+                done.acquire().await.forget();
+            }
+        }
+    });
+    let peak_full = bed.server.stats.peak_inflight.get();
+    assert!(peak_full > 2, "expected real concurrency, got {peak_full}");
+
+    // Phase 2: the server throttles to 2 credits; after one reply
+    // round-trips the new grant, concurrency collapses.
+    server.set_credit_grant(2);
+    let client2 = bed.client.clone();
+    sim.block_on(async move {
+        // One call to deliver the reduced grant.
+        client2
+            .call(3, Bytes::from_static(b"sync"), BulkParams::default())
+            .await
+            .unwrap();
+    });
+    bed.server.stats.peak_inflight.set(0);
+    let done = sim_core::sync::Semaphore::new(0);
+    fire(64, client.clone(), done.clone());
+    sim.block_on(async move {
+        for _ in 0..64 {
+            done.acquire().await.forget();
+        }
+    });
+    let peak_throttled = bed.server.stats.peak_inflight.get();
+    assert!(
+        peak_throttled <= 2,
+        "grant=2 but server saw {peak_throttled} concurrent ops"
+    );
+
+    // Phase 3: restore the full grant; the window grows back.
+    server.set_credit_grant(32);
+    let client3 = bed.client.clone();
+    sim.block_on(async move {
+        client3
+            .call(3, Bytes::from_static(b"sync"), BulkParams::default())
+            .await
+            .unwrap();
+    });
+    bed.server.stats.peak_inflight.set(0);
+    let done = sim_core::sync::Semaphore::new(0);
+    fire(64, client.clone(), done.clone());
+    sim.block_on(async move {
+        for _ in 0..64 {
+            done.acquire().await.forget();
+        }
+    });
+    assert!(
+        bed.server.stats.peak_inflight.get() > 2,
+        "window failed to grow back"
+    );
+}
+
+#[test]
+fn client_crash_does_not_disturb_other_connections() {
+    // Two clients on one server; client 1's connection is torn down
+    // (peer crash / retry exceeded). Client 2 must keep working, the
+    // dead connection's server loop must exit cleanly, and client 1's
+    // subsequent calls must fail fast instead of hanging.
+    let mut sim = Simulation::new(91);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(&h, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), h.fork_rng()));
+        let hca = Hca::new(&h, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (c1_hca, _) = mk(1);
+    let (c2_hca, _) = mk(2);
+    let (s_hca, _) = mk(0);
+    let cfg = RpcRdmaConfig::solaris();
+    let server = RdmaRpcServer::new(
+        &h,
+        &s_hca,
+        Rc::new(ToyFs { seed: 1 }),
+        Registrar::new(&s_hca, StrategyKind::Dynamic),
+        cfg,
+    );
+    let (q1, qs1) = connect(&c1_hca, &s_hca);
+    let (q2, qs2) = connect(&c2_hca, &s_hca);
+    server.serve_connection(qs1.clone());
+    server.serve_connection(qs2);
+    let client1 = RdmaRpcClient::new(
+        &h,
+        &c1_hca,
+        q1.clone(),
+        Registrar::new(&c1_hca, StrategyKind::Dynamic),
+        cfg,
+        PROG,
+        VERS,
+    );
+    let client2 = RdmaRpcClient::new(
+        &h,
+        &c2_hca,
+        q2,
+        Registrar::new(&c2_hca, StrategyKind::Dynamic),
+        cfg,
+        PROG,
+        VERS,
+    );
+    sim.block_on(async move {
+        // Both clients healthy.
+        client1.call(3, Bytes::from_static(b"one"), BulkParams::default()).await.unwrap();
+        client2.call(3, Bytes::from_static(b"two"), BulkParams::default()).await.unwrap();
+
+        // Client 1 crashes: both ends of its connection error out.
+        q1.force_error();
+        qs1.force_error();
+
+        // Client 1 fails fast...
+        let err = client1
+            .call(3, Bytes::from_static(b"dead"), BulkParams::default())
+            .await
+            .unwrap_err();
+        assert!(matches!(err, onc_rpc::RpcError::Disconnected), "{err:?}");
+
+        // ...while client 2 keeps working, repeatedly.
+        for _ in 0..5 {
+            let r = client2
+                .call(3, Bytes::from_static(b"alive"), BulkParams::default())
+                .await
+                .unwrap();
+            // (args are XDR-padded to 4 bytes on the wire)
+            assert_eq!(&r.body[..5], b"alive");
+        }
+    });
+    assert_eq!(server.stats.ops.get(), 7);
+}
+
+#[test]
+fn msgp_small_writes_skip_registration_and_rdma_read() {
+    let mut sim = Simulation::new(88);
+    let h = sim.handle();
+    // Custom bed with MSGP enabled.
+    let fabric = Fabric::new(&h);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(&h, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), h.fork_rng()));
+        let hca = Hca::new(&h, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (chca, cmem) = mk(0);
+    let (shca, _) = mk(1);
+    let mut cfg = RpcRdmaConfig::solaris();
+    cfg.msgp_small_writes = true;
+    let (qc, qs) = connect(&chca, &shca);
+    let server = RdmaRpcServer::new(
+        &h,
+        &shca,
+        Rc::new(ToyFs { seed: 42 }),
+        Registrar::new(&shca, StrategyKind::Dynamic),
+        cfg,
+    );
+    server.serve_connection(qs);
+    let client = RdmaRpcClient::new(
+        &h,
+        &chca,
+        qc,
+        Registrar::new(&chca, StrategyKind::Dynamic),
+        cfg,
+        PROG,
+        VERS,
+    );
+    let user = cmem.alloc(4096);
+    let data: Vec<u8> = (0..700u32).map(|i| (i % 97) as u8).collect();
+    user.write(0, Payload::real(data.clone()));
+    let expect_sum: u64 = data.iter().map(|&b| b as u64).sum();
+    let client2 = client.clone();
+    let got = sim.block_on(async move {
+        client2
+            .call(
+                2,
+                Bytes::new(),
+                BulkParams {
+                    send: Some((user, 0, 700)),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap()
+    });
+    let mut dec = xdr::Decoder::new(got.body);
+    assert_eq!(dec.get_u32().unwrap(), 700);
+    assert_eq!(dec.get_u64().unwrap(), expect_sum, "MSGP data corrupted");
+    assert_eq!(client.stats().msgp_sends, 1);
+    assert_eq!(server.stats.msgp_recvs.get(), 1);
+    // No registration happened for the bulk data on either side.
+    assert_eq!(chca.reg_stats().dynamic_regs, 0, "client registered for MSGP");
+    assert_eq!(shca.reg_stats().dynamic_regs, 0, "server registered for MSGP");
+}
+
+#[test]
+fn msgp_large_writes_still_use_chunks() {
+    let mut sim = Simulation::new(89);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(&h, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), h.fork_rng()));
+        let hca = Hca::new(&h, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (chca, cmem) = mk(0);
+    let (shca, _) = mk(1);
+    let mut cfg = RpcRdmaConfig::solaris();
+    cfg.msgp_small_writes = true;
+    let (qc, qs) = connect(&chca, &shca);
+    let server = RdmaRpcServer::new(
+        &h,
+        &shca,
+        Rc::new(ToyFs { seed: 42 }),
+        Registrar::new(&shca, StrategyKind::Dynamic),
+        cfg,
+    );
+    server.serve_connection(qs);
+    let client = RdmaRpcClient::new(
+        &h,
+        &chca,
+        qc,
+        Registrar::new(&chca, StrategyKind::Dynamic),
+        cfg,
+        PROG,
+        VERS,
+    );
+    // 64 KiB exceeds the inline threshold: must go via read chunks.
+    let user = cmem.alloc(65536);
+    user.write(0, Payload::synthetic(4, 65536));
+    let client2 = client.clone();
+    sim.block_on(async move {
+        client2
+            .call(
+                2,
+                Bytes::new(),
+                BulkParams {
+                    send: Some((user, 0, 65536)),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap();
+    });
+    assert_eq!(client.stats().msgp_sends, 0);
+    assert!(chca.reg_stats().dynamic_regs > 0, "large write must register");
+}
+
+#[test]
+fn suppressed_done_pins_server_buffers_indefinitely() {
+    // The §4.1 attack, end to end: a Read-Read client that never sends
+    // RDMA_DONE leaves the server's buffers registered and exposed.
+    let mut sim = Simulation::new(90);
+    let h = sim.handle();
+    let fabric = Fabric::new(&h);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(&h, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), h.fork_rng()));
+        let hca = Hca::new(&h, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (chca, _cmem) = mk(0);
+    let (shca, _) = mk(1);
+    let mut cfg = RpcRdmaConfig::solaris().with_design(Design::ReadRead);
+    cfg.suppress_done = true;
+    let (qc, qs) = connect(&chca, &shca);
+    let server = RdmaRpcServer::new(
+        &h,
+        &shca,
+        Rc::new(ToyFs { seed: 42 }),
+        Registrar::new(&shca, StrategyKind::Dynamic),
+        cfg,
+    );
+    server.serve_connection(qs);
+    let client = RdmaRpcClient::new(
+        &h,
+        &chca,
+        qc,
+        Registrar::new(&chca, StrategyKind::Dynamic),
+        cfg,
+        PROG,
+        VERS,
+    );
+    let client2 = client.clone();
+    sim.block_on(async move {
+        for _ in 0..6 {
+            client2
+                .call(
+                    1,
+                    read_args(100_000),
+                    BulkParams {
+                        recv_max: Some(128 * 1024),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+        }
+    });
+    sim.run();
+    // Every READ's buffer is still pinned and remotely readable.
+    assert_eq!(server.stats.dones.get(), 0);
+    assert_eq!(server.stats.exposures_pending.get(), 6);
+    let report = shca.exposure_report();
+    assert_eq!(report.current_bytes, 600_000);
+    assert!(report.byte_ns > 0);
+}
+
+#[test]
+fn credit_window_bounds_outstanding_calls() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let bed = setup(&h, Design::ReadWrite, StrategyKind::Cache);
+    // Fire 100 calls at once; the credit window (32) plus the recv
+    // pool must never be overrun (no ReceiverNotReady errors).
+    let done = sim_core::sync::Semaphore::new(0);
+    for _ in 0..100 {
+        let client = bed.client.clone();
+        let done = done.clone();
+        sim.spawn(async move {
+            client
+                .call(3, Bytes::from_static(b"ping"), BulkParams::default())
+                .await
+                .unwrap();
+            done.add_permits(1);
+        });
+    }
+    sim.block_on(async move {
+        for _ in 0..100 {
+            done.acquire().await.forget();
+        }
+    });
+    assert!(!bed.client.qp().is_error(), "flow control was violated");
+    assert_eq!(bed.server.stats.ops.get(), 100);
+}

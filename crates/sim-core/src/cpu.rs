@@ -1,0 +1,172 @@
+//! Host CPU model.
+//!
+//! A [`Cpu`] is a pool of cores (a multi-slot [`Resource`]) plus
+//! convenience operations for the cost classes the paper's analysis
+//! cares about: data copies (per-byte), interrupts, and fixed-cost
+//! driver/stack sections. Client CPU-utilization curves in Figures 6, 7
+//! and 9 come straight out of this accounting.
+
+use crate::executor::Sim;
+use crate::resource::Resource;
+use crate::time::{SimDuration, SimTime};
+
+/// Cost constants for a host's CPU-bound operations, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuCosts {
+    /// Cost to copy one byte between buffers (memcpy through cache).
+    pub copy_ns_per_byte: f64,
+    /// Cost to take and service one interrupt.
+    pub interrupt_ns: u64,
+    /// Cost of a syscall / context-switch boundary.
+    pub syscall_ns: u64,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        // Mid-2000s server-class defaults; profiles override these.
+        CpuCosts {
+            copy_ns_per_byte: 0.5,
+            interrupt_ns: 5_000,
+            syscall_ns: 1_000,
+        }
+    }
+}
+
+/// A pool of CPU cores with cost accounting.
+#[derive(Clone)]
+pub struct Cpu {
+    sim: Sim,
+    cores: Resource,
+    costs: CpuCosts,
+}
+
+impl Cpu {
+    /// Create a CPU with `cores` cores and the given cost table.
+    pub fn new(sim: &Sim, name: impl Into<String>, cores: usize, costs: CpuCosts) -> Self {
+        Cpu {
+            sim: sim.clone(),
+            cores: Resource::new(sim, name, cores),
+            costs,
+        }
+    }
+
+    /// Execute `d` of CPU work on one core (queueing if all busy).
+    pub async fn execute(&self, d: SimDuration) {
+        self.cores.use_for(d).await;
+    }
+
+    /// Record `d` of busy time without occupying a core slot — for
+    /// work whose serialization is modelled by another resource (e.g.
+    /// a single-queue NIC softirq) but which still burns CPU.
+    pub fn charge(&self, d: SimDuration) {
+        self.cores.charge(d);
+    }
+
+    /// Copy `bytes` through the CPU (one core).
+    pub async fn copy(&self, bytes: u64) {
+        let ns = (bytes as f64 * self.costs.copy_ns_per_byte).round() as u64;
+        self.execute(SimDuration::from_nanos(ns)).await;
+    }
+
+    /// Service one interrupt.
+    pub async fn interrupt(&self) {
+        self.execute(SimDuration::from_nanos(self.costs.interrupt_ns))
+            .await;
+    }
+
+    /// Cross a syscall boundary.
+    pub async fn syscall(&self) {
+        self.execute(SimDuration::from_nanos(self.costs.syscall_ns))
+            .await;
+    }
+
+    /// The cost table.
+    pub fn costs(&self) -> CpuCosts {
+        self.costs
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> usize {
+        self.cores.capacity()
+    }
+
+    /// Busy fraction since the accounting window opened (0..=1).
+    pub fn utilization(&self) -> f64 {
+        self.cores.utilization()
+    }
+
+    /// Total CPU-busy time since the accounting window opened.
+    pub fn busy_time(&self) -> SimDuration {
+        self.cores.busy_time()
+    }
+
+    /// Reset the accounting window (exclude warmup).
+    pub fn reset_accounting(&self) {
+        self.cores.reset_accounting();
+    }
+
+    /// Current virtual time (convenience for utilization snapshots).
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Simulation;
+
+    #[test]
+    fn copy_charges_per_byte() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let cpu = Cpu::new(
+            &h,
+            "host",
+            1,
+            CpuCosts {
+                copy_ns_per_byte: 2.0,
+                ..Default::default()
+            },
+        );
+        let c2 = cpu.clone();
+        sim.block_on(async move { c2.copy(1000).await });
+        assert_eq!(cpu.busy_time(), SimDuration::from_nanos(2000));
+    }
+
+    #[test]
+    fn cores_run_in_parallel() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let cpu = Cpu::new(&h, "host", 4, CpuCosts::default());
+        for _ in 0..4 {
+            let cpu = cpu.clone();
+            sim.spawn(async move { cpu.execute(SimDuration::from_micros(100)).await });
+        }
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 100_000);
+        assert!((cpu.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interrupt_and_syscall_costs() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let cpu = Cpu::new(
+            &h,
+            "host",
+            1,
+            CpuCosts {
+                interrupt_ns: 4_000,
+                syscall_ns: 1_500,
+                ..Default::default()
+            },
+        );
+        let c2 = cpu.clone();
+        sim.block_on(async move {
+            c2.interrupt().await;
+            c2.syscall().await;
+        });
+        assert_eq!(cpu.busy_time(), SimDuration::from_nanos(5_500));
+    }
+}

@@ -1,0 +1,580 @@
+//! A deterministic, single-threaded, virtual-time async executor.
+//!
+//! Simulation processes (NFS clients, server worker threads, HCA DMA
+//! engines, disks) are ordinary `async fn`s. Awaiting [`Sim::sleep`]
+//! advances nothing in real time: the executor maintains a virtual clock
+//! and leaps it forward to the next scheduled timer whenever every task
+//! is blocked. This models blocking behaviour — e.g. an NFS server
+//! thread waiting on an RDMA Read completion — precisely and
+//! deterministically.
+//!
+//! Determinism contract: given the same seed and the same spawn order,
+//! two runs produce identical event orderings and identical virtual-time
+//! results. Ready tasks run FIFO; timers fire in `(deadline, sequence)`
+//! order.
+//!
+//! The executor is intentionally `!Send`: tasks may freely hold
+//! `Rc`/`RefCell` state across `.await`. Parameter sweeps parallelize by
+//! running *independent* `Simulation`s on separate OS threads.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+type TaskId = u64;
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Queue of tasks woken and awaiting a poll. Shared with [`Waker`]s,
+/// which must be `Send + Sync`, hence the `Mutex` — it is never
+/// contended because the executor is single-threaded.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// Short category ("reg", "rpc", "nfs", ...).
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+struct Core {
+    now: Cell<SimTime>,
+    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
+    next_task: Cell<TaskId>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_wakers: RefCell<HashMap<u64, Waker>>,
+    timer_seq: Cell<u64>,
+    rng: RefCell<SimRng>,
+    /// Count of task polls, a cheap progress metric for tests/benches.
+    polls: Cell<u64>,
+    /// Event trace; `None` when tracing is off (the default).
+    trace: RefCell<Option<Vec<TraceEvent>>>,
+}
+
+/// The simulation world: owns all tasks, the virtual clock and the
+/// deterministic RNG. Create one per experiment run.
+pub struct Simulation {
+    core: Rc<Core>,
+    ready: Arc<ReadyQueue>,
+}
+
+/// A cheap, clonable handle onto a [`Simulation`], usable from inside
+/// tasks to read the clock, sleep, spawn further tasks and draw random
+/// numbers.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<Core>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Simulation {
+    /// Create a fresh simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            core: Rc::new(Core {
+                now: Cell::new(SimTime::ZERO),
+                tasks: RefCell::new(HashMap::new()),
+                next_task: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                timer_wakers: RefCell::new(HashMap::new()),
+                timer_seq: Cell::new(0),
+                rng: RefCell::new(SimRng::new(seed)),
+                polls: Cell::new(0),
+                trace: RefCell::new(None),
+            }),
+            ready: Arc::new(ReadyQueue::default()),
+        }
+    }
+
+    /// Handle for use inside tasks.
+    pub fn handle(&self) -> Sim {
+        Sim {
+            core: self.core.clone(),
+            ready: self.ready.clone(),
+        }
+    }
+
+    /// Spawn a root task.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.handle().spawn(fut);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Number of task polls performed so far.
+    pub fn polls(&self) -> u64 {
+        self.core.polls.get()
+    }
+
+    /// Turn on event tracing (off by default; ~zero cost when off).
+    pub fn enable_tracing(&self) {
+        *self.core.trace.borrow_mut() = Some(Vec::new());
+    }
+
+    /// Take the recorded trace, leaving tracing enabled.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        match self.core.trace.borrow_mut().as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Run until no task is runnable and no timer is pending, i.e. the
+    /// simulation has quiesced. Tasks still blocked on channels that will
+    /// never receive are simply abandoned (like detached threads).
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Run until the virtual clock would pass `deadline` (exclusive) or
+    /// the simulation quiesces, whichever is first. The clock never
+    /// advances beyond the last fired timer.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Drain every ready task at the current instant.
+            while let Some(id) = self.ready.pop() {
+                self.poll_task(id);
+            }
+            // Advance to the earliest pending timer.
+            let next = {
+                let mut timers = self.core.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.deadline <= deadline => {
+                        let Reverse(e) = timers.pop().unwrap();
+                        Some(e)
+                    }
+                    _ => None,
+                }
+            };
+            match next {
+                Some(entry) => {
+                    // A cancelled timer (dropped Sleep) leaves a stale
+                    // heap entry with no waker; skip it without touching
+                    // the clock.
+                    let waker = self.core.timer_wakers.borrow_mut().remove(&entry.seq);
+                    if let Some(w) = waker {
+                        debug_assert!(entry.deadline >= self.core.now.get());
+                        self.core.now.set(entry.deadline);
+                        w.wake();
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Drive the simulation until `fut` completes and return its output.
+    /// Panics if the simulation quiesces with `fut` still pending (a
+    /// deadlock in the modelled system).
+    pub fn block_on<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> T {
+        let slot: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let slot2 = slot.clone();
+        self.spawn(async move {
+            let v = fut.await;
+            *slot2.borrow_mut() = Some(v);
+        });
+        self.run();
+        let out = slot.borrow_mut().take();
+        out.expect("simulation quiesced before block_on future completed (deadlock?)")
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Remove the task while polling so the task body can call
+        // spawn() (which borrows the task map) without re-entrancy.
+        let fut = self.core.tasks.borrow_mut().remove(&id);
+        let Some(mut fut) = fut else {
+            return; // already completed; duplicate wake
+        };
+        self.core.polls.set(self.core.polls.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        if fut.as_mut().poll(&mut cx).is_pending() {
+            self.core.tasks.borrow_mut().insert(id, fut);
+        }
+    }
+}
+
+impl Sim {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Spawn a detached task.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        let id = self.core.next_task.get();
+        self.core.next_task.set(id + 1);
+        self.core.tasks.borrow_mut().insert(id, Box::pin(fut));
+        self.ready.push(id);
+    }
+
+    /// Sleep for a span of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Sleep until an absolute virtual instant.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            timer_seq: None,
+        }
+    }
+
+    /// Draw from the simulation's root RNG stream. Prefer [`Sim::fork_rng`]
+    /// per logical actor so adding draws in one actor does not perturb
+    /// another.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SimRng) -> T) -> T {
+        f(&mut self.core.rng.borrow_mut())
+    }
+
+    /// Derive an independent RNG stream.
+    pub fn fork_rng(&self) -> SimRng {
+        self.core.rng.borrow_mut().fork()
+    }
+
+    /// True when event tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.core.trace.borrow().is_some()
+    }
+
+    /// Record a trace event; the detail closure only runs when tracing
+    /// is on, so instrumented hot paths stay free by default.
+    pub fn trace(&self, category: &'static str, detail: impl FnOnce() -> String) {
+        let mut trace = self.core.trace.borrow_mut();
+        if let Some(events) = trace.as_mut() {
+            events.push(TraceEvent {
+                at: self.now(),
+                category,
+                detail: detail(),
+            });
+        }
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) -> u64 {
+        let seq = self.core.timer_seq.get();
+        self.core.timer_seq.set(seq + 1);
+        self.core
+            .timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { deadline, seq }));
+        self.core.timer_wakers.borrow_mut().insert(seq, waker);
+        seq
+    }
+
+    fn cancel_timer(&self, seq: u64) {
+        // The heap entry stays until popped, but without a waker it is a
+        // no-op when it fires.
+        self.core.timer_wakers.borrow_mut().remove(&seq);
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    timer_seq: Option<u64>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            if let Some(seq) = self.timer_seq.take() {
+                self.sim.cancel_timer(seq);
+            }
+            return Poll::Ready(());
+        }
+        // (Re-)register; re-registration on spurious polls is rare and
+        // cheap, and keeping exactly one live waker avoids staleness.
+        if let Some(seq) = self.timer_seq.take() {
+            self.sim.cancel_timer(seq);
+        }
+        let seq = self
+            .sim
+            .register_timer(self.deadline, cx.waker().clone());
+        self.timer_seq = Some(seq);
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(seq) = self.timer_seq.take() {
+            self.sim.cancel_timer(seq);
+        }
+    }
+}
+
+/// Yield once, letting every other currently-ready task run before this
+/// one resumes (still at the same virtual instant).
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn block_on_returns_value() {
+        let mut sim = Simulation::new(1);
+        let v = sim.block_on(async { 40 + 2 });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let wall = std::time::Instant::now();
+        let t = sim.block_on(async move {
+            h.sleep(SimDuration::from_secs(3600)).await;
+            h.now()
+        });
+        assert_eq!(t, SimTime::from_nanos(3600 * 1_000_000_000));
+        assert!(wall.elapsed().as_secs() < 5, "virtual sleep took real time");
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let mut sim = Simulation::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, d) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let h = sim.handle();
+            let log = log.clone();
+            sim.spawn(async move {
+                h.sleep(SimDuration::from_micros(d)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let mut sim = Simulation::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10u32 {
+            let h = sim.handle();
+            let log = log.clone();
+            sim.spawn(async move {
+                h.sleep(SimDuration::from_micros(5)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = hit.clone();
+        sim.spawn(async move {
+            let h2 = h.clone();
+            let hit3 = hit2.clone();
+            h.spawn(async move {
+                h2.sleep(SimDuration::from_nanos(1)).await;
+                hit3.set(true);
+            });
+        });
+        sim.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn run_until_stops_clock() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(SimDuration::from_secs(100)).await;
+        });
+        sim.run_until(SimTime::from_nanos(1_000));
+        assert!(sim.now() <= SimTime::from_nanos(1_000));
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_nanos(100 * 1_000_000_000));
+    }
+
+    #[test]
+    fn yield_now_interleaves() {
+        let mut sim = Simulation::new(1);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+            yield_now().await;
+            l2.borrow_mut().push("b2");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn block_on_deadlock_panics() {
+        let mut sim = Simulation::new(1);
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        fn run_once() -> Vec<u64> {
+            let mut sim = Simulation::new(99);
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..20 {
+                let h = sim.handle();
+                let log = log.clone();
+                let d = h.with_rng(|r| r.gen_range(1000));
+                sim.spawn(async move {
+                    h.sleep(SimDuration::from_nanos(d)).await;
+                    log.borrow_mut().push(h.now().as_nanos());
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn tracing_records_and_is_free_when_off() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let ran = Rc::new(Cell::new(0u32));
+        // Off: the detail closure must never run.
+        let r2 = ran.clone();
+        h.trace("test", move || {
+            r2.set(r2.get() + 1);
+            String::new()
+        });
+        assert_eq!(ran.get(), 0);
+        assert!(!h.tracing());
+        assert!(sim.take_trace().is_empty());
+
+        sim.enable_tracing();
+        assert!(h.tracing());
+        let h2 = h.clone();
+        sim.block_on(async move {
+            h2.trace("alpha", || "first".into());
+            h2.sleep(SimDuration::from_micros(5)).await;
+            h2.trace("beta", || "second".into());
+        });
+        let events = sim.take_trace();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].category, "alpha");
+        assert_eq!(events[0].at, SimTime::ZERO);
+        assert_eq!(events[1].detail, "second");
+        assert_eq!(events[1].at, SimTime::from_nanos(5_000));
+        // Taking drains but keeps tracing on.
+        assert!(sim.take_trace().is_empty());
+        assert!(h.tracing());
+    }
+
+    #[test]
+    fn dropped_sleep_cancels_timer() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let long = h.sleep(SimDuration::from_secs(1000));
+            drop(long);
+            h.sleep(SimDuration::from_nanos(5)).await;
+        });
+        // If the cancelled timer still fired we'd have advanced to 1000s.
+        assert_eq!(sim.now(), SimTime::from_nanos(5));
+    }
+}

@@ -1,0 +1,207 @@
+//! Sparse extent map backing simulated host memory.
+//!
+//! Buffers in the simulation can be gigabytes of virtual data; an
+//! [`ExtentMap`] stores only the [`Payload`] extents actually written,
+//! reading unwritten ranges as zeros. Writes split/overwrite existing
+//! extents; reads stitch extents (and zero gaps) back together.
+
+use std::collections::BTreeMap;
+
+use crate::payload::Payload;
+
+/// Non-overlapping, offset-keyed payload extents over a fixed length.
+#[derive(Clone, Debug, Default)]
+pub struct ExtentMap {
+    /// start offset -> payload (extents never overlap, never empty).
+    extents: BTreeMap<u64, Payload>,
+}
+
+impl ExtentMap {
+    /// Empty (all-zero) map.
+    pub fn new() -> Self {
+        ExtentMap::default()
+    }
+
+    /// Write `data` at `offset`, replacing anything it overlaps.
+    pub fn write(&mut self, offset: u64, data: Payload) {
+        let len = data.len();
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+
+        // Find every extent overlapping [offset, end).
+        let overlapping: Vec<u64> = self
+            .extents
+            .range(..end)
+            .rev()
+            .take_while(|(start, p)| **start + p.len() > offset)
+            .map(|(start, _)| *start)
+            .collect();
+
+        for start in overlapping {
+            let existing = self.extents.remove(&start).expect("extent vanished");
+            let e_end = start + existing.len();
+            // Keep the prefix before our write.
+            if start < offset {
+                self.extents
+                    .insert(start, existing.slice(0, offset - start));
+            }
+            // Keep the suffix after our write.
+            if e_end > end {
+                self.extents
+                    .insert(end, existing.slice(end - start, e_end - end));
+            }
+        }
+        self.extents.insert(offset, data);
+    }
+
+    /// Read `len` bytes at `offset`; unwritten gaps read as zeros.
+    pub fn read(&self, offset: u64, len: u64) -> Payload {
+        if len == 0 {
+            return Payload::empty();
+        }
+        let end = offset + len;
+        let mut pieces: Vec<Payload> = Vec::new();
+        let mut cursor = offset;
+
+        // The extent that may start before `offset` but reach into it.
+        let head = self
+            .extents
+            .range(..=offset)
+            .next_back()
+            .filter(|(start, p)| **start + p.len() > offset)
+            .map(|(start, p)| (*start, p.clone()));
+        if let Some((start, p)) = head {
+            let take = (start + p.len()).min(end) - offset;
+            pieces.push(p.slice(offset - start, take));
+            cursor = offset + take;
+        }
+
+        // Walk extents whose start lies in [cursor, end), zero-filling
+        // gaps between them.
+        loop {
+            let next = self
+                .extents
+                .range(cursor..end)
+                .next()
+                .map(|(s, p)| (*s, p.clone()));
+            let Some((start, p)) = next else { break };
+            if start > cursor {
+                pieces.push(Payload::zeros(start - cursor));
+            }
+            let take = (start + p.len()).min(end) - start;
+            pieces.push(p.slice(0, take));
+            cursor = start + take;
+        }
+        if cursor < end {
+            pieces.push(Payload::zeros(end - cursor));
+        }
+        Payload::concat(&pieces)
+    }
+
+    /// Number of stored extents (diagnostic).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Bytes of stored (written) data.
+    pub fn stored_bytes(&self) -> u64 {
+        self.extents.values().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(v: &[u8]) -> Payload {
+        Payload::real(v.to_vec())
+    }
+
+    #[test]
+    fn read_unwritten_is_zero() {
+        let m = ExtentMap::new();
+        assert_eq!(&m.read(10, 4).materialize()[..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut m = ExtentMap::new();
+        m.write(100, bytes(&[1, 2, 3, 4]));
+        assert_eq!(&m.read(100, 4).materialize()[..], &[1, 2, 3, 4]);
+        // Straddling read picks up zeros around it.
+        assert_eq!(&m.read(98, 8).materialize()[..], &[0, 0, 1, 2, 3, 4, 0, 0]);
+    }
+
+    #[test]
+    fn overwrite_middle_splits() {
+        let mut m = ExtentMap::new();
+        m.write(0, bytes(&[1; 10]));
+        m.write(3, bytes(&[2; 4]));
+        assert_eq!(
+            &m.read(0, 10).materialize()[..],
+            &[1, 1, 1, 2, 2, 2, 2, 1, 1, 1]
+        );
+        assert_eq!(m.extent_count(), 3);
+    }
+
+    #[test]
+    fn overwrite_spanning_multiple_extents() {
+        let mut m = ExtentMap::new();
+        m.write(0, bytes(&[1; 4]));
+        m.write(6, bytes(&[2; 4]));
+        m.write(2, bytes(&[3; 6])); // covers tail of first, gap, head of second
+        assert_eq!(
+            &m.read(0, 10).materialize()[..],
+            &[1, 1, 3, 3, 3, 3, 3, 3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn exact_overwrite_replaces() {
+        let mut m = ExtentMap::new();
+        m.write(5, bytes(&[1; 8]));
+        m.write(5, bytes(&[9; 8]));
+        assert_eq!(m.extent_count(), 1);
+        assert_eq!(&m.read(5, 8).materialize()[..], &[9; 8]);
+    }
+
+    #[test]
+    fn adjacent_writes_do_not_interfere() {
+        let mut m = ExtentMap::new();
+        m.write(0, bytes(&[1; 4]));
+        m.write(4, bytes(&[2; 4]));
+        assert_eq!(&m.read(0, 8).materialize()[..], &[1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn synthetic_writes_stay_compact() {
+        let mut m = ExtentMap::new();
+        m.write(0, Payload::synthetic(7, 1 << 30)); // 1 GiB, no allocation
+        assert_eq!(m.stored_bytes(), 1 << 30);
+        let s = m.read(12345, 64);
+        assert!(s.content_eq(&Payload::synthetic(7, 1 << 30).slice(12345, 64)));
+    }
+
+    #[test]
+    fn read_across_gap_between_synthetics() {
+        let mut m = ExtentMap::new();
+        m.write(0, Payload::synthetic(1, 8));
+        m.write(16, Payload::synthetic(2, 8));
+        let r = m.read(0, 24).materialize();
+        let a = Payload::synthetic(1, 8).materialize();
+        let b = Payload::synthetic(2, 8).materialize();
+        assert_eq!(&r[0..8], &a[..]);
+        assert_eq!(&r[8..16], &[0; 8]);
+        assert_eq!(&r[16..24], &b[..]);
+    }
+
+    #[test]
+    fn zero_len_ops_are_noops() {
+        let mut m = ExtentMap::new();
+        m.write(5, Payload::empty());
+        assert_eq!(m.extent_count(), 0);
+        assert!(m.read(5, 0).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Parallel parameter sweeps.
+//!
+//! A single `Simulation` is deterministic and single-threaded; figure
+//! harnesses need dozens of independent runs (thread counts × record
+//! sizes × designs). [`parallel_sweep`] fans those runs out across OS
+//! threads with `std::thread::scope` — the data-race-free pattern from
+//! the workspace's HPC guides — and returns results in input order, so
+//! output is as reproducible as a serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f` over every element of `params` using up to
+/// `std::thread::available_parallelism()` worker threads. Results are
+/// returned in the same order as `params`. Panics in `f` propagate.
+pub fn parallel_sweep<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = params.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return params.into_iter().map(f).collect();
+    }
+
+    // Work-stealing by index over a shared counter; each worker writes
+    // results into disjoint slots.
+    let inputs: Vec<std::sync::Mutex<Option<P>>> =
+        params.into_iter().map(|p| std::sync::Mutex::new(Some(p))).collect();
+    let outputs: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let p = inputs[i].lock().unwrap().take().expect("input taken twice");
+                let r = f(p);
+                *outputs[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("missing sweep result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_sweep((0..100).collect(), |i: u32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_sweep(Vec::<u32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn runs_simulations_independently() {
+        use crate::executor::Simulation;
+        use crate::time::SimDuration;
+        let out = parallel_sweep(vec![1u64, 2, 3, 4], |seed| {
+            let mut sim = Simulation::new(seed);
+            let h = sim.handle();
+            sim.block_on(async move {
+                h.sleep(SimDuration::from_micros(seed)).await;
+                h.now().as_nanos()
+            })
+        });
+        assert_eq!(out, vec![1_000, 2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn single_element_uses_serial_path() {
+        let out = parallel_sweep(vec![7u32], |i| i + 1);
+        assert_eq!(out, vec![8]);
+    }
+}

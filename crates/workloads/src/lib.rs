@@ -1,0 +1,29 @@
+//! # workloads — the paper's benchmark drivers and testbeds
+//!
+//! Assembles complete testbeds (server, clients, fabric, file system)
+//! from calibrated [`profiles`] and drives them with the paper's three
+//! workloads:
+//!
+//! * [`iozone`] — multithreaded sequential read/write bandwidth with
+//!   direct I/O (Figures 5, 6, 7, 9);
+//! * [`oltp`] — the FileBench OLTP personality at 128 KiB mean I/O
+//!   (Figure 8);
+//! * [`multiclient`] — N clients against the RAID-backed server
+//!   (Figure 10).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod iozone;
+pub mod multiclient;
+pub mod oltp;
+pub mod profiles;
+pub mod report;
+pub mod testbed;
+
+pub use iozone::{run_iozone, IoMode, IozoneParams, IozoneResult};
+pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClientResult};
+pub use oltp::{run_oltp, OltpParams, OltpResult};
+pub use profiles::{linux_ddr_raid, linux_sdr, solaris_sdr, Profile};
+pub use report::{mb, pct, Table};
+pub use testbed::{build_rdma, build_tcp, Backend, ClientHost, Testbed, OS_RESERVE};

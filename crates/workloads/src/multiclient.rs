@@ -1,0 +1,193 @@
+//! The §5.3 multi-client scalability experiment (Figure 10).
+//!
+//! N client hosts each write a 1 GB file to the RAID-backed server,
+//! then read it back sequentially with a 1 MB record size; the metric
+//! is aggregate read bandwidth. Whether a client's file is still in
+//! the server's page cache when the read pass starts is exactly the
+//! paper's capacity story: with 4 GB of server RAM the curve peaks
+//! near three clients and falls to disk rates; with 8 GB it holds the
+//! wire rate through seven.
+
+use net_stack::TcpConfig;
+use rpcrdma::{Design, StrategyKind};
+use sim_core::{Payload, Sim, Simulation};
+
+use crate::profiles::Profile;
+use crate::testbed::{build_rdma, build_tcp, Backend, Testbed};
+
+/// Which transport the clients mount over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum McTransport {
+    /// NFS/RDMA (the Linux design with all-physical registration, as
+    /// the paper uses for §5.3).
+    Rdma,
+    /// NFS over TCP over InfiniBand.
+    IpoIb,
+    /// NFS over TCP over Gigabit Ethernet.
+    GigE,
+}
+
+impl McTransport {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            McTransport::Rdma => "RDMA",
+            McTransport::IpoIb => "IPoIB",
+            McTransport::GigE => "GigE",
+        }
+    }
+}
+
+/// Parameters of one Figure-10 run.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiClientParams {
+    /// Transport under test.
+    pub transport: McTransport,
+    /// Number of client hosts.
+    pub clients: usize,
+    /// Server page-cache RAM (4 or 8 GiB in the paper).
+    pub server_ram: u64,
+    /// Per-client file size (1 GB in the paper).
+    pub file_size: u64,
+    /// Record size (1 MB in the paper).
+    pub record: u64,
+}
+
+/// Result of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiClientResult {
+    /// Aggregate read bandwidth, decimal MB/s.
+    pub read_bandwidth_mb: f64,
+    /// Page-cache hit fraction during the read pass.
+    pub cache_hit_rate: f64,
+    /// Server CPU utilization during the read pass.
+    pub server_cpu: f64,
+}
+
+/// Run one multi-client point inside a fresh simulation.
+pub fn run_multiclient(seed: u64, profile: &Profile, params: MultiClientParams) -> MultiClientResult {
+    let mut sim = Simulation::new(seed);
+    let h = sim.handle();
+    let profile = *profile;
+    let backend = Backend::Raid {
+        ram_bytes: params.server_ram,
+    };
+    sim.block_on(async move { run_inner(&h, &profile, params, backend).await })
+}
+
+async fn run_inner(
+    sim: &Sim,
+    profile: &Profile,
+    params: MultiClientParams,
+    backend: Backend,
+) -> MultiClientResult {
+    let bed: Testbed = match params.transport {
+        McTransport::Rdma => build_rdma(
+            sim,
+            profile,
+            Design::ReadWrite,
+            StrategyKind::AllPhysical,
+            backend,
+            params.clients,
+        ),
+        McTransport::IpoIb => {
+            build_tcp(sim, profile, TcpConfig::ipoib(), backend, params.clients).await
+        }
+        McTransport::GigE => {
+            build_tcp(sim, profile, TcpConfig::gige(), backend, params.clients).await
+        }
+    };
+
+    let root = bed.server.root_handle();
+
+    // --- Write pass: every client writes its file over NFS. ----------
+    let done = sim_core::sync::Semaphore::new(0);
+    let mut handles = Vec::new();
+    for (ci, client) in bed.clients.iter().enumerate() {
+        let f = client
+            .nfs
+            .create(root, &format!("mc-{ci}"))
+            .await
+            .expect("create");
+        handles.push(f.handle());
+    }
+    for (ci, client) in bed.clients.iter().enumerate() {
+        let nfs = client.nfs.clone();
+        let fh = handles[ci];
+        let buf = client.mem.alloc(params.record);
+        buf.write(0, Payload::synthetic(ci as u64 + 1, params.record));
+        let done = done.clone();
+        let (file_size, record) = (params.file_size, params.record);
+        sim.spawn(async move {
+            let mut off = 0;
+            while off < file_size {
+                nfs.write(fh, off, &buf, 0, record as u32, false)
+                    .await
+                    .expect("write pass");
+                off += record;
+            }
+            done.add_permits(1);
+        });
+    }
+    for _ in 0..bed.clients.len() {
+        done.acquire().await.forget();
+    }
+    // IOzone closes the files between passes; for NFS unstable writes
+    // that is a COMMIT, flushing server-side dirty pages so the read
+    // pass does not pay write-back on every eviction.
+    for (ci, client) in bed.clients.iter().enumerate() {
+        client.nfs.commit(handles[ci]).await.expect("commit");
+    }
+
+    // --- Read pass (timed). -------------------------------------------
+    bed.reset_accounting();
+    let (hits0, miss0) = bed
+        .disk_store
+        .as_ref()
+        .map(|d| (d.store().cache().hits(), d.store().cache().misses()))
+        .unwrap_or((0, 0));
+    let t0 = sim.now();
+    for (ci, client) in bed.clients.iter().enumerate() {
+        let nfs = client.nfs.clone();
+        let fh = handles[ci];
+        let buf = client.mem.alloc(params.record);
+        let done = done.clone();
+        let (file_size, record) = (params.file_size, params.record);
+        sim.spawn(async move {
+            let mut off = 0;
+            while off < file_size {
+                nfs.read(fh, off, record as u32, Some((&buf, 0)))
+                    .await
+                    .expect("read pass");
+                off += record;
+            }
+            done.add_permits(1);
+        });
+    }
+    for _ in 0..bed.clients.len() {
+        done.acquire().await.forget();
+    }
+    let secs = sim.now().saturating_since(t0).as_secs_f64();
+    let total = params.file_size * bed.clients.len() as u64;
+
+    let cache_hit_rate = bed
+        .disk_store
+        .as_ref()
+        .map(|d| {
+            let c = d.store().cache();
+            let h = c.hits() - hits0;
+            let m = c.misses() - miss0;
+            if h + m == 0 {
+                1.0
+            } else {
+                h as f64 / (h + m) as f64
+            }
+        })
+        .unwrap_or(1.0);
+
+    MultiClientResult {
+        read_bandwidth_mb: total as f64 / 1e6 / secs,
+        cache_hit_rate,
+        server_cpu: bed.server_cpu.utilization(),
+    }
+}

@@ -1,0 +1,132 @@
+//! Calibrated host/testbed profiles for the paper's two platforms.
+//!
+//! Constants are chosen so the *headline* numbers of the paper's
+//! figures land close to the reported values (see DESIGN.md §4 and the
+//! calibration tests); everything else — crossovers, orderings,
+//! scaling shapes — then emerges from the simulation.
+
+use ib_verbs::{HcaConfig, PhysLayout};
+use rpcrdma::RpcRdmaConfig;
+use sim_core::{CpuCosts, SimDuration};
+
+/// A complete host/stack parameter set.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Label used in reports.
+    pub name: &'static str,
+    /// HCA/link parameters.
+    pub hca: HcaConfig,
+    /// RPC/RDMA transport parameters.
+    pub rpc: RpcRdmaConfig,
+    /// Client CPU cores.
+    pub client_cores: usize,
+    /// Server CPU cores.
+    pub server_cores: usize,
+    /// Client CPU cost table.
+    pub client_cpu: CpuCosts,
+    /// Server CPU cost table.
+    pub server_cpu: CpuCosts,
+    /// Physical memory fragmentation (drives all-physical chunk
+    /// counts).
+    pub phys: PhysLayout,
+}
+
+/// The §5.1/§5.2 testbed: dual 2.2 GHz Opteron x2100s, SDR x8 HCAs,
+/// OpenSolaris build 33, tmpfs back end.
+pub fn solaris_sdr() -> Profile {
+    Profile {
+        name: "opensolaris-sdr",
+        hca: HcaConfig::sdr(),
+        rpc: RpcRdmaConfig::solaris(),
+        client_cores: 2,
+        server_cores: 2,
+        client_cpu: CpuCosts {
+            // 2.2 GHz Opteron memcpy through registered buffers.
+            copy_ns_per_byte: 0.9,
+            interrupt_ns: 6_000,
+            syscall_ns: 1_500,
+        },
+        server_cpu: CpuCosts {
+            copy_ns_per_byte: 0.9,
+            interrupt_ns: 6_000,
+            syscall_ns: 1_500,
+        },
+        phys: PhysLayout {
+            mean_run_bytes: 64 * 1024,
+        },
+    }
+}
+
+/// The Linux comparison point of §5.2 (Figure 9): same SDR fabric,
+/// leaner registration/driver costs.
+pub fn linux_sdr() -> Profile {
+    Profile {
+        name: "linux-sdr",
+        hca: linux_hca_costs(HcaConfig::sdr()),
+        rpc: RpcRdmaConfig::linux(),
+        client_cores: 2,
+        server_cores: 2,
+        client_cpu: xeon_cpu(),
+        server_cpu: xeon_cpu(),
+        phys: PhysLayout {
+            mean_run_bytes: 64 * 1024,
+        },
+    }
+}
+
+/// The §5.3 multi-client testbed: dual 3.6 GHz Xeons, DDR HCAs
+/// (PCI-Express x8 chipsets of the era cap effective throughput near
+/// 950 MB/s), 8-disk RAID-0 server.
+pub fn linux_ddr_raid() -> Profile {
+    let mut hca = linux_hca_costs(HcaConfig::ddr());
+    // DDR link rate is PCIe-x8-limited on this platform.
+    hca.link_bandwidth = 950_000_000;
+    Profile {
+        name: "linux-ddr-raid",
+        hca,
+        rpc: RpcRdmaConfig::linux(),
+        client_cores: 2,
+        server_cores: 2,
+        client_cpu: xeon_cpu(),
+        server_cpu: xeon_cpu(),
+        phys: PhysLayout {
+            mean_run_bytes: 64 * 1024,
+        },
+    }
+}
+
+fn xeon_cpu() -> CpuCosts {
+    CpuCosts {
+        copy_ns_per_byte: 0.45,
+        interrupt_ns: 4_000,
+        syscall_ns: 1_000,
+    }
+}
+
+fn linux_hca_costs(base: HcaConfig) -> HcaConfig {
+    HcaConfig {
+        tpt_register_base: SimDuration::from_micros(25),
+        tpt_register_per_page: SimDuration::from_nanos(5_000),
+        tpt_invalidate_base: SimDuration::from_micros(20),
+        tpt_invalidate_per_page: SimDuration::from_nanos(1_500),
+        fmr_map_base: SimDuration::from_micros(20),
+        fmr_map_per_page: SimDuration::from_nanos(3_500),
+        fmr_unmap: SimDuration::from_micros(35),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_build() {
+        let s = solaris_sdr();
+        let l = linux_sdr();
+        let d = linux_ddr_raid();
+        assert!(l.rpc.server_op_serial < s.rpc.server_op_serial);
+        assert!(l.hca.reg_cost(32) < s.hca.reg_cost(32));
+        assert!(d.hca.link_bandwidth > s.hca.link_bandwidth);
+    }
+}

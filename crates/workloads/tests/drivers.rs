@@ -1,0 +1,183 @@
+//! Unit-level tests of the workload drivers themselves: correct data,
+//! correct op counts, sensible accounting — independent of calibration.
+
+use rpcrdma::{Design, StrategyKind};
+use sim_core::{Payload, SimDuration, Simulation};
+use workloads::{
+    build_rdma, build_tcp, run_iozone, run_oltp, solaris_sdr, Backend, IoMode, IozoneParams,
+    OltpParams,
+};
+
+#[test]
+fn iozone_write_pass_stores_correct_bytes() {
+    let mut sim = Simulation::new(1);
+    let h = sim.handle();
+    let profile = solaris_sdr();
+    sim.block_on(async move {
+        let bed = build_rdma(
+            &h,
+            &profile,
+            Design::ReadWrite,
+            StrategyKind::Dynamic,
+            Backend::Tmpfs,
+            1,
+        );
+        let params = IozoneParams {
+            threads_per_client: 2,
+            file_size: 1 << 20,
+            record: 128 * 1024,
+            mode: IoMode::Write,
+        };
+        let r = run_iozone(&h, &bed, params).await;
+        assert_eq!(r.ops, 2 * (1 << 20) / (128 * 1024));
+        assert!(r.bandwidth_mb > 0.0);
+        // Files exist with the right size, and their contents are the
+        // thread's pattern (written per-record from synthetic stream).
+        let root = bed.server.root_handle();
+        for t in 0..2 {
+            let attr = bed.clients[0]
+                .nfs
+                .lookup(root, &format!("ioz-c0-t{t}"))
+                .await
+                .unwrap();
+            assert_eq!(attr.size, 1 << 20);
+        }
+        // Server counters agree.
+        assert_eq!(bed.server.stats.writes.get(), r.ops);
+        assert_eq!(bed.server.stats.bytes_written.get(), 2 << 20);
+    });
+}
+
+#[test]
+fn iozone_read_pass_counts_and_cpu() {
+    let mut sim = Simulation::new(2);
+    let h = sim.handle();
+    let profile = solaris_sdr();
+    sim.block_on(async move {
+        let bed = build_rdma(
+            &h,
+            &profile,
+            Design::ReadWrite,
+            StrategyKind::Cache,
+            Backend::Tmpfs,
+            1,
+        );
+        let r = run_iozone(
+            &h,
+            &bed,
+            IozoneParams {
+                threads_per_client: 4,
+                file_size: 1 << 20,
+                record: 64 * 1024,
+                mode: IoMode::Read,
+            },
+        )
+        .await;
+        assert_eq!(r.ops, 4 * (1 << 20) / (64 * 1024));
+        assert!(r.bandwidth_mb > 50.0, "{}", r.bandwidth_mb);
+        assert!(r.client_cpu > 0.0 && r.client_cpu < 1.0);
+        assert!(r.server_cpu > 0.0 && r.server_cpu < 1.0);
+        // Latency percentiles are populated and ordered.
+        assert!(r.latency_p50_us > 0.0);
+        assert!(r.latency_p99_us >= r.latency_p50_us);
+        assert_eq!(bed.server.stats.reads.get(), r.ops);
+        assert_eq!(bed.server.stats.bytes_read.get(), 4 << 20);
+    });
+}
+
+#[test]
+fn iozone_runs_over_tcp_testbed_too() {
+    let mut sim = Simulation::new(3);
+    let h = sim.handle();
+    let profile = solaris_sdr();
+    sim.block_on(async move {
+        let bed = build_tcp(
+            &h,
+            &profile,
+            net_stack::TcpConfig::ipoib(),
+            Backend::Tmpfs,
+            2,
+        )
+        .await;
+        let r = run_iozone(
+            &h,
+            &bed,
+            IozoneParams {
+                threads_per_client: 2,
+                file_size: 512 * 1024,
+                record: 64 * 1024,
+                mode: IoMode::Write,
+            },
+        )
+        .await;
+        // 2 clients x 2 threads x 8 records.
+        assert_eq!(r.ops, 32);
+        assert!(r.bandwidth_mb > 0.0);
+    });
+}
+
+#[test]
+fn oltp_mix_produces_reads_writes_and_log_appends() {
+    let mut sim = Simulation::new(4);
+    let h = sim.handle();
+    let profile = solaris_sdr();
+    sim.block_on(async move {
+        let bed = build_rdma(
+            &h,
+            &profile,
+            Design::ReadWrite,
+            StrategyKind::Cache,
+            Backend::Tmpfs,
+            1,
+        );
+        let r = run_oltp(
+            &h,
+            &bed,
+            OltpParams {
+                readers: 8,
+                writers: 2,
+                io_size: 64 * 1024,
+                db_size: 16 << 20,
+                duration: SimDuration::from_millis(20),
+            },
+        )
+        .await;
+        assert!(r.ops > 0);
+        assert!(r.ops_per_sec > 0.0);
+        assert!(r.cpu_us_per_op > 0.0);
+        // The mix actually exercised both paths.
+        assert!(bed.server.stats.reads.get() > 0, "no reads");
+        assert!(bed.server.stats.writes.get() > 0, "no writes");
+        // The log grew (sequential appends with FILE_SYNC).
+        let root = bed.server.root_handle();
+        let log = bed.clients[0].nfs.lookup(root, "oltp.log").await.unwrap();
+        assert!(log.size > 0, "log never appended");
+    });
+}
+
+#[test]
+fn testbed_reset_accounting_clears_utilization() {
+    let mut sim = Simulation::new(5);
+    let h = sim.handle();
+    let profile = solaris_sdr();
+    sim.block_on(async move {
+        let bed = build_rdma(
+            &h,
+            &profile,
+            Design::ReadWrite,
+            StrategyKind::Dynamic,
+            Backend::Tmpfs,
+            1,
+        );
+        let root = bed.server.root_handle();
+        let c = &bed.clients[0];
+        let f = c.nfs.create(root, "x").await.unwrap();
+        let buf = c.mem.alloc(128 * 1024);
+        buf.write(0, Payload::synthetic(1, 128 * 1024));
+        c.nfs.write(f.handle(), 0, &buf, 0, 128 * 1024, false).await.unwrap();
+        assert!(bed.server_cpu.busy_time().as_nanos() > 0);
+        bed.reset_accounting();
+        assert_eq!(bed.server_cpu.busy_time().as_nanos(), 0);
+        assert_eq!(bed.clients[0].cpu.busy_time().as_nanos(), 0);
+    });
+}

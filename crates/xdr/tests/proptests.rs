@@ -1,0 +1,92 @@
+//! Property-based tests: every encodable value round-trips, and no
+//! byte soup can make the decoder panic.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use xdr::{Decoder, Encoder};
+
+proptest! {
+    #[test]
+    fn u32_roundtrip(v in any::<u32>()) {
+        let mut e = Encoder::new();
+        e.put_u32(v);
+        let mut d = Decoder::new(e.finish());
+        prop_assert_eq!(d.get_u32().unwrap(), v);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        let mut e = Encoder::new();
+        e.put_i64(v);
+        let mut d = Decoder::new(e.finish());
+        prop_assert_eq!(d.get_i64().unwrap(), v);
+    }
+
+    #[test]
+    fn opaque_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut e = Encoder::new();
+        e.put_opaque(&data);
+        prop_assert_eq!(e.len() % 4, 0);
+        let mut d = Decoder::new(e.finish());
+        prop_assert_eq!(&d.get_opaque().unwrap()[..], &data[..]);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,64}") {
+        let mut e = Encoder::new();
+        e.put_string(&s);
+        let mut d = Decoder::new(e.finish());
+        prop_assert_eq!(d.get_string().unwrap(), s);
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip(
+        a in any::<u32>(),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+        c in proptest::option::of(any::<u64>()),
+        d_arr in proptest::collection::vec(any::<i32>(), 0..16),
+    ) {
+        let mut e = Encoder::new();
+        e.put_u32(a);
+        e.put_opaque(&b);
+        e.put_option(c.as_ref(), |e, v| { e.put_u64(*v); });
+        e.put_array(&d_arr, |e, v| { e.put_i32(*v); });
+        let mut dec = Decoder::new(e.finish());
+        prop_assert_eq!(dec.get_u32().unwrap(), a);
+        prop_assert_eq!(&dec.get_opaque().unwrap()[..], &b[..]);
+        prop_assert_eq!(dec.get_option(|d| d.get_u64()).unwrap(), c);
+        prop_assert_eq!(dec.get_array(|d| d.get_i32()).unwrap(), d_arr);
+        dec.expect_end().unwrap();
+    }
+
+    /// Fuzz: arbitrary bytes never panic the decoder, whatever we ask of it.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let buf = Bytes::from(bytes);
+        let mut d = Decoder::new(buf.clone());
+        let _ = d.get_u32();
+        let _ = d.get_opaque();
+        let _ = d.get_string();
+        let _ = d.get_array(|d| d.get_u64());
+        let _ = d.get_option(|d| d.get_bool());
+        let _ = d.get_opaque_fixed(13);
+    }
+
+    /// Truncating any valid encoding at any point yields an error, not
+    /// garbage or a panic.
+    #[test]
+    fn truncation_always_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut e = Encoder::new();
+        e.put_opaque(&data);
+        let full = e.finish();
+        let cut = ((full.len() - 1) as f64 * frac) as usize;
+        let mut d = Decoder::new(full.slice(0..cut));
+        // Either the length prefix or the body is cut short.
+        prop_assert!(d.get_opaque().is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Timeline of a single NFS READ: enable tracing and watch one
+//! operation cross every layer — RPC call, the client's exposed
+//! write-chunk registration, the server's local-only registration, the
+//! RDMA Write push, the ordered reply Send, and both deregistrations.
+//! This is the paper's Figure 4, as an event log.
+//!
+//! ```text
+//! cargo run --release -p bench --example trace_one_op
+//! ```
+
+use rpcrdma::{Design, StrategyKind};
+use sim_core::{Payload, Simulation};
+use workloads::{build_rdma, solaris_sdr, Backend};
+
+fn main() {
+    let mut sim = Simulation::new(7);
+    sim.enable_tracing();
+    let h = sim.handle();
+    let profile = solaris_sdr();
+
+    sim.block_on(async move {
+        let bed = build_rdma(
+            &h,
+            &profile,
+            Design::ReadWrite,
+            StrategyKind::Dynamic,
+            Backend::Tmpfs,
+            1,
+        );
+        let root = bed.server.root_handle();
+        let c = &bed.clients[0];
+        let f = c.nfs.create(root, "traced").await.unwrap();
+        bed.fs
+            .write(
+                fs_backend::FileId(f.handle().0),
+                0,
+                Payload::synthetic(1, 131072),
+            )
+            .await
+            .unwrap();
+        let buf = c.mem.alloc(131072);
+        c.nfs
+            .read(f.handle(), 0, 131072, Some((&buf, 0)))
+            .await
+            .unwrap();
+    });
+
+    println!("timeline of one 128 KiB NFS READ (Read-Write design, dynamic registration):\n");
+    let events = sim.take_trace();
+    // The CREATE precedes it; start at the READ call (NFS proc 6).
+    let start = events
+        .iter()
+        .rposition(|e| e.category == "rpc" && e.detail.contains("proc=6"))
+        .unwrap_or(0);
+    let t0 = events[start].at;
+    for e in &events[start..] {
+        println!(
+            "  +{:>9}ns  [{:<4}]  {}",
+            e.at.as_nanos().saturating_sub(t0.as_nanos()),
+            e.category,
+            e.detail
+        );
+    }
+    println!(
+        "\nNote the Figure-4 structure: client registers its sink (exposed=true,\n\
+         Write chunk), server registers its source locally (exposed=false —\n\
+         the security win), pushes with RDMA Write, sends the reply whose\n\
+         arrival guarantees placement, and both sides deregister."
+    );
+}
