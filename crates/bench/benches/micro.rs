@@ -3,11 +3,12 @@
 //! end-to-end NFS READ through the simulated stack.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::future::Future;
 use std::hint::black_box;
 
 use ib_verbs::Rkey;
 use rpcrdma::{Design, MsgType, RdmaHeader, ReadChunk, Segment, StrategyKind};
-use sim_core::{ExtentMap, Payload, SimDuration, Simulation};
+use sim_core::{yield_now, ExtentMap, Payload, SimDuration, Simulation};
 use workloads::{build_rdma, solaris_sdr, Backend};
 use xdr::XdrCodec;
 
@@ -36,9 +37,18 @@ fn bench_header_codec(c: &mut Criterion) {
     g.bench_function("encode", |b| {
         b.iter(|| black_box(hdr.to_bytes()));
     });
+    // The hot-path variant: reuse one scratch encoder, zero allocations
+    // per message in steady state.
+    g.bench_function("encode_into", |b| {
+        let mut enc = xdr::Encoder::with_capacity(256);
+        b.iter(|| {
+            hdr.encode_into(&mut enc);
+            black_box(enc.len())
+        });
+    });
     let bytes = hdr.to_bytes();
     g.bench_function("decode", |b| {
-        b.iter(|| black_box(RdmaHeader::from_bytes(bytes.clone()).unwrap()));
+        b.iter(|| black_box(RdmaHeader::from_bytes(&bytes).unwrap()));
     });
     g.finish();
 }
@@ -48,11 +58,12 @@ fn bench_xdr(c: &mut Criterion) {
     let data = vec![0xA5u8; 4096];
     g.throughput(Throughput::Bytes(4096));
     g.bench_function("opaque_roundtrip_4k", |b| {
+        let mut enc = xdr::Encoder::with_capacity(4200);
         b.iter(|| {
-            let mut enc = xdr::Encoder::with_capacity(4200);
+            enc.reset();
             enc.put_opaque(&data);
-            let mut dec = xdr::Decoder::new(enc.finish());
-            black_box(dec.get_opaque().unwrap())
+            let mut dec = xdr::Decoder::new(enc.as_slice());
+            black_box(dec.get_opaque().unwrap().len())
         });
     });
     g.finish();
@@ -98,6 +109,43 @@ fn bench_executor(c: &mut Criterion) {
             black_box(sim.polls())
         });
     });
+    // Pure ready-queue path: no timers, just wake/poll cycles.
+    g.bench_function("poll_throughput_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            for _ in 0..10_000u64 {
+                sim.spawn(async {
+                    for _ in 0..8 {
+                        yield_now().await;
+                    }
+                });
+            }
+            sim.run();
+            black_box(sim.polls())
+        });
+    });
+    // Timer register + cancel: each task arms a far-future sleep, polls
+    // it once (registering the timer) and drops it (lazy cancellation).
+    g.bench_function("timer_register_cancel_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let h = sim.handle();
+            for _ in 0..10_000u64 {
+                let h2 = h.clone();
+                sim.spawn(async move {
+                    let mut s = h2.sleep(SimDuration::from_millis(10));
+                    std::future::poll_fn(|cx| {
+                        let _ = std::pin::Pin::new(&mut s).poll(cx);
+                        std::task::Poll::Ready(())
+                    })
+                    .await;
+                    drop(s);
+                });
+            }
+            sim.run();
+            black_box(sim.polls())
+        });
+    });
     g.finish();
 }
 
@@ -116,8 +164,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 let h = sim.handle();
                 let profile = solaris_sdr();
                 sim.block_on(async move {
-                    let bed =
-                        build_rdma(&h, &profile, Design::ReadWrite, s, Backend::Tmpfs, 1);
+                    let bed = build_rdma(&h, &profile, Design::ReadWrite, s, Backend::Tmpfs, 1);
                     let root = bed.server.root_handle();
                     let f = bed.clients[0].nfs.create(root, "bench").await.unwrap();
                     bed.fs

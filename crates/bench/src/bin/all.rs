@@ -2,12 +2,16 @@
 //! process). Results land in `results/`.
 
 fn main() {
-    let bins = ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"];
+    let bins = [
+        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
+    ];
     for bin in bins {
         println!("==== {bin} ====");
-        let status = std::process::Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .status()
-            .expect("spawn figure binary");
+        let status = std::process::Command::new(
+            std::env::current_exe().unwrap().parent().unwrap().join(bin),
+        )
+        .status()
+        .expect("spawn figure binary");
         assert!(status.success(), "{bin} failed");
     }
 }

@@ -7,9 +7,7 @@
 //! an identical (wire-saturated) result. Noted in EXPERIMENTS.md.
 
 use sim_core::sweep::parallel_sweep;
-use workloads::{
-    linux_ddr_raid, mb, pct, run_multiclient, McTransport, MultiClientParams, Table,
-};
+use workloads::{linux_ddr_raid, mb, pct, run_multiclient, McTransport, MultiClientParams, Table};
 
 fn main() {
     let profile = linux_ddr_raid();

@@ -28,9 +28,7 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 5 — IOzone Read Bandwidth on Solaris (MB/s)",
-        &[
-            "threads", "RR-128K", "RW-128K", "RR-1M", "RW-1M",
-        ],
+        &["threads", "RR-128K", "RW-128K", "RR-1M", "RW-1M"],
     );
     for (i, threads) in THREADS.iter().enumerate() {
         let col = |series: &str| -> String {
@@ -50,5 +48,7 @@ fn main() {
         ]);
     }
     emit("fig5", &t);
-    println!("Paper headline: RR saturates ~375 MB/s; RW ~400 MB/s; RW ~47% faster at 1 thread (128K).");
+    println!(
+        "Paper headline: RR saturates ~375 MB/s; RW ~400 MB/s; RW ~47% faster at 1 thread (128K)."
+    );
 }

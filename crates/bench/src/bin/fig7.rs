@@ -41,7 +41,11 @@ fn main() {
             }
         }
         let results = sweep_iozone(points);
-        let which = if mode == IoMode::Read { "Read" } else { "Write" };
+        let which = if mode == IoMode::Read {
+            "Read"
+        } else {
+            "Write"
+        };
         let mut t = Table::new(
             format!("Figure 7 ({which}) — registration strategies on Solaris"),
             &[

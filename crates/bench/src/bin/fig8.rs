@@ -26,14 +26,7 @@ fn main() {
         let mut sim = Simulation::new(0xB0B);
         let h = sim.handle();
         sim.block_on(async move {
-            let bed = build_rdma(
-                &h,
-                &profile,
-                Design::ReadWrite,
-                strategy,
-                Backend::Tmpfs,
-                1,
-            );
+            let bed = build_rdma(&h, &profile, Design::ReadWrite, strategy, Backend::Tmpfs, 1);
             run_oltp(
                 &h,
                 &bed,

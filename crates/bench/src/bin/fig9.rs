@@ -42,7 +42,11 @@ fn main() {
             }
         }
         let results = sweep_iozone(points);
-        let which = if mode == IoMode::Read { "Read" } else { "Write" };
+        let which = if mode == IoMode::Read {
+            "Read"
+        } else {
+            "Write"
+        };
         let mut t = Table::new(
             format!("Figure 9 ({which}) — registration strategies on Linux"),
             &[

@@ -1,0 +1,181 @@
+//! `simperf` — simulator hot-path throughput benchmark.
+//!
+//! Measures the two rates the executor/marshalling overhaul targets:
+//!
+//! - **events/sec**: task polls retired per wall-clock second while a
+//!   pool of tasks churns timers and yields (exercises the ready queue,
+//!   waker path and timer structure).
+//! - **RPC ops/sec**: full-stack NFS READs per wall-clock second through
+//!   the simulated RPC/RDMA transport (exercises header encode/decode
+//!   and the per-connection send path).
+//!
+//! Full mode writes `results/BENCH_hotpath.json` and prints a summary.
+//! Run with `--smoke` for a seconds-scale sanity pass (used by
+//! scripts/check.sh) that only prints — it never overwrites the
+//! published full-mode numbers.
+
+use std::time::Instant;
+
+use sim_core::{yield_now, Payload, SimDuration, Simulation};
+use workloads::{build_rdma, solaris_sdr, Backend};
+
+struct Config {
+    /// Tasks in the executor churn pool.
+    tasks: u64,
+    /// Timer-sleep iterations per task.
+    iters: u64,
+    /// Sequential 128 KiB NFS READs.
+    rpc_ops: u64,
+    smoke: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        Config {
+            tasks: 1_000,
+            iters: 20,
+            rpc_ops: 64,
+            smoke,
+        }
+    } else {
+        // 1000 tasks keep the pool cache-resident so the measurement
+        // tracks executor overhead, not DRAM latency. Override via env
+        // (SIMPERF_TASKS / SIMPERF_ITERS) to probe other regimes.
+        Config {
+            tasks: env_u64("SIMPERF_TASKS", 1_000),
+            iters: env_u64("SIMPERF_ITERS", 1_000),
+            rpc_ops: 4_096,
+            smoke,
+        }
+    };
+
+    let (polls, events_per_sec, exec_ms) = executor_throughput(&cfg);
+    let (rpc_ops_per_sec, rpc_ms) = rpc_throughput(&cfg);
+
+    println!(
+        "simperf ({} mode)",
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+    println!("  executor: {polls} polls in {exec_ms:.1} ms  ->  {events_per_sec:.0} events/sec");
+    println!(
+        "  rpc:      {} READs in {rpc_ms:.1} ms  ->  {rpc_ops_per_sec:.0} ops/sec",
+        cfg.rpc_ops
+    );
+
+    if cfg.smoke {
+        return; // don't clobber the full-mode results file
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"hotpath\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"executor\": {{\n",
+            "    \"tasks\": {},\n",
+            "    \"iters_per_task\": {},\n",
+            "    \"polls\": {},\n",
+            "    \"wall_ms\": {:.3},\n",
+            "    \"events_per_sec\": {:.0}\n",
+            "  }},\n",
+            "  \"rpc\": {{\n",
+            "    \"ops\": {},\n",
+            "    \"wall_ms\": {:.3},\n",
+            "    \"ops_per_sec\": {:.0}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.tasks,
+        cfg.iters,
+        polls,
+        exec_ms,
+        events_per_sec,
+        cfg.rpc_ops,
+        rpc_ms,
+        rpc_ops_per_sec,
+    );
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("BENCH_hotpath.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Timer/ready-queue churn: `tasks` tasks each sleep with scattered
+/// deadlines and yield, `iters` times. Returns (polls, events/sec, ms).
+fn executor_throughput(cfg: &Config) -> (u64, f64, f64) {
+    let mut sim = Simulation::new(42);
+    for t in 0..cfg.tasks {
+        let h = sim.handle();
+        let iters = cfg.iters;
+        sim.spawn(async move {
+            for i in 0..iters {
+                // Scattered short deadlines: most land near each other
+                // (dense buckets), some far (sparse), like real traffic.
+                let d = (t.wrapping_mul(7919) ^ i.wrapping_mul(104_729)) % 4096 + 1;
+                h.sleep(SimDuration::from_nanos(d)).await;
+                yield_now().await;
+            }
+        });
+    }
+    let start = Instant::now();
+    sim.run();
+    let wall = start.elapsed();
+    let polls = sim.polls();
+    let secs = wall.as_secs_f64();
+    (polls, polls as f64 / secs, secs * 1e3)
+}
+
+/// Full-stack NFS READ loop (matches the end_to_end microbench but
+/// sized for a rate measurement). Returns (ops/sec, ms).
+fn rpc_throughput(cfg: &Config) -> (f64, f64) {
+    const RECORD: u32 = 131_072;
+    const FILE: u64 = 8 << 20;
+    let ops = cfg.rpc_ops;
+    let mut sim = Simulation::new(5);
+    let h = sim.handle();
+    let profile = solaris_sdr();
+    let start = Instant::now();
+    sim.block_on(async move {
+        let bed = build_rdma(
+            &h,
+            &profile,
+            rpcrdma::Design::ReadWrite,
+            rpcrdma::StrategyKind::Cache,
+            Backend::Tmpfs,
+            1,
+        );
+        let root = bed.server.root_handle();
+        let f = bed.clients[0].nfs.create(root, "simperf").await.unwrap();
+        bed.fs
+            .write(
+                fs_backend::FileId(f.handle().0),
+                0,
+                Payload::synthetic(1, FILE),
+            )
+            .await
+            .unwrap();
+        let buf = bed.clients[0].mem.alloc(RECORD as u64);
+        for i in 0..ops {
+            let off = (i % (FILE / RECORD as u64)) * RECORD as u64;
+            bed.clients[0]
+                .nfs
+                .read(f.handle(), off, RECORD, Some((&buf, 0)))
+                .await
+                .unwrap();
+        }
+    });
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64();
+    (ops as f64 / secs, secs * 1e3)
+}

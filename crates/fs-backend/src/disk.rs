@@ -92,10 +92,7 @@ impl Raid0 {
 
     /// The paper's array: 8 × 30 MB/s disks, 64 KiB stripe unit.
     pub fn paper_array(sim: &Sim) -> Raid0 {
-        Raid0::new(
-            (0..8).map(|i| Disk::scsi_30mb(sim, i)).collect(),
-            64 * 1024,
-        )
+        Raid0::new((0..8).map(|i| Disk::scsi_30mb(sim, i)).collect(), 64 * 1024)
     }
 
     /// Number of member disks.

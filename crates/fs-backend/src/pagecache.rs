@@ -194,7 +194,8 @@ impl PageCache {
         if dirty.is_empty() {
             return;
         }
-        self.writebacks.set(self.writebacks.get() + dirty.len() as u64);
+        self.writebacks
+            .set(self.writebacks.get() + dirty.len() as u64);
         // Coalesce into one sequential sweep per commit.
         let bytes = dirty.len() as u64 * self.page_size;
         self.raid.transfer(disk_base, bytes).await;
@@ -233,7 +234,9 @@ impl PageCache {
             let Some((key, state)) = victim else { return };
             if state == PageState::Dirty {
                 self.writebacks.set(self.writebacks.get() + 1);
-                self.raid.transfer(key.1 * self.page_size, self.page_size).await;
+                self.raid
+                    .transfer(key.1 * self.page_size, self.page_size)
+                    .await;
             }
         }
     }

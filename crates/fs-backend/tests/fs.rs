@@ -44,7 +44,10 @@ fn directory_tree_operations() {
         assert_eq!(fs.lookup(root, "sub").unwrap().id, dir.id);
         assert_eq!(fs.lookup(dir.id, "a").unwrap().id, f1.id);
         assert_eq!(fs.lookup(dir.id, "zzz").unwrap_err(), FsError::NotFound);
-        assert_eq!(fs.readlink(fs.lookup(dir.id, "link").unwrap().id).unwrap(), "../a");
+        assert_eq!(
+            fs.readlink(fs.lookup(dir.id, "link").unwrap().id).unwrap(),
+            "../a"
+        );
         assert_eq!(fs.readlink(f1.id).unwrap_err(), FsError::NotSymlink);
 
         let entries = fs.readdir(dir.id).unwrap();
@@ -105,7 +108,9 @@ fn diskfs_contents_survive_cache_pressure() {
     let root = fs.root();
     sim.block_on(async move {
         let f = fs.create(root, "big").unwrap();
-        fs.write(f.id, 0, Payload::synthetic(9, 8 << 20)).await.unwrap();
+        fs.write(f.id, 0, Payload::synthetic(9, 8 << 20))
+            .await
+            .unwrap();
         fs.commit(f.id).await.unwrap();
         // Read it all back; most will miss.
         let got = fs.read(f.id, 0, 8 << 20).await.unwrap();
@@ -125,14 +130,18 @@ fn diskfs_cached_reads_are_fast_uncached_are_disk_bound() {
     let h2 = h.clone();
     let (hot, cold) = sim.block_on(async move {
         let f = fs2.create(root, "file").unwrap();
-        fs2.write(f.id, 0, Payload::synthetic(4, 16 << 20)).await.unwrap();
+        fs2.write(f.id, 0, Payload::synthetic(4, 16 << 20))
+            .await
+            .unwrap();
         // Hot: just written, resident.
         let t0 = h2.now();
         fs2.read(f.id, 0, 16 << 20).await.unwrap();
         let hot = h2.now().saturating_since(t0);
         // Evict by writing a second large file.
         let g = fs2.create(root, "evictor").unwrap();
-        fs2.write(g.id, 0, Payload::synthetic(5, 60 << 20)).await.unwrap();
+        fs2.write(g.id, 0, Payload::synthetic(5, 60 << 20))
+            .await
+            .unwrap();
         let t0 = h2.now();
         fs2.read(f.id, 0, 16 << 20).await.unwrap();
         let cold = h2.now().saturating_since(t0);
@@ -154,7 +163,9 @@ fn commit_is_idempotent_and_durable_timing() {
     let h2 = h.clone();
     sim.block_on(async move {
         let f = fs2.create(root, "f").unwrap();
-        fs2.write(f.id, 0, Payload::synthetic(1, 4 << 20)).await.unwrap();
+        fs2.write(f.id, 0, Payload::synthetic(1, 4 << 20))
+            .await
+            .unwrap();
         let t0 = h2.now();
         fs2.commit(f.id).await.unwrap();
         let first = h2.now().saturating_since(t0);

@@ -21,7 +21,11 @@ enum Op {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u64..3, 0u64..32, 1u64..4).prop_map(|(file, page, pages)| Op::Read { file, page, pages }),
-        (0u64..3, 0u64..32, 1u64..4).prop_map(|(file, page, pages)| Op::Write { file, page, pages }),
+        (0u64..3, 0u64..32, 1u64..4).prop_map(|(file, page, pages)| Op::Write {
+            file,
+            page,
+            pages
+        }),
         (0u64..3).prop_map(|file| Op::Commit { file }),
         (0u64..3).prop_map(|file| Op::Invalidate { file }),
     ]

@@ -127,7 +127,10 @@ impl Hca {
 
     /// Security ledger snapshot.
     pub fn exposure_report(&self) -> ExposureReport {
-        self.inner.tpt.borrow().exposure_report(self.inner.sim.now())
+        self.inner
+            .tpt
+            .borrow()
+            .exposure_report(self.inner.sim.now())
     }
 
     /// Probability a uniformly guessed steering tag grants a read.
@@ -250,12 +253,8 @@ pub fn connect(a: &Hca, b: &Hca) -> (Qp, Qp) {
     qb.inner.peer_node.set(a.inner.node);
     qb.inner.peer_qpn.set(qa.qpn());
     qb.inner.connected.set(true);
-    a.inner
-        .sim
-        .spawn(sender_loop(qa.inner.clone(), rx_a));
-    b.inner
-        .sim
-        .spawn(sender_loop(qb.inner.clone(), rx_b));
+    a.inner.sim.spawn(sender_loop(qa.inner.clone(), rx_a));
+    b.inner.sim.spawn(sender_loop(qb.inner.clone(), rx_b));
     (qa, qb)
 }
 
@@ -345,10 +344,7 @@ async fn dispatch_loop(hca: Hca, mut inbox: Receiver<WireMsg>) {
                         let hca2 = hca.clone();
                         hca.inner.sim.spawn(async move {
                             let _slot = qp.inner.read_engine.acquire().await;
-                            hca2.inner
-                                .sim
-                                .sleep(hca2.inner.cfg.read_turnaround)
-                                .await;
+                            hca2.inner.sim.sleep(hca2.inner.cfg.read_turnaround).await;
                             let payload = buffer.read(off, len);
                             let requester = qp.inner.peer_node.get();
                             hca2.inner

@@ -43,13 +43,13 @@ pub mod tpt;
 pub mod types;
 
 pub use config::HcaConfig;
-pub use sim_core::extent;
 pub use cq::{Completion, Cq};
 pub use fabric::Fabric;
 pub use hca::{connect, Hca, RegStats};
 pub use memory::{Buffer, HostMem, PhysLayout, PAGE_SIZE};
 pub use mr::{FmrPool, Mr};
 pub use qp::{Qp, WireMsg};
+pub use sim_core::extent;
 pub use srq::Srq;
 pub use tpt::{ExposureReport, RemoteOp};
 pub use types::{Access, NodeId, Opcode, QpNum, Rkey, VerbsError, WrId};

@@ -16,8 +16,8 @@ use std::rc::{Rc, Weak};
 
 use sim_core::{Payload, SimRng};
 
-use sim_core::ExtentMap;
 use crate::types::NodeId;
+use sim_core::ExtentMap;
 
 /// Default small page size (bytes).
 pub const PAGE_SIZE: u64 = 4096;
@@ -33,7 +33,6 @@ struct BufferInner {
 #[derive(Clone)]
 pub struct Buffer {
     // Debug impl below keeps output compact (no content dump).
-
     inner: Rc<BufferInner>,
     host: NodeId,
     addr: u64,

@@ -124,10 +124,7 @@ impl Mr {
                 hca.inner.stats.borrow_mut().deregs += 1;
             }
             MrKind::Fmr => {
-                hca.inner
-                    .tpt_engine
-                    .use_for(hca.inner.cfg.fmr_unmap)
-                    .await;
+                hca.inner.tpt_engine.use_for(hca.inner.cfg.fmr_unmap).await;
                 hca.inner.stats.borrow_mut().fmr_unmaps += 1;
                 if let Some(pool) = &self.pool {
                     pool.release(self.rkey);

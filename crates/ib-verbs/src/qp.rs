@@ -19,7 +19,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use sim_core::sync::{channel, oneshot, OneshotSender, Receiver, Sender, Semaphore};
+use sim_core::sync::{channel, oneshot, OneshotSender, Receiver, Semaphore, Sender};
 use sim_core::{Payload, Sim};
 
 use crate::config::HcaConfig;
@@ -357,7 +357,10 @@ pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
                 Wqe::Write { data, .. } => ("rdma-write", data.len()),
                 Wqe::Read { len, .. } => ("rdma-read", *len),
             };
-            format!("node{} qp{} {kind} {len}B -> node{}", qp.node.0, qp.qpn.0, peer.0)
+            format!(
+                "node{} qp{} {kind} {len}B -> node{}",
+                qp.node.0, qp.qpn.0, peer.0
+            )
         });
         match wqe {
             Wqe::Send {

@@ -98,7 +98,9 @@ impl Srq {
         if r.is_some() {
             self.inner.consumed.set(self.inner.consumed.get() + 1);
             if self.inner.queue.borrow().len() < self.inner.limit.get() {
-                self.inner.limit_events.set(self.inner.limit_events.get() + 1);
+                self.inner
+                    .limit_events
+                    .set(self.inner.limit_events.get() + 1);
             }
         }
         r

@@ -90,7 +90,14 @@ impl Tpt {
     }
 
     /// Install a new entry and return its steering tag.
-    pub fn insert(&mut self, buffer: Buffer, base: u64, len: u64, access: Access, now: SimTime) -> Rkey {
+    pub fn insert(
+        &mut self,
+        buffer: Buffer,
+        base: u64,
+        len: u64,
+        access: Access,
+        now: SimTime,
+    ) -> Rkey {
         let rkey = loop {
             let k = self.rng.next_u32();
             // Never collide with the global key, a live entry, or a
@@ -136,8 +143,7 @@ impl Tpt {
     pub fn invalidate(&mut self, rkey: Rkey, now: SimTime) -> Option<TptEntry> {
         let e = self.entries.remove(&rkey.0)?;
         if e.access.remotely_exposed() {
-            self.closed_byte_ns +=
-                e.len as u128 * now.saturating_since(e.since).as_nanos() as u128;
+            self.closed_byte_ns += e.len as u128 * now.saturating_since(e.since).as_nanos() as u128;
         }
         Some(e)
     }
@@ -148,9 +154,7 @@ impl Tpt {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let k = self.rng.next_u32();
-            if k != self.global_rkey.0
-                && !self.entries.contains_key(&k)
-                && self.reserved.insert(k)
+            if k != self.global_rkey.0 && !self.entries.contains_key(&k) && self.reserved.insert(k)
             {
                 out.push(Rkey(k));
             }
@@ -291,7 +295,9 @@ mod tests {
         let (mut tpt, buf) = setup();
         let rkey = tpt.insert(buf.clone(), buf.addr(), 4096, Access::REMOTE_READ, t(0));
         let (b, off) = tpt
-            .check_remote(rkey, buf.addr() + 100, 200, RemoteOp::Read, t(1), |_, _| None)
+            .check_remote(rkey, buf.addr() + 100, 200, RemoteOp::Read, t(1), |_, _| {
+                None
+            })
             .unwrap();
         assert_eq!(off, 100);
         assert_eq!(b.addr(), buf.addr());
@@ -312,11 +318,25 @@ mod tests {
         let (mut tpt, buf) = setup();
         let rkey = tpt.insert(buf.clone(), buf.addr(), 4096, Access::REMOTE_READ, t(0));
         assert!(tpt
-            .check_remote(rkey, buf.addr() + 4000, 200, RemoteOp::Read, t(0), |_, _| None)
+            .check_remote(
+                rkey,
+                buf.addr() + 4000,
+                200,
+                RemoteOp::Read,
+                t(0),
+                |_, _| None
+            )
             .is_err());
         // Below base too.
         assert!(tpt
-            .check_remote(rkey, buf.addr().wrapping_sub(4), 4, RemoteOp::Read, t(0), |_, _| None)
+            .check_remote(
+                rkey,
+                buf.addr().wrapping_sub(4),
+                4,
+                RemoteOp::Read,
+                t(0),
+                |_, _| None
+            )
             .is_err());
     }
 
@@ -411,8 +431,20 @@ mod tests {
         let (mut tpt, buf) = setup();
         assert_eq!(tpt.guess_hit_probability(), 0.0);
         let _r1 = tpt.insert(buf.clone(), buf.addr(), 128, Access::REMOTE_READ, t(0));
-        let _r2 = tpt.insert(buf.clone(), buf.addr() + 128, 128, Access::REMOTE_READ, t(0));
-        let _rw = tpt.insert(buf.clone(), buf.addr() + 256, 128, Access::REMOTE_WRITE, t(0));
+        let _r2 = tpt.insert(
+            buf.clone(),
+            buf.addr() + 128,
+            128,
+            Access::REMOTE_READ,
+            t(0),
+        );
+        let _rw = tpt.insert(
+            buf.clone(),
+            buf.addr() + 256,
+            128,
+            Access::REMOTE_WRITE,
+            t(0),
+        );
         let p = tpt.guess_hit_probability();
         assert!((p - 2.0 / 2f64.powi(32)).abs() < 1e-18);
     }

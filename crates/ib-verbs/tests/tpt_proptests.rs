@@ -12,16 +12,32 @@ use sim_core::{SimRng, SimTime};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Register { len: u64, read: bool, write: bool },
-    Invalidate { slot: usize },
-    Check { slot: usize, op_is_read: bool, off: u64, len: u64 },
-    CheckBogus { key: u32 },
+    Register {
+        len: u64,
+        read: bool,
+        write: bool,
+    },
+    Invalidate {
+        slot: usize,
+    },
+    Check {
+        slot: usize,
+        op_is_read: bool,
+        off: u64,
+        len: u64,
+    },
+    CheckBogus {
+        key: u32,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u64..16384, any::<bool>(), any::<bool>())
-            .prop_map(|(len, read, write)| Op::Register { len, read, write }),
+        (1u64..16384, any::<bool>(), any::<bool>()).prop_map(|(len, read, write)| Op::Register {
+            len,
+            read,
+            write
+        }),
         (0usize..8).prop_map(|slot| Op::Invalidate { slot }),
         (0usize..8, any::<bool>(), 0u64..20000, 1u64..4096).prop_map(
             |(slot, op_is_read, off, len)| Op::Check {

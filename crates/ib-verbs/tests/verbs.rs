@@ -5,8 +5,7 @@
 use std::rc::Rc;
 
 use ib_verbs::{
-    connect, Access, Fabric, Hca, HcaConfig, HostMem, NodeId, Opcode, PhysLayout, VerbsError,
-    WrId,
+    connect, Access, Fabric, Hca, HcaConfig, HostMem, NodeId, Opcode, PhysLayout, VerbsError, WrId,
 };
 use sim_core::{Cpu, CpuCosts, Payload, Sim, SimDuration, Simulation};
 
@@ -91,9 +90,7 @@ fn rdma_write_places_data_without_remote_cpu() {
         let target = target.clone();
         let qa = qa.clone();
         async move {
-            let mr = bh
-                .register(&target, 0, 8192, Access::REMOTE_WRITE)
-                .await;
+            let mr = bh.register(&target, 0, 8192, Access::REMOTE_WRITE).await;
             qa.post_rdma_write(
                 Payload::real(vec![9u8; 1024]),
                 mr.addr() + 100,
@@ -174,10 +171,7 @@ fn rdma_read_with_guessed_rkey_is_rejected_and_audited() {
             c
         }
     });
-    assert!(matches!(
-        comp.result,
-        Err(VerbsError::RemoteAccess { .. })
-    ));
+    assert!(matches!(comp.result, Err(VerbsError::RemoteAccess { .. })));
     assert!(qa.is_error(), "attacker connection must be torn down");
     assert_eq!(b.hca.exposure_report().violations, 1);
     // No data leaked.
@@ -256,7 +250,8 @@ fn read_then_send_has_no_ordering_guarantee() {
             let mr = bh.register(&src, 0, 1 << 20, Access::REMOTE_READ).await;
             qa.post_rdma_read(dst, 0, mr.addr(), mr.rkey(), 1 << 20, WrId(1))
                 .unwrap();
-            qa.post_send(Payload::real(vec![1]), WrId(2), false).unwrap();
+            qa.post_send(Payload::real(vec![1]), WrId(2), false)
+                .unwrap();
             let _ = qb.recv_cq().next().await;
             let send_arrival = h2.now();
             let c = qa.send_cq().next().await;
@@ -339,7 +334,9 @@ fn registration_pays_tpt_and_pin_costs() {
         let hca = a.hca.clone();
         let buf = buf.clone();
         async move {
-            let mr = hca.register(&buf, 0, 128 * 1024, Access::REMOTE_WRITE).await;
+            let mr = hca
+                .register(&buf, 0, 128 * 1024, Access::REMOTE_WRITE)
+                .await;
             mr.deregister().await;
         }
     });
@@ -368,7 +365,9 @@ fn fmr_map_is_cheaper_than_dynamic_registration() {
             let h2 = h.clone();
             async move {
                 let t0 = h2.now();
-                let mr = hca.register(&buf, 0, 128 * 1024, Access::REMOTE_WRITE).await;
+                let mr = hca
+                    .register(&buf, 0, 128 * 1024, Access::REMOTE_WRITE)
+                    .await;
                 mr.deregister().await;
                 let t_dynamic = h2.now().saturating_since(t0);
 
@@ -420,7 +419,10 @@ fn fmr_pool_exhaustion_and_oversize_fall_back() {
             assert!(matches!(e, Err(VerbsError::FmrUnavailable(_))));
             // Exhaust the pool.
             let m1 = pool.map(&buf, 0, 4096, Access::REMOTE_READ).await.unwrap();
-            let m2 = pool.map(&buf, 4096, 4096, Access::REMOTE_READ).await.unwrap();
+            let m2 = pool
+                .map(&buf, 4096, 4096, Access::REMOTE_READ)
+                .await
+                .unwrap();
             assert_eq!(pool.available(), 0);
             let e = pool.map(&buf, 8192, 4096, Access::REMOTE_READ).await;
             assert!(matches!(e, Err(VerbsError::FmrUnavailable(_))));
@@ -480,7 +482,8 @@ fn all_physical_global_rkey_reaches_memory_without_tpt_cost() {
         let dst = dst.clone();
         let src = src.clone();
         async move {
-            qa.post_rdma_read(dst, 0, src.addr(), g, 128, WrId(1)).unwrap();
+            qa.post_rdma_read(dst, 0, src.addr(), g, 128, WrId(1))
+                .unwrap();
             qa.send_cq().next().await
         }
     });
@@ -549,9 +552,12 @@ fn srq_shares_buffers_across_connections() {
         let s1 = s1.clone();
         let s2 = s2.clone();
         async move {
-            q1.post_send(Payload::real(vec![1u8; 64]), WrId(1), false).unwrap();
-            q2.post_send(Payload::real(vec![2u8; 64]), WrId(2), false).unwrap();
-            q1.post_send(Payload::real(vec![3u8; 64]), WrId(3), false).unwrap();
+            q1.post_send(Payload::real(vec![1u8; 64]), WrId(1), false)
+                .unwrap();
+            q2.post_send(Payload::real(vec![2u8; 64]), WrId(2), false)
+                .unwrap();
+            q1.post_send(Payload::real(vec![3u8; 64]), WrId(3), false)
+                .unwrap();
             // Each connection's arrivals complete on its own recv CQ.
             let a = s1.recv_cq().next().await;
             let b = s2.recv_cq().next().await;
@@ -581,7 +587,8 @@ fn srq_exhaustion_is_receiver_not_ready() {
     let comp = sim.block_on({
         let q1 = q1.clone();
         async move {
-            q1.post_send(Payload::real(vec![9u8; 16]), WrId(1), true).unwrap();
+            q1.post_send(Payload::real(vec![9u8; 16]), WrId(1), true)
+                .unwrap();
             q1.send_cq().next().await
         }
     });

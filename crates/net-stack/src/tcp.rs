@@ -140,10 +140,11 @@ impl TcpNet {
 
     /// Attach a host; its TCP processing is charged to `cpu`.
     pub fn attach(&self, node: NodeId, cpu: Cpu) {
-        let inbox = self
-            .inner
-            .fabric
-            .attach(node, self.inner.cfg.link_bandwidth, self.inner.cfg.link_latency);
+        let inbox = self.inner.fabric.attach(
+            node,
+            self.inner.cfg.link_bandwidth,
+            self.inner.cfg.link_latency,
+        );
         let state = Rc::new(NodeState {
             cpu,
             tx_softirq: sim_core::Resource::new(
@@ -206,10 +207,7 @@ impl TcpNet {
             )
             .await;
         let peer_rx = accept_rx.await.expect("connection refused");
-        self.inner
-            .rx_bufs
-            .borrow_mut()
-            .insert((id, to), peer_rx);
+        self.inner.rx_bufs.borrow_mut().insert((id, to), peer_rx);
         // SYN-ACK propagation back.
         self.inner.sim.sleep(self.inner.cfg.link_latency).await;
         TcpStream::new(self.clone(), id, from, to)
@@ -264,11 +262,7 @@ pub struct Listener {
 impl Listener {
     /// Accept the next incoming connection.
     pub async fn accept(&mut self) -> TcpStream {
-        let pending = self
-            .accept_rx
-            .recv()
-            .await
-            .expect("listener closed");
+        let pending = self.accept_rx.recv().await.expect("listener closed");
         let my_rx = Rc::new(RxBuf::default());
         self.net
             .inner
@@ -298,8 +292,8 @@ async fn dispatch_loop(
                 // Receive-path CPU: checksum + copy to the socket
                 // buffer, serialized in the (single-queue) softirq.
                 let cfg = net.inner.cfg;
-                let ns = (data.len() as f64 * cfg.rx_ns_per_byte).round() as u64
-                    + cfg.per_segment_ns;
+                let ns =
+                    (data.len() as f64 * cfg.rx_ns_per_byte).round() as u64 + cfg.per_segment_ns;
                 let d = SimDuration::from_nanos(ns);
                 state.rx_softirq.use_for(d).await;
                 state.cpu.charge(d);

@@ -15,9 +15,9 @@ pub mod proto;
 pub mod server;
 
 pub use client::{NfsClient, NfsError, NfsResult};
+pub use mount::{MountClient, Mountd, MountdHandle, MOUNT_PROGRAM, MOUNT_VERSION};
 pub use proto::{
     DirOpArgs, Fattr, FileHandle, NfsProc, NfsStat, ReadArgs, ReadResHead, WireDirEntry,
     WriteArgsHead, WriteRes, NFS_PROGRAM, NFS_VERSION,
 };
-pub use mount::{MountClient, Mountd, MountdHandle, MOUNT_PROGRAM, MOUNT_VERSION};
 pub use server::{NfsServer, NfsServerHandle, NfsServerStats};

@@ -121,7 +121,7 @@ impl BulkService for MountdHandle {
                 0 => BulkDispatch::success(Bytes::new(), None), // NULL
                 // MNT: dirpath -> (status, fhandle)
                 1 => {
-                    let mut dec = Decoder::new(args);
+                    let mut dec = Decoder::new(&args);
                     let Ok(path) = dec.get_string() else {
                         return BulkDispatch::error(AcceptStat::GarbageArgs);
                     };
@@ -153,7 +153,7 @@ impl BulkService for MountdHandle {
                 }
                 // UMNT: dirpath -> void
                 3 => {
-                    let mut dec = Decoder::new(args);
+                    let mut dec = Decoder::new(&args);
                     let Ok(path) = dec.get_string() else {
                         return BulkDispatch::error(AcceptStat::GarbageArgs);
                     };
@@ -162,8 +162,7 @@ impl BulkService for MountdHandle {
                 }
                 // EXPORT: list of dirpaths
                 5 => {
-                    let mut paths: Vec<String> =
-                        mountd.exports.borrow().keys().cloned().collect();
+                    let mut paths: Vec<String> = mountd.exports.borrow().keys().cloned().collect();
                     paths.sort();
                     let mut enc = Encoder::new();
                     enc.put_array(&paths, |e, p| {
@@ -228,7 +227,7 @@ impl MountClient {
         let body = (self.call)(MountProc::Mnt as u32, enc.finish())
             .await
             .map_err(crate::NfsError::Rpc)?;
-        let mut dec = Decoder::new(body);
+        let mut dec = Decoder::new(&body);
         let stat = MountStat::from_u32(dec.get_u32().map_err(|_| crate::NfsError::Protocol)?)
             .map_err(|_| crate::NfsError::Protocol)?;
         if stat != MountStat::Ok {
@@ -253,7 +252,7 @@ impl MountClient {
         let body = (self.call)(MountProc::Export as u32, Bytes::new())
             .await
             .map_err(crate::NfsError::Rpc)?;
-        let mut dec = Decoder::new(body);
+        let mut dec = Decoder::new(&body);
         dec.get_array(|d| d.get_string())
             .map_err(|_| crate::NfsError::Protocol)
     }
@@ -263,7 +262,7 @@ impl MountClient {
         let body = (self.call)(MountProc::Dump as u32, Bytes::new())
             .await
             .map_err(crate::NfsError::Rpc)?;
-        let mut dec = Decoder::new(body);
+        let mut dec = Decoder::new(&body);
         dec.get_array(|d| Ok((d.get_string()?, d.get_string()?)))
             .map_err(|_| crate::NfsError::Protocol)
     }

@@ -130,7 +130,7 @@ impl XdrCodec for FileHandle {
             return Err(XdrError::LengthOutOfRange(raw.len() as u32));
         }
         let mut a = [0u8; 8];
-        a.copy_from_slice(&raw);
+        a.copy_from_slice(raw);
         Ok(FileHandle(u64::from_be_bytes(a)))
     }
 }
@@ -306,7 +306,7 @@ pub fn decode_res<T>(
     body: Bytes,
     f: impl FnOnce(&mut Decoder) -> XdrResult<T>,
 ) -> XdrResult<Result<T, NfsStat>> {
-    let mut dec = Decoder::new(body);
+    let mut dec = Decoder::new(&body);
     let stat = NfsStat::from_u32(dec.get_u32()?)?;
     if stat == NfsStat::Ok {
         Ok(Ok(f(&mut dec)?))
@@ -463,13 +463,13 @@ mod tests {
     #[test]
     fn fattr_roundtrip() {
         let a = attr();
-        assert_eq!(Fattr::from_bytes(a.to_bytes()).unwrap(), a);
+        assert_eq!(Fattr::from_bytes(&a.to_bytes()).unwrap(), a);
     }
 
     #[test]
     fn file_handle_roundtrip() {
         let fh = FileHandle(0xdead_beef_0000_0042);
-        assert_eq!(FileHandle::from_bytes(fh.to_bytes()).unwrap(), fh);
+        assert_eq!(FileHandle::from_bytes(&fh.to_bytes()).unwrap(), fh);
     }
 
     #[test]
@@ -478,14 +478,14 @@ mod tests {
             dir: FileHandle(1),
             name: "hello.txt".into(),
         };
-        assert_eq!(DirOpArgs::from_bytes(a.to_bytes()).unwrap(), a);
+        assert_eq!(DirOpArgs::from_bytes(&a.to_bytes()).unwrap(), a);
 
         let r = ReadArgs {
             file: FileHandle(9),
             offset: 1 << 40,
             count: 131072,
         };
-        assert_eq!(ReadArgs::from_bytes(r.to_bytes()).unwrap(), r);
+        assert_eq!(ReadArgs::from_bytes(&r.to_bytes()).unwrap(), r);
 
         let w = WriteArgsHead {
             file: FileHandle(9),
@@ -493,7 +493,7 @@ mod tests {
             count: 65536,
             stable: false,
         };
-        assert_eq!(WriteArgsHead::from_bytes(w.to_bytes()).unwrap(), w);
+        assert_eq!(WriteArgsHead::from_bytes(&w.to_bytes()).unwrap(), w);
     }
 
     #[test]
@@ -533,6 +533,6 @@ mod tests {
             name: "subdir".into(),
             kind: FileKind::Dir,
         };
-        assert_eq!(WireDirEntry::from_bytes(e.to_bytes()).unwrap(), e);
+        assert_eq!(WireDirEntry::from_bytes(&e.to_bytes()).unwrap(), e);
     }
 }

@@ -84,7 +84,7 @@ impl NfsServer {
             }
             NfsProc::Getattr => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let fh = FileHandle::from_bytes(&args).map_err(bad)?;
                 let res = fs.getattr(Self::fid(fh));
                 ok(match res {
                     Ok(a) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&a).encode(e)),
@@ -93,7 +93,7 @@ impl NfsServer {
             }
             NfsProc::Setattr => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let mut dec = Decoder::new(args);
+                let mut dec = Decoder::new(&args);
                 let fh = FileHandle::decode(&mut dec).map_err(bad)?;
                 let size = dec.get_u64().map_err(bad)?;
                 let res = fs.setattr_size(Self::fid(fh), size);
@@ -104,7 +104,7 @@ impl NfsServer {
             }
             NfsProc::Lookup => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let a = DirOpArgs::from_bytes(args).map_err(bad)?;
+                let a = DirOpArgs::from_bytes(&args).map_err(bad)?;
                 let res = fs.lookup(Self::fid(a.dir), &a.name);
                 ok(match res {
                     Ok(attr) => encode_res(NfsStat::Ok, |e| Fattr::from_attr(&attr).encode(e)),
@@ -113,7 +113,7 @@ impl NfsServer {
             }
             NfsProc::Access => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let mut dec = Decoder::new(args);
+                let mut dec = Decoder::new(&args);
                 let fh = FileHandle::decode(&mut dec).map_err(bad)?;
                 let requested = dec.get_u32().map_err(bad)?;
                 let res = fs.getattr(Self::fid(fh));
@@ -129,7 +129,7 @@ impl NfsServer {
             }
             NfsProc::Readlink => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let fh = FileHandle::from_bytes(&args).map_err(bad)?;
                 let res = fs.readlink(Self::fid(fh));
                 ok(match res {
                     Ok(target) => encode_res(NfsStat::Ok, |e| {
@@ -140,15 +140,13 @@ impl NfsServer {
             }
             NfsProc::Read => {
                 self.stats.reads.set(self.stats.reads.get() + 1);
-                let a = ReadArgs::from_bytes(args).map_err(bad)?;
+                let a = ReadArgs::from_bytes(&args).map_err(bad)?;
                 let id = Self::fid(a.file);
                 match fs.read(id, a.offset, a.count as u64).await {
                     Ok(data) => {
                         let attr = fs.getattr(id).map_err(|_| AcceptStat::GarbageArgs)?;
                         let n = data.len();
-                        self.stats
-                            .bytes_read
-                            .set(self.stats.bytes_read.get() + n);
+                        self.stats.bytes_read.set(self.stats.bytes_read.get() + n);
                         let eof = a.offset + n >= attr.size;
                         let head = ReadResHead {
                             attr: Fattr::from_attr(&attr),
@@ -177,10 +175,13 @@ impl NfsServer {
             }
             NfsProc::Write => {
                 self.stats.writes.set(self.stats.writes.get() + 1);
-                let mut dec = Decoder::new(args.clone());
+                let mut dec = Decoder::new(&args);
                 let head = WriteArgsHead::decode(&mut dec).map_err(bad)?;
                 let data = if inline_bulk {
-                    Payload::real(dec.get_opaque().map_err(bad)?)
+                    // Zero-copy: re-anchor the borrowed opaque into the
+                    // args buffer rather than copying it out.
+                    let raw = dec.get_opaque().map_err(bad)?;
+                    Payload::real(args.slice_ref(raw))
                 } else {
                     bulk_in.ok_or(AcceptStat::GarbageArgs)?
                 };
@@ -212,7 +213,7 @@ impl NfsServer {
             }
             NfsProc::Create | NfsProc::Mkdir => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let a = DirOpArgs::from_bytes(args).map_err(bad)?;
+                let a = DirOpArgs::from_bytes(&args).map_err(bad)?;
                 let res = if proc_id == NfsProc::Create {
                     fs.create(Self::fid(a.dir), &a.name)
                 } else {
@@ -225,7 +226,7 @@ impl NfsServer {
             }
             NfsProc::Symlink => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let mut dec = Decoder::new(args);
+                let mut dec = Decoder::new(&args);
                 let dir = FileHandle::decode(&mut dec).map_err(bad)?;
                 let name = dec.get_string().map_err(bad)?;
                 let target = dec.get_string().map_err(bad)?;
@@ -237,7 +238,7 @@ impl NfsServer {
             }
             NfsProc::Remove | NfsProc::Rmdir => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let a = DirOpArgs::from_bytes(args).map_err(bad)?;
+                let a = DirOpArgs::from_bytes(&args).map_err(bad)?;
                 let res = if proc_id == NfsProc::Remove {
                     fs.remove(Self::fid(a.dir), &a.name)
                 } else {
@@ -250,7 +251,7 @@ impl NfsServer {
             }
             NfsProc::Rename => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let mut dec = Decoder::new(args);
+                let mut dec = Decoder::new(&args);
                 let fdir = FileHandle::decode(&mut dec).map_err(bad)?;
                 let fname = dec.get_string().map_err(bad)?;
                 let tdir = FileHandle::decode(&mut dec).map_err(bad)?;
@@ -263,7 +264,7 @@ impl NfsServer {
             }
             NfsProc::Readdir => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let fh = FileHandle::from_bytes(&args).map_err(bad)?;
                 let res = fs.readdir(Self::fid(fh));
                 ok(match res {
                     Ok(entries) => encode_res(NfsStat::Ok, |e| {
@@ -282,7 +283,7 @@ impl NfsServer {
             }
             NfsProc::ReaddirPlus => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let fh = FileHandle::from_bytes(&args).map_err(bad)?;
                 let res = fs.readdir(Self::fid(fh));
                 ok(match res {
                     Ok(entries) => encode_res(NfsStat::Ok, |e| {
@@ -313,7 +314,7 @@ impl NfsServer {
             }
             NfsProc::Fsstat => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let _fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let _fh = FileHandle::from_bytes(&args).map_err(bad)?;
                 let st = fs.fsstat();
                 ok(encode_res(NfsStat::Ok, |e| {
                     e.put_u64(st.bytes_used).put_u64(st.inodes);
@@ -321,7 +322,7 @@ impl NfsServer {
             }
             NfsProc::Commit => {
                 self.stats.others.set(self.stats.others.get() + 1);
-                let fh = FileHandle::from_bytes(args).map_err(bad)?;
+                let fh = FileHandle::from_bytes(&args).map_err(bad)?;
                 match fs.commit(Self::fid(fh)).await {
                     Ok(()) => ok(encode_res(NfsStat::Ok, |_| {})),
                     Err(e) => ok(encode_res(e.into(), |_| {})),

@@ -149,7 +149,10 @@ async fn exercise_full_protocol(bed: &Bed) {
 
     // ACCESS: granted bits within the requested envelope.
     let granted = client
-        .access(file.handle(), nfs::proto::access::READ | nfs::proto::access::MODIFY)
+        .access(
+            file.handle(),
+            nfs::proto::access::READ | nfs::proto::access::MODIFY,
+        )
         .await
         .unwrap();
     assert_eq!(
@@ -157,7 +160,9 @@ async fn exercise_full_protocol(bed: &Bed) {
         nfs::proto::access::READ | nfs::proto::access::MODIFY
     );
     assert!(matches!(
-        client.access(nfs::FileHandle(99999), nfs::proto::access::READ).await,
+        client
+            .access(nfs::FileHandle(99999), nfs::proto::access::READ)
+            .await,
         Err(NfsError::Status(NfsStat::Stale))
     ));
 
@@ -215,7 +220,11 @@ fn full_protocol_over_rdma_read_read_design() {
 
 #[test]
 fn full_protocol_over_rdma_cache_and_allphysical() {
-    for strategy in [StrategyKind::Cache, StrategyKind::AllPhysical, StrategyKind::Fmr] {
+    for strategy in [
+        StrategyKind::Cache,
+        StrategyKind::AllPhysical,
+        StrategyKind::Fmr,
+    ] {
         let mut sim = Simulation::new(23);
         let h = sim.handle();
         let bed = rdma_bed(&h, Design::ReadWrite, strategy);
@@ -292,8 +301,14 @@ fn tcp_and_rdma_agree_on_contents() {
             let root = bed.server.root_handle();
             let f = bed.client.create(root, "x").await.unwrap();
             let buf = bed.client_mem.alloc(4096);
-            buf.write(0, Payload::real((0u8..=255).cycle().take(4096).collect::<Vec<_>>()));
-            bed.client.write(f.handle(), 0, &buf, 0, 4096, true).await.unwrap();
+            buf.write(
+                0,
+                Payload::real((0u8..=255).cycle().take(4096).collect::<Vec<_>>()),
+            );
+            bed.client
+                .write(f.handle(), 0, &buf, 0, 4096, true)
+                .await
+                .unwrap();
             let (data, _) = bed.client.read(f.handle(), 0, 4096, None).await.unwrap();
             data.materialize().to_vec()
         })
@@ -305,8 +320,14 @@ fn tcp_and_rdma_agree_on_contents() {
             let root = bed.server.root_handle();
             let f = bed.client.create(root, "x").await.unwrap();
             let buf = bed.client_mem.alloc(4096);
-            buf.write(0, Payload::real((0u8..=255).cycle().take(4096).collect::<Vec<_>>()));
-            bed.client.write(f.handle(), 0, &buf, 0, 4096, true).await.unwrap();
+            buf.write(
+                0,
+                Payload::real((0u8..=255).cycle().take(4096).collect::<Vec<_>>()),
+            );
+            bed.client
+                .write(f.handle(), 0, &buf, 0, 4096, true)
+                .await
+                .unwrap();
             let (data, _) = bed.client.read(f.handle(), 0, 4096, None).await.unwrap();
             data.materialize().to_vec()
         })

@@ -73,7 +73,10 @@ fn mount_then_io_over_rdma() {
         let f = nfs_client.create(root, "hello").await.unwrap();
         let buf = cmem.alloc(4096);
         buf.write(0, Payload::real(vec![5u8; 1000]));
-        nfs_client.write(f.handle(), 0, &buf, 0, 1000, false).await.unwrap();
+        nfs_client
+            .write(f.handle(), 0, &buf, 0, 1000, false)
+            .await
+            .unwrap();
         let (data, _) = nfs_client.read(f.handle(), 0, 1000, None).await.unwrap();
         assert_eq!(&data.materialize()[..], &[5u8; 1000]);
 
@@ -122,7 +125,10 @@ fn mount_then_io_over_tcp() {
         let f = nfs_client.create(root, "x").await.unwrap();
         let buf = cmem.alloc(4096);
         buf.write(0, Payload::real(vec![9u8; 64]));
-        nfs_client.write(f.handle(), 0, &buf, 0, 64, true).await.unwrap();
+        nfs_client
+            .write(f.handle(), 0, &buf, 0, 64, true)
+            .await
+            .unwrap();
         let attr = nfs_client.getattr(f.handle()).await.unwrap();
         assert_eq!(attr.size, 64);
         mount.umnt("/export").await.unwrap();

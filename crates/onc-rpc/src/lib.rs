@@ -15,5 +15,10 @@ pub mod service;
 pub mod stream_transport;
 
 pub use msg::{AcceptStat, CallHeader, ReplyHeader, RPC_VERSION};
-pub use service::{BulkDispatch, BulkService, BulkServiceRef, ServiceRegistry, PROG_WILDCARD, CallContext, DispatchResult, LocalBoxFuture, RpcService, ServiceRef};
-pub use stream_transport::{serve_stream_bulk_connection, serve_stream_connection, RpcError, StreamRpcClient};
+pub use service::{
+    BulkDispatch, BulkService, BulkServiceRef, CallContext, DispatchResult, LocalBoxFuture,
+    RpcService, ServiceRef, ServiceRegistry, PROG_WILDCARD,
+};
+pub use stream_transport::{
+    serve_stream_bulk_connection, serve_stream_connection, RpcError, StreamRpcClient,
+};

@@ -154,17 +154,19 @@ pub fn encode_reply(hdr: &ReplyHeader, results: &Bytes) -> Bytes {
 
 /// Split a call message into header and argument body.
 pub fn decode_call(msg: Bytes) -> XdrResult<(CallHeader, Bytes)> {
-    let mut dec = Decoder::new(msg.clone());
+    let mut dec = Decoder::new(&msg);
     let hdr = CallHeader::decode(&mut dec)?;
-    let body = msg.slice(dec.position()..);
+    let at = dec.position();
+    let body = msg.slice(at..);
     Ok((hdr, body))
 }
 
 /// Split a reply message into header and result body.
 pub fn decode_reply(msg: Bytes) -> XdrResult<(ReplyHeader, Bytes)> {
-    let mut dec = Decoder::new(msg.clone());
+    let mut dec = Decoder::new(&msg);
     let hdr = ReplyHeader::decode(&mut dec)?;
-    let body = msg.slice(dec.position()..);
+    let at = dec.position();
+    let body = msg.slice(at..);
     Ok((hdr, body))
 }
 

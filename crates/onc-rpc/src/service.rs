@@ -238,8 +238,7 @@ mod tests {
                 Bytes::from_static(b"hi"),
             )
             .await;
-            let bad_prog =
-                dispatch(&svc, CallContext::default(), 999, 1, 0, Bytes::new()).await;
+            let bad_prog = dispatch(&svc, CallContext::default(), 999, 1, 0, Bytes::new()).await;
             let bad_proc =
                 dispatch(&svc, CallContext::default(), 200_000, 1, 42, Bytes::new()).await;
             (ok, bad_prog, bad_proc)

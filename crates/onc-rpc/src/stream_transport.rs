@@ -144,7 +144,8 @@ impl StreamRpcClient {
         args: Bytes,
         bulk: Option<Payload>,
     ) -> Result<(Bytes, Payload), RpcError> {
-        self.call_as(self.prog, self.vers, proc_num, args, bulk).await
+        self.call_as(self.prog, self.vers, proc_num, args, bulk)
+            .await
     }
 
     /// Issue a call for an explicit `(prog, vers)` — for connections
@@ -259,13 +260,12 @@ pub async fn serve_stream_bulk_connection(sim: Sim, stream: TcpStream, service: 
                 vers: hdr.vers,
             };
             let wildcard = service.program() == crate::service::PROG_WILDCARD;
-            let result = if !wildcard
-                && (hdr.prog != service.program() || hdr.vers != service.version())
-            {
-                crate::service::BulkDispatch::error(AcceptStat::ProgUnavail)
-            } else {
-                service.call(cx, hdr.proc_num, args, bulk_in).await
-            };
+            let result =
+                if !wildcard && (hdr.prog != service.program() || hdr.vers != service.version()) {
+                    crate::service::BulkDispatch::error(AcceptStat::ProgUnavail)
+                } else {
+                    service.call(cx, hdr.proc_num, args, bulk_in).await
+                };
             let reply = encode_reply(
                 &ReplyHeader {
                     xid: hdr.xid,
@@ -287,9 +287,7 @@ pub async fn serve_stream_bulk_connection(sim: Sim, stream: TcpStream, service: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::{
-        BulkDispatch, BulkService, DispatchResult, LocalBoxFuture, RpcService,
-    };
+    use crate::service::{BulkDispatch, BulkService, DispatchResult, LocalBoxFuture, RpcService};
     use ib_verbs::types::NodeId;
     use net_stack::{TcpConfig, TcpNet};
     use sim_core::{Cpu, CpuCosts, Simulation};
@@ -312,7 +310,7 @@ mod tests {
                 if proc_num != 1 {
                     return DispatchResult::error(AcceptStat::ProcUnavail);
                 }
-                let mut dec = xdr::Decoder::new(args);
+                let mut dec = xdr::Decoder::new(&args);
                 let a = dec.get_u32().unwrap_or(0);
                 let b = dec.get_u32().unwrap_or(0);
                 let mut enc = xdr::Encoder::new();
@@ -349,7 +347,7 @@ mod tests {
             let mut enc = xdr::Encoder::new();
             enc.put_u32(19).put_u32(23);
             let body = client.call(1, enc.finish()).await.unwrap();
-            xdr::Decoder::new(body).get_u32().unwrap()
+            xdr::Decoder::new(&body).get_u32().unwrap()
         });
         assert_eq!(sum, 42);
     }
@@ -380,7 +378,7 @@ mod tests {
                     let mut enc = xdr::Encoder::new();
                     enc.put_u32(i).put_u32(i * 100);
                     let body = client.call(1, enc.finish()).await.unwrap();
-                    let v = xdr::Decoder::new(body).get_u32().unwrap();
+                    let v = xdr::Decoder::new(&body).get_u32().unwrap();
                     out.borrow_mut().push((i, v));
                     done.add_permits(1);
                 });

@@ -25,7 +25,7 @@ use onc_rpc::msg::{decode_reply, encode_call};
 use onc_rpc::{AcceptStat, CallHeader, RpcError};
 use sim_core::sync::{oneshot, OneshotSender, Semaphore};
 use sim_core::{Payload, Sim};
-use xdr::XdrCodec;
+use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
 use crate::header::{MsgType, RdmaHeader, ReadChunk};
@@ -95,6 +95,10 @@ struct ClientInner {
     router: CompletionRouter,
     stats: RefCell<ClientStats>,
     dead: Cell<bool>,
+    /// Per-connection scratch for assembling outgoing wire messages
+    /// (RPC/RDMA header + inline body). Reused across calls so the
+    /// steady-state encode path performs no heap allocation.
+    send_scratch: RefCell<Encoder>,
 }
 
 /// Handle to an RPC/RDMA client endpoint (one per connection).
@@ -133,6 +137,7 @@ impl RdmaRpcClient {
             router: CompletionRouter::spawn(sim, qp.send_cq().clone()),
             stats: RefCell::new(ClientStats::default()),
             dead: Cell::new(false),
+            send_scratch: RefCell::new(Encoder::with_capacity(256)),
         });
         // Fail all pending calls if the connection errors.
         {
@@ -331,12 +336,17 @@ impl RdmaRpcClient {
         }
 
         // --- Send the call. ------------------------------------------
-        let hdr_bytes = hdr.to_bytes();
-        // Staging copy into the pre-registered inline send buffer.
-        cpu.copy((hdr_bytes.len() + inline_body.len()) as u64).await;
-        let mut wire = Vec::with_capacity(hdr_bytes.len() + inline_body.len());
-        wire.extend_from_slice(&hdr_bytes);
-        wire.extend_from_slice(&inline_body);
+        // Header + inline body are assembled in the per-connection
+        // scratch encoder (no allocation in steady state); the single
+        // copy into an owned buffer models staging into the
+        // pre-registered inline send buffer.
+        let (wire, wire_len) = {
+            let mut enc = inner.send_scratch.borrow_mut();
+            hdr.encode_into(&mut enc);
+            enc.put_raw(&inline_body);
+            (Bytes::copy_from_slice(enc.as_slice()), enc.len() as u64)
+        };
+        cpu.copy(wire_len).await;
 
         let (tx, rx) = oneshot();
         inner.pending.borrow_mut().insert(xid, tx);
@@ -484,10 +494,7 @@ impl RdmaRpcClient {
                 let mut pulled: Option<Payload> = None;
                 if !rhdr.read_chunks.is_empty() {
                     let total: u64 = rhdr.read_chunk_bytes();
-                    let io = inner
-                        .registrar
-                        .acquire_scratch(total, Access::LOCAL)
-                        .await;
+                    let io = inner.registrar.acquire_scratch(total, Access::LOCAL).await;
                     // Post every read, then await; ORD throttles depth.
                     let mut off = 0u64;
                     let mut waits = Vec::new();
@@ -528,9 +535,14 @@ impl RdmaRpcClient {
                     // crashed client (§4.1 failure injection).
                     if !inner.cfg.suppress_done {
                         let done = RdmaHeader::new(rhdr.xid, inner.cfg.credits, MsgType::Done);
+                        let msg = {
+                            let mut enc = inner.send_scratch.borrow_mut();
+                            done.encode_into(&mut enc);
+                            Bytes::copy_from_slice(enc.as_slice())
+                        };
                         inner
                             .qp
-                            .post_send(Payload::real(done.to_bytes()), self.alloc_wr(), false)
+                            .post_send(Payload::real(msg), self.alloc_wr(), false)
                             .map_err(|_| RpcError::Disconnected)?;
                         inner.stats.borrow_mut().dones_sent += 1;
                     }
@@ -576,11 +588,12 @@ async fn reply_dispatcher(inner: Rc<ClientInner>, recv_bufs: Vec<Buffer>) {
         }
         let Some(payload) = c.payload else { continue };
         let raw = payload.materialize();
-        let mut dec = xdr::Decoder::new(raw.clone());
+        let mut dec = xdr::Decoder::new(&raw);
         let Ok(hdr) = RdmaHeader::decode(&mut dec) else {
             continue;
         };
-        let body = raw.slice(dec.position()..);
+        let at = dec.position();
+        let body = raw.slice(at..);
         if let Some(tx) = inner.pending.borrow_mut().remove(&hdr.xid) {
             tx.send((hdr, body));
         }

@@ -63,7 +63,9 @@ pub struct Segment {
 
 impl XdrCodec for Segment {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u32(self.rkey.0).put_u32(self.len as u32).put_u64(self.addr);
+        enc.put_u32(self.rkey.0)
+            .put_u32(self.len as u32)
+            .put_u64(self.addr);
     }
 
     fn decode(dec: &mut Decoder) -> XdrResult<Self> {
@@ -99,7 +101,7 @@ pub struct ReadChunk {
 ///     segment: Segment { rkey: Rkey(0xabcd), len: 131072, addr: 0x10000 },
 /// });
 /// let wire = hdr.to_bytes();
-/// assert_eq!(RdmaHeader::from_bytes(wire).unwrap(), hdr);
+/// assert_eq!(RdmaHeader::from_bytes(&wire).unwrap(), hdr);
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RdmaHeader {
@@ -219,7 +221,6 @@ impl XdrCodec for RdmaHeader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
 
     fn seg(rkey: u32, len: u64, addr: u64) -> Segment {
         Segment {
@@ -232,7 +233,7 @@ mod tests {
     #[test]
     fn minimal_header_roundtrip() {
         let h = RdmaHeader::new(7, 32, MsgType::Msg);
-        let got = RdmaHeader::from_bytes(h.to_bytes()).unwrap();
+        let got = RdmaHeader::from_bytes(&h.to_bytes()).unwrap();
         assert_eq!(got, h);
     }
 
@@ -259,7 +260,7 @@ mod tests {
             ],
             reply_chunk: Some(vec![seg(6, 32768, 0x40_0000)]),
         };
-        let got = RdmaHeader::from_bytes(h.to_bytes()).unwrap();
+        let got = RdmaHeader::from_bytes(&h.to_bytes()).unwrap();
         assert_eq!(got, h);
     }
 
@@ -294,14 +295,14 @@ mod tests {
         let h = RdmaHeader::new(7, 32, MsgType::Msg);
         let mut raw = h.to_bytes().to_vec();
         raw[4..8].copy_from_slice(&9u32.to_be_bytes());
-        assert!(RdmaHeader::from_bytes(Bytes::from(raw)).is_err());
+        assert!(RdmaHeader::from_bytes(&raw).is_err());
     }
 
     #[test]
     fn garbage_rejected_without_panic() {
         for n in 0..64 {
             let junk: Vec<u8> = (0..n).map(|i| (i * 37) as u8).collect();
-            let _ = RdmaHeader::from_bytes(Bytes::from(junk));
+            let _ = RdmaHeader::from_bytes(&junk);
         }
     }
 }

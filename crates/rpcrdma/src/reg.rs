@@ -188,7 +188,12 @@ impl RegCache {
 
     async fn acquire(&self, len: u64, access: Access) -> CacheEntry {
         let class = Self::class_of(len, access);
-        let hit = self.inner.classes.borrow_mut().get_mut(&class).and_then(Vec::pop);
+        let hit = self
+            .inner
+            .classes
+            .borrow_mut()
+            .get_mut(&class)
+            .and_then(Vec::pop);
         if let Some(e) = hit {
             self.inner.hits.set(self.inner.hits.get() + 1);
             self.inner
@@ -212,7 +217,9 @@ impl RegCache {
             e.mr.deregister().await;
             return;
         }
-        self.inner.free_bytes.set(self.inner.free_bytes.get() + size);
+        self.inner
+            .free_bytes
+            .set(self.inner.free_bytes.get() + size);
         self.inner
             .classes
             .borrow_mut()
@@ -301,13 +308,7 @@ impl Registrar {
     /// (zero-copy). For the cache strategy this instead acquires a slab
     /// buffer — the caller must copy via [`IoBuf::write`]/[`IoBuf::read`]
     /// and charge the CPU accordingly (use [`Registrar::is_staged`]).
-    pub async fn acquire_user(
-        &self,
-        buffer: &Buffer,
-        off: u64,
-        len: u64,
-        access: Access,
-    ) -> IoBuf {
+    pub async fn acquire_user(&self, buffer: &Buffer, off: u64, len: u64, access: Access) -> IoBuf {
         match self.kind {
             StrategyKind::Cache => self.cache_acquire(len, access).await,
             _ => self.register_window(buffer, off, len, access).await,
@@ -337,13 +338,7 @@ impl Registrar {
         }
     }
 
-    async fn register_window(
-        &self,
-        buffer: &Buffer,
-        off: u64,
-        len: u64,
-        access: Access,
-    ) -> IoBuf {
+    async fn register_window(&self, buffer: &Buffer, off: u64, len: u64, access: Access) -> IoBuf {
         match self.kind {
             StrategyKind::Dynamic => {
                 let mr = self.hca.register(buffer, off, len, access).await;
@@ -434,7 +429,9 @@ mod tests {
         sim.block_on({
             let reg = reg.clone();
             async move {
-                let io = reg.acquire_user(&buf, 0, 128 * 1024, Access::REMOTE_WRITE).await;
+                let io = reg
+                    .acquire_user(&buf, 0, 128 * 1024, Access::REMOTE_WRITE)
+                    .await;
                 let segs = io.segments(0, 128 * 1024, reg.hca());
                 assert_eq!(segs.len(), 1);
                 assert_eq!(segs[0].len, 128 * 1024);
@@ -521,7 +518,9 @@ mod tests {
             let reg = reg.clone();
             let buf = buf.clone();
             async move {
-                let io = reg.acquire_user(&buf, 0, 1 << 20, Access::REMOTE_READ).await;
+                let io = reg
+                    .acquire_user(&buf, 0, 1 << 20, Access::REMOTE_READ)
+                    .await;
                 let segs = io.segments(0, 1 << 20, reg.hca());
                 assert_eq!(segs.len(), expected_runs);
                 assert!(segs.len() > 1, "1 MiB should span multiple phys runs");
@@ -549,10 +548,14 @@ mod tests {
             let buf = buf.clone();
             async move {
                 // Over fmr_max_len (1 MiB) -> dynamic fall-back.
-                let io = reg.acquire_user(&buf, 0, 2 << 20, Access::REMOTE_READ).await;
+                let io = reg
+                    .acquire_user(&buf, 0, 2 << 20, Access::REMOTE_READ)
+                    .await;
                 reg.release(io).await;
                 // Within limit -> FMR.
-                let io = reg.acquire_user(&buf, 0, 64 * 1024, Access::REMOTE_READ).await;
+                let io = reg
+                    .acquire_user(&buf, 0, 64 * 1024, Access::REMOTE_READ)
+                    .await;
                 reg.release(io).await;
             }
         });
@@ -582,7 +585,13 @@ mod tests {
                 (miss, hit)
             }
         });
-        assert!(hit_time < SimDuration::from_micros(1), "hit cost {hit_time}");
-        assert!(miss_time > SimDuration::from_micros(100), "miss cost {miss_time}");
+        assert!(
+            hit_time < SimDuration::from_micros(1),
+            "hit cost {hit_time}"
+        );
+        assert!(
+            miss_time > SimDuration::from_micros(100),
+            "miss cost {miss_time}"
+        );
     }
 }

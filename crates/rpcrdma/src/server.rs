@@ -29,7 +29,7 @@ use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Srq, WrId};
 use onc_rpc::msg::{decode_call, encode_reply};
 use onc_rpc::{CallContext, ReplyHeader};
 use sim_core::{Payload, Resource, Sim};
-use xdr::XdrCodec;
+use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
 use crate::header::{MsgType, RdmaHeader, ReadChunk, Segment};
@@ -153,6 +153,9 @@ struct ConnState {
     /// Read-Read design: xid -> buffers exposed until RDMA_DONE.
     pending_exposures: RefCell<HashMap<u32, Vec<IoBuf>>>,
     router: CompletionRouter,
+    /// Per-connection scratch for assembling outgoing reply wire
+    /// messages (header + inline body) without steady-state allocation.
+    send_scratch: RefCell<Encoder>,
 }
 
 impl ConnState {
@@ -186,6 +189,7 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
         wr_counter: Cell::new(1 << 40),
         pending_exposures: RefCell::new(HashMap::new()),
         router: CompletionRouter::spawn(&server.sim, qp.send_cq().clone()),
+        send_scratch: RefCell::new(Encoder::with_capacity(256)),
     });
 
     loop {
@@ -203,11 +207,12 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
         }
         let Some(payload) = c.payload else { continue };
         let raw = payload.materialize();
-        let mut dec = xdr::Decoder::new(raw.clone());
+        let mut dec = xdr::Decoder::new(&raw);
         let Ok(hdr) = RdmaHeader::decode(&mut dec) else {
             continue; // garbage header: drop (a real server would NAK)
         };
-        let body = raw.slice(dec.position()..);
+        let at = dec.position();
+        let body = raw.slice(at..);
 
         match hdr.msg_type {
             MsgType::Done => {
@@ -260,10 +265,13 @@ async fn handle_op(
     let cfg = server.cfg;
     let cpu = server.hca.cpu().clone();
     server.stats.inflight.set(server.stats.inflight.get() + 1);
-    server
-        .stats
-        .peak_inflight
-        .set(server.stats.peak_inflight.get().max(server.stats.inflight.get()));
+    server.stats.peak_inflight.set(
+        server
+            .stats
+            .peak_inflight
+            .get()
+            .max(server.stats.inflight.get()),
+    );
     let _inflight = InflightGuard(server.stats.clone());
 
     server.sim.trace("rpc", || {
@@ -280,7 +288,9 @@ async fn handle_op(
     if hdr.msg_type == MsgType::Msgp {
         // Padded inline: [head][padding][data]. The alignment means the
         // data was placed directly — no pull-up copy, no RDMA Read.
-        let Some((align, head_len)) = hdr.msgp else { return };
+        let Some((align, head_len)) = hdr.msgp else {
+            return;
+        };
         let (align, head_len) = (align as usize, head_len as usize);
         if head_len > call_msg.len() || align == 0 {
             return; // malformed
@@ -295,7 +305,10 @@ async fn handle_op(
             .stats
             .bulk_in
             .set(server.stats.bulk_in.get() + data.len() as u64);
-        server.stats.msgp_recvs.set(server.stats.msgp_recvs.get() + 1);
+        server
+            .stats
+            .msgp_recvs
+            .set(server.stats.msgp_recvs.get() + 1);
         bulk_in = Some(Payload::real(data));
         call_msg = call_msg.slice(..head_len);
     }
@@ -343,12 +356,14 @@ async fn handle_op(
     };
     let wildcard = server.service.program() == onc_rpc::PROG_WILDCARD;
     let dispatch = if !wildcard
-        && (call_hdr.prog != server.service.program()
-            || call_hdr.vers != server.service.version())
+        && (call_hdr.prog != server.service.program() || call_hdr.vers != server.service.version())
     {
         crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
     } else {
-        server.service.call(cx, call_hdr.proc_num, args, bulk_in).await
+        server
+            .service
+            .call(cx, call_hdr.proc_num, args, bulk_in)
+            .await
     };
     server.stats.ops.set(server.stats.ops.get() + 1);
 
@@ -448,11 +463,16 @@ async fn handle_op(
     } else {
         reply_msg
     };
-    let rhdr_bytes = rhdr.to_bytes();
-    cpu.copy((rhdr_bytes.len() + inline.len()) as u64).await;
-    let mut wire = Vec::with_capacity(rhdr_bytes.len() + inline.len());
-    wire.extend_from_slice(&rhdr_bytes);
-    wire.extend_from_slice(&inline);
+    // Header + inline body assembled in the connection's scratch
+    // encoder; the single copy out models staging into the registered
+    // inline send buffer.
+    let (wire, wire_len) = {
+        let mut enc = conn.send_scratch.borrow_mut();
+        rhdr.encode_into(&mut enc);
+        enc.put_raw(&inline);
+        (Bytes::copy_from_slice(enc.as_slice()), enc.len() as u64)
+    };
+    cpu.copy(wire_len).await;
 
     let wr = conn.alloc_wr();
     // Signaled: the reply Send's completion is the proof that every
@@ -488,10 +508,7 @@ async fn pull_chunks(
     chunks: &[&ReadChunk],
 ) -> Option<IoBuf> {
     let total: u64 = chunks.iter().map(|c| c.segment.len).sum();
-    let io = server
-        .registrar
-        .acquire_scratch(total, Access::LOCAL)
-        .await;
+    let io = server.registrar.acquire_scratch(total, Access::LOCAL).await;
     let mut off = 0u64;
     let mut waits = Vec::new();
     for chunk in chunks {
@@ -529,10 +546,7 @@ async fn pull_chunks(
 /// reference the file-system pages directly (no copy); the cache
 /// strategy copies into its pre-registered slab entry.
 async fn stage_source(server: &Rc<RdmaRpcServer>, data: &Payload, access: Access) -> IoBuf {
-    let io = server
-        .registrar
-        .acquire_scratch(data.len(), access)
-        .await;
+    let io = server.registrar.acquire_scratch(data.len(), access).await;
     io.write(0, data.clone());
     if server.registrar.is_staged() {
         server.hca.cpu().copy(data.len()).await;

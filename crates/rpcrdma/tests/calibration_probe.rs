@@ -30,7 +30,7 @@ impl RdmaService for Reader {
         bulk_in: Option<Payload>,
     ) -> LocalBoxFuture<RdmaDispatch> {
         Box::pin(async move {
-            let mut dec = xdr::Decoder::new(args);
+            let mut dec = xdr::Decoder::new(&args);
             let len = dec.get_u32().unwrap_or(0) as u64;
             if let Some(data) = bulk_in {
                 // write path
@@ -68,9 +68,23 @@ fn run(design: Design, strategy: StrategyKind, write: bool, threads: u32) -> f64
     let (shca, _smem) = mk(1);
     let cfg = RpcRdmaConfig::solaris().with_design(design);
     let (qc, qs) = connect(&chca, &shca);
-    let server = RdmaRpcServer::new(&h, &shca, Rc::new(Reader), Registrar::new(&shca, strategy), cfg);
+    let server = RdmaRpcServer::new(
+        &h,
+        &shca,
+        Rc::new(Reader),
+        Registrar::new(&shca, strategy),
+        cfg,
+    );
     server.serve_connection(qs);
-    let client = RdmaRpcClient::new(&h, &chca, qc, Registrar::new(&chca, strategy), cfg, 100003, 3);
+    let client = RdmaRpcClient::new(
+        &h,
+        &chca,
+        qc,
+        Registrar::new(&chca, strategy),
+        cfg,
+        100003,
+        3,
+    );
 
     const REC: u64 = 131_072;
     const OPS_PER_THREAD: u64 = 64;

@@ -41,7 +41,7 @@ impl RdmaService for ToyFs {
             match proc_num {
                 // read: args = len(u32); returns that much synthetic data
                 1 => {
-                    let mut dec = xdr::Decoder::new(args);
+                    let mut dec = xdr::Decoder::new(&args);
                     let len = dec.get_u32().unwrap_or(0) as u64;
                     let mut enc = xdr::Encoder::new();
                     enc.put_u32(len as u32);
@@ -50,11 +50,7 @@ impl RdmaService for ToyFs {
                 // write: bulk_in is the data; returns its checksum-ish len
                 2 => {
                     let data = bulk_in.expect("write without bulk");
-                    let sum: u64 = data
-                        .materialize()
-                        .iter()
-                        .map(|&b| b as u64)
-                        .sum();
+                    let sum: u64 = data.materialize().iter().map(|&b| b as u64).sum();
                     let mut enc = xdr::Encoder::new();
                     enc.put_u32(data.len() as u32).put_u64(sum);
                     RdmaDispatch::success(enc.finish(), None)
@@ -63,7 +59,7 @@ impl RdmaService for ToyFs {
                 3 => RdmaDispatch::success(args, None),
                 // bigdir: returns a head of the requested size (long reply)
                 4 => {
-                    let mut dec = xdr::Decoder::new(args);
+                    let mut dec = xdr::Decoder::new(&args);
                     let len = dec.get_u32().unwrap_or(0) as usize;
                     let mut enc = xdr::Encoder::new();
                     enc.put_opaque(&vec![0x2f; len]);
@@ -146,7 +142,11 @@ fn inline_echo_roundtrip_both_designs() {
         let client = bed.client.clone();
         let got = sim.block_on(async move {
             client
-                .call(3, Bytes::from_static(b"hello rpc-rdma!!"), BulkParams::default())
+                .call(
+                    3,
+                    Bytes::from_static(b"hello rpc-rdma!!"),
+                    BulkParams::default(),
+                )
                 .await
                 .unwrap()
         });
@@ -218,7 +218,7 @@ fn bulk_write_roundtrips_every_design_and_strategy() {
                     .await
                     .unwrap()
             });
-            let mut dec = xdr::Decoder::new(got.body);
+            let mut dec = xdr::Decoder::new(&got.body);
             assert_eq!(dec.get_u32().unwrap(), 100_000, "{design:?}/{strategy:?}");
             assert_eq!(
                 dec.get_u64().unwrap(),
@@ -249,7 +249,7 @@ fn long_reply_roundtrips_both_designs() {
                 .await
                 .unwrap()
         });
-        let mut dec = xdr::Decoder::new(got.body);
+        let mut dec = xdr::Decoder::new(&got.body);
         let dir = dec.get_opaque().unwrap();
         assert_eq!(dir.len(), 50_000, "{design:?}");
         assert!(dir.iter().all(|&b| b == 0x2f));
@@ -657,7 +657,7 @@ fn server_srq_serves_many_connections_from_one_pool() {
                     )
                     .await
                     .unwrap();
-                let mut dec = xdr::Decoder::new(got.body);
+                let mut dec = xdr::Decoder::new(&got.body);
                 assert_eq!(dec.get_u32().unwrap(), 32 * 1024);
                 done.add_permits(1);
             });
@@ -812,8 +812,14 @@ fn client_crash_does_not_disturb_other_connections() {
     );
     sim.block_on(async move {
         // Both clients healthy.
-        client1.call(3, Bytes::from_static(b"one"), BulkParams::default()).await.unwrap();
-        client2.call(3, Bytes::from_static(b"two"), BulkParams::default()).await.unwrap();
+        client1
+            .call(3, Bytes::from_static(b"one"), BulkParams::default())
+            .await
+            .unwrap();
+        client2
+            .call(3, Bytes::from_static(b"two"), BulkParams::default())
+            .await
+            .unwrap();
 
         // Client 1 crashes: both ends of its connection error out.
         q1.force_error();
@@ -892,14 +898,22 @@ fn msgp_small_writes_skip_registration_and_rdma_read() {
             .await
             .unwrap()
     });
-    let mut dec = xdr::Decoder::new(got.body);
+    let mut dec = xdr::Decoder::new(&got.body);
     assert_eq!(dec.get_u32().unwrap(), 700);
     assert_eq!(dec.get_u64().unwrap(), expect_sum, "MSGP data corrupted");
     assert_eq!(client.stats().msgp_sends, 1);
     assert_eq!(server.stats.msgp_recvs.get(), 1);
     // No registration happened for the bulk data on either side.
-    assert_eq!(chca.reg_stats().dynamic_regs, 0, "client registered for MSGP");
-    assert_eq!(shca.reg_stats().dynamic_regs, 0, "server registered for MSGP");
+    assert_eq!(
+        chca.reg_stats().dynamic_regs,
+        0,
+        "client registered for MSGP"
+    );
+    assert_eq!(
+        shca.reg_stats().dynamic_regs,
+        0,
+        "server registered for MSGP"
+    );
 }
 
 #[test]
@@ -954,7 +968,10 @@ fn msgp_large_writes_still_use_chunks() {
             .unwrap();
     });
     assert_eq!(client.stats().msgp_sends, 0);
-    assert!(chca.reg_stats().dynamic_regs > 0, "large write must register");
+    assert!(
+        chca.reg_stats().dynamic_regs > 0,
+        "large write must register"
+    );
 }
 
 #[test]

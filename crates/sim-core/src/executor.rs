@@ -11,18 +11,48 @@
 //! Determinism contract: given the same seed and the same spawn order,
 //! two runs produce identical event orderings and identical virtual-time
 //! results. Ready tasks run FIFO; timers fire in `(deadline, sequence)`
-//! order.
+//! order. `tests/golden_schedule.rs` pins a hash of a full schedule, so
+//! a refactor that silently changes ordering fails loudly.
+//!
+//! ## Hot-path internals
+//!
+//! Simulated seconds cost millions of polls of host time, so the
+//! per-poll constants here dominate every benchmark harness:
+//!
+//! - **Slab task table.** Tasks live in a `Vec` of slots indexed by the
+//!   low half of the task id, with a free list for reuse — no hashing on
+//!   poll. The high half is a per-slot generation, so a stale wake
+//!   (e.g. from a timer outliving its task) addresses a reused slot
+//!   harmlessly: the generation no longer matches and the wake is
+//!   dropped.
+//! - **Cached wakers.** Each slot holds one `Arc`-backed [`Waker`],
+//!   created at spawn; polls clone it (a refcount bump) instead of
+//!   allocating a fresh waker per poll. Steady-state polling performs
+//!   zero heap allocations (pinned by `tests/zero_alloc.rs`).
+//! - **Wake dedup.** The waker carries an "already scheduled" flag;
+//!   waking a task that is still queued is a no-op rather than a
+//!   duplicate queue entry and a wasted poll. The flag clears *before*
+//!   the poll runs so a task that wakes itself (`yield_now`) re-queues
+//!   correctly.
+//! - **Batched ready-queue drain.** The ready queue is `Mutex`-guarded
+//!   only because `Waker` must be `Send + Sync`; the executor swaps the
+//!   whole queue into a local buffer and takes the lock once per batch
+//!   instead of once per task. FIFO order is preserved: wakes raised
+//!   while a batch runs land in the (empty) shared queue and form the
+//!   next batch, exactly the order the one-pop-per-lock loop produced.
+//! - **Timer wheel.** Pending timers live in a bucketed wheel with a
+//!   far-future heap and O(1) lazy cancellation ([`crate::timer_wheel`])
+//!   instead of a `BinaryHeap` + `HashMap` pair.
 //!
 //! The executor is intentionally `!Send`: tasks may freely hold
 //! `Rc`/`RefCell` state across `.await`. Parameter sweeps parallelize by
 //! running *independent* `Simulation`s on separate OS threads.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -30,56 +60,69 @@ use parking_lot::Mutex;
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::timer_wheel::{TimerHandle, TimerWheel};
 
+/// Packed task id: `generation << 32 | slot index`.
 type TaskId = u64;
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+fn task_slot(id: TaskId) -> usize {
+    (id & u32::MAX as u64) as usize
+}
+
+fn task_gen(id: TaskId) -> u32 {
+    (id >> 32) as u32
+}
 
 /// Queue of tasks woken and awaiting a poll. Shared with [`Waker`]s,
 /// which must be `Send + Sync`, hence the `Mutex` — it is never
 /// contended because the executor is single-threaded.
 #[derive(Default)]
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: Mutex<Vec<TaskId>>,
+    /// Mirrors `queue.len()`; lets the executor's drain loop detect
+    /// emptiness with one atomic load instead of a lock round-trip.
+    len: AtomicUsize,
 }
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().push_back(id);
+        let mut q = self.queue.lock();
+        q.push(id);
+        self.len.store(q.len(), Ordering::Release);
     }
-    fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().pop_front()
+
+    /// Swap the queued batch into `buf` (cleared first), taking the
+    /// lock once — or zero locks when the queue is empty. Preserves
+    /// FIFO order across batches.
+    fn drain_into(&self, buf: &mut Vec<TaskId>) {
+        buf.clear();
+        if self.len.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut q = self.queue.lock();
+        std::mem::swap(&mut *q, buf);
+        self.len.store(0, Ordering::Release);
     }
 }
 
+/// One waker per task, created at spawn and cached in the task's slot.
 struct TaskWaker {
     id: TaskId,
     ready: Arc<ReadyQueue>,
+    /// True while the task sits in the ready queue; extra wakes are
+    /// no-ops. Cleared by the executor just before polling.
+    scheduled: AtomicBool,
 }
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.push(self.id);
+        self.wake_by_ref();
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.push(self.id);
-    }
-}
-
-#[derive(PartialEq, Eq)]
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
-}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+        if !self.scheduled.swap(true, Ordering::Relaxed) {
+            self.ready.push(self.id);
+        }
     }
 }
 
@@ -94,13 +137,33 @@ pub struct TraceEvent {
     pub detail: String,
 }
 
+/// A live task's state; `None` in [`TaskSlot::live`] marks a free slot.
+struct LiveTask {
+    /// Taken out during a poll so the task body can re-entrantly spawn.
+    fut: Option<BoxFuture>,
+    /// Shared with every clone of the task's waker; lets the executor
+    /// clear the scheduled flag without allocating.
+    flag: Arc<TaskWaker>,
+    /// Cached waker backed by `flag`; cloned (refcount bump) per poll.
+    waker: Waker,
+}
+
+struct TaskSlot {
+    /// Bumped when the slot is freed, invalidating outstanding ids.
+    gen: u32,
+    live: Option<LiveTask>,
+}
+
+#[derive(Default)]
+struct TaskSlab {
+    slots: Vec<TaskSlot>,
+    free: Vec<u32>,
+}
+
 struct Core {
     now: Cell<SimTime>,
-    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
-    next_task: Cell<TaskId>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    timer_wakers: RefCell<HashMap<u64, Waker>>,
-    timer_seq: Cell<u64>,
+    tasks: RefCell<TaskSlab>,
+    timers: RefCell<TimerWheel>,
     rng: RefCell<SimRng>,
     /// Count of task polls, a cheap progress metric for tests/benches.
     polls: Cell<u64>,
@@ -130,11 +193,8 @@ impl Simulation {
         Simulation {
             core: Rc::new(Core {
                 now: Cell::new(SimTime::ZERO),
-                tasks: RefCell::new(HashMap::new()),
-                next_task: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
-                timer_wakers: RefCell::new(HashMap::new()),
-                timer_seq: Cell::new(0),
+                tasks: RefCell::new(TaskSlab::default()),
+                timers: RefCell::new(TimerWheel::new()),
                 rng: RefCell::new(SimRng::new(seed)),
                 polls: Cell::new(0),
                 trace: RefCell::new(None),
@@ -190,33 +250,28 @@ impl Simulation {
     /// the simulation quiesces, whichever is first. The clock never
     /// advances beyond the last fired timer.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let mut batch: Vec<TaskId> = Vec::new();
         loop {
-            // Drain every ready task at the current instant.
-            while let Some(id) = self.ready.pop() {
-                self.poll_task(id);
-            }
-            // Advance to the earliest pending timer.
-            let next = {
-                let mut timers = self.core.timers.borrow_mut();
-                match timers.peek() {
-                    Some(Reverse(e)) if e.deadline <= deadline => {
-                        let Reverse(e) = timers.pop().unwrap();
-                        Some(e)
-                    }
-                    _ => None,
+            // Drain every ready task at the current instant, one lock
+            // acquisition per batch. Wakes raised while the batch runs
+            // form the next batch, preserving FIFO order.
+            loop {
+                self.ready.drain_into(&mut batch);
+                if batch.is_empty() {
+                    break;
                 }
-            };
-            match next {
-                Some(entry) => {
-                    // A cancelled timer (dropped Sleep) leaves a stale
-                    // heap entry with no waker; skip it without touching
-                    // the clock.
-                    let waker = self.core.timer_wakers.borrow_mut().remove(&entry.seq);
-                    if let Some(w) = waker {
-                        debug_assert!(entry.deadline >= self.core.now.get());
-                        self.core.now.set(entry.deadline);
-                        w.wake();
-                    }
+                for &id in &batch {
+                    self.poll_task(id);
+                }
+            }
+            // Advance to the earliest pending timer. (Cancelled timers
+            // are skipped inside the wheel without touching the clock.)
+            let fired = self.core.timers.borrow_mut().pop_due(deadline);
+            match fired {
+                Some((at, waker)) => {
+                    debug_assert!(at >= self.core.now.get());
+                    self.core.now.set(at);
+                    waker.wake();
                 }
                 None => return,
             }
@@ -239,20 +294,40 @@ impl Simulation {
     }
 
     fn poll_task(&self, id: TaskId) {
-        // Remove the task while polling so the task body can call
-        // spawn() (which borrows the task map) without re-entrancy.
-        let fut = self.core.tasks.borrow_mut().remove(&id);
-        let Some(mut fut) = fut else {
-            return; // already completed; duplicate wake
+        // Take the future out while polling so the task body can call
+        // spawn() (which borrows the slab) without re-entrancy.
+        let (mut fut, waker) = {
+            let mut slab = self.core.tasks.borrow_mut();
+            let Some(slot) = slab.slots.get_mut(task_slot(id)) else {
+                return;
+            };
+            if slot.gen != task_gen(id) {
+                return; // stale wake: slot was freed (and maybe reused)
+            }
+            let Some(live) = slot.live.as_mut() else {
+                return;
+            };
+            // Clear before polling: a task that wakes itself mid-poll
+            // (yield_now) must land back in the queue.
+            live.flag.scheduled.store(false, Ordering::Relaxed);
+            let Some(fut) = live.fut.take() else {
+                return;
+            };
+            (fut, live.waker.clone())
         };
         self.core.polls.set(self.core.polls.get() + 1);
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: self.ready.clone(),
-        }));
         let mut cx = Context::from_waker(&waker);
-        if fut.as_mut().poll(&mut cx).is_pending() {
-            self.core.tasks.borrow_mut().insert(id, fut);
+        let pending = fut.as_mut().poll(&mut cx).is_pending();
+        let mut slab = self.core.tasks.borrow_mut();
+        let slot = &mut slab.slots[task_slot(id)];
+        if pending {
+            if let Some(live) = slot.live.as_mut() {
+                live.fut = Some(fut);
+            }
+        } else {
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.live = None;
+            slab.free.push(task_slot(id) as u32);
         }
     }
 }
@@ -265,9 +340,31 @@ impl Sim {
 
     /// Spawn a detached task.
     pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
-        let id = self.core.next_task.get();
-        self.core.next_task.set(id + 1);
-        self.core.tasks.borrow_mut().insert(id, Box::pin(fut));
+        let id = {
+            let mut slab = self.core.tasks.borrow_mut();
+            let idx = match slab.free.pop() {
+                Some(i) => i,
+                None => {
+                    slab.slots.push(TaskSlot { gen: 0, live: None });
+                    (slab.slots.len() - 1) as u32
+                }
+            };
+            let slot = &mut slab.slots[idx as usize];
+            let id = ((slot.gen as u64) << 32) | idx as u64;
+            let flag = Arc::new(TaskWaker {
+                id,
+                ready: self.ready.clone(),
+                // Born scheduled: pushed directly below.
+                scheduled: AtomicBool::new(true),
+            });
+            let waker = Waker::from(flag.clone());
+            slot.live = Some(LiveTask {
+                fut: Some(Box::pin(fut)),
+                flag,
+                waker,
+            });
+            id
+        };
         self.ready.push(id);
     }
 
@@ -278,10 +375,13 @@ impl Sim {
 
     /// Sleep until an absolute virtual instant.
     pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        // `Sleep` only needs the clock and the timer wheel, so it holds
+        // the core alone — cheaper to create per-await than a full
+        // handle clone (skips the ready queue's atomic refcount).
         Sleep {
-            sim: self.clone(),
+            core: self.core.clone(),
             deadline,
-            timer_seq: None,
+            timer: None,
         }
     }
 
@@ -314,58 +414,47 @@ impl Sim {
             });
         }
     }
-
-    fn register_timer(&self, deadline: SimTime, waker: Waker) -> u64 {
-        let seq = self.core.timer_seq.get();
-        self.core.timer_seq.set(seq + 1);
-        self.core
-            .timers
-            .borrow_mut()
-            .push(Reverse(TimerEntry { deadline, seq }));
-        self.core.timer_wakers.borrow_mut().insert(seq, waker);
-        seq
-    }
-
-    fn cancel_timer(&self, seq: u64) {
-        // The heap entry stays until popped, but without a waker it is a
-        // no-op when it fires.
-        self.core.timer_wakers.borrow_mut().remove(&seq);
-    }
 }
 
 /// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
 pub struct Sleep {
-    sim: Sim,
+    core: Rc<Core>,
     deadline: SimTime,
-    timer_seq: Option<u64>,
+    timer: Option<TimerHandle>,
 }
 
 impl Future for Sleep {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.sim.now() >= self.deadline {
-            if let Some(seq) = self.timer_seq.take() {
-                self.sim.cancel_timer(seq);
+        if self.core.now.get() >= self.deadline {
+            if let Some(h) = self.timer.take() {
+                // Woken by something other than our own timer (which
+                // would have consumed the registration); cancel it.
+                self.core.timers.borrow_mut().cancel(h);
             }
             return Poll::Ready(());
         }
-        // (Re-)register; re-registration on spurious polls is rare and
-        // cheap, and keeping exactly one live waker avoids staleness.
-        if let Some(seq) = self.timer_seq.take() {
-            self.sim.cancel_timer(seq);
+        match self.timer {
+            // Spurious poll: keep the registration, refresh the stored
+            // waker in place only if it would wake a different task.
+            Some(h) => self.core.timers.borrow_mut().update_waker(h, cx.waker()),
+            None => {
+                let h = self
+                    .core
+                    .timers
+                    .borrow_mut()
+                    .register(self.deadline, cx.waker().clone());
+                self.timer = Some(h);
+            }
         }
-        let seq = self
-            .sim
-            .register_timer(self.deadline, cx.waker().clone());
-        self.timer_seq = Some(seq);
         Poll::Pending
     }
 }
 
 impl Drop for Sleep {
     fn drop(&mut self) {
-        if let Some(seq) = self.timer_seq.take() {
-            self.sim.cancel_timer(seq);
+        if let Some(h) = self.timer.take() {
+            self.core.timers.borrow_mut().cancel(h);
         }
     }
 }
@@ -576,5 +665,68 @@ mod tests {
         });
         // If the cancelled timer still fired we'd have advanced to 1000s.
         assert_eq!(sim.now(), SimTime::from_nanos(5));
+    }
+
+    #[test]
+    fn task_slots_are_reused_and_stale_wakes_ignored() {
+        let mut sim = Simulation::new(1);
+        // Many short-lived generations of tasks must recycle a small
+        // set of slots rather than grow the table.
+        for round in 0..50u64 {
+            for i in 0..4u64 {
+                let h = sim.handle();
+                sim.spawn(async move {
+                    h.sleep(SimDuration::from_nanos(round * 10 + i + 1)).await;
+                });
+            }
+            sim.run();
+        }
+        let slab = sim.core.tasks.borrow();
+        assert!(
+            slab.slots.len() <= 8,
+            "slab grew to {} slots for 4 concurrent tasks",
+            slab.slots.len()
+        );
+    }
+
+    #[test]
+    fn duplicate_wakes_are_deduped() {
+        // Two external wakers for the same pending task must produce a
+        // single poll, not two.
+        struct Armed {
+            wakers: Rc<RefCell<Vec<Waker>>>,
+            done: Rc<Cell<bool>>,
+        }
+        impl Future for Armed {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.done.get() {
+                    Poll::Ready(())
+                } else {
+                    self.wakers.borrow_mut().push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let wakers: Rc<RefCell<Vec<Waker>>> = Rc::new(RefCell::new(Vec::new()));
+        let done = Rc::new(Cell::new(false));
+        sim.spawn(Armed {
+            wakers: wakers.clone(),
+            done: done.clone(),
+        });
+        sim.run();
+        assert_eq!(wakers.borrow().len(), 1);
+        let polls_before = sim.polls();
+        done.set(true);
+        let w = wakers.borrow_mut().pop().unwrap();
+        w.wake_by_ref(); // queues the task
+        w.wake(); // duplicate: must be a no-op
+        sim.run();
+        assert_eq!(
+            sim.polls() - polls_before,
+            1,
+            "duplicate wake caused a second poll"
+        );
     }
 }

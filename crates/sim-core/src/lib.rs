@@ -42,8 +42,8 @@
 #![forbid(unsafe_code)]
 
 pub mod cpu;
-pub mod extent;
 pub mod executor;
+pub mod extent;
 pub mod payload;
 pub mod resource;
 pub mod rng;
@@ -51,10 +51,11 @@ pub mod stats;
 pub mod sweep;
 pub mod sync;
 pub mod time;
+pub mod timer_wheel;
 
 pub use cpu::{Cpu, CpuCosts};
-pub use extent::ExtentMap;
 pub use executor::{yield_now, Sim, Simulation, TraceEvent};
+pub use extent::ExtentMap;
 pub use payload::Payload;
 pub use resource::{Link, Resource};
 pub use rng::SimRng;

@@ -260,7 +260,10 @@ mod tests {
         assert_eq!(s.count(), 4);
         assert_eq!(s.min(), SimDuration::from_micros(1));
         assert_eq!(s.max(), SimDuration::from_micros(9));
-        assert_eq!(s.mean(), SimDuration::from_micros(4) + SimDuration::from_nanos(500));
+        assert_eq!(
+            s.mean(),
+            SimDuration::from_micros(4) + SimDuration::from_nanos(500)
+        );
     }
 
     #[test]

@@ -32,8 +32,10 @@ where
 
     // Work-stealing by index over a shared counter; each worker writes
     // results into disjoint slots.
-    let inputs: Vec<std::sync::Mutex<Option<P>>> =
-        params.into_iter().map(|p| std::sync::Mutex::new(Some(p))).collect();
+    let inputs: Vec<std::sync::Mutex<Option<P>>> = params
+        .into_iter()
+        .map(|p| std::sync::Mutex::new(Some(p)))
+        .collect();
     let outputs: Vec<std::sync::Mutex<Option<R>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);

@@ -299,9 +299,7 @@ impl Semaphore {
         let mut inner = self.inner.borrow_mut();
         if inner.permits > 0 && inner.waiters.is_empty() {
             inner.permits -= 1;
-            Some(SemPermit {
-                sem: self.clone(),
-            })
+            Some(SemPermit { sem: self.clone() })
         } else {
             None
         }

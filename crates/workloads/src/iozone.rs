@@ -144,12 +144,8 @@ pub async fn run_iozone(sim: &Sim, bed: &Testbed, params: IozoneParams) -> Iozon
     let ops = total_bytes / record;
     let secs = elapsed.as_secs_f64();
 
-    let client_cpu = bed
-        .clients
-        .iter()
-        .map(|c| c.cpu.utilization())
-        .sum::<f64>()
-        / bed.clients.len() as f64;
+    let client_cpu =
+        bed.clients.iter().map(|c| c.cpu.utilization()).sum::<f64>() / bed.clients.len() as f64;
 
     let lat = latencies.borrow();
     IozoneResult {

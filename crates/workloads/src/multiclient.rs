@@ -65,7 +65,11 @@ pub struct MultiClientResult {
 }
 
 /// Run one multi-client point inside a fresh simulation.
-pub fn run_multiclient(seed: u64, profile: &Profile, params: MultiClientParams) -> MultiClientResult {
+pub fn run_multiclient(
+    seed: u64,
+    profile: &Profile,
+    params: MultiClientParams,
+) -> MultiClientResult {
     let mut sim = Simulation::new(seed);
     let h = sim.handle();
     let profile = *profile;

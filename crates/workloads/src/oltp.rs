@@ -58,7 +58,11 @@ pub async fn run_oltp(sim: &Sim, bed: &Testbed, params: OltpParams) -> OltpResul
 
     // Database + log files, prepopulated server-side.
     let db = client.nfs.create(root, "oltp.db").await.expect("create db");
-    let log = client.nfs.create(root, "oltp.log").await.expect("create log");
+    let log = client
+        .nfs
+        .create(root, "oltp.log")
+        .await
+        .expect("create log");
     {
         let id = fs_backend::FileId(db.handle().0);
         let mut off = 0;

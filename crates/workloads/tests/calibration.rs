@@ -72,7 +72,11 @@ fn fig5_client_cpu_read_read_much_higher_than_read_write() {
         rr.client_cpu * 100.0,
         rw.client_cpu * 100.0
     );
-    assert!(rw.client_cpu < 0.10, "RW client CPU {:.1}%", rw.client_cpu * 100.0);
+    assert!(
+        rw.client_cpu < 0.10,
+        "RW client CPU {:.1}%",
+        rw.client_cpu * 100.0
+    );
 }
 
 #[test]

@@ -174,7 +174,10 @@ fn testbed_reset_accounting_clears_utilization() {
         let f = c.nfs.create(root, "x").await.unwrap();
         let buf = c.mem.alloc(128 * 1024);
         buf.write(0, Payload::synthetic(1, 128 * 1024));
-        c.nfs.write(f.handle(), 0, &buf, 0, 128 * 1024, false).await.unwrap();
+        c.nfs
+            .write(f.handle(), 0, &buf, 0, 128 * 1024, false)
+            .await
+            .unwrap();
         assert!(bed.server_cpu.busy_time().as_nanos() > 0);
         bed.reset_accounting();
         assert_eq!(bed.server_cpu.busy_time().as_nanos(), 0);

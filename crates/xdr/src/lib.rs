@@ -50,7 +50,7 @@ pub type Result<T> = std::result::Result<T, XdrError>;
 /// use xdr::{Encoder, Decoder};
 /// let mut enc = Encoder::new();
 /// enc.put_u32(7).put_string("hello").put_opaque(&[1, 2, 3]);
-/// let mut dec = Decoder::new(enc.finish());
+/// let mut dec = Decoder::new(enc.as_slice());
 /// assert_eq!(dec.get_u32().unwrap(), 7);
 /// assert_eq!(dec.get_string().unwrap(), "hello");
 /// assert_eq!(&dec.get_opaque().unwrap()[..], &[1, 2, 3]);
@@ -72,6 +72,20 @@ impl Encoder {
         Encoder {
             buf: Vec::with_capacity(n),
         }
+    }
+
+    /// Clear the encoder for reuse, keeping its capacity. A scratch
+    /// encoder held per connection makes steady-state encoding
+    /// allocation-free.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes encoded so far, borrowed. Pair with [`Encoder::reset`]
+    /// to reuse one buffer across messages; use [`Encoder::finish`]
+    /// only when an owned `Bytes` is genuinely needed.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Finish and take the encoded bytes.
@@ -114,6 +128,14 @@ impl Encoder {
     /// Encode a boolean.
     pub fn put_bool(&mut self, v: bool) -> &mut Self {
         self.put_u32(v as u32)
+    }
+
+    /// Append raw bytes with no length prefix or padding. Not an XDR
+    /// primitive: used to assemble wire messages (header + body) in one
+    /// reusable buffer.
+    pub fn put_raw(&mut self, data: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(data);
+        self
     }
 
     /// Encode fixed-length opaque data (padded to 4 bytes).
@@ -164,17 +186,23 @@ impl Encoder {
     }
 }
 
-/// Streaming XDR decoder over a `Bytes` buffer.
-pub struct Decoder {
-    buf: Bytes,
+/// Streaming XDR decoder borrowing its input.
+///
+/// Borrowing (rather than owning a `Bytes`) keeps decoding
+/// allocation- and refcount-free: `get_opaque` returns a subslice of
+/// the input. A caller that must keep decoded payload bytes alive
+/// beyond the input borrow re-anchors the subslice with
+/// [`Bytes::slice_ref`], which is still zero-copy.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
     pos: usize,
     /// Sanity cap for length prefixes (default 64 MiB).
     max_len: u32,
 }
 
-impl Decoder {
-    /// Decode from `buf`.
-    pub fn new(buf: Bytes) -> Self {
+impl<'a> Decoder<'a> {
+    /// Decode from `buf`. Accepts `&Bytes` via deref coercion.
+    pub fn new(buf: &'a [u8]) -> Self {
         Decoder {
             buf,
             pos: 0,
@@ -198,7 +226,7 @@ impl Decoder {
         self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&[u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(XdrError::Truncated);
         }
@@ -240,11 +268,9 @@ impl Decoder {
         }
     }
 
-    /// Decode fixed-length opaque data.
-    pub fn get_opaque_fixed(&mut self, len: usize) -> Result<Bytes> {
-        let start = self.pos;
-        self.take(len)?;
-        let out = self.buf.slice(start..start + len);
+    /// Decode fixed-length opaque data, borrowed from the input.
+    pub fn get_opaque_fixed(&mut self, len: usize) -> Result<&'a [u8]> {
+        let out = self.take(len)?;
         let pad = (4 - len % 4) % 4;
         let padding = self.take(pad)?;
         if padding.iter().any(|&b| b != 0) {
@@ -253,8 +279,8 @@ impl Decoder {
         Ok(out)
     }
 
-    /// Decode variable-length opaque data.
-    pub fn get_opaque(&mut self) -> Result<Bytes> {
+    /// Decode variable-length opaque data, borrowed from the input.
+    pub fn get_opaque(&mut self) -> Result<&'a [u8]> {
         let len = self.get_u32()?;
         if len > self.max_len {
             return Err(XdrError::LengthOutOfRange(len));
@@ -265,7 +291,10 @@ impl Decoder {
     /// Decode a string.
     pub fn get_string(&mut self) -> Result<String> {
         let raw = self.get_opaque()?;
-        String::from_utf8(raw.to_vec()).map_err(|_| XdrError::BadUtf8)
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(XdrError::BadUtf8),
+        }
     }
 
     /// Decode an optional value.
@@ -310,17 +339,27 @@ pub trait XdrCodec: Sized {
     /// Append this value to the encoder.
     fn encode(&self, enc: &mut Encoder);
     /// Parse a value from the decoder.
-    fn decode(dec: &mut Decoder) -> Result<Self>;
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self>;
 
-    /// Convenience: encode to fresh bytes.
+    /// Encode into a reusable scratch encoder: resets it (keeping
+    /// capacity), then appends. Steady state performs zero heap
+    /// allocations once the scratch has grown to the message size.
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.reset();
+        self.encode(enc);
+    }
+
+    /// Convenience: encode to fresh bytes. Allocates; hot paths should
+    /// prefer [`XdrCodec::encode_into`] with a per-connection scratch.
     fn to_bytes(&self) -> Bytes {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
         enc.finish()
     }
 
-    /// Convenience: decode from bytes, requiring full consumption.
-    fn from_bytes(buf: Bytes) -> Result<Self> {
+    /// Convenience: decode from borrowed bytes, requiring full
+    /// consumption. Accepts `&Bytes` via deref coercion.
+    fn from_bytes(buf: &[u8]) -> Result<Self> {
         let mut dec = Decoder::new(buf);
         let v = Self::decode(&mut dec)?;
         dec.expect_end()?;
@@ -341,7 +380,7 @@ mod tests {
             .put_i64(-99)
             .put_bool(true)
             .put_bool(false);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
         assert_eq!(d.get_i32().unwrap(), -7);
         assert_eq!(d.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
@@ -358,8 +397,8 @@ mod tests {
             let mut e = Encoder::new();
             e.put_opaque(&data);
             assert_eq!(e.len() % 4, 0, "len {len} not aligned");
-            let mut d = Decoder::new(e.finish());
-            assert_eq!(&d.get_opaque().unwrap()[..], &data[..]);
+            let mut d = Decoder::new(e.as_slice());
+            assert_eq!(d.get_opaque().unwrap(), &data[..]);
             d.expect_end().unwrap();
         }
     }
@@ -370,7 +409,7 @@ mod tests {
         e.put_opaque(b"abc"); // 1 pad byte
         let mut raw = e.finish().to_vec();
         *raw.last_mut().unwrap() = 0xFF;
-        let mut d = Decoder::new(Bytes::from(raw));
+        let mut d = Decoder::new(&raw);
         assert_eq!(d.get_opaque().unwrap_err(), XdrError::BadPadding);
     }
 
@@ -378,12 +417,12 @@ mod tests {
     fn strings_roundtrip_and_reject_bad_utf8() {
         let mut e = Encoder::new();
         e.put_string("héllo wörld");
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.get_string().unwrap(), "héllo wörld");
 
         let mut e = Encoder::new();
         e.put_opaque(&[0xff, 0xfe]);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.get_string().unwrap_err(), XdrError::BadUtf8);
     }
 
@@ -396,7 +435,7 @@ mod tests {
         e.put_option(None::<&u32>, |e, v| {
             e.put_u32(*v);
         });
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.get_option(|d| d.get_u32()).unwrap(), Some(42));
         assert_eq!(d.get_option(|d| d.get_u32()).unwrap(), None);
     }
@@ -408,7 +447,7 @@ mod tests {
         e.put_array(&items, |e, v| {
             e.put_u32(*v);
         });
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.get_array(|d| d.get_u32()).unwrap(), items);
     }
 
@@ -418,7 +457,7 @@ mod tests {
         e.put_u64(7);
         let full = e.finish();
         for cut in 0..full.len() {
-            let mut d = Decoder::new(full.slice(0..cut));
+            let mut d = Decoder::new(&full[..cut]);
             assert_eq!(d.get_u64().unwrap_err(), XdrError::Truncated);
         }
     }
@@ -427,7 +466,7 @@ mod tests {
     fn absurd_array_count_rejected_quickly() {
         let mut e = Encoder::new();
         e.put_u32(u32::MAX); // count
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         let r: Result<Vec<u32>> = d.get_array(|d| d.get_u32());
         assert!(r.is_err());
     }
@@ -436,7 +475,7 @@ mod tests {
     fn oversize_opaque_rejected() {
         let mut e = Encoder::new();
         e.put_u32(100 << 20);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert!(matches!(
             d.get_opaque().unwrap_err(),
             XdrError::LengthOutOfRange(_)
@@ -447,7 +486,7 @@ mod tests {
     fn bool_discriminant_strictness() {
         let mut e = Encoder::new();
         e.put_u32(2);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.get_bool().unwrap_err(), XdrError::BadDiscriminant(2));
     }
 
@@ -455,7 +494,7 @@ mod tests {
     fn position_tracking() {
         let mut e = Encoder::new();
         e.put_u32(1).put_u64(2);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         assert_eq!(d.position(), 0);
         d.get_u32().unwrap();
         assert_eq!(d.position(), 4);

@@ -10,7 +10,7 @@ proptest! {
     fn u32_roundtrip(v in any::<u32>()) {
         let mut e = Encoder::new();
         e.put_u32(v);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         prop_assert_eq!(d.get_u32().unwrap(), v);
         d.expect_end().unwrap();
     }
@@ -19,7 +19,7 @@ proptest! {
     fn i64_roundtrip(v in any::<i64>()) {
         let mut e = Encoder::new();
         e.put_i64(v);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         prop_assert_eq!(d.get_i64().unwrap(), v);
     }
 
@@ -28,8 +28,8 @@ proptest! {
         let mut e = Encoder::new();
         e.put_opaque(&data);
         prop_assert_eq!(e.len() % 4, 0);
-        let mut d = Decoder::new(e.finish());
-        prop_assert_eq!(&d.get_opaque().unwrap()[..], &data[..]);
+        let mut d = Decoder::new(e.as_slice());
+        prop_assert_eq!(d.get_opaque().unwrap(), &data[..]);
         d.expect_end().unwrap();
     }
 
@@ -37,7 +37,7 @@ proptest! {
     fn string_roundtrip(s in "\\PC{0,64}") {
         let mut e = Encoder::new();
         e.put_string(&s);
-        let mut d = Decoder::new(e.finish());
+        let mut d = Decoder::new(e.as_slice());
         prop_assert_eq!(d.get_string().unwrap(), s);
     }
 
@@ -53,9 +53,9 @@ proptest! {
         e.put_opaque(&b);
         e.put_option(c.as_ref(), |e, v| { e.put_u64(*v); });
         e.put_array(&d_arr, |e, v| { e.put_i32(*v); });
-        let mut dec = Decoder::new(e.finish());
+        let mut dec = Decoder::new(e.as_slice());
         prop_assert_eq!(dec.get_u32().unwrap(), a);
-        prop_assert_eq!(&dec.get_opaque().unwrap()[..], &b[..]);
+        prop_assert_eq!(dec.get_opaque().unwrap(), &b[..]);
         prop_assert_eq!(dec.get_option(|d| d.get_u64()).unwrap(), c);
         prop_assert_eq!(dec.get_array(|d| d.get_i32()).unwrap(), d_arr);
         dec.expect_end().unwrap();
@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let buf = Bytes::from(bytes);
-        let mut d = Decoder::new(buf.clone());
+        let mut d = Decoder::new(&buf);
         let _ = d.get_u32();
         let _ = d.get_opaque();
         let _ = d.get_string();
@@ -85,7 +85,8 @@ proptest! {
         e.put_opaque(&data);
         let full = e.finish();
         let cut = ((full.len() - 1) as f64 * frac) as usize;
-        let mut d = Decoder::new(full.slice(0..cut));
+        let cut_buf = full.slice(0..cut);
+        let mut d = Decoder::new(&cut_buf);
         // Either the length prefix or the body is cut short.
         prop_assert!(d.get_opaque().is_err());
     }

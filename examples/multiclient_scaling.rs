@@ -6,9 +6,7 @@
 //! cargo run --release -p bench --example multiclient_scaling
 //! ```
 
-use workloads::{
-    linux_ddr_raid, run_multiclient, McTransport, MultiClientParams,
-};
+use workloads::{linux_ddr_raid, run_multiclient, McTransport, MultiClientParams};
 
 fn main() {
     let profile = linux_ddr_raid();

@@ -20,10 +20,10 @@ fn main() {
         let bed = build_rdma(
             &h,
             &profile,
-            Design::ReadWrite,        // the paper's design
-            StrategyKind::Cache,      // its fastest registration strategy
+            Design::ReadWrite,   // the paper's design
+            StrategyKind::Cache, // its fastest registration strategy
             Backend::Tmpfs,
-            1,                        // one client host
+            1, // one client host
         );
         let client = &bed.clients[0];
         let root = bed.server.root_handle();

@@ -27,7 +27,14 @@ fn audit(design: Design) {
     };
 
     sim.block_on(async move {
-        let bed = build_rdma(&h, &profile, design, StrategyKind::Dynamic, Backend::Tmpfs, 1);
+        let bed = build_rdma(
+            &h,
+            &profile,
+            design,
+            StrategyKind::Dynamic,
+            Backend::Tmpfs,
+            1,
+        );
         let client = &bed.clients[0];
         let root = bed.server.root_handle();
         let server_hca = bed.server_hca.as_ref().unwrap();
@@ -36,7 +43,11 @@ fn audit(design: Design) {
         // RR design is open from reply until RDMA_DONE).
         let file = client.nfs.create(root, "secrets.db").await.unwrap();
         bed.fs
-            .write(fs_backend::FileId(file.handle().0), 0, Payload::synthetic(1, 8 << 20))
+            .write(
+                fs_backend::FileId(file.handle().0),
+                0,
+                Payload::synthetic(1, 8 << 20),
+            )
             .await
             .unwrap();
         let buf = client.mem.alloc(128 * 1024);
@@ -47,8 +58,7 @@ fn audit(design: Design) {
                 .read(file.handle(), i * 131072, 131072, Some((&buf, 0)))
                 .await
                 .unwrap();
-            peak_guess_probability =
-                peak_guess_probability.max(server_hca.guess_hit_probability());
+            peak_guess_probability = peak_guess_probability.max(server_hca.guess_hit_probability());
         }
 
         let report = server_hca.exposure_report();
@@ -88,7 +98,11 @@ fn guessing_attack() {
 
         let file = honest.nfs.create(root, "payroll").await.unwrap();
         bed.fs
-            .write(fs_backend::FileId(file.handle().0), 0, Payload::synthetic(9, 1 << 20))
+            .write(
+                fs_backend::FileId(file.handle().0),
+                0,
+                Payload::synthetic(9, 1 << 20),
+            )
             .await
             .unwrap();
 
@@ -136,7 +150,11 @@ fn withheld_done() {
         let client = &bed.clients[0];
         let file = client.nfs.create(root, "x").await.unwrap();
         bed.fs
-            .write(fs_backend::FileId(file.handle().0), 0, Payload::synthetic(2, 4 << 20))
+            .write(
+                fs_backend::FileId(file.handle().0),
+                0,
+                Payload::synthetic(2, 4 << 20),
+            )
             .await
             .unwrap();
 

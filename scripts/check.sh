@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Repo health gate: formatting, lints, build, tests, and a smoke run of
+# the executor/marshalling performance harness. Run from the repo root.
+#
+#   ./scripts/check.sh          # everything (tier-1 plus lints + smoke)
+#   SKIP_TESTS=1 ./scripts/check.sh   # lints and smoke only
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${SKIP_TESTS:-0}" != "1" ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+    echo "==> cargo test -q"
+    cargo test -q
+fi
+
+echo "==> simperf --smoke"
+cargo run --release -p bench --bin simperf -- --smoke
+
+echo "OK: all checks passed"

@@ -12,7 +12,14 @@ use workloads::{build_rdma, solaris_sdr, Backend, Testbed};
 
 fn bed(sim: &Simulation, design: Design, strategy: StrategyKind, clients: usize) -> Testbed {
     let profile = solaris_sdr();
-    build_rdma(&sim.handle(), &profile, design, strategy, Backend::Tmpfs, clients)
+    build_rdma(
+        &sim.handle(),
+        &profile,
+        design,
+        strategy,
+        Backend::Tmpfs,
+        clients,
+    )
 }
 
 #[test]
@@ -27,7 +34,10 @@ fn same_seed_same_virtual_time() {
                 let f = c.nfs.create(root, &format!("f{i}")).await.unwrap();
                 let buf = c.mem.alloc(256 * 1024);
                 buf.write(0, Payload::synthetic(i as u64, 256 * 1024));
-                c.nfs.write(f.handle(), 0, &buf, 0, 256 * 1024, false).await.unwrap();
+                c.nfs
+                    .write(f.handle(), 0, &buf, 0, 256 * 1024, false)
+                    .await
+                    .unwrap();
                 let _ = c.nfs.read(f.handle(), 0, 256 * 1024, None).await.unwrap();
             }
             h.now().as_nanos()
@@ -57,7 +67,10 @@ fn designs_produce_identical_file_state() {
             }
             // Overwrite a middle window.
             buf.write(0, Payload::synthetic(99, 10_000));
-            c.nfs.write(f.handle(), 123_456, &buf, 0, 10_000, true).await.unwrap();
+            c.nfs
+                .write(f.handle(), 123_456, &buf, 0, 10_000, true)
+                .await
+                .unwrap();
             let (data, _) = c.nfs.read(f.handle(), 0, 512 * 1024, None).await.unwrap();
             data.materialize().to_vec()
         })
@@ -153,8 +166,7 @@ fn randomized_ops_match_reference_model() {
                         if let Some(&fh) = handles.get(&name) {
                             let off = rng.gen_range(64 * 1024);
                             let len = 1 + rng.gen_range(32 * 1024);
-                            let pattern: Vec<u8> =
-                                (0..len).map(|_| rng.next_u32() as u8).collect();
+                            let pattern: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
                             buf.write(0, Payload::real(pattern.clone()));
                             c.nfs
                                 .write(fh, off, &buf, 0, len as u32, false)
@@ -176,8 +188,7 @@ fn randomized_ops_match_reference_model() {
                             }
                             let off = rng.gen_range(m.len() as u64);
                             let len = 1 + rng.gen_range(32 * 1024);
-                            let (data, _) =
-                                c.nfs.read(fh, off, len as u32, None).await.unwrap();
+                            let (data, _) = c.nfs.read(fh, off, len as u32, None).await.unwrap();
                             let got = data.materialize();
                             let end = (off as usize + got.len()).min(m.len());
                             assert_eq!(
@@ -232,15 +243,14 @@ fn server_survives_many_short_sessions() {
                 let f = c.nfs.create(root, &name).await.unwrap();
                 let buf = c.mem.alloc(32 * 1024);
                 buf.write(0, Payload::synthetic(round as u64, 32 * 1024));
-                c.nfs.write(f.handle(), 0, &buf, 0, 32 * 1024, false).await.unwrap();
+                c.nfs
+                    .write(f.handle(), 0, &buf, 0, 32 * 1024, false)
+                    .await
+                    .unwrap();
                 c.nfs.remove(root, &name).await.unwrap();
             }
         }
-        let (bytes_used, inodes) = bed.clients[0]
-            .nfs
-            .fsstat(root)
-            .await
-            .unwrap();
+        let (bytes_used, inodes) = bed.clients[0].nfs.fsstat(root).await.unwrap();
         assert_eq!(bytes_used, 0, "all files removed");
         assert_eq!(inodes, 1, "only the root remains");
     });

@@ -94,9 +94,8 @@ fn mixed_load_soak_leaves_no_residue() {
                                 let entries = nfs.readdir(dir.handle()).await.unwrap();
                                 assert_eq!(entries.len(), files.len());
                                 if !files.is_empty() && rng.gen_bool(0.3) {
-                                    let (_, name, _) = files.swap_remove(
-                                        rng.gen_range(files.len() as u64) as usize,
-                                    );
+                                    let (_, name, _) = files
+                                        .swap_remove(rng.gen_range(files.len() as u64) as usize);
                                     nfs.remove(dir.handle(), &name).await.unwrap();
                                 }
                             }
@@ -156,7 +155,8 @@ fn mixed_load_soak_leaves_no_residue() {
         );
         assert_eq!(rpc.stats.inflight.get(), 0, "ops still in flight");
         assert_eq!(
-            bed.server.stats.reads.get() + bed.server.stats.writes.get()
+            bed.server.stats.reads.get()
+                + bed.server.stats.writes.get()
                 + bed.server.stats.others.get(),
             rpc.stats.ops.get(),
             "NFS and RPC op counters disagree"

@@ -1,0 +1,141 @@
+//! Allocation regression tests for the hot paths the executor and
+//! marshalling overhaul optimized.
+//!
+//! A counting global allocator measures the steady state:
+//!
+//! - RPC/RDMA header encode into a warmed per-connection scratch
+//!   encoder must perform **zero** heap allocations.
+//! - A warmed executor (slab, ready queue, timer wheel and all bucket
+//!   vectors at capacity) must poll tasks without per-event
+//!   allocations; only the `run()`-scoped batch buffer may grow, so the
+//!   bound is a small constant independent of the poll count.
+//!
+//! Both measurements live in ONE `#[test]` so no sibling test thread
+//! can inflate the counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ib_verbs::Rkey;
+use rpcrdma::{MsgType, RdmaHeader, ReadChunk, Segment};
+use sim_core::{yield_now, SimDuration, Simulation};
+use xdr::{Encoder, XdrCodec};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A realistic READ-call header: one read chunk, one write chunk.
+fn sample_header() -> RdmaHeader {
+    let mut hdr = RdmaHeader::new(7, 32, MsgType::Msg);
+    hdr.read_chunks.push(ReadChunk {
+        position: 128,
+        segment: Segment {
+            rkey: Rkey(0xabcd),
+            len: 131_072,
+            addr: 0x10_0000,
+        },
+    });
+    hdr.write_chunks.push(vec![Segment {
+        rkey: Rkey(0x1234),
+        len: 131_072,
+        addr: 0x20_0000,
+    }]);
+    hdr
+}
+
+const TASKS: u64 = 256;
+const ITERS: u64 = 64;
+
+fn spawn_churn(sim: &mut Simulation) {
+    for t in 0..TASKS {
+        let h = sim.handle();
+        sim.spawn(async move {
+            for i in 0..ITERS {
+                let d = (t.wrapping_mul(7919) ^ i.wrapping_mul(104_729)) % 4096 + 1;
+                h.sleep(SimDuration::from_nanos(d)).await;
+                yield_now().await;
+            }
+        });
+    }
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    // ---- RPC/RDMA header encode into a warmed scratch encoder. ------
+    let hdr = sample_header();
+    let mut enc = Encoder::new();
+    hdr.encode_into(&mut enc); // warm the buffer to message size
+    let wire_len = enc.len();
+    let before = allocs();
+    for _ in 0..1_000 {
+        hdr.encode_into(&mut enc);
+    }
+    let encode_allocs = allocs() - before;
+    assert_eq!(enc.len(), wire_len);
+    assert_eq!(
+        encode_allocs, 0,
+        "header encode_into must not allocate in steady state"
+    );
+
+    // ---- Executor poll/timer churn after warmup passes. -------------
+    // Warmup runs: grow the task slab, free list, ready queue, timer
+    // wheel buckets and drain vector to capacity. Two passes, because
+    // each wheel rebase aligns deadlines to buckets differently and
+    // the per-bucket capacity maxima take a pass to be discovered.
+    let mut sim = Simulation::new(9);
+    spawn_churn(&mut sim);
+    sim.run();
+    let warm_polls = sim.polls();
+    spawn_churn(&mut sim);
+    sim.run();
+
+    // Measured run: same shape of work through the warmed structures.
+    // (Task spawning is outside the measurement on purpose: boxing the
+    // future and its waker is a per-task — not per-event — cost.)
+    spawn_churn(&mut sim);
+    let polls_before = sim.polls();
+    let before = allocs();
+    sim.run();
+    let run_allocs = allocs() - before;
+    let polls = sim.polls() - polls_before;
+
+    assert!(polls >= warm_polls, "later passes should repeat the work");
+    assert!(polls > 10_000, "workload too small to be meaningful");
+    // Per-event cost is zero; what remains is bounded buffer-capacity
+    // discovery (the run()-scoped batch vector plus the occasional
+    // timer-wheel bucket finding a new load maximum) — a small
+    // constant, independent of how many events are processed.
+    assert!(
+        run_allocs <= 64,
+        "steady-state executor run allocated {run_allocs} times for {polls} polls"
+    );
+}

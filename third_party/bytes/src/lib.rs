@@ -1,0 +1,293 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the handful of external dependencies are vendored as
+//! minimal stubs under `third_party/` and wired in with
+//! `[patch.crates-io]`. Only the surface the workspace actually uses is
+//! implemented: [`Bytes`] — a cheaply cloneable, sliceable, immutable
+//! byte buffer backed by a reference-counted allocation.
+//!
+//! Semantics match the real crate for that subset: `clone` and `slice`
+//! are O(1) and never copy; `slice_ref` re-derives a zero-copy `Bytes`
+//! from a subslice of `self`.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, sliceable chunk of contiguous memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    /// Shared backing storage. `None` encodes the empty buffer so that
+    /// `Bytes::new()` performs no allocation.
+    data: Option<Arc<[u8]>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    #[inline]
+    pub const fn new() -> Bytes {
+        Bytes {
+            data: None,
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap a static slice. (The stub copies into shared storage; the
+    /// workspace only uses this for tiny test constants.)
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        if s.is_empty() {
+            return Bytes::new();
+        }
+        Bytes {
+            data: Some(Arc::from(s)),
+            start: 0,
+            end: s.len(),
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy subslice; panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "range {begin}..{end} out of bounds for Bytes of length {len}"
+        );
+        if begin == end {
+            return Bytes::new();
+        }
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Zero-copy `Bytes` for `subset`, which must lie within `self`.
+    /// Panics otherwise (same contract as the real crate).
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let whole = self.as_ref();
+        let whole_ptr = whole.as_ptr() as usize;
+        let sub_ptr = subset.as_ptr() as usize;
+        assert!(
+            sub_ptr >= whole_ptr && sub_ptr + subset.len() <= whole_ptr + whole.len(),
+            "slice_ref: subset is not contained in this Bytes"
+        );
+        let off = sub_ptr - whole_ptr;
+        self.slice(off..off + subset.len())
+    }
+
+    /// Copy out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match &self.data {
+            Some(d) => &d[self.start..self.end],
+            None => &[],
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
+        let end = v.len();
+        Bytes {
+            data: Some(Arc::from(v.into_boxed_slice())),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Bytes {
+        Bytes::copy_from_slice(&a)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_ref()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy_and_bounded() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(&s[..], &[2, 3, 4, 5]);
+        let s2 = s.slice(1..3);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(b.slice(..).len(), 8);
+        assert!(b.slice(8..8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn slice_ref_rederives() {
+        let b = Bytes::from(vec![9, 8, 7, 6, 5]);
+        let sub = &b[1..4];
+        let s = b.slice_ref(sub);
+        assert_eq!(&s[..], &[8, 7, 6]);
+    }
+
+    #[test]
+    fn equality_and_debug() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "b\"abc\"");
+    }
+}
