@@ -1,0 +1,117 @@
+//! Chaos sweep: NFS/RDMA survival under injected fabric faults.
+//!
+//! Full mode sweeps drop probabilities over both bulk-transfer designs
+//! and reports what the recovery machinery did (drops, link and RPC
+//! retransmissions, DRC replays, QP recoveries) alongside the two
+//! invariants that must hold at every point: zero corrupt records and
+//! exactly-once WRITE application.
+//!
+//! Run with `--smoke` for the fixed-seed gate used by
+//! `scripts/check.sh`: both designs at 1% drop with a forced QP error,
+//! plus a same-seed double run that must produce identical traces.
+
+use rpcrdma::Design;
+use sim_core::SimDuration;
+use workloads::{linux_sdr, run_chaos, ChaosParams, ChaosResult, Table};
+
+fn params(design: Design, drop: f64, qp_errors: u32) -> ChaosParams {
+    ChaosParams {
+        design,
+        drop_probability: drop,
+        delay_jitter: SimDuration::from_micros(5),
+        qp_errors,
+        clients: 3,
+        records_per_client: 16,
+        ..ChaosParams::default()
+    }
+}
+
+fn expected_writes(p: &ChaosParams) -> u64 {
+    p.clients as u64 * p.records_per_client
+}
+
+fn check(tag: &str, p: &ChaosParams, r: &ChaosResult) {
+    if r.corrupt_records != 0 {
+        eprintln!("FAIL {tag}: {} corrupt records", r.corrupt_records);
+        std::process::exit(1);
+    }
+    if r.fs_writes != expected_writes(p) {
+        eprintln!(
+            "FAIL {tag}: {} WRITEs applied, expected {} (lost or double-applied)",
+            r.fs_writes,
+            expected_writes(p)
+        );
+        std::process::exit(1);
+    }
+}
+
+fn smoke() {
+    let profile = linux_sdr();
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let p = params(design, 0.01, 1);
+        let a = run_chaos(0xC0FFEE, &profile, p);
+        check(&format!("{design:?}"), &p, &a);
+        if a.reconnects == 0 {
+            eprintln!("FAIL {design:?}: forced QP error was not recovered");
+            std::process::exit(1);
+        }
+        let b = run_chaos(0xC0FFEE, &profile, p);
+        if a.fingerprint != b.fingerprint {
+            eprintln!(
+                "FAIL {design:?}: same seed, different traces ({:#x} vs {:#x})",
+                a.fingerprint, b.fingerprint
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "chaos smoke {design:?}: ok ({} drops, {} rpc retransmits, {} drc replays, {} reconnects, trace {:#018x})",
+            a.drops, a.rpc_retransmits, a.drc_replays, a.reconnects, a.fingerprint
+        );
+    }
+    println!("chaos smoke: all invariants held");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let profile = linux_sdr();
+    let drops = [0.0, 0.001, 0.005, 0.01, 0.02, 0.05];
+    let mut t = Table::new(
+        "Chaos sweep — 3 clients, 16 x 1 KiB records each, 1 forced QP error",
+        &[
+            "design",
+            "drop",
+            "dropped",
+            "link rtx",
+            "rpc rtx",
+            "timeouts",
+            "drc replays",
+            "reconnects",
+            "writes",
+            "corrupt",
+        ],
+    );
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        for drop in drops {
+            let p = params(design, drop, 1);
+            let r = run_chaos(0xC0FFEE, &profile, p);
+            check(&format!("{design:?}@{drop}"), &p, &r);
+            t.row(&[
+                format!("{design:?}"),
+                format!("{:.1}%", drop * 100.0),
+                r.drops.to_string(),
+                r.link_retransmits.to_string(),
+                r.rpc_retransmits.to_string(),
+                r.timeouts.to_string(),
+                r.drc_replays.to_string(),
+                r.reconnects.to_string(),
+                r.fs_writes.to_string(),
+                r.corrupt_records.to_string(),
+            ]);
+        }
+    }
+    bench::emit("chaos_sweep", &t);
+    println!("All points completed with zero corruption and exactly-once WRITE application.");
+}

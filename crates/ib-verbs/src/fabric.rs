@@ -11,15 +11,74 @@
 //! Deadlock freedom: a transfer holds exactly one tx resource while
 //! waiting for one rx resource; no holder of an rx resource ever waits
 //! on a tx resource, so no cycle can form.
+//!
+//! ## Fault injection
+//!
+//! The fabric doubles as the chaos layer: once [`Fabric::enable_faults`]
+//! hands it a seeded [`SimRng`] stream, each link (keyed by the
+//! *receiving* node) can be given a drop probability, delay jitter, and
+//! flap windows ([`FaultConfig`], [`Fabric::flap_link`]). Faults are
+//! decided at arrival time — a dropped message still paid its wire
+//! occupancy, as a corrupted packet does in hardware. With faults
+//! disabled (the default) the fabric draws **zero** random numbers and
+//! behaves bit-for-bit as before, so existing schedules are unchanged.
+//!
+//! Two delivery disciplines are offered on top of the verdict:
+//!
+//! * [`Fabric::send`] hands a dropped message back to the caller
+//!   (`Some(msg)`) — used for two-sided Sends, where loss is surfaced
+//!   to the ULP and recovered by RPC retransmission.
+//! * [`Fabric::send_reliable`] retransmits at link level until
+//!   delivery — used for RDMA Write/Read requests, whose data-placement
+//!   guarantees the RC transport provides in hardware.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use sim_core::stats::Counter;
 use sim_core::sync::{channel, Receiver, Sender};
-use sim_core::{transfer_time, Resource, Sim, SimDuration};
+use sim_core::{transfer_time, Resource, Sim, SimDuration, SimRng, SimTime};
 
 use crate::types::NodeId;
+
+/// Per-link fault parameters (the link is keyed by its receiving node).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability that a message arriving on this link is dropped.
+    pub drop_probability: f64,
+    /// Extra uniformly-distributed delay `[0, delay_jitter]` added to
+    /// every transfer into this node.
+    pub delay_jitter: SimDuration,
+    /// Link-level retransmission timeout used by
+    /// [`Fabric::send_reliable`] after a drop.
+    pub retry_delay: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            delay_jitter: SimDuration::ZERO,
+            retry_delay: DEFAULT_RETRY_DELAY,
+        }
+    }
+}
+
+/// Link-level retry timeout when no per-link config overrides it
+/// (order of an IB end-to-end timeout tick at SDR rates).
+const DEFAULT_RETRY_DELAY: SimDuration = SimDuration::from_micros(10);
+
+struct FaultState {
+    rng: SimRng,
+    links: HashMap<NodeId, FaultConfig>,
+    /// Outage windows per receiving node: everything arriving inside
+    /// `[from, until)` is dropped.
+    flaps: HashMap<NodeId, Vec<(SimTime, SimTime)>>,
+    /// One-shot forced drops per receiving node (deterministic fault
+    /// targeting for tests; consumes no randomness).
+    forced: HashMap<NodeId, u64>,
+}
 
 struct Port<M> {
     tx: Resource,
@@ -29,11 +88,20 @@ struct Port<M> {
     inbox: Sender<M>,
     rx_bytes: Cell<u64>,
     tx_bytes: Cell<u64>,
+    /// Messages dropped on arrival at this port (cumulative; not reset
+    /// by accounting windows).
+    dropped: Counter,
+    /// Link-level retransmissions into this port (cumulative).
+    retransmits: Counter,
 }
 
 struct FabricInner<M> {
     sim: Sim,
     ports: RefCell<HashMap<NodeId, Rc<Port<M>>>>,
+    faults: RefCell<Option<FaultState>>,
+    /// Mirrors `faults.is_some()` so the per-arrival checks stay off
+    /// the hot path entirely until the fault layer is armed.
+    faults_armed: Cell<bool>,
 }
 
 /// A fabric carrying messages of type `M` between nodes.
@@ -56,6 +124,8 @@ impl<M: 'static> Fabric<M> {
             inner: Rc::new(FabricInner {
                 sim: sim.clone(),
                 ports: RefCell::new(HashMap::new()),
+                faults: RefCell::new(None),
+                faults_armed: Cell::new(false),
             }),
         }
     }
@@ -72,6 +142,8 @@ impl<M: 'static> Fabric<M> {
             inbox,
             rx_bytes: Cell::new(0),
             tx_bytes: Cell::new(0),
+            dropped: Counter::new(),
+            retransmits: Counter::new(),
         });
         let prev = self.inner.ports.borrow_mut().insert(node, port);
         assert!(prev.is_none(), "node {node:?} attached twice");
@@ -89,10 +161,42 @@ impl<M: 'static> Fabric<M> {
 
     /// Move `wire_bytes` from `from` to `to` and deliver `msg` to the
     /// destination inbox when the last byte lands.
-    pub async fn send(&self, from: NodeId, to: NodeId, wire_bytes: u64, msg: M) {
+    ///
+    /// Returns `None` on delivery. If the fault layer drops the message
+    /// on arrival the message is handed **back** (`Some(msg)`) so the
+    /// caller decides the recovery discipline — complete anyway (ULP
+    /// loss, as for two-sided Sends) or retransmit
+    /// ([`Fabric::send_reliable`]).
+    pub async fn send(&self, from: NodeId, to: NodeId, wire_bytes: u64, msg: M) -> Option<M> {
         self.raw_transfer(from, to, wire_bytes).await;
+        if self.arrival_dropped(to) {
+            self.port(to).dropped.inc();
+            self.inner.sim.trace("fault", || {
+                format!("drop {wire_bytes}B node{} -> node{}", from.0, to.0)
+            });
+            return Some(msg);
+        }
         // Receiver may have shut down (e.g. crash-injection tests).
         let _ = self.port(to).inbox.send(msg);
+        None
+    }
+
+    /// [`Fabric::send`] with link-level retransmission: on a drop, wait
+    /// the link's retry delay and transmit again (paying serialization
+    /// each time) until the message is delivered. Models the RC
+    /// transport's guarantee for one-sided operations.
+    pub async fn send_reliable(&self, from: NodeId, to: NodeId, wire_bytes: u64, msg: M) {
+        let mut msg = msg;
+        loop {
+            match self.send(from, to, wire_bytes, msg).await {
+                None => return,
+                Some(returned) => {
+                    msg = returned;
+                    self.port(to).retransmits.inc();
+                    self.inner.sim.sleep(self.retry_delay(to)).await;
+                }
+            }
+        }
     }
 
     /// Occupy the wire for a transfer without delivering a message
@@ -116,6 +220,147 @@ impl<M: 'static> Fabric<M> {
         if !dst.latency.is_zero() {
             self.inner.sim.sleep(dst.latency).await;
         }
+        let jitter = self.extra_delay(to);
+        if !jitter.is_zero() {
+            self.inner.sim.sleep(jitter).await;
+        }
+    }
+
+    // --- Fault injection. --------------------------------------------
+
+    /// Arm the fault layer with a seeded random stream (idempotent;
+    /// typically `sim.fork_rng()`). Until this is called the fabric
+    /// draws no randomness and delivers every message.
+    pub fn enable_faults(&self, rng: SimRng) {
+        let mut f = self.inner.faults.borrow_mut();
+        if f.is_none() {
+            *f = Some(FaultState {
+                rng,
+                links: HashMap::new(),
+                flaps: HashMap::new(),
+                forced: HashMap::new(),
+            });
+            self.inner.faults_armed.set(true);
+        }
+    }
+
+    /// True once [`Fabric::enable_faults`] has run.
+    pub fn faults_enabled(&self) -> bool {
+        self.inner.faults.borrow().is_some()
+    }
+
+    fn with_faults<T>(&self, f: impl FnOnce(&mut FaultState) -> T) -> T {
+        let mut g = self.inner.faults.borrow_mut();
+        let state = g.get_or_insert_with(|| FaultState {
+            // Deterministic fallback stream for callers that only use
+            // draw-free faults (forced drops, flaps).
+            rng: SimRng::new(0xFA_B0_17),
+            links: HashMap::new(),
+            flaps: HashMap::new(),
+            forced: HashMap::new(),
+        });
+        self.inner.faults_armed.set(true);
+        f(state)
+    }
+
+    /// Set the fault parameters of the link into `node`.
+    pub fn set_link_faults(&self, node: NodeId, cfg: FaultConfig) {
+        self.with_faults(|f| {
+            f.links.insert(node, cfg);
+        });
+    }
+
+    /// Drop everything arriving at `node` within `[from, until)` — a
+    /// link flap / cable-pull window.
+    pub fn flap_link(&self, node: NodeId, from: SimTime, until: SimTime) {
+        self.with_faults(|f| f.flaps.entry(node).or_default().push((from, until)));
+    }
+
+    /// Force the next `count` messages arriving at `node` to be
+    /// dropped (deterministic, draw-free fault targeting for tests).
+    pub fn drop_next_to(&self, node: NodeId, count: u64) {
+        self.with_faults(|f| *f.forced.entry(node).or_insert(0) += count);
+    }
+
+    /// Decide whether a message arriving at `to` now is lost.
+    fn arrival_dropped(&self, to: NodeId) -> bool {
+        if !self.inner.faults_armed.get() {
+            return false;
+        }
+        let mut g = self.inner.faults.borrow_mut();
+        let Some(f) = g.as_mut() else { return false };
+        if let Some(n) = f.forced.get_mut(&to) {
+            if *n > 0 {
+                *n -= 1;
+                return true;
+            }
+        }
+        let now = self.inner.sim.now();
+        if let Some(windows) = f.flaps.get(&to) {
+            if windows.iter().any(|(a, b)| now >= *a && now < *b) {
+                return true;
+            }
+        }
+        match f.links.get(&to) {
+            Some(cfg) if cfg.drop_probability > 0.0 => f.rng.gen_bool(cfg.drop_probability),
+            _ => false,
+        }
+    }
+
+    fn extra_delay(&self, to: NodeId) -> SimDuration {
+        if !self.inner.faults_armed.get() {
+            return SimDuration::ZERO;
+        }
+        let mut g = self.inner.faults.borrow_mut();
+        let Some(f) = g.as_mut() else {
+            return SimDuration::ZERO;
+        };
+        let Some(cfg) = f.links.get(&to) else {
+            return SimDuration::ZERO;
+        };
+        if cfg.delay_jitter.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(f.rng.gen_range(cfg.delay_jitter.as_nanos() + 1))
+    }
+
+    fn retry_delay(&self, to: NodeId) -> SimDuration {
+        self.inner
+            .faults
+            .borrow()
+            .as_ref()
+            .and_then(|f| f.links.get(&to).map(|c| c.retry_delay))
+            .unwrap_or(DEFAULT_RETRY_DELAY)
+    }
+
+    /// Messages dropped on arrival at `node` (cumulative).
+    pub fn dropped(&self, node: NodeId) -> u64 {
+        self.port(node).dropped.get()
+    }
+
+    /// Link-level retransmissions into `node` (cumulative).
+    pub fn retransmits(&self, node: NodeId) -> u64 {
+        self.port(node).retransmits.get()
+    }
+
+    /// Total messages dropped across all ports.
+    pub fn total_dropped(&self) -> u64 {
+        self.inner
+            .ports
+            .borrow()
+            .values()
+            .map(|p| p.dropped.get())
+            .sum()
+    }
+
+    /// Total link-level retransmissions across all ports.
+    pub fn total_retransmits(&self) -> u64 {
+        self.inner
+            .ports
+            .borrow()
+            .values()
+            .map(|p| p.retransmits.get())
+            .sum()
     }
 
     /// One-way latency into `node`.
@@ -259,6 +504,136 @@ mod tests {
         assert_eq!(fab.rx_bytes(NodeId(1)), 750);
         assert_eq!(fab.tx_bytes(NodeId(0)), 750);
         assert_eq!(fab.rx_bytes(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn forced_drops_hit_exactly_n_messages() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<u32> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        let mut inbox = fab.attach(NodeId(1), GB, SimDuration::ZERO);
+        fab.drop_next_to(NodeId(1), 2);
+        let f = fab.clone();
+        sim.spawn(async move {
+            for i in 0..4u32 {
+                f.send(NodeId(0), NodeId(1), 100, i).await;
+            }
+        });
+        sim.run();
+        let mut got = Vec::new();
+        while let Some(m) = inbox.try_recv() {
+            got.push(m);
+        }
+        assert_eq!(got, vec![2, 3]);
+        assert_eq!(fab.dropped(NodeId(1)), 2);
+        assert_eq!(fab.total_dropped(), 2);
+    }
+
+    #[test]
+    fn send_reliable_retransmits_until_delivered() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<u32> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        let mut inbox = fab.attach(NodeId(1), GB, SimDuration::ZERO);
+        fab.drop_next_to(NodeId(1), 3);
+        let f = fab.clone();
+        sim.spawn(async move {
+            f.send_reliable(NodeId(0), NodeId(1), 1000, 9).await;
+        });
+        sim.run();
+        assert_eq!(inbox.try_recv(), Some(9));
+        assert_eq!(fab.retransmits(NodeId(1)), 3);
+        // 4 serializations of 1000 B at 1 GB/s + 3 retry delays.
+        assert_eq!(
+            sim.now(),
+            SimTime::ZERO + SimDuration::from_micros(4) + SimDuration::from_micros(30)
+        );
+    }
+
+    #[test]
+    fn flap_window_drops_everything_inside_it() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<u32> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, SimDuration::ZERO);
+        let mut inbox = fab.attach(NodeId(1), GB, SimDuration::ZERO);
+        // 1000 B serialize in 1 us; messages land at t=1,2,3,4 us.
+        fab.flap_link(
+            NodeId(1),
+            SimTime::from_nanos(1_500),
+            SimTime::from_nanos(3_500),
+        );
+        let f = fab.clone();
+        sim.spawn(async move {
+            for i in 0..4u32 {
+                f.send(NodeId(0), NodeId(1), 1000, i).await;
+            }
+        });
+        sim.run();
+        let mut got = Vec::new();
+        while let Some(m) = inbox.try_recv() {
+            got.push(m);
+        }
+        assert_eq!(got, vec![0, 3]);
+    }
+
+    #[test]
+    fn random_drops_replay_identically_for_same_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed);
+            let h = sim.handle();
+            let fab: Fabric<u32> = Fabric::new(&h);
+            fab.attach(NodeId(0), GB, SimDuration::ZERO);
+            let mut inbox = fab.attach(NodeId(1), GB, SimDuration::ZERO);
+            fab.enable_faults(h.fork_rng());
+            fab.set_link_faults(
+                NodeId(1),
+                FaultConfig {
+                    drop_probability: 0.3,
+                    delay_jitter: SimDuration::from_nanos(200),
+                    ..FaultConfig::default()
+                },
+            );
+            let f = fab.clone();
+            sim.spawn(async move {
+                for i in 0..64u32 {
+                    f.send(NodeId(0), NodeId(1), 100, i).await;
+                }
+            });
+            sim.run();
+            let mut got = Vec::new();
+            while let Some(m) = inbox.try_recv() {
+                got.push(m);
+            }
+            (got, fab.dropped(NodeId(1)), sim.now())
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        let c = run(8);
+        assert_ne!(a.0, c.0);
+        assert!(a.1 > 0, "0.3 drop rate over 64 messages lost none");
+    }
+
+    #[test]
+    fn disabled_faults_change_nothing_and_draw_nothing() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        let fab: Fabric<u32> = Fabric::new(&h);
+        fab.attach(NodeId(0), GB, us(2));
+        let mut inbox = fab.attach(NodeId(1), GB, us(2));
+        let f2 = fab.clone();
+        sim.spawn(async move {
+            f2.send(NodeId(0), NodeId(1), 1_000_000, 7).await;
+        });
+        let msg = sim.block_on(async move { inbox.recv().await.unwrap() });
+        assert_eq!(msg, 7);
+        assert!(!fab.faults_enabled());
+        assert_eq!(fab.total_dropped(), 0);
+        // Same arrival time as `point_to_point_delivery_time`.
+        assert_eq!(sim.now(), SimTime::from_nanos(1_002_000));
     }
 
     #[test]

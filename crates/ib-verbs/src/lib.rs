@@ -44,7 +44,7 @@ pub mod types;
 
 pub use config::HcaConfig;
 pub use cq::{Completion, Cq};
-pub use fabric::Fabric;
+pub use fabric::{Fabric, FaultConfig};
 pub use hca::{connect, Hca, RegStats};
 pub use memory::{Buffer, HostMem, PhysLayout, PAGE_SIZE};
 pub use mr::{FmrPool, Mr};

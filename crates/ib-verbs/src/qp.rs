@@ -184,6 +184,12 @@ impl Qp {
         self.inner.node
     }
 
+    /// The connected peer's node (`NodeId(u32::MAX)` until
+    /// [`crate::hca::connect`] pairs this QP).
+    pub fn peer_node(&self) -> NodeId {
+        self.inner.peer_node.get()
+    }
+
     /// True once [`crate::hca::connect`] has paired this QP.
     pub fn is_connected(&self) -> bool {
         self.inner.connected.get()
@@ -370,7 +376,8 @@ pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
             } => {
                 let (ack_tx, ack_rx) = oneshot();
                 let bytes = qp.cfg.wire_header_bytes + data.len();
-                qp.fabric
+                let lost = qp
+                    .fabric
                     .send(
                         qp.node,
                         peer,
@@ -382,6 +389,13 @@ pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
                         },
                     )
                     .await;
+                if let Some(WireMsg::Send { ack, .. }) = lost {
+                    // Lost above the link layer: the requester still
+                    // sees a successful completion while the peer's ULP
+                    // never receives the message. Recovery is the RPC
+                    // layer's job (timeout + retransmission).
+                    ack.send(Ok(()));
+                }
                 let qp2 = qp.clone();
                 let dlen = data.len();
                 qp.sim.clone().spawn(async move {
@@ -401,8 +415,10 @@ pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
                 let (ack_tx, ack_rx) = oneshot();
                 let bytes = qp.cfg.wire_header_bytes + data.len();
                 let dlen = data.len();
+                // RDMA data placement is guaranteed by the RC transport:
+                // drops are retransmitted at link level, never surfaced.
                 qp.fabric
-                    .send(
+                    .send_reliable(
                         qp.node,
                         peer,
                         bytes,
@@ -435,7 +451,7 @@ pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
                 let permit = qp.ord.acquire().await;
                 let (resp_tx, resp_rx) = oneshot();
                 qp.fabric
-                    .send(
+                    .send_reliable(
                         qp.node,
                         peer,
                         qp.cfg.wire_header_bytes + 28, // request only

@@ -136,7 +136,7 @@ impl TcpStream {
             self.net.inner.sim.spawn(async move {
                 net.inner
                     .fabric
-                    .send(
+                    .send_reliable(
                         from,
                         to,
                         cfg.wire_header_bytes + chunk,

@@ -193,7 +193,9 @@ impl TcpNet {
         let (accept_tx, accept_rx) = sim_core::sync::oneshot();
         self.inner
             .fabric
-            .send(
+            // TCP retransmits below the socket API; faults on a TCP
+            // fabric never surface to the stream layer.
+            .send_reliable(
                 from,
                 to,
                 self.inner.cfg.wire_header_bytes,

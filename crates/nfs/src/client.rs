@@ -86,6 +86,15 @@ impl NfsClient {
         }
     }
 
+    /// The underlying RPC/RDMA client, when mounted over RDMA (fault
+    /// injection and transport statistics).
+    pub fn rdma(&self) -> Option<&RdmaRpcClient> {
+        match &self.transport {
+            Transport::Rdma(c) => Some(c),
+            Transport::Tcp(_) => None,
+        }
+    }
+
     async fn call(
         &self,
         proc_id: NfsProc,

@@ -334,3 +334,135 @@ fn tcp_and_rdma_agree_on_contents() {
     });
     assert_eq!(rdma, tcp);
 }
+
+/// Like [`rdma_bed`] but with MSGP small writes enabled (so a small
+/// NFS WRITE is pure Send/reply traffic — no RDMA Read legs — and a
+/// single forced drop can target the call or the reply exactly) and
+/// with the fabric + RPC server exposed for fault injection.
+#[allow(clippy::type_complexity)]
+fn fault_bed(sim: &Sim, design: Design) -> (Bed, Fabric<ib_verbs::WireMsg>, Rc<RdmaRpcServer>) {
+    let fabric = Fabric::new(sim);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(sim, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), sim.fork_rng()));
+        let hca = Hca::new(sim, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (chca, cmem) = mk(0);
+    let (shca, _) = mk(1);
+    let fs = Rc::new(tmpfs(sim));
+    let server = NfsServer::new(Rc::new(fs.clone()));
+    let mut cfg = RpcRdmaConfig::solaris().with_design(design);
+    cfg.msgp_small_writes = true;
+    let (qc, qs) = connect(&chca, &shca);
+    let rpc_server = RdmaRpcServer::new(
+        sim,
+        &shca,
+        Rc::new(NfsServerHandle(server.clone())),
+        Registrar::new(&shca, StrategyKind::Dynamic),
+        cfg,
+    );
+    rpc_server.serve_connection(qs);
+    let rpc_client = RdmaRpcClient::new(
+        sim,
+        &chca,
+        qc,
+        Registrar::new(&chca, StrategyKind::Dynamic),
+        cfg,
+        nfs::NFS_PROGRAM,
+        nfs::NFS_VERSION,
+    );
+    // Forced drops only: no per-link probability, so nothing else in
+    // the run is perturbed.
+    fabric.enable_faults(sim.fork_rng());
+    (
+        Bed {
+            client: Rc::new(NfsClient::over_rdma(rpc_client)),
+            server,
+            client_mem: cmem,
+        },
+        fabric,
+        rpc_server,
+    )
+}
+
+#[test]
+fn write_reply_drop_retransmits_without_double_apply() {
+    // The server executes the WRITE and its reply is lost. The client
+    // must retransmit the same XID; the server's duplicate request
+    // cache must replay the original reply instead of applying the
+    // WRITE twice. Both designs.
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut sim = Simulation::new(17);
+        let h = sim.handle();
+        let (bed, fabric, rpc_server) = fault_bed(&h, design);
+        sim.block_on(async move {
+            let root = bed.server.root_handle();
+            let f = bed.client.create(root, "f").await.unwrap();
+            let fh = f.handle();
+            let buf = bed.client_mem.alloc(512);
+            buf.write(0, Payload::synthetic(3, 512));
+
+            // The next message arriving at the client is this WRITE's
+            // reply Send: swallow exactly that one.
+            fabric.drop_next_to(NodeId(0), 1);
+            let n = bed.client.write(fh, 0, &buf, 0, 512, false).await.unwrap();
+            assert_eq!(n, 512, "{design:?}");
+
+            // Applied exactly once, despite the retransmission.
+            assert_eq!(bed.server.stats.writes.get(), 1, "{design:?}");
+            assert_eq!(bed.server.stats.bytes_written.get(), 512, "{design:?}");
+            let cs = bed.client.rdma().unwrap().stats();
+            assert!(cs.retransmits >= 1, "{design:?}: no retransmission");
+            assert!(cs.timeouts >= 1, "{design:?}: no timeout observed");
+            assert!(
+                rpc_server.stats.drc_replays.get() >= 1,
+                "{design:?}: DRC never replayed"
+            );
+
+            // And the bytes on disk are the bytes we wrote.
+            let (data, _) = bed.client.read(fh, 0, 512, None).await.unwrap();
+            assert!(
+                data.content_eq(&Payload::synthetic(3, 512)),
+                "{design:?}: corrupt contents"
+            );
+        });
+    }
+}
+
+#[test]
+fn write_call_drop_retransmits_and_applies_once() {
+    // The WRITE call itself is lost before the server sees it: the
+    // retransmission is the first copy the server receives, so it
+    // executes fresh (no DRC hit) — and still exactly once.
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut sim = Simulation::new(18);
+        let h = sim.handle();
+        let (bed, fabric, rpc_server) = fault_bed(&h, design);
+        sim.block_on(async move {
+            let root = bed.server.root_handle();
+            let f = bed.client.create(root, "f").await.unwrap();
+            let fh = f.handle();
+            let buf = bed.client_mem.alloc(512);
+            buf.write(0, Payload::synthetic(9, 512));
+
+            // Next arrival at the server is the WRITE call Send.
+            fabric.drop_next_to(NodeId(1), 1);
+            let n = bed.client.write(fh, 0, &buf, 0, 512, false).await.unwrap();
+            assert_eq!(n, 512, "{design:?}");
+
+            assert_eq!(bed.server.stats.writes.get(), 1, "{design:?}");
+            let cs = bed.client.rdma().unwrap().stats();
+            assert!(cs.retransmits >= 1, "{design:?}: no retransmission");
+            assert_eq!(
+                rpc_server.stats.drc_replays.get(),
+                0,
+                "{design:?}: server never saw the first copy, nothing to replay"
+            );
+
+            let (data, _) = bed.client.read(fh, 0, 512, None).await.unwrap();
+            assert!(data.content_eq(&Payload::synthetic(9, 512)), "{design:?}");
+        });
+    }
+}

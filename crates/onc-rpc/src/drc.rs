@@ -1,0 +1,299 @@
+//! Duplicate request cache: at-most-once execution for retransmitted
+//! calls.
+//!
+//! ONC RPC retransmission reuses the XID, so a server that re-executes
+//! a retransmitted non-idempotent call (WRITE, CREATE, REMOVE) corrupts
+//! state the client already observed. The classic defence (Juszczak,
+//! USENIX '89) is an XID-keyed cache with two entry kinds:
+//!
+//! * **in-progress** — the first copy of the call is still executing;
+//!   duplicates park on the entry and receive the same reply when it
+//!   completes, instead of racing a second execution;
+//! * **completed** — the reply is retained (bounded LRU) and replayed
+//!   byte-identically to any later retransmission.
+//!
+//! Keys combine the peer's fabric node id with the XID, since every
+//! client numbers its XIDs from the same origin. Only completed entries
+//! are evictable; an evicted entry means a sufficiently late duplicate
+//! re-executes, which is the same capacity trade-off real NFS servers
+//! make — size the cache to cover the client's retransmission horizon.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use sim_core::sync::{oneshot, OneshotReceiver, OneshotSender};
+
+/// Cache key: requesting peer plus the call's XID.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DrcKey {
+    /// Fabric node id of the calling peer.
+    pub peer: u32,
+    /// Transaction id carried by the call (stable across retransmits).
+    pub xid: u32,
+}
+
+enum Entry<V> {
+    /// First copy executing; queued senders are duplicate arrivals.
+    InProgress(Vec<OneshotSender<V>>),
+    Done(V),
+}
+
+struct DrcInner<V> {
+    entries: HashMap<DrcKey, Entry<V>>,
+    /// Completed keys, least recently touched first.
+    order: VecDeque<DrcKey>,
+    capacity: usize,
+    hits: u64,
+    waits: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
+/// A bounded, XID-keyed duplicate request cache (cheap to clone).
+pub struct DuplicateRequestCache<V> {
+    inner: Rc<RefCell<DrcInner<V>>>,
+}
+
+impl<V> Clone for DuplicateRequestCache<V> {
+    fn clone(&self) -> Self {
+        DuplicateRequestCache {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// What the server should do with an arriving call.
+pub enum DrcOutcome<V: Clone> {
+    /// First sighting: execute, then [`DrcReservation::fill`].
+    New(DrcReservation<V>),
+    /// Duplicate of a call still executing: await the original's reply.
+    /// An error means the original aborted without replying — drop the
+    /// duplicate too and let the client retransmit afresh.
+    InProgress(OneshotReceiver<V>),
+    /// Duplicate of a completed call: replay this reply verbatim.
+    Cached(V),
+}
+
+/// Obligation to publish the reply of a call admitted as new. Dropping
+/// it unfilled (execution aborted) erases the entry so a retransmission
+/// gets a fresh execution instead of waiting forever.
+pub struct DrcReservation<V: Clone> {
+    cache: DuplicateRequestCache<V>,
+    key: DrcKey,
+    filled: bool,
+}
+
+impl<V: Clone> DrcReservation<V> {
+    /// Publish the reply: wake parked duplicates with clones and retain
+    /// it for later retransmissions.
+    pub fn fill(mut self, value: &V) {
+        self.filled = true;
+        self.cache.complete(self.key, value);
+    }
+}
+
+impl<V: Clone> Drop for DrcReservation<V> {
+    fn drop(&mut self) {
+        if !self.filled {
+            self.cache.abort(self.key);
+        }
+    }
+}
+
+impl<V: Clone> DuplicateRequestCache<V> {
+    /// A cache retaining up to `capacity` completed replies.
+    pub fn new(capacity: usize) -> Self {
+        DuplicateRequestCache {
+            inner: Rc::new(RefCell::new(DrcInner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+                hits: 0,
+                waits: 0,
+                inserts: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// Admit an arriving call.
+    pub fn begin(&self, key: DrcKey) -> DrcOutcome<V> {
+        let mut g = self.inner.borrow_mut();
+        match g.entries.get_mut(&key) {
+            Some(Entry::Done(v)) => {
+                let v = v.clone();
+                g.hits += 1;
+                // Touch: a replayed entry is hot again.
+                if let Some(pos) = g.order.iter().position(|k| *k == key) {
+                    g.order.remove(pos);
+                    g.order.push_back(key);
+                }
+                DrcOutcome::Cached(v)
+            }
+            Some(Entry::InProgress(waiters)) => {
+                let (tx, rx) = oneshot();
+                waiters.push(tx);
+                g.waits += 1;
+                DrcOutcome::InProgress(rx)
+            }
+            None => {
+                g.entries.insert(key, Entry::InProgress(Vec::new()));
+                DrcOutcome::New(DrcReservation {
+                    cache: self.clone(),
+                    key,
+                    filled: false,
+                })
+            }
+        }
+    }
+
+    fn complete(&self, key: DrcKey, value: &V) {
+        let mut g = self.inner.borrow_mut();
+        let prev = g.entries.insert(key, Entry::Done(value.clone()));
+        if let Some(Entry::InProgress(waiters)) = prev {
+            for w in waiters {
+                w.send(value.clone());
+            }
+        }
+        g.order.push_back(key);
+        g.inserts += 1;
+        while g.order.len() > g.capacity {
+            if let Some(victim) = g.order.pop_front() {
+                g.entries.remove(&victim);
+                g.evictions += 1;
+            }
+        }
+    }
+
+    fn abort(&self, key: DrcKey) {
+        let mut g = self.inner.borrow_mut();
+        // Only an in-progress entry can belong to an unfilled
+        // reservation; dropping its waiters aborts parked duplicates.
+        if matches!(g.entries.get(&key), Some(Entry::InProgress(_))) {
+            g.entries.remove(&key);
+        }
+    }
+
+    /// True if `key` currently has an entry (either kind).
+    pub fn contains(&self, key: DrcKey) -> bool {
+        self.inner.borrow().entries.contains_key(&key)
+    }
+
+    /// Completed entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().order.len()
+    }
+
+    /// True when no completed entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays served from completed entries.
+    pub fn hits(&self) -> u64 {
+        self.inner.borrow().hits
+    }
+
+    /// Duplicates that parked on an in-progress entry.
+    pub fn waits(&self) -> u64 {
+        self.inner.borrow().waits
+    }
+
+    /// Replies published into the cache.
+    pub fn inserts(&self) -> u64 {
+        self.inner.borrow().inserts
+    }
+
+    /// Completed entries discarded by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.inner.borrow().evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(xid: u32) -> DrcKey {
+        DrcKey { peer: 1, xid }
+    }
+
+    #[test]
+    fn first_call_executes_then_replays() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        let DrcOutcome::New(slot) = drc.begin(k(1)) else {
+            panic!("first sighting must be New");
+        };
+        slot.fill(&42);
+        match drc.begin(k(1)) {
+            DrcOutcome::Cached(v) => assert_eq!(v, 42),
+            _ => panic!("retransmit must replay"),
+        }
+        assert_eq!(drc.hits(), 1);
+    }
+
+    #[test]
+    fn duplicate_of_in_progress_call_parks_and_gets_same_reply() {
+        let mut sim = sim_core::Simulation::new(1);
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        let DrcOutcome::New(slot) = drc.begin(k(7)) else {
+            panic!()
+        };
+        let DrcOutcome::InProgress(rx) = drc.begin(k(7)) else {
+            panic!("second copy must park")
+        };
+        let DrcOutcome::InProgress(rx2) = drc.begin(k(7)) else {
+            panic!("third copy must park too")
+        };
+        slot.fill(&9);
+        let got = sim.block_on(async move { (rx.await.unwrap(), rx2.await.unwrap()) });
+        assert_eq!(got, (9, 9));
+        assert_eq!(drc.waits(), 2);
+    }
+
+    #[test]
+    fn dropped_reservation_lets_retransmit_re_execute() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        let DrcOutcome::New(slot) = drc.begin(k(3)) else {
+            panic!()
+        };
+        drop(slot);
+        assert!(!drc.contains(k(3)));
+        assert!(matches!(drc.begin(k(3)), DrcOutcome::New(_)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_completed_entry_only() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(2);
+        for xid in 1..=3 {
+            let DrcOutcome::New(slot) = drc.begin(k(xid)) else {
+                panic!()
+            };
+            slot.fill(&xid);
+        }
+        assert_eq!(drc.len(), 2);
+        assert_eq!(drc.evictions(), 1);
+        assert!(!drc.contains(k(1)));
+        assert!(drc.contains(k(2)) && drc.contains(k(3)));
+        // Replaying 2 makes 3 the LRU victim for the next insert.
+        assert!(matches!(drc.begin(k(2)), DrcOutcome::Cached(2)));
+        let DrcOutcome::New(slot) = drc.begin(k(4)) else {
+            panic!()
+        };
+        slot.fill(&4);
+        assert!(drc.contains(k(2)) && !drc.contains(k(3)));
+    }
+
+    #[test]
+    fn distinct_peers_do_not_collide_on_xid() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        let a = DrcKey { peer: 1, xid: 5 };
+        let b = DrcKey { peer: 2, xid: 5 };
+        let DrcOutcome::New(sa) = drc.begin(a) else {
+            panic!()
+        };
+        sa.fill(&1);
+        assert!(matches!(drc.begin(b), DrcOutcome::New(_)));
+    }
+}

@@ -10,10 +10,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drc;
 pub mod msg;
 pub mod service;
 pub mod stream_transport;
 
+pub use drc::{DrcKey, DrcOutcome, DrcReservation, DuplicateRequestCache};
 pub use msg::{AcceptStat, CallHeader, ReplyHeader, RPC_VERSION};
 pub use service::{
     BulkDispatch, BulkService, BulkServiceRef, CallContext, DispatchResult, LocalBoxFuture,
@@ -21,4 +23,5 @@ pub use service::{
 };
 pub use stream_transport::{
     serve_stream_bulk_connection, serve_stream_connection, RpcError, StreamRpcClient,
+    TransportError,
 };

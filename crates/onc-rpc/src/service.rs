@@ -115,7 +115,9 @@ impl DispatchResult {
 
 /// Result of a bulk-aware dispatch: an XDR head plus optional bulk
 /// payload that transports move by their own best means (chunks over
-/// RDMA, a trailing segment over streams).
+/// RDMA, a trailing segment over streams). `Clone` is cheap (refcounted
+/// bytes) and lets the duplicate request cache replay a retained reply.
+#[derive(Clone)]
 pub struct BulkDispatch {
     /// Accept status for the reply header.
     pub stat: AcceptStat,

@@ -35,6 +35,41 @@ use crate::msg::{
 };
 use crate::service::{BulkServiceRef, CallContext, ServiceRef};
 
+/// Transport-level failures, distinct from RPC-protocol rejections:
+/// these describe what happened to the *wire*, and every one of them is
+/// recoverable by retransmission or reconnection rather than a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The call exhausted its retransmission budget without a reply.
+    TimedOut {
+        /// XID of the abandoned call.
+        xid: u32,
+        /// Send attempts made (1 original + retransmissions).
+        attempts: u32,
+    },
+    /// The connection died and no recovery path is configured.
+    ConnectionLost,
+    /// Two in-flight operations claimed the same work-request id — a
+    /// transport-state corruption that used to abort the process.
+    DuplicateWaiter(u64),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::TimedOut { xid, attempts } => {
+                write!(f, "call xid={xid} timed out after {attempts} attempts")
+            }
+            TransportError::ConnectionLost => write!(f, "connection lost"),
+            TransportError::DuplicateWaiter(wr) => {
+                write!(f, "duplicate completion waiter for wr_id {wr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// Errors surfaced by the stream transport.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RpcError {
@@ -44,6 +79,17 @@ pub enum RpcError {
     Rejected(AcceptStat),
     /// Reply failed to decode.
     BadReply,
+    /// Transport gave up (timeout, state corruption).
+    Transport(TransportError),
+}
+
+impl From<TransportError> for RpcError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::ConnectionLost => RpcError::Disconnected,
+            other => RpcError::Transport(other),
+        }
+    }
 }
 
 impl std::fmt::Display for RpcError {
@@ -52,6 +98,7 @@ impl std::fmt::Display for RpcError {
             RpcError::Disconnected => write!(f, "transport disconnected"),
             RpcError::Rejected(s) => write!(f, "call rejected: {s:?}"),
             RpcError::BadReply => write!(f, "malformed reply"),
+            RpcError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }

@@ -1,0 +1,152 @@
+//! Property tests for the duplicate request cache: under *any*
+//! interleaving of first arrivals, retransmissions, completions, and
+//! aborted executions, the DRC admits at most one live execution per
+//! XID, replays completed replies byte-identically, and wakes parked
+//! duplicates with exactly the original's reply.
+//!
+//! The test drives the real cache next to an exact model of its
+//! contract (in-progress set + LRU of completed replies) and checks
+//! every outcome against the model.
+
+use onc_rpc::{DrcKey, DrcOutcome, DrcReservation, DuplicateRequestCache};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// A call (first copy or retransmission) for this XID arrives.
+    Begin { xid: u32 },
+    /// One of the open executions finishes: publishes its reply, or
+    /// aborts without replying (`sel` picks among open reservations).
+    Finish { sel: usize, abort: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..6).prop_map(|xid| Op::Begin { xid }),
+        (0usize..8, any::<bool>()).prop_map(|(sel, abort)| Op::Finish { sel, abort }),
+    ]
+}
+
+fn key(xid: u32) -> DrcKey {
+    DrcKey { peer: 1, xid }
+}
+
+/// Exact mirror of the cache's contract.
+struct Model {
+    /// XIDs with a live (unfinished) execution.
+    in_progress: Vec<u32>,
+    /// Completed XIDs, least recently touched first, with the reply
+    /// each one published.
+    completed: Vec<(u32, u64)>,
+    capacity: usize,
+}
+
+impl Model {
+    fn touch(&mut self, xid: u32) {
+        if let Some(pos) = self.completed.iter().position(|(x, _)| *x == xid) {
+            let e = self.completed.remove(pos);
+            self.completed.push(e);
+        }
+    }
+    fn complete(&mut self, xid: u32, v: u64) {
+        self.in_progress.retain(|x| *x != xid);
+        self.completed.push((xid, v));
+        while self.completed.len() > self.capacity {
+            self.completed.remove(0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn exactly_once_and_byte_identical_replies(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        cap in 1usize..5,
+    ) {
+        let mut sim = sim_core::Simulation::new(1);
+        let drc: DuplicateRequestCache<u64> = DuplicateRequestCache::new(cap);
+        let mut model = Model { in_progress: Vec::new(), completed: Vec::new(), capacity: cap };
+
+        // Open executions: (xid, reservation, id). `outcomes[id]`
+        // records what each execution eventually did.
+        let mut open: Vec<(u32, DrcReservation<u64>, usize)> = Vec::new();
+        let mut outcomes: Vec<Option<u64>> = Vec::new();
+        // Parked duplicates: (execution id they parked on, receiver).
+        let mut parked = Vec::new();
+        let mut executions = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Begin { xid } => match drc.begin(key(xid)) {
+                    DrcOutcome::New(slot) => {
+                        // Admissible only if the model has neither a live
+                        // execution nor a retained reply for this XID —
+                        // i.e. re-execution happens only after an abort
+                        // or an LRU eviction.
+                        prop_assert!(
+                            !model.in_progress.contains(&xid)
+                                && !model.completed.iter().any(|(x, _)| *x == xid),
+                            "second live execution admitted for xid {xid}"
+                        );
+                        model.in_progress.push(xid);
+                        let id = outcomes.len();
+                        outcomes.push(None);
+                        open.push((xid, slot, id));
+                        executions += 1;
+                    }
+                    DrcOutcome::Cached(v) => {
+                        let want = model.completed.iter().find(|(x, _)| *x == xid);
+                        prop_assert!(want.is_some(), "replayed an uncompleted xid {xid}");
+                        prop_assert_eq!(v, want.unwrap().1, "replay not byte-identical");
+                        model.touch(xid);
+                    }
+                    DrcOutcome::InProgress(rx) => {
+                        prop_assert!(
+                            model.in_progress.contains(&xid),
+                            "parked on a xid with no live execution"
+                        );
+                        let id = open.iter().find(|(x, _, _)| *x == xid).unwrap().2;
+                        parked.push((id, rx));
+                    }
+                },
+                Op::Finish { sel, abort } => {
+                    if open.is_empty() {
+                        continue;
+                    }
+                    let (xid, slot, id) = open.remove(sel % open.len());
+                    if abort {
+                        drop(slot);
+                        model.in_progress.retain(|x| *x != xid);
+                    } else {
+                        // Unique value per execution: detects a stale
+                        // reply from an earlier execution being replayed.
+                        let v = (xid as u64) << 32 | executions;
+                        slot.fill(&v);
+                        outcomes[id] = Some(v);
+                        model.complete(xid, v);
+                    }
+                }
+            }
+        }
+        // Abort everything still open.
+        for (xid, slot, _) in open {
+            drop(slot);
+            model.in_progress.retain(|x| *x != xid);
+        }
+
+        // Every parked duplicate got exactly its original's reply —
+        // or an error if that execution aborted.
+        sim.block_on(async move {
+            for (id, rx) in parked {
+                match (outcomes[id], rx.await) {
+                    (Some(want), Ok(got)) => assert_eq!(got, want, "parked duplicate got a different reply"),
+                    (None, Err(_)) => {}
+                    (Some(_), Err(_)) => panic!("duplicate dropped though its execution replied"),
+                    (None, Ok(v)) => panic!("duplicate woken with {v} though its execution aborted"),
+                }
+            }
+        });
+    }
+}

@@ -22,9 +22,9 @@ use std::rc::Rc;
 use bytes::Bytes;
 use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, WrId};
 use onc_rpc::msg::{decode_reply, encode_call};
-use onc_rpc::{AcceptStat, CallHeader, RpcError};
+use onc_rpc::{AcceptStat, CallHeader, RpcError, TransportError};
 use sim_core::sync::{oneshot, OneshotSender, Semaphore};
-use sim_core::{Payload, Sim};
+use sim_core::{Payload, Sim, SimDuration, SimRng};
 use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
@@ -73,13 +73,23 @@ pub struct ClientStats {
     pub msgp_sends: u64,
     /// Client-side data copies, bytes (zero-copy path avoids these).
     pub copied_bytes: u64,
+    /// Call retransmissions (same XID resent after a reply timeout).
+    pub retransmits: u64,
+    /// Reply timeouts observed (each one precedes a retransmission or
+    /// the call's final failure).
+    pub timeouts: u64,
+    /// Successful connection recoveries (fresh QP after an error).
+    pub reconnects: u64,
 }
 
+/// Rebuilds a client connection after a QP error: tears down the old
+/// server-side endpoint and returns a fresh connected QP.
+pub type Connector = Box<dyn Fn() -> Qp>;
+
 struct ClientInner {
-    #[allow(dead_code)]
     sim: Sim,
     hca: Hca,
-    qp: Qp,
+    qp: RefCell<Qp>,
     registrar: Registrar,
     cfg: RpcRdmaConfig,
     prog: u32,
@@ -92,9 +102,20 @@ struct ClientInner {
     granted: Cell<u32>,
     /// Permits to swallow (grant was reduced below what we hold).
     credit_deficit: Cell<u32>,
-    router: CompletionRouter,
+    router: RefCell<CompletionRouter>,
     stats: RefCell<ClientStats>,
     dead: Cell<bool>,
+    /// A reconnect is in flight: hold off posting until the fresh QP
+    /// is swapped in (pending calls retransmit onto it).
+    recovering: Cell<bool>,
+    /// Recovery path; without one, a QP error is fatal for the
+    /// endpoint (every call fails with `Disconnected`).
+    connector: RefCell<Option<Connector>>,
+    /// Backoff jitter stream. Seeded from the endpoint identity, not
+    /// forked from the simulation root, so enabling retransmission
+    /// never perturbs the rng streams existing components fork; it is
+    /// only drawn when a timeout actually fires.
+    retrans_rng: RefCell<SimRng>,
     /// Per-connection scratch for assembling outgoing wire messages
     /// (RPC/RDMA header + inline body). Reused across calls so the
     /// steady-state encode path performs no heap allocation.
@@ -120,10 +141,11 @@ impl RdmaRpcClient {
         prog: u32,
         vers: u32,
     ) -> RdmaRpcClient {
+        let retrans_seed = 0xC1_1E47u64 ^ ((qp.node().0 as u64) << 32) ^ qp.qpn().0 as u64;
         let inner = Rc::new(ClientInner {
             sim: sim.clone(),
             hca: hca.clone(),
-            qp: qp.clone(),
+            qp: RefCell::new(qp.clone()),
             registrar,
             cfg,
             prog,
@@ -134,21 +156,15 @@ impl RdmaRpcClient {
             credits: Semaphore::new(cfg.credits as usize),
             granted: Cell::new(cfg.credits),
             credit_deficit: Cell::new(0),
-            router: CompletionRouter::spawn(sim, qp.send_cq().clone()),
+            router: RefCell::new(CompletionRouter::spawn(sim, qp.send_cq().clone())),
             stats: RefCell::new(ClientStats::default()),
             dead: Cell::new(false),
+            recovering: Cell::new(false),
+            connector: RefCell::new(None),
+            retrans_rng: RefCell::new(SimRng::new(retrans_seed)),
             send_scratch: RefCell::new(Encoder::with_capacity(256)),
         });
-        // Fail all pending calls if the connection errors.
-        {
-            let weak = Rc::downgrade(&inner);
-            inner.router.set_error_handler(move |_c| {
-                if let Some(inner) = weak.upgrade() {
-                    inner.dead.set(true);
-                    inner.pending.borrow_mut().clear();
-                }
-            });
-        }
+        install_error_handler(&inner);
         // Pre-posted receive pool; buffers are registered once at setup
         // (amortized, so no per-op cost is charged here).
         let mut recv_bufs = Vec::new();
@@ -159,7 +175,7 @@ impl RdmaRpcClient {
             recv_bufs.push(buf);
         }
         let inner2 = inner.clone();
-        sim.spawn(async move { reply_dispatcher(inner2, recv_bufs).await });
+        sim.spawn(async move { reply_dispatcher(inner2, qp, recv_bufs).await });
         RdmaRpcClient { inner }
     }
 
@@ -168,9 +184,27 @@ impl RdmaRpcClient {
         *self.inner.stats.borrow()
     }
 
-    /// The underlying queue pair (for diagnostics).
-    pub fn qp(&self) -> &Qp {
-        &self.inner.qp
+    /// The underlying queue pair (for diagnostics; swapped on
+    /// connection recovery).
+    pub fn qp(&self) -> Qp {
+        self.inner.qp.borrow().clone()
+    }
+
+    /// Install the connection-recovery path. On a QP error the client
+    /// waits `reconnect_delay`, asks the connector for a fresh
+    /// connected QP (the callback also rebuilds the server side),
+    /// re-registers through the registrar, and lets pending calls
+    /// retransmit. Without a connector, QP errors are fatal and every
+    /// call fails with [`RpcError::Disconnected`].
+    pub fn set_connector(&self, f: impl Fn() -> Qp + 'static) {
+        *self.inner.connector.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Fault injection: force the client-side QP into the error state,
+    /// as a cable pull or peer crash would. Posted receives flush with
+    /// errors, which is how the recovery path learns of the teardown.
+    pub fn inject_qp_error(&self) {
+        self.inner.qp.borrow().force_error();
     }
 
     fn alloc_wr(&self) -> WrId {
@@ -335,7 +369,7 @@ impl RdmaRpcClient {
             inline_body = rpc_msg;
         }
 
-        // --- Send the call. ------------------------------------------
+        // --- Send the call; retransmit on timeout. -------------------
         // Header + inline body are assembled in the per-connection
         // scratch encoder (no allocation in steady state); the single
         // copy into an owned buffer models staging into the
@@ -348,23 +382,75 @@ impl RdmaRpcClient {
         };
         cpu.copy(wire_len).await;
 
-        let (tx, rx) = oneshot();
-        inner.pending.borrow_mut().insert(xid, tx);
-        inner
-            .qp
-            .post_send(Payload::real(wire), self.alloc_wr(), false)
-            .map_err(|_| RpcError::Disconnected)?;
+        // Every attempt resends the same wire image — same XID — so the
+        // server's duplicate request cache can absorb re-executions.
+        // Held registrations stay valid across attempts (and across QP
+        // recovery: the TPT is per-HCA, not per-QP), so advertised
+        // rkeys in the retransmitted call still work.
+        let mut attempt: u32 = 0;
+        let result: Result<CallReply, RpcError> = loop {
+            if inner.dead.get() {
+                break Err(RpcError::Disconnected);
+            }
+            let (tx, rx) = oneshot();
+            let mut rx = rx;
+            inner.pending.borrow_mut().insert(xid, tx);
+            if !inner.recovering.get() {
+                let posted = inner.qp.borrow().post_send(
+                    Payload::real(wire.clone()),
+                    self.alloc_wr(),
+                    false,
+                );
+                if posted.is_err() {
+                    start_recovery(inner);
+                    if inner.dead.get() {
+                        inner.pending.borrow_mut().remove(&xid);
+                        break Err(RpcError::Disconnected);
+                    }
+                }
+            }
+            if attempt > 0 {
+                inner.stats.borrow_mut().retransmits += 1;
+                inner.sim.trace("rpc", || {
+                    format!("client retransmit xid={xid} attempt={attempt}")
+                });
+            }
 
-        // --- Await the reply. -----------------------------------------
-        let (rhdr, reply_body) = rx.await.map_err(|_| RpcError::Disconnected)?;
-        inner.sim.trace("rpc", || {
-            format!("client reply xid={xid} type={:?}", rhdr.msg_type)
-        });
-        self.apply_credit_grant(rhdr.credits);
-
-        let result = self
-            .finish_call(&rhdr, reply_body, &bulk, &mut sink, &mut reply_sink, &cpu)
-            .await;
+            // --- Await the reply (bounded). --------------------------
+            match inner.sim.timeout(self.backoff(attempt), &mut rx).await {
+                Some(Ok((rhdr, reply_body))) => {
+                    inner.sim.trace("rpc", || {
+                        format!("client reply xid={xid} type={:?}", rhdr.msg_type)
+                    });
+                    self.apply_credit_grant(rhdr.credits);
+                    let fin = self
+                        .finish_call(&rhdr, reply_body, &bulk, &mut sink, &mut reply_sink, &cpu)
+                        .await;
+                    match fin {
+                        // Transport trouble after the reply (e.g. QP
+                        // error mid chunk-pull): retransmit; the server
+                        // replays from its DRC with fresh exposures.
+                        Err(RpcError::Disconnected) if !inner.dead.get() => {}
+                        other => break other,
+                    }
+                }
+                // Sender dropped: connection died with no recovery path.
+                Some(Err(_)) => break Err(RpcError::Disconnected),
+                None => {
+                    inner.stats.borrow_mut().timeouts += 1;
+                }
+            }
+            inner.pending.borrow_mut().remove(&xid);
+            attempt += 1;
+            if attempt > inner.cfg.max_retransmits {
+                break Err(TransportError::TimedOut {
+                    xid,
+                    attempts: attempt,
+                }
+                .into());
+            }
+        };
+        inner.pending.borrow_mut().remove(&xid);
 
         // Release every held registration (Figure 4, point 10): the
         // reply's arrival guarantees the server is done with them.
@@ -390,6 +476,24 @@ impl RdmaRpcClient {
             inner.stats.borrow_mut().calls += 1;
         }
         result
+    }
+
+    /// Reply wait for send attempt `n` (0-based): exponential backoff
+    /// doubling up to 64x the base timeout, plus uniform jitter on
+    /// retransmissions to decorrelate retry storms across clients.
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        let inner = &self.inner;
+        let base = inner.cfg.call_timeout.as_nanos();
+        let mut wait = SimDuration::from_nanos(base << attempt.min(6));
+        let jitter = inner.cfg.retrans_jitter;
+        if attempt > 0 && !jitter.is_zero() {
+            let extra = inner
+                .retrans_rng
+                .borrow_mut()
+                .gen_range(jitter.as_nanos() + 1);
+            wait += SimDuration::from_nanos(extra);
+        }
+        wait
     }
 
     /// Resize the outstanding-call window to the server's latest grant
@@ -500,9 +604,10 @@ impl RdmaRpcClient {
                     let mut waits = Vec::new();
                     for chunk in &rhdr.read_chunks {
                         let wr = self.alloc_wr();
-                        waits.push(inner.router.expect(wr));
+                        waits.push(inner.router.borrow().expect(wr)?);
                         inner
                             .qp
+                            .borrow()
                             .post_rdma_read(
                                 io.buffer().clone(),
                                 io.base() + off,
@@ -542,6 +647,7 @@ impl RdmaRpcClient {
                         };
                         inner
                             .qp
+                            .borrow()
                             .post_send(Payload::real(msg), self.alloc_wr(), false)
                             .map_err(|_| RpcError::Disconnected)?;
                         inner.stats.borrow_mut().dones_sent += 1;
@@ -564,22 +670,23 @@ impl RdmaRpcClient {
     }
 }
 
-/// Consumes reply receives, reposts buffers, routes by XID.
-async fn reply_dispatcher(inner: Rc<ClientInner>, recv_bufs: Vec<Buffer>) {
+/// Consumes reply receives, reposts buffers, routes by XID. Bound to
+/// one QP: on connection recovery a fresh dispatcher is spawned for the
+/// fresh QP and this one exits on the old QP's flush errors.
+async fn reply_dispatcher(inner: Rc<ClientInner>, qp: Qp, recv_bufs: Vec<Buffer>) {
     loop {
-        let c = inner.qp.recv_cq().next().await;
+        let c = qp.recv_cq().next().await;
         if c.opcode != Opcode::Recv {
             continue;
         }
         let Ok(_) = c.result else {
-            inner.dead.set(true);
-            inner.pending.borrow_mut().clear();
+            start_recovery(&inner);
             return;
         };
         // Recycle the receive buffer immediately.
         let idx = c.wr_id.0 as usize;
         if idx < recv_bufs.len() {
-            let _ = inner.qp.post_recv(
+            let _ = qp.post_recv(
                 recv_bufs[idx].clone(),
                 0,
                 inner.cfg.recv_buffer_size,
@@ -598,4 +705,93 @@ async fn reply_dispatcher(inner: Rc<ClientInner>, recv_bufs: Vec<Buffer>) {
             tx.send((hdr, body));
         }
     }
+}
+
+/// Route error completions on the current send CQ into the recovery
+/// path (or fail-fast teardown when no connector is installed).
+fn install_error_handler(inner: &Rc<ClientInner>) {
+    let weak = Rc::downgrade(inner);
+    inner.router.borrow().set_error_handler(move |_c| {
+        if let Some(inner) = weak.upgrade() {
+            start_recovery(&inner);
+        }
+    });
+}
+
+/// React to a QP error. Without a connector the endpoint dies
+/// immediately: pending calls are failed (their reply senders drop)
+/// and every later call returns `Disconnected` — the pre-recovery
+/// fail-fast behaviour. With a connector, tear down and re-establish:
+/// wait out the reconnect delay, obtain a fresh connected QP (the
+/// connector also rebuilds the server side), flush cached
+/// registrations so bulk buffers re-register on the new connection,
+/// repost the receive window, and swap QP + completion router. Pending
+/// calls are *not* failed — their retransmission timers carry them
+/// onto the new connection with the same XID.
+fn start_recovery(inner: &Rc<ClientInner>) {
+    if inner.dead.get() || inner.recovering.get() {
+        return;
+    }
+    if inner.connector.borrow().is_none() {
+        inner.dead.set(true);
+        inner.pending.borrow_mut().clear();
+        return;
+    }
+    inner.recovering.set(true);
+    inner
+        .sim
+        .trace("rpc", || "client starting qp recovery".to_string());
+    let inner = inner.clone();
+    inner.sim.clone().spawn(async move {
+        inner.sim.sleep(inner.cfg.reconnect_delay).await;
+        let qp = {
+            let connector = inner.connector.borrow();
+            match connector.as_ref() {
+                Some(f) => f(),
+                None => {
+                    drop(connector);
+                    inner.dead.set(true);
+                    inner.recovering.set(false);
+                    inner.pending.borrow_mut().clear();
+                    return;
+                }
+            }
+        };
+        // Registrations cached against the torn-down connection are
+        // conservatively dropped and re-established on demand.
+        inner.registrar.flush_cache().await;
+        let mut recv_bufs = Vec::new();
+        let mut posted_ok = true;
+        for i in 0..inner.cfg.credits as u64 {
+            let buf = inner.hca.mem().alloc(inner.cfg.recv_buffer_size);
+            if qp
+                .post_recv(buf.clone(), 0, inner.cfg.recv_buffer_size, WrId(i))
+                .is_err()
+            {
+                posted_ok = false;
+                break;
+            }
+            recv_bufs.push(buf);
+        }
+        if !posted_ok {
+            // The replacement QP is already dead; give up.
+            inner.dead.set(true);
+            inner.recovering.set(false);
+            inner.pending.borrow_mut().clear();
+            return;
+        }
+        *inner.router.borrow_mut() = CompletionRouter::spawn(&inner.sim, qp.send_cq().clone());
+        install_error_handler(&inner);
+        *inner.qp.borrow_mut() = qp.clone();
+        inner.stats.borrow_mut().reconnects += 1;
+        inner.recovering.set(false);
+        inner
+            .sim
+            .trace("rpc", || "client qp recovery complete".to_string());
+        let inner2 = inner.clone();
+        inner
+            .sim
+            .clone()
+            .spawn(async move { reply_dispatcher(inner2, qp, recv_bufs).await });
+    });
 }

@@ -57,6 +57,22 @@ pub struct RpcRdmaConfig {
     /// window per connection — the buffer-management direction of the
     /// paper's future work (and of later Linux NFS/RDMA servers).
     pub server_srq: bool,
+    /// Base per-call reply timeout; attempt `n` waits
+    /// `call_timeout << min(n, 6)` plus jitter before retransmitting.
+    pub call_timeout: SimDuration,
+    /// Retransmissions allowed per call before it fails with
+    /// [`onc_rpc::TransportError::TimedOut`].
+    pub max_retransmits: u32,
+    /// Uniform random extra backoff `[0, retrans_jitter]` added to
+    /// every retransmission wait (decorrelates client retry storms).
+    pub retrans_jitter: SimDuration,
+    /// Wait before rebuilding a connection after a QP error (models
+    /// CM teardown + route resolution + QP re-creation).
+    pub reconnect_delay: SimDuration,
+    /// Completed replies the server's duplicate request cache retains
+    /// (bounded LRU; evicted entries mean very late duplicates
+    /// re-execute).
+    pub drc_capacity: usize,
 }
 
 impl RpcRdmaConfig {
@@ -75,6 +91,11 @@ impl RpcRdmaConfig {
             msgp_align: 64,
             suppress_done: false,
             server_srq: false,
+            call_timeout: SimDuration::from_millis(50),
+            max_retransmits: 8,
+            retrans_jitter: SimDuration::from_micros(500),
+            reconnect_delay: SimDuration::from_millis(2),
+            drc_capacity: 1024,
         }
     }
 

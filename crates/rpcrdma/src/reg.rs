@@ -228,6 +228,23 @@ impl RegCache {
             .push(e);
     }
 
+    /// Drop every parked registration, deregistering each MR. Used on
+    /// connection teardown: cached registrations belong to the old
+    /// connection epoch and are conservatively re-established on the
+    /// fresh QP (the paper's point that registration caching trades
+    /// safety for reuse).
+    pub async fn flush(&self) {
+        let entries: Vec<CacheEntry> = {
+            let mut classes = self.inner.classes.borrow_mut();
+            classes.drain().flat_map(|(_, v)| v).collect()
+        };
+        self.inner.free_bytes.set(0);
+        for e in entries {
+            self.inner.evictions.set(self.inner.evictions.get() + 1);
+            e.mr.deregister().await;
+        }
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.inner.hits.get()
@@ -302,6 +319,17 @@ impl Registrar {
     /// Times FMR fell back to dynamic registration.
     pub fn fmr_fallbacks(&self) -> u64 {
         self.fallbacks.get()
+    }
+
+    /// Connection-recovery hook: drop state tied to the torn-down
+    /// connection so bulk buffers are re-registered on the fresh QP.
+    /// Only the cache strategy parks registrations; for the others this
+    /// is a no-op (dynamic/FMR register per-op, all-physical never
+    /// deregisters).
+    pub async fn flush_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.flush().await;
+        }
     }
 
     /// Make `[off, off+len)` of the caller's buffer DMA-able in place

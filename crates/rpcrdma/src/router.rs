@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use ib_verbs::{Completion, Cq, WrId};
+use onc_rpc::TransportError;
 use sim_core::sync::{oneshot, OneshotReceiver, OneshotSender};
 use sim_core::Sim;
 
@@ -56,11 +57,19 @@ impl CompletionRouter {
     }
 
     /// Register interest in `wr_id` *before* posting the work request.
-    pub fn expect(&self, wr_id: WrId) -> OneshotReceiver<Completion> {
+    ///
+    /// A colliding registration is transport-state corruption; it
+    /// surfaces as a typed [`TransportError`] the caller can fail the
+    /// RPC with (and the fault layer can exercise) instead of aborting
+    /// the whole simulation.
+    pub fn expect(&self, wr_id: WrId) -> Result<OneshotReceiver<Completion>, TransportError> {
         let (tx, rx) = oneshot();
-        let prev = self.inner.waiters.borrow_mut().insert(wr_id.0, tx);
-        assert!(prev.is_none(), "duplicate waiter for {wr_id:?}");
-        rx
+        let mut waiters = self.inner.waiters.borrow_mut();
+        if waiters.contains_key(&wr_id.0) {
+            return Err(TransportError::DuplicateWaiter(wr_id.0));
+        }
+        waiters.insert(wr_id.0, tx);
+        Ok(rx)
     }
 
     /// Install an error observer (used to fail pending RPCs).

@@ -27,7 +27,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Srq, WrId};
 use onc_rpc::msg::{decode_call, encode_reply};
-use onc_rpc::{CallContext, ReplyHeader};
+use onc_rpc::{CallContext, DrcKey, DrcOutcome, DuplicateRequestCache, ReplyHeader};
 use sim_core::{Payload, Resource, Sim};
 use xdr::{Encoder, XdrCodec};
 
@@ -59,6 +59,9 @@ pub struct ServerStats {
     pub inflight: Cell<u64>,
     /// High-water mark of concurrent operations.
     pub peak_inflight: Cell<u64>,
+    /// Retransmitted calls answered from the duplicate request cache
+    /// (or parked on an in-progress original) instead of re-executing.
+    pub drc_replays: Cell<u64>,
 }
 
 /// A server endpoint shared by all client connections: the service,
@@ -79,6 +82,9 @@ pub struct RdmaRpcServer {
     /// Shared receive pool when `cfg.server_srq` is set, with its
     /// buffers (indexed by work-request id for re-posting).
     srq: Option<(Srq, Vec<Buffer>)>,
+    /// Duplicate request cache: retransmitted calls (same peer + XID)
+    /// replay the original dispatch instead of re-executing it.
+    drc: DuplicateRequestCache<crate::service::RdmaDispatch>,
     /// Statistics.
     pub stats: Rc<ServerStats>,
 }
@@ -113,6 +119,7 @@ impl RdmaRpcServer {
             taskq: Resource::new(sim, "rpc-taskq", 1),
             credit_grant: Cell::new(cfg.credits),
             srq,
+            drc: DuplicateRequestCache::new(cfg.drc_capacity),
             stats: Rc::new(ServerStats::default()),
         })
     }
@@ -137,6 +144,11 @@ impl RdmaRpcServer {
     /// The grant currently in force.
     pub fn credit_grant(&self) -> u32 {
         self.credit_grant.get()
+    }
+
+    /// The duplicate request cache (diagnostics).
+    pub fn drc(&self) -> &DuplicateRequestCache<crate::service::RdmaDispatch> {
+        &self.drc
     }
 
     /// Attach one accepted connection (a connected QP) and serve it.
@@ -195,7 +207,7 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
     loop {
         let c = qp.recv_cq().next().await;
         if c.opcode != Opcode::Recv || c.result.is_err() {
-            return; // connection torn down
+            break; // connection torn down
         }
         let idx = c.wr_id.0 as usize;
         if let Some((srq, bufs)) = &server.srq {
@@ -237,11 +249,28 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
                 let server = server.clone();
                 let qp = qp.clone();
                 let conn = conn.clone();
-                let peer = qp.node().0;
+                let peer = qp.peer_node().0;
                 server.sim.clone().spawn(async move {
                     handle_op(server, qp, conn, hdr, body, peer).await;
                 });
             }
+        }
+    }
+    // Teardown: the peer can no longer send RDMA_DONE on this QP, so
+    // retire every buffer still exposed to it.
+    let leftover: Vec<Vec<IoBuf>> = conn
+        .pending_exposures
+        .borrow_mut()
+        .drain()
+        .map(|(_, bufs)| bufs)
+        .collect();
+    for bufs in leftover {
+        server
+            .stats
+            .exposures_pending
+            .set(server.stats.exposures_pending.get() - bufs.len() as u64);
+        for io in bufs {
+            server.registrar.release(io).await;
         }
     }
 }
@@ -355,17 +384,56 @@ async fn handle_op(
         vers: call_hdr.vers,
     };
     let wildcard = server.service.program() == onc_rpc::PROG_WILDCARD;
-    let dispatch = if !wildcard
-        && (call_hdr.prog != server.service.program() || call_hdr.vers != server.service.version())
-    {
-        crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
-    } else {
-        server
-            .service
-            .call(cx, call_hdr.proc_num, args, bulk_in)
-            .await
+    // At-most-once: retransmitted calls (same peer + XID) replay the
+    // original dispatch; duplicates of a call still executing park on
+    // it. Only a genuinely new call reaches the service.
+    let key = DrcKey {
+        peer,
+        xid: call_hdr.xid,
     };
-    server.stats.ops.set(server.stats.ops.get() + 1);
+    let dispatch = match server.drc.begin(key) {
+        DrcOutcome::New(slot) => {
+            let dispatch = if !wildcard
+                && (call_hdr.prog != server.service.program()
+                    || call_hdr.vers != server.service.version())
+            {
+                crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
+            } else {
+                server
+                    .service
+                    .call(cx, call_hdr.proc_num, args, bulk_in)
+                    .await
+            };
+            server.stats.ops.set(server.stats.ops.get() + 1);
+            slot.fill(&dispatch);
+            dispatch
+        }
+        DrcOutcome::Cached(dispatch) => {
+            server
+                .stats
+                .drc_replays
+                .set(server.stats.drc_replays.get() + 1);
+            server
+                .sim
+                .trace("rpc", || format!("server drc replay xid={}", call_hdr.xid));
+            dispatch
+        }
+        DrcOutcome::InProgress(rx) => match rx.await {
+            Ok(dispatch) => {
+                server
+                    .stats
+                    .drc_replays
+                    .set(server.stats.drc_replays.get() + 1);
+                server.sim.trace("rpc", || {
+                    format!("server drc wait-replay xid={}", call_hdr.xid)
+                });
+                dispatch
+            }
+            // The original aborted without replying; drop this copy too
+            // and let the client's next retransmission execute afresh.
+            Err(_) => return,
+        },
+    };
 
     let mut reply_msg = encode_reply(
         &ReplyHeader {
@@ -478,21 +546,42 @@ async fn handle_op(
     // Signaled: the reply Send's completion is the proof that every
     // preceding RDMA Write has been placed (§4.2), and therefore the
     // deregistration point for Read-Write source buffers.
-    let wait = conn.router.expect(wr);
-    if qp.post_send(Payload::real(wire), wr, true).is_err() {
-        return;
-    }
-    let _ = wait.await;
+    let send_ok = match conn.router.expect(wr) {
+        Ok(wait) => {
+            if qp.post_send(Payload::real(wire), wr, true).is_err() {
+                false
+            } else {
+                wait.await.is_ok()
+            }
+        }
+        Err(_) => false,
+    };
 
-    if !to_expose.is_empty() {
-        // Read-Read: buffers stay exposed until RDMA_DONE.
+    if !to_expose.is_empty() && send_ok {
+        // Read-Read: buffers stay exposed until RDMA_DONE. A replayed
+        // reply re-exposes fresh buffers under the same XID; retire the
+        // originals (their rkeys were advertised in a reply the client
+        // never acted on).
         server
             .stats
             .exposures_pending
             .set(server.stats.exposures_pending.get() + to_expose.len() as u64);
-        conn.pending_exposures
+        let old = conn
+            .pending_exposures
             .borrow_mut()
             .insert(call_hdr.xid, to_expose);
+        if let Some(old) = old {
+            server
+                .stats
+                .exposures_pending
+                .set(server.stats.exposures_pending.get() - old.len() as u64);
+            for io in old {
+                server.registrar.release(io).await;
+            }
+        }
+    } else {
+        // Reply never left (QP torn down mid-call): nothing to expose.
+        to_release.extend(to_expose);
     }
     for io in to_release {
         server.registrar.release(io).await;
@@ -513,7 +602,13 @@ async fn pull_chunks(
     let mut waits = Vec::new();
     for chunk in chunks {
         let wr = conn.alloc_wr();
-        waits.push(conn.router.expect(wr));
+        match conn.router.expect(wr) {
+            Ok(rx) => waits.push(rx),
+            Err(_) => {
+                server.registrar.release(io).await;
+                return None;
+            }
+        }
         if qp
             .post_rdma_read(
                 io.buffer().clone(),

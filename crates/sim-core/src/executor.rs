@@ -266,7 +266,11 @@ impl Simulation {
             }
             // Advance to the earliest pending timer. (Cancelled timers
             // are skipped inside the wheel without touching the clock.)
-            let fired = self.core.timers.borrow_mut().pop_due(deadline);
+            let fired = self
+                .core
+                .timers
+                .borrow_mut()
+                .pop_due(deadline, self.core.now.get());
             match fired {
                 Some((at, waker)) => {
                     debug_assert!(at >= self.core.now.get());
@@ -402,6 +406,21 @@ impl Sim {
         self.core.trace.borrow().is_some()
     }
 
+    /// Race `fut` against a span of virtual time: `Some(output)` if the
+    /// future completes first, `None` if the deadline fires first. The
+    /// future is borrowed (`&mut`), so on timeout the caller still owns
+    /// it and may keep waiting, retry, or drop it — the pattern an RPC
+    /// retransmission loop needs.
+    pub fn timeout<'a, F>(&self, limit: SimDuration, fut: &'a mut F) -> Timeout<'a, F>
+    where
+        F: Future + Unpin,
+    {
+        Timeout {
+            sleep: self.sleep(limit),
+            fut,
+        }
+    }
+
     /// Record a trace event; the detail closure only runs when tracing
     /// is on, so instrumented hot paths stay free by default.
     pub fn trace(&self, category: &'static str, detail: impl FnOnce() -> String) {
@@ -455,6 +474,26 @@ impl Drop for Sleep {
     fn drop(&mut self) {
         if let Some(h) = self.timer.take() {
             self.core.timers.borrow_mut().cancel(h);
+        }
+    }
+}
+
+/// Future returned by [`Sim::timeout`].
+pub struct Timeout<'a, F> {
+    sleep: Sleep,
+    fut: &'a mut F,
+}
+
+impl<F: Future + Unpin> Future for Timeout<'_, F> {
+    type Output = Option<F::Output>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        if let Poll::Ready(v) = Pin::new(&mut *this.fut).poll(cx) {
+            return Poll::Ready(Some(v));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(None),
+            Poll::Pending => Poll::Pending,
         }
     }
 }

@@ -54,10 +54,10 @@ pub mod time;
 pub mod timer_wheel;
 
 pub use cpu::{Cpu, CpuCosts};
-pub use executor::{yield_now, Sim, Simulation, TraceEvent};
+pub use executor::{yield_now, Sim, Simulation, Timeout, TraceEvent};
 pub use extent::ExtentMap;
 pub use payload::Payload;
 pub use resource::{Link, Resource};
 pub use rng::SimRng;
-pub use stats::{Histogram, Meter, Summary};
+pub use stats::{Counter, Histogram, Meter, Summary};
 pub use time::{transfer_time, SimDuration, SimTime};

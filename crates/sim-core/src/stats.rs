@@ -1,7 +1,42 @@
 //! Measurement helpers: throughput meters and summary statistics used
 //! by the workload drivers and the figure harnesses.
 
+use std::cell::Cell;
+
 use crate::time::{SimDuration, SimTime};
+
+/// A monotonic event counter cheap enough for per-message hot paths
+/// (a [`Cell`] bump, no allocation). Used by the fabric's fault
+/// observability (dropped messages, link-level retransmits).
+#[derive(Debug, Default)]
+pub struct Counter(Cell<u64>);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Count one event.
+    pub fn inc(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    /// Count `n` events at once.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Events counted so far.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Zero the counter.
+    pub fn reset(&self) {
+        self.0.set(0);
+    }
+}
 
 /// Accumulates bytes/ops over a virtual-time window and reports rates.
 #[derive(Clone, Debug)]

@@ -251,9 +251,14 @@ impl TimerWheel {
     /// Pop the earliest live timer with `deadline <= limit`, if any.
     /// Dead keys encountered on the way are freed (bounded lazy
     /// deletion); a live timer beyond `limit` is left in place.
-    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, Waker)> {
+    ///
+    /// `now` is the caller's current virtual time; it anchors the wheel
+    /// window when the far heap has to be consulted (see
+    /// [`TimerWheel::refill`]), so a pending long timeout never drags
+    /// the window away from the present.
+    pub fn pop_due(&mut self, limit: SimTime, now: SimTime) -> Option<(SimTime, Waker)> {
         loop {
-            self.refill();
+            self.refill(now.as_nanos());
             let key = *self.drain.last()?;
             if self.slots[key.slot as usize].waker.is_none() {
                 self.drain.pop();
@@ -275,9 +280,16 @@ impl TimerWheel {
     }
 
     /// Make the drain non-empty if any timer exists: advance the cursor
-    /// collecting buckets, rebasing at the far heap when the wheel runs
-    /// dry.
-    fn refill(&mut self) {
+    /// collecting buckets, rebasing when the wheel runs dry.
+    ///
+    /// Rebasing anchors at `now` first, so that a long-lived far-heap
+    /// timer (e.g. an RPC retransmission timeout, typically cancelled
+    /// long before it fires) cannot drag the window into the far
+    /// future — which would force every subsequent near-future sleep
+    /// down the sorted-drain slow path. Only when nothing lands in the
+    /// window at `now` (a genuine idle skip: the far timer is the next
+    /// event) does the window jump to the heap minimum.
+    fn refill(&mut self, now: u64) {
         while self.drain.is_empty() {
             if self.wheel_len > 0 {
                 while self.buckets[self.cursor].is_empty() {
@@ -302,31 +314,41 @@ impl TimerWheel {
                 self.drain
                     .sort_unstable_by_key(|k| std::cmp::Reverse(k.order()));
             } else if !self.heap.is_empty() {
-                self.rebase();
+                if !self.rebase_at(now) {
+                    // Nothing within the window of the present: idle
+                    // skip to the heap minimum. (The pour below frees
+                    // dead heap keys, so this loop always progresses.)
+                    let min = self
+                        .heap
+                        .peek()
+                        .expect("checked non-empty above")
+                        .0
+                        .deadline;
+                    self.rebase_at(min);
+                }
             } else {
                 return;
             }
         }
     }
 
-    /// Move the wheel window to start at the far heap's minimum and
-    /// pour every heap entry inside the new window into buckets.
-    fn rebase(&mut self) {
-        let min = self
-            .heap
-            .peek()
-            .expect("caller checked non-empty")
-            .0
-            .deadline;
-        self.base = min & !(GRAIN - 1);
+    /// Move the wheel window to start at `at` and pour every heap entry
+    /// inside the new window into buckets (dead keys are freed on the
+    /// way). Returns whether any key left the heap.
+    fn rebase_at(&mut self, at: u64) -> bool {
+        self.base = at & !(GRAIN - 1);
         self.cursor = 0;
         self.drain_end = self.base;
+        let mut moved = false;
         while let Some(Reverse(key)) = self.heap.peek() {
-            let off = (key.deadline - self.base) / GRAIN;
+            // Keys below the new base can only be long-dead (the clock
+            // never passes a live timer); saturate them into bucket 0.
+            let off = key.deadline.saturating_sub(self.base) / GRAIN;
             if off >= BUCKETS as u64 {
                 break;
             }
             let Reverse(key) = self.heap.pop().expect("peeked");
+            moved = true;
             if self.slots[key.slot as usize].waker.is_some() {
                 self.slots[key.slot as usize].tier = Tier::Wheel;
                 self.buckets[off as usize].push(key);
@@ -336,6 +358,7 @@ impl TimerWheel {
                 self.free_slot(key.slot);
             }
         }
+        moved
     }
 
     /// Purge the far heap once cancelled entries outnumber live ones
@@ -379,10 +402,14 @@ mod tests {
     }
 
     /// Pop everything due by `limit`, returning deadlines in fire order.
+    /// Tracks the virtual clock the way the executor does: `now`
+    /// advances to each fired deadline.
     fn drain_all(wheel: &mut TimerWheel, limit: u64) -> Vec<u64> {
         let mut out = Vec::new();
-        while let Some((at, _)) = wheel.pop_due(t(limit)) {
-            out.push(at.as_nanos());
+        let mut now = 0;
+        while let Some((at, _)) = wheel.pop_due(t(limit), t(now)) {
+            now = at.as_nanos();
+            out.push(now);
         }
         out
     }
@@ -411,7 +438,7 @@ mod tests {
         // All in one bucket; seq must break the tie. Pop one at a time
         // and match the seq-implied order via the handles' slots.
         let mut fired = 0;
-        while wh.pop_due(t(u64::MAX)).is_some() {
+        while wh.pop_due(t(u64::MAX), t(0)).is_some() {
             fired += 1;
         }
         assert_eq!(fired, 8);
@@ -458,7 +485,7 @@ mod tests {
         wh.register(t(100), w());
         wh.register(t(900), w());
         // Open the drain window (collects the first bucket).
-        assert_eq!(wh.pop_due(t(u64::MAX)).unwrap().0.as_nanos(), 100);
+        assert_eq!(wh.pop_due(t(u64::MAX), t(0)).unwrap().0.as_nanos(), 100);
         // 500 is inside the already-swept window; must still fire
         // before 900.
         wh.register(t(500), w());
@@ -477,6 +504,34 @@ mod tests {
             drain_all(&mut wh, u64::MAX),
             vec![10, 1 << 40, (1 << 40) + 3, 1 << 50]
         );
+    }
+
+    #[test]
+    fn cancelled_long_timeouts_do_not_disturb_near_timers() {
+        // The RPC retransmission pattern: every operation arms a
+        // far-future timeout, awaits a burst of near-future timers, and
+        // cancels the timeout. Near timers must keep firing in order
+        // (and the window must keep tracking the present rather than
+        // the abandoned timeouts).
+        let mut wh = TimerWheel::new();
+        let mut now = 0u64;
+        for op in 0..1000u64 {
+            let timeout = wh.register(t(now + 50_000_000), w());
+            let mut expect = Vec::new();
+            for i in 0..4 {
+                let d = now + 100 * (i + 1);
+                wh.register(t(d), w());
+                expect.push(d);
+            }
+            for want in expect {
+                let (at, _) = wh.pop_due(t(u64::MAX), t(now)).expect("near timer pending");
+                assert_eq!(at.as_nanos(), want, "op {op}: fired out of order");
+                now = at.as_nanos();
+            }
+            wh.cancel(timeout);
+        }
+        assert_eq!(wh.live(), 0);
+        assert!(drain_all(&mut wh, u64::MAX).is_empty());
     }
 
     #[test]

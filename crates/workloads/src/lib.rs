@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod iozone;
 pub mod multiclient;
 pub mod oltp;
@@ -21,6 +22,7 @@ pub mod profiles;
 pub mod report;
 pub mod testbed;
 
+pub use chaos::{run_chaos, ChaosParams, ChaosResult};
 pub use iozone::{run_iozone, IoMode, IozoneParams, IozoneResult};
 pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClientResult};
 pub use oltp::{run_oltp, OltpParams, OltpResult};

@@ -155,7 +155,7 @@ pub fn build_rdma(
         let mem = Rc::new(HostMem::new(node, profile.phys, sim.fork_rng()));
         let hca = Hca::new(sim, node, profile.hca, cpu.clone(), mem.clone(), &fabric);
         let (qc, qs) = connect(&hca, &server_hca);
-        rpc_server.serve_connection(qs);
+        rpc_server.serve_connection(qs.clone());
         let rpc_client = RdmaRpcClient::new(
             sim,
             &hca,
@@ -165,6 +165,22 @@ pub fn build_rdma(
             nfs::NFS_PROGRAM,
             nfs::NFS_VERSION,
         );
+        // QP error recovery: tear down the old server half, bring up a
+        // fresh QP pair, and hand the server its end (the connection
+        // manager's role on a real fabric).
+        {
+            let qs_cell = std::cell::RefCell::new(qs);
+            let hca = hca.clone();
+            let server_hca = server_hca.clone();
+            let rpc_server = rpc_server.clone();
+            rpc_client.set_connector(move || {
+                qs_cell.borrow().force_error();
+                let (qc, qs) = connect(&hca, &server_hca);
+                rpc_server.serve_connection(qs.clone());
+                *qs_cell.borrow_mut() = qs;
+                qc
+            });
+        }
         clients.push(ClientHost {
             nfs: Rc::new(NfsClient::over_rdma(rpc_client)),
             mem,

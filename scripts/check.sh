@@ -24,4 +24,7 @@ fi
 echo "==> simperf --smoke"
 cargo run --release -p bench --bin simperf -- --smoke
 
+echo "==> chaos --smoke"
+cargo run --release -p bench --bin chaos -- --smoke
+
 echo "OK: all checks passed"
