@@ -1,11 +1,117 @@
 //! Figure 5: IOzone Read bandwidth on OpenSolaris — Read-Read vs
 //! Read-Write, 128 KB and 1 MB records, 1–8 threads, tmpfs, direct I/O.
+//!
+//! `--anatomy` instead runs a short traced workload per design and
+//! registration strategy and emits the RPC latency anatomy: per-phase
+//! p50/p99 (client marshal → registration → Send → server dispatch →
+//! backend I/O → RDMA data movement → reply) plus Perfetto-loadable
+//! Chrome traces in `results/trace_fig5_{rr,rw}.json`.
 
 use bench::{emit, file_size_scaled, sweep_iozone, IozonePoint, THREADS};
+use nfs::proto::NfsProc;
 use rpcrdma::{Design, StrategyKind};
-use workloads::{mb, solaris_sdr, IoMode, Table};
+use sim_core::{aggregate_phases, chrome_trace_json, validate_json, Simulation, SpanRecord};
+use workloads::{build_rdma, mb, run_iozone, solaris_sdr, Backend, IoMode, IozoneParams, Table};
+
+/// Run one short traced pass and return its spans.
+fn traced_pass(design: Design, strategy: StrategyKind, mode: IoMode) -> Vec<SpanRecord> {
+    let profile = solaris_sdr();
+    let mut sim = Simulation::new(0xF00D);
+    sim.enable_span_tracing();
+    let h = sim.handle();
+    sim.block_on(async move {
+        let bed = build_rdma(&h, &profile, design, strategy, Backend::Tmpfs, 1);
+        run_iozone(
+            &h,
+            &bed,
+            IozoneParams {
+                threads_per_client: 2,
+                file_size: 8 * 128 * 1024,
+                record: 128 * 1024,
+                mode,
+            },
+        )
+        .await
+    });
+    sim.take_spans()
+}
+
+fn proc_label(proc_num: Option<u32>) -> String {
+    match proc_num {
+        Some(p) => NfsProc::name_of(p)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("proc{p}")),
+        None => "-".into(),
+    }
+}
+
+fn anatomy() {
+    let mut t = Table::new(
+        "Figure 5 anatomy — per-phase RPC latency (us)",
+        &[
+            "design",
+            "strategy",
+            "proc",
+            "component",
+            "phase",
+            "count",
+            "p50_us",
+            "p99_us",
+        ],
+    );
+    for (dlabel, design) in [("RR", Design::ReadRead), ("RW", Design::ReadWrite)] {
+        for (slabel, strategy) in [
+            ("dynamic", StrategyKind::Dynamic),
+            ("cache", StrategyKind::Cache),
+        ] {
+            let read_spans = traced_pass(design, strategy, IoMode::Read);
+            // Dynamic runs double as the Perfetto trace export (the
+            // READ pass: one complete NFS READ lifecycle per design).
+            if strategy == StrategyKind::Dynamic {
+                let json = chrome_trace_json(&read_spans);
+                validate_json(&json).expect("trace JSON must parse");
+                let path = format!("results/trace_fig5_{}.json", dlabel.to_lowercase());
+                let _ = std::fs::create_dir_all("results");
+                std::fs::write(&path, &json).expect("writing trace");
+                println!("wrote {path} ({} spans)", read_spans.len());
+            }
+            let write_spans = traced_pass(design, strategy, IoMode::Write);
+            // Span ids are per-simulation, so aggregate each pass on
+            // its own and merge histograms by phase key.
+            let mut phases = aggregate_phases(&read_spans);
+            for wp in aggregate_phases(&write_spans) {
+                match phases.iter_mut().find(|p| {
+                    p.proc_num == wp.proc_num && p.component == wp.component && p.name == wp.name
+                }) {
+                    Some(p) => p.hist.merge(&wp.hist),
+                    None => phases.push(wp),
+                }
+            }
+            phases.sort_by(|a, b| {
+                (a.proc_num, a.component, a.name).cmp(&(b.proc_num, b.component, b.name))
+            });
+            for phase in phases {
+                t.row(&[
+                    dlabel.to_string(),
+                    slabel.to_string(),
+                    proc_label(phase.proc_num),
+                    phase.component.to_string(),
+                    phase.name.to_string(),
+                    phase.hist.count().to_string(),
+                    phase.hist.quantile(0.5).as_micros().to_string(),
+                    phase.hist.quantile(0.99).as_micros().to_string(),
+                ]);
+            }
+        }
+    }
+    emit("fig5_anatomy", &t);
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--anatomy") {
+        anatomy();
+        return;
+    }
     let profile = solaris_sdr();
     let mut points = Vec::new();
     for (dlabel, design) in [("RR", Design::ReadRead), ("RW", Design::ReadWrite)] {

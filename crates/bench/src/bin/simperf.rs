@@ -64,6 +64,11 @@ fn main() {
     );
 
     if cfg.smoke {
+        // Regression gate: the disabled-tracing hot path must stay in
+        // the same league as the published full-mode numbers. Smoke
+        // runs are short and noisy, so the bar is a fraction of the
+        // recorded rate (override with SIMPERF_GATE_RATIO; 0 disables).
+        gate_against_recorded(events_per_sec);
         return; // don't clobber the full-mode results file
     }
     let json = format!(
@@ -102,6 +107,52 @@ fn main() {
         Ok(()) => println!("  wrote {}", path.display()),
         Err(e) => eprintln!("  could not write {}: {e}", path.display()),
     }
+}
+
+/// Compare a smoke-mode events/sec measurement against the recorded
+/// full-mode `results/BENCH_hotpath.json`, exiting nonzero when it
+/// falls below `SIMPERF_GATE_RATIO` (default 0.1) of the published
+/// rate. Missing file or field means there is nothing to gate against.
+fn gate_against_recorded(events_per_sec: f64) {
+    let ratio = std::env::var("SIMPERF_GATE_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.1);
+    if ratio <= 0.0 {
+        return;
+    }
+    let Ok(json) = std::fs::read_to_string("results/BENCH_hotpath.json") else {
+        println!("  gate:     no recorded results/BENCH_hotpath.json; skipping");
+        return;
+    };
+    let Some(recorded) = json_field_f64(&json, "events_per_sec") else {
+        println!("  gate:     events_per_sec not found in recorded file; skipping");
+        return;
+    };
+    let floor = recorded * ratio;
+    if events_per_sec < floor {
+        eprintln!(
+            "  gate:     FAIL — {events_per_sec:.0} events/sec < {floor:.0} \
+             ({ratio} x recorded {recorded:.0})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  gate:     ok — {events_per_sec:.0} events/sec >= {floor:.0} \
+         ({ratio} x recorded {recorded:.0})"
+    );
+}
+
+/// Extract `"key": <number>` from a flat JSON document (first match).
+fn json_field_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {

@@ -380,6 +380,7 @@ impl<S: DataStore> Fs<S> {
             return Ok(Payload::empty());
         }
         let n = len.min(attr.size - off);
+        let _s = self.ns.sim.span("fs", "read");
         Ok(self.store.read(id, off, n).await)
     }
 
@@ -394,6 +395,7 @@ impl<S: DataStore> Fs<S> {
             inode.attr.size = inode.attr.size.max(off + data.len());
             inode.attr.mtime = self.ns.sim.now();
         }
+        let _s = self.ns.sim.span("fs", "write");
         Ok(self.store.write(id, off, data).await)
     }
 

@@ -89,10 +89,11 @@ struct Port<M> {
     rx_bytes: Cell<u64>,
     tx_bytes: Cell<u64>,
     /// Messages dropped on arrival at this port (cumulative; not reset
-    /// by accounting windows).
-    dropped: Counter,
+    /// by accounting windows). Registered as `fabric.port{N}.dropped`.
+    dropped: Rc<Counter>,
     /// Link-level retransmissions into this port (cumulative).
-    retransmits: Counter,
+    /// Registered as `fabric.port{N}.retransmits`.
+    retransmits: Rc<Counter>,
 }
 
 struct FabricInner<M> {
@@ -134,6 +135,7 @@ impl<M: 'static> Fabric<M> {
     /// latency. Returns the node's inbound message stream.
     pub fn attach(&self, node: NodeId, bandwidth: u64, latency: SimDuration) -> Receiver<M> {
         let (inbox, rx_inbox) = channel();
+        let metrics = self.inner.sim.metrics();
         let port = Rc::new(Port {
             tx: Resource::new(&self.inner.sim, format!("node{}.tx", node.0), 1),
             rx: Resource::new(&self.inner.sim, format!("node{}.rx", node.0), 1),
@@ -142,8 +144,8 @@ impl<M: 'static> Fabric<M> {
             inbox,
             rx_bytes: Cell::new(0),
             tx_bytes: Cell::new(0),
-            dropped: Counter::new(),
-            retransmits: Counter::new(),
+            dropped: metrics.counter(&format!("fabric.port{}.dropped", node.0)),
+            retransmits: metrics.counter(&format!("fabric.port{}.retransmits", node.0)),
         });
         let prev = self.inner.ports.borrow_mut().insert(node, port);
         assert!(prev.is_none(), "node {node:?} attached twice");
@@ -333,34 +335,18 @@ impl<M: 'static> Fabric<M> {
             .unwrap_or(DEFAULT_RETRY_DELAY)
     }
 
-    /// Messages dropped on arrival at `node` (cumulative).
+    /// Messages dropped on arrival at `node` (cumulative). Fabric-wide
+    /// totals come from the metrics registry:
+    /// `sim.metrics().sum_matching("fabric.", ".dropped")`.
     pub fn dropped(&self, node: NodeId) -> u64 {
         self.port(node).dropped.get()
     }
 
-    /// Link-level retransmissions into `node` (cumulative).
+    /// Link-level retransmissions into `node` (cumulative). Fabric-wide
+    /// totals come from the metrics registry:
+    /// `sim.metrics().sum_matching("fabric.", ".retransmits")`.
     pub fn retransmits(&self, node: NodeId) -> u64 {
         self.port(node).retransmits.get()
-    }
-
-    /// Total messages dropped across all ports.
-    pub fn total_dropped(&self) -> u64 {
-        self.inner
-            .ports
-            .borrow()
-            .values()
-            .map(|p| p.dropped.get())
-            .sum()
-    }
-
-    /// Total link-level retransmissions across all ports.
-    pub fn total_retransmits(&self) -> u64 {
-        self.inner
-            .ports
-            .borrow()
-            .values()
-            .map(|p| p.retransmits.get())
-            .sum()
     }
 
     /// One-way latency into `node`.
@@ -527,7 +513,8 @@ mod tests {
         }
         assert_eq!(got, vec![2, 3]);
         assert_eq!(fab.dropped(NodeId(1)), 2);
-        assert_eq!(fab.total_dropped(), 2);
+        assert_eq!(h.metrics().get("fabric.port1.dropped"), Some(2));
+        assert_eq!(h.metrics().sum_matching("fabric.", ".dropped"), 2);
     }
 
     #[test]
@@ -631,7 +618,7 @@ mod tests {
         let msg = sim.block_on(async move { inbox.recv().await.unwrap() });
         assert_eq!(msg, 7);
         assert!(!fab.faults_enabled());
-        assert_eq!(fab.total_dropped(), 0);
+        assert_eq!(fab.dropped(NodeId(0)) + fab.dropped(NodeId(1)), 0);
         // Same arrival time as `point_to_point_delivery_time`.
         assert_eq!(sim.now(), SimTime::from_nanos(1_002_000));
     }

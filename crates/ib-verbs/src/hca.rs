@@ -100,6 +100,11 @@ impl Hca {
         self.inner.node
     }
 
+    /// The simulation this HCA lives in (for spans and metrics).
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
     /// Configuration in force.
     pub fn config(&self) -> &HcaConfig {
         &self.inner.cfg
@@ -165,6 +170,7 @@ impl Hca {
         access: Access,
     ) -> crate::mr::Mr {
         assert!(offset + len <= buffer.len(), "register out of bounds");
+        let _span = self.inner.sim.span("hca", "reg");
         let pages = len.div_ceil(crate::memory::PAGE_SIZE).max(1);
         self.pin_pages(pages).await;
         self.inner

@@ -368,6 +368,16 @@ pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
                 qp.node.0, qp.qpn.0, peer.0
             )
         });
+        // Span covers WQE execution up to fabric hand-off; completion
+        // propagation is async and traced by the RPC-layer spans.
+        let _wqe_span = qp.sim.span(
+            "hca",
+            match &wqe {
+                Wqe::Send { .. } => "send",
+                Wqe::Write { .. } => "rdma_write",
+                Wqe::Read { .. } => "rdma_read",
+            },
+        );
         match wqe {
             Wqe::Send {
                 wr_id,

@@ -65,6 +65,37 @@ impl NfsProc {
             _ => return None,
         })
     }
+
+    /// Protocol name, e.g. for latency-anatomy tables keyed by wire
+    /// procedure number.
+    pub fn name(self) -> &'static str {
+        match self {
+            NfsProc::Null => "NULL",
+            NfsProc::Getattr => "GETATTR",
+            NfsProc::Setattr => "SETATTR",
+            NfsProc::Lookup => "LOOKUP",
+            NfsProc::Access => "ACCESS",
+            NfsProc::Readlink => "READLINK",
+            NfsProc::Read => "READ",
+            NfsProc::Write => "WRITE",
+            NfsProc::Create => "CREATE",
+            NfsProc::Mkdir => "MKDIR",
+            NfsProc::Symlink => "SYMLINK",
+            NfsProc::Remove => "REMOVE",
+            NfsProc::Rmdir => "RMDIR",
+            NfsProc::Rename => "RENAME",
+            NfsProc::Readdir => "READDIR",
+            NfsProc::ReaddirPlus => "READDIRPLUS",
+            NfsProc::Fsstat => "FSSTAT",
+            NfsProc::Commit => "COMMIT",
+        }
+    }
+
+    /// `name()` for a raw wire procedure number, or `"proc<N>"`-style
+    /// fallback via `None` for unknown numbers.
+    pub fn name_of(v: u32) -> Option<&'static str> {
+        NfsProc::from_u32(v).map(NfsProc::name)
+    }
 }
 
 /// NFSv3 status codes (subset).

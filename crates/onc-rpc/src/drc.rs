@@ -22,7 +22,9 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use sim_core::stats::Counter;
 use sim_core::sync::{oneshot, OneshotReceiver, OneshotSender};
+use sim_core::MetricsRegistry;
 
 /// Cache key: requesting peer plus the call's XID.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -39,6 +41,15 @@ enum Entry<V> {
     Done(V),
 }
 
+/// Registry handles mirroring the cache's statistics (see
+/// [`DuplicateRequestCache::bind_metrics`]).
+struct DrcMetrics {
+    hits: Rc<Counter>,
+    waits: Rc<Counter>,
+    inserts: Rc<Counter>,
+    evictions: Rc<Counter>,
+}
+
 struct DrcInner<V> {
     entries: HashMap<DrcKey, Entry<V>>,
     /// Completed keys, least recently touched first.
@@ -48,6 +59,8 @@ struct DrcInner<V> {
     waits: u64,
     inserts: u64,
     evictions: u64,
+    /// When bound, every statistic bump mirrors into the registry.
+    metrics: Option<DrcMetrics>,
 }
 
 /// A bounded, XID-keyed duplicate request cache (cheap to clone).
@@ -113,8 +126,29 @@ impl<V: Clone> DuplicateRequestCache<V> {
                 waits: 0,
                 inserts: 0,
                 evictions: 0,
+                metrics: None,
             })),
         }
+    }
+
+    /// Register this cache's statistics under `prefix` (e.g.
+    /// `server.drc`) in `registry`, yielding `prefix.hits`,
+    /// `prefix.waits`, `prefix.inserts`, `prefix.evictions`. Bumps made
+    /// before binding are carried over.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        let mut g = self.inner.borrow_mut();
+        let m = DrcMetrics {
+            hits: registry.counter(&format!("{prefix}.hits")),
+            waits: registry.counter(&format!("{prefix}.waits")),
+            inserts: registry.counter(&format!("{prefix}.inserts")),
+            evictions: registry.counter(&format!("{prefix}.evictions")),
+        };
+        m.hits.add(g.hits.saturating_sub(m.hits.get()));
+        m.waits.add(g.waits.saturating_sub(m.waits.get()));
+        m.inserts.add(g.inserts.saturating_sub(m.inserts.get()));
+        m.evictions
+            .add(g.evictions.saturating_sub(m.evictions.get()));
+        g.metrics = Some(m);
     }
 
     /// Admit an arriving call.
@@ -124,6 +158,9 @@ impl<V: Clone> DuplicateRequestCache<V> {
             Some(Entry::Done(v)) => {
                 let v = v.clone();
                 g.hits += 1;
+                if let Some(m) = &g.metrics {
+                    m.hits.inc();
+                }
                 // Touch: a replayed entry is hot again.
                 if let Some(pos) = g.order.iter().position(|k| *k == key) {
                     g.order.remove(pos);
@@ -135,6 +172,9 @@ impl<V: Clone> DuplicateRequestCache<V> {
                 let (tx, rx) = oneshot();
                 waiters.push(tx);
                 g.waits += 1;
+                if let Some(m) = &g.metrics {
+                    m.waits.inc();
+                }
                 DrcOutcome::InProgress(rx)
             }
             None => {
@@ -158,10 +198,16 @@ impl<V: Clone> DuplicateRequestCache<V> {
         }
         g.order.push_back(key);
         g.inserts += 1;
+        if let Some(m) = &g.metrics {
+            m.inserts.inc();
+        }
         while g.order.len() > g.capacity {
             if let Some(victim) = g.order.pop_front() {
                 g.entries.remove(&victim);
                 g.evictions += 1;
+                if let Some(m) = &g.metrics {
+                    m.evictions.inc();
+                }
             }
         }
     }
@@ -283,6 +329,35 @@ mod tests {
         };
         slot.fill(&4);
         assert!(drc.contains(k(2)) && !drc.contains(k(3)));
+    }
+
+    #[test]
+    fn bound_metrics_mirror_stats_and_carry_over_history() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(2);
+        // History before binding: one insert, one hit.
+        let DrcOutcome::New(slot) = drc.begin(k(1)) else {
+            panic!()
+        };
+        slot.fill(&1);
+        assert!(matches!(drc.begin(k(1)), DrcOutcome::Cached(1)));
+
+        let reg = MetricsRegistry::new();
+        drc.bind_metrics(&reg, "server.drc");
+        assert_eq!(reg.get("server.drc.inserts"), Some(1));
+        assert_eq!(reg.get("server.drc.hits"), Some(1));
+
+        // Bumps after binding land in both places; the third insert
+        // overflows capacity 2 and evicts.
+        for xid in 2..=3 {
+            let DrcOutcome::New(slot) = drc.begin(k(xid)) else {
+                panic!()
+            };
+            slot.fill(&xid);
+        }
+        assert_eq!(reg.get("server.drc.inserts"), Some(3));
+        assert_eq!(reg.get("server.drc.evictions"), Some(1));
+        assert_eq!(drc.inserts(), 3);
+        assert_eq!(drc.evictions(), 1);
     }
 
     #[test]

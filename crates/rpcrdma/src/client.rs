@@ -23,6 +23,7 @@ use bytes::Bytes;
 use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, WrId};
 use onc_rpc::msg::{decode_reply, encode_call};
 use onc_rpc::{AcceptStat, CallHeader, RpcError, TransportError};
+use sim_core::stats::Counter;
 use sim_core::sync::{oneshot, OneshotSender, Semaphore};
 use sim_core::{Payload, Sim, SimDuration, SimRng};
 use xdr::{Encoder, XdrCodec};
@@ -86,6 +87,28 @@ pub struct ClientStats {
 /// server-side endpoint and returns a fresh connected QP.
 pub type Connector = Box<dyn Fn() -> Qp>;
 
+/// Registry handles for the client-side series (`client.*`). Shared by
+/// every client endpoint in the world, so they aggregate fleet-wide;
+/// [`ClientStats`] keeps the per-endpoint view.
+struct ClientMetrics {
+    calls: Rc<Counter>,
+    retransmits: Rc<Counter>,
+    timeouts: Rc<Counter>,
+    reconnects: Rc<Counter>,
+}
+
+impl ClientMetrics {
+    fn new(sim: &Sim) -> ClientMetrics {
+        let m = sim.metrics();
+        ClientMetrics {
+            calls: m.counter("client.calls"),
+            retransmits: m.counter("client.retransmits"),
+            timeouts: m.counter("client.timeouts"),
+            reconnects: m.counter("client.reconnects"),
+        }
+    }
+}
+
 struct ClientInner {
     sim: Sim,
     hca: Hca,
@@ -104,6 +127,7 @@ struct ClientInner {
     credit_deficit: Cell<u32>,
     router: RefCell<CompletionRouter>,
     stats: RefCell<ClientStats>,
+    metrics: ClientMetrics,
     dead: Cell<bool>,
     /// A reconnect is in flight: hold off posting until the fresh QP
     /// is swapped in (pending calls retransmit onto it).
@@ -158,6 +182,7 @@ impl RdmaRpcClient {
             credit_deficit: Cell::new(0),
             router: RefCell::new(CompletionRouter::spawn(sim, qp.send_cq().clone())),
             stats: RefCell::new(ClientStats::default()),
+            metrics: ClientMetrics::new(sim),
             dead: Cell::new(false),
             recovering: Cell::new(false),
             connector: RefCell::new(None),
@@ -239,9 +264,13 @@ impl RdmaRpcClient {
         if inner.dead.get() {
             return Err(RpcError::Disconnected);
         }
+        let _call_span = inner.sim.span_proc("client", "call", proc_num);
         let cpu = inner.hca.cpu().clone();
         // Syscall + VFS + RPC marshalling.
-        cpu.execute(inner.cfg.per_op_client_cpu).await;
+        {
+            let _s = inner.sim.span("client", "marshal");
+            cpu.execute(inner.cfg.per_op_client_cpu).await;
+        }
 
         let credit = inner.credits.acquire().await;
         let xid = inner.next_xid.get();
@@ -264,6 +293,8 @@ impl RdmaRpcClient {
         let mut held: Vec<IoBuf> = Vec::new();
         let mut sink: Option<IoBuf> = None;
         let mut reply_sink: Option<IoBuf> = None;
+        // Covers every chunk registration below (Figure 4, points 1-2).
+        let reg_span = inner.sim.span("client", "reg");
 
         // --- Small-write fast path: RDMA_MSGP (padded inline). --------
         // The data rides inside the Send, aligned for direct placement:
@@ -368,6 +399,7 @@ impl RdmaRpcClient {
         } else {
             inline_body = rpc_msg;
         }
+        drop(reg_span);
 
         // --- Send the call; retransmit on timeout. -------------------
         // Header + inline body are assembled in the per-connection
@@ -411,21 +443,28 @@ impl RdmaRpcClient {
             }
             if attempt > 0 {
                 inner.stats.borrow_mut().retransmits += 1;
+                inner.metrics.retransmits.inc();
                 inner.sim.trace("rpc", || {
                     format!("client retransmit xid={xid} attempt={attempt}")
                 });
             }
 
             // --- Await the reply (bounded). --------------------------
-            match inner.sim.timeout(self.backoff(attempt), &mut rx).await {
+            let awaited = {
+                let _s = inner.sim.span("client", "wait_reply");
+                inner.sim.timeout(self.backoff(attempt), &mut rx).await
+            };
+            match awaited {
                 Some(Ok((rhdr, reply_body))) => {
                     inner.sim.trace("rpc", || {
                         format!("client reply xid={xid} type={:?}", rhdr.msg_type)
                     });
                     self.apply_credit_grant(rhdr.credits);
+                    let _s = inner.sim.span("client", "finish");
                     let fin = self
                         .finish_call(&rhdr, reply_body, &bulk, &mut sink, &mut reply_sink, &cpu)
                         .await;
+                    drop(_s);
                     match fin {
                         // Transport trouble after the reply (e.g. QP
                         // error mid chunk-pull): retransmit; the server
@@ -438,6 +477,7 @@ impl RdmaRpcClient {
                 Some(Err(_)) => break Err(RpcError::Disconnected),
                 None => {
                     inner.stats.borrow_mut().timeouts += 1;
+                    inner.metrics.timeouts.inc();
                 }
             }
             inner.pending.borrow_mut().remove(&xid);
@@ -474,6 +514,7 @@ impl RdmaRpcClient {
         }
         if result.is_ok() {
             inner.stats.borrow_mut().calls += 1;
+            inner.metrics.calls.inc();
         }
         result
     }
@@ -784,6 +825,7 @@ fn start_recovery(inner: &Rc<ClientInner>) {
         install_error_handler(&inner);
         *inner.qp.borrow_mut() = qp.clone();
         inner.stats.borrow_mut().reconnects += 1;
+        inner.metrics.reconnects.inc();
         inner.recovering.set(false);
         inner
             .sim

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use ib_verbs::{Access, Buffer, FmrPool, Hca, Mr, PAGE_SIZE};
+use sim_core::stats::Counter;
 use sim_core::Payload;
 
 use crate::header::Segment;
@@ -150,9 +151,11 @@ struct RegCacheInner {
     free_bytes: Cell<u64>,
     /// Free-list capacity; beyond this, releases evict (deregister).
     max_bytes: u64,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    evictions: Cell<u64>,
+    /// Registered as `rpcrdma.regcache.node{N}.{hits,misses,evictions}`
+    /// in the simulation's metrics registry.
+    hits: Rc<Counter>,
+    misses: Rc<Counter>,
+    evictions: Rc<Counter>,
 }
 
 /// The server/client buffer registration cache (paper §4.3).
@@ -163,16 +166,20 @@ pub struct RegCache {
 
 impl RegCache {
     /// Create a cache bounded to `max_bytes` of parked registrations.
+    /// Its hit/miss/eviction counters register under
+    /// `rpcrdma.regcache.node{N}` (one HCA per node).
     pub fn new(hca: &Hca, max_bytes: u64) -> RegCache {
+        let metrics = hca.sim().metrics();
+        let prefix = format!("rpcrdma.regcache.node{}", hca.node().0);
         RegCache {
             inner: Rc::new(RegCacheInner {
                 hca: hca.clone(),
                 classes: RefCell::new(HashMap::new()),
                 free_bytes: Cell::new(0),
                 max_bytes,
-                hits: Cell::new(0),
-                misses: Cell::new(0),
-                evictions: Cell::new(0),
+                hits: metrics.counter(&format!("{prefix}.hits")),
+                misses: metrics.counter(&format!("{prefix}.misses")),
+                evictions: metrics.counter(&format!("{prefix}.evictions")),
             }),
         }
     }
@@ -195,13 +202,13 @@ impl RegCache {
             .get_mut(&class)
             .and_then(Vec::pop);
         if let Some(e) = hit {
-            self.inner.hits.set(self.inner.hits.get() + 1);
+            self.inner.hits.inc();
             self.inner
                 .free_bytes
                 .set(self.inner.free_bytes.get() - Self::class_size(class));
             return e;
         }
-        self.inner.misses.set(self.inner.misses.get() + 1);
+        self.inner.misses.inc();
         let size = Self::class_size(class);
         let buffer = self.inner.hca.mem().alloc(size);
         let mr = self.inner.hca.register(&buffer, 0, size, access).await;
@@ -213,7 +220,7 @@ impl RegCache {
         if self.inner.free_bytes.get() + size > self.inner.max_bytes {
             // Slab pressure: give the registration back (paper: "linked
             // to the system slab cache, that may reclaim memory").
-            self.inner.evictions.set(self.inner.evictions.get() + 1);
+            self.inner.evictions.inc();
             e.mr.deregister().await;
             return;
         }
@@ -240,7 +247,7 @@ impl RegCache {
         };
         self.inner.free_bytes.set(0);
         for e in entries {
-            self.inner.evictions.set(self.inner.evictions.get() + 1);
+            self.inner.evictions.inc();
             e.mr.deregister().await;
         }
     }
@@ -491,6 +498,9 @@ mod tests {
         assert_eq!(cache.hits(), 9);
         // Only the first acquire registered anything.
         assert_eq!(reg.hca().reg_stats().dynamic_regs, 1);
+        // The same counters live in the metrics registry.
+        assert_eq!(h.metrics().get("rpcrdma.regcache.node0.hits"), Some(9));
+        assert_eq!(h.metrics().get("rpcrdma.regcache.node0.misses"), Some(1));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use bytes::Bytes;
 use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Srq, WrId};
 use onc_rpc::msg::{decode_call, encode_reply};
 use onc_rpc::{CallContext, DrcKey, DrcOutcome, DuplicateRequestCache, ReplyHeader};
+use sim_core::stats::Counter;
 use sim_core::{Payload, Resource, Sim};
 use xdr::{Encoder, XdrCodec};
 
@@ -64,6 +65,14 @@ pub struct ServerStats {
     pub drc_replays: Cell<u64>,
 }
 
+/// Registry-backed server counters (the [`ServerStats`] cells remain
+/// the accessor API; these mirror the core series onto the unified
+/// metrics registry for snapshots and dumps).
+struct ServerMetrics {
+    ops: Rc<Counter>,
+    replays: Rc<Counter>,
+}
+
 /// A server endpoint shared by all client connections: the service,
 /// the serialized task queue, and counters.
 pub struct RdmaRpcServer {
@@ -85,6 +94,8 @@ pub struct RdmaRpcServer {
     /// Duplicate request cache: retransmitted calls (same peer + XID)
     /// replay the original dispatch instead of re-executing it.
     drc: DuplicateRequestCache<crate::service::RdmaDispatch>,
+    /// Registry-backed counters.
+    metrics: ServerMetrics,
     /// Statistics.
     pub stats: Rc<ServerStats>,
 }
@@ -110,6 +121,9 @@ impl RdmaRpcServer {
             srq.set_limit(cfg.credits as usize / 2);
             (srq, bufs)
         });
+        let drc = DuplicateRequestCache::new(cfg.drc_capacity);
+        drc.bind_metrics(&sim.metrics(), "server.drc");
+        let registry = sim.metrics();
         Rc::new(RdmaRpcServer {
             sim: sim.clone(),
             hca: hca.clone(),
@@ -119,7 +133,11 @@ impl RdmaRpcServer {
             taskq: Resource::new(sim, "rpc-taskq", 1),
             credit_grant: Cell::new(cfg.credits),
             srq,
-            drc: DuplicateRequestCache::new(cfg.drc_capacity),
+            drc,
+            metrics: ServerMetrics {
+                ops: registry.counter("server.ops"),
+                replays: registry.counter("server.drc.replays"),
+            },
             stats: Rc::new(ServerStats::default()),
         })
     }
@@ -306,10 +324,14 @@ async fn handle_op(
     server.sim.trace("rpc", || {
         format!("server op xid={} type={:?}", hdr.xid, hdr.msg_type)
     });
-    // Figure 1: the serialized server task queue.
-    server.taskq.use_for(cfg.server_op_serial).await;
-    // Decode + dispatch bookkeeping on a CPU core.
-    cpu.execute(cfg.per_op_server_cpu).await;
+    let _op_span = server.sim.span("server", "op");
+    {
+        let _s = server.sim.span("server", "dispatch");
+        // Figure 1: the serialized server task queue.
+        server.taskq.use_for(cfg.server_op_serial).await;
+        // Decode + dispatch bookkeeping on a CPU core.
+        cpu.execute(cfg.per_op_server_cpu).await;
+    }
 
     // ---- Pull read chunks (long call and/or WRITE payload). ---------
     let mut call_msg = inline_body;
@@ -342,6 +364,7 @@ async fn handle_op(
         call_msg = call_msg.slice(..head_len);
     }
     {
+        let _s = server.sim.span("server", "pull_chunks");
         let long_call: Vec<&ReadChunk> =
             hdr.read_chunks.iter().filter(|c| c.position == 0).collect();
         let data_chunks: Vec<&ReadChunk> =
@@ -399,12 +422,14 @@ async fn handle_op(
             {
                 crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
             } else {
+                let _s = server.sim.span_proc("server", "service", call_hdr.proc_num);
                 server
                     .service
                     .call(cx, call_hdr.proc_num, args, bulk_in)
                     .await
             };
             server.stats.ops.set(server.stats.ops.get() + 1);
+            server.metrics.ops.inc();
             slot.fill(&dispatch);
             dispatch
         }
@@ -413,6 +438,7 @@ async fn handle_op(
                 .stats
                 .drc_replays
                 .set(server.stats.drc_replays.get() + 1);
+            server.metrics.replays.inc();
             server
                 .sim
                 .trace("rpc", || format!("server drc replay xid={}", call_hdr.xid));
@@ -424,6 +450,7 @@ async fn handle_op(
                     .stats
                     .drc_replays
                     .set(server.stats.drc_replays.get() + 1);
+                server.metrics.replays.inc();
                 server.sim.trace("rpc", || {
                     format!("server drc wait-replay xid={}", call_hdr.xid)
                 });
@@ -467,6 +494,7 @@ async fn handle_op(
             // Bulk results: RDMA Write into the client's write chunk.
             if let Some(bulk) = &dispatch.bulk_out {
                 if !hdr.write_chunks.is_empty() {
+                    let _s = server.sim.span("server", "rdma_write");
                     let io = stage_source(&server, bulk, Access::LOCAL).await;
                     write_into_segments(&server, &qp, &conn, &io, bulk.len(), &hdr.write_chunks[0])
                         .await;
@@ -546,6 +574,7 @@ async fn handle_op(
     // Signaled: the reply Send's completion is the proof that every
     // preceding RDMA Write has been placed (§4.2), and therefore the
     // deregistration point for Read-Write source buffers.
+    let reply_span = server.sim.span("server", "reply_send");
     let send_ok = match conn.router.expect(wr) {
         Ok(wait) => {
             if qp.post_send(Payload::real(wire), wr, true).is_err() {
@@ -556,6 +585,7 @@ async fn handle_op(
         }
         Err(_) => false,
     };
+    drop(reply_span);
 
     if !to_expose.is_empty() && send_ok {
         // Read-Read: buffers stay exposed until RDMA_DONE. A replayed

@@ -58,13 +58,20 @@ use std::task::{Context, Poll, Wake, Waker};
 
 use parking_lot::Mutex;
 
+use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
+use crate::stats::Counter;
 use crate::time::{SimDuration, SimTime};
 use crate::timer_wheel::{TimerHandle, TimerWheel};
+use crate::trace::{SpanRecord, Tracer};
 
 /// Packed task id: `generation << 32 | slot index`.
 type TaskId = u64;
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Sentinel for "no task is being polled" (code running outside the
+/// executor, e.g. between `run()` calls).
+const NO_TASK: TaskId = u64::MAX;
 
 fn task_slot(id: TaskId) -> usize {
     (id & u32::MAX as u64) as usize
@@ -166,9 +173,17 @@ struct Core {
     timers: RefCell<TimerWheel>,
     rng: RefCell<SimRng>,
     /// Count of task polls, a cheap progress metric for tests/benches.
-    polls: Cell<u64>,
+    /// Registered as `executor.polls` in the metrics registry.
+    polls: Rc<Counter>,
     /// Event trace; `None` when tracing is off (the default).
     trace: RefCell<Option<Vec<TraceEvent>>>,
+    /// Task currently being polled ([`NO_TASK`] outside a poll); spans
+    /// entered during the poll attach to it.
+    current_task: Cell<TaskId>,
+    /// Structured span recorder (off by default; see [`crate::trace`]).
+    tracer: Tracer,
+    /// Named-counter registry shared by every component in the world.
+    metrics: MetricsRegistry,
 }
 
 /// The simulation world: owns all tasks, the virtual clock and the
@@ -190,14 +205,19 @@ pub struct Sim {
 impl Simulation {
     /// Create a fresh simulation whose RNG streams derive from `seed`.
     pub fn new(seed: u64) -> Self {
+        let metrics = MetricsRegistry::new();
+        let polls = metrics.counter("executor.polls");
         Simulation {
             core: Rc::new(Core {
                 now: Cell::new(SimTime::ZERO),
                 tasks: RefCell::new(TaskSlab::default()),
                 timers: RefCell::new(TimerWheel::new()),
                 rng: RefCell::new(SimRng::new(seed)),
-                polls: Cell::new(0),
+                polls,
                 trace: RefCell::new(None),
+                current_task: Cell::new(NO_TASK),
+                tracer: Tracer::default(),
+                metrics,
             }),
             ready: Arc::new(ReadyQueue::default()),
         }
@@ -237,6 +257,23 @@ impl Simulation {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
         }
+    }
+
+    /// Turn on structured span tracing (off by default; entering a span
+    /// while off costs one flag read and no allocation).
+    pub fn enable_span_tracing(&self) {
+        self.core.tracer.enable();
+    }
+
+    /// Drain the completed spans, leaving span tracing in its current
+    /// state. Spans still open stay open and land in the next drain.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        self.core.tracer.take()
+    }
+
+    /// The world's metrics registry (shared; cheap to clone).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.core.metrics.clone()
     }
 
     /// Run until no task is runnable and no timer is pending, i.e. the
@@ -319,9 +356,11 @@ impl Simulation {
             };
             (fut, live.waker.clone())
         };
-        self.core.polls.set(self.core.polls.get() + 1);
+        self.core.polls.inc();
+        let prev_task = self.core.current_task.replace(id);
         let mut cx = Context::from_waker(&waker);
         let pending = fut.as_mut().poll(&mut cx).is_pending();
+        self.core.current_task.set(prev_task);
         let mut slab = self.core.tasks.borrow_mut();
         let slot = &mut slab.slots[task_slot(id)];
         if pending {
@@ -431,6 +470,85 @@ impl Sim {
                 category,
                 detail: detail(),
             });
+        }
+    }
+
+    /// True when structured span tracing is enabled.
+    pub fn span_tracing(&self) -> bool {
+        self.core.tracer.enabled()
+    }
+
+    /// Open a lifecycle span; it closes (recording its end time) when
+    /// the returned guard drops. With span tracing off this is one flag
+    /// read and an inert guard — no allocation, no RNG draw, no timer —
+    /// so instrumented hot paths stay on the zero-alloc and
+    /// golden-schedule gates.
+    pub fn span(&self, component: &'static str, name: &'static str) -> Span {
+        self.span_inner(component, name, None)
+    }
+
+    /// Like [`Sim::span`], tagging the span with an RPC procedure
+    /// number. Child spans inherit the tag through their parent chain
+    /// when aggregated (see [`crate::trace::aggregate_phases`]).
+    pub fn span_proc(&self, component: &'static str, name: &'static str, proc_num: u32) -> Span {
+        self.span_inner(component, name, Some(proc_num))
+    }
+
+    fn span_inner(
+        &self,
+        component: &'static str,
+        name: &'static str,
+        proc_num: Option<u32>,
+    ) -> Span {
+        if !self.core.tracer.enabled() {
+            return Span {
+                core: None,
+                task: NO_TASK,
+                id: 0,
+            };
+        }
+        let task = self.core.current_task.get();
+        let id = self
+            .core
+            .tracer
+            .enter(self.core.now.get(), task, component, name, proc_num);
+        Span {
+            core: Some(self.core.clone()),
+            task,
+            id,
+        }
+    }
+
+    /// The world's metrics registry (shared; cheap to clone). Components
+    /// register named counters once and keep the handle for hot-path
+    /// bumps.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.core.metrics.clone()
+    }
+}
+
+/// RAII guard for an open lifecycle span (see [`Sim::span`]). Dropping
+/// it records the span's end at the current virtual time. When tracing
+/// is disabled the guard is inert.
+pub struct Span {
+    /// `None` when tracing was off at entry: `Drop` does nothing.
+    core: Option<Rc<Core>>,
+    task: TaskId,
+    id: u64,
+}
+
+impl Span {
+    /// Open a span on `sim` — alias for [`Sim::span`] in guard-first
+    /// call style.
+    pub fn enter(sim: &Sim, component: &'static str, name: &'static str) -> Span {
+        sim.span(component, name)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(core) = self.core.take() {
+            core.tracer.exit(core.now.get(), self.task, self.id);
         }
     }
 }

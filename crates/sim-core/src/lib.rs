@@ -44,6 +44,7 @@
 pub mod cpu;
 pub mod executor;
 pub mod extent;
+pub mod metrics;
 pub mod payload;
 pub mod resource;
 pub mod rng;
@@ -52,12 +53,15 @@ pub mod sweep;
 pub mod sync;
 pub mod time;
 pub mod timer_wheel;
+pub mod trace;
 
 pub use cpu::{Cpu, CpuCosts};
-pub use executor::{yield_now, Sim, Simulation, Timeout, TraceEvent};
+pub use executor::{yield_now, Sim, Simulation, Span, Timeout, TraceEvent};
 pub use extent::ExtentMap;
+pub use metrics::MetricsRegistry;
 pub use payload::Payload;
 pub use resource::{Link, Resource};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Meter, Summary};
 pub use time::{transfer_time, SimDuration, SimTime};
+pub use trace::{aggregate_phases, chrome_trace_json, validate_json, PhaseStats, SpanRecord};

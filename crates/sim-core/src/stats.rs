@@ -117,6 +117,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum_ns: u128,
+    min_ns: u64,
     max_ns: u64,
 }
 
@@ -136,6 +137,7 @@ impl Histogram {
             buckets: vec![0; (64 * Self::SUB_BUCKETS) as usize],
             count: 0,
             sum_ns: 0,
+            min_ns: u64::MAX,
             max_ns: 0,
         }
     }
@@ -169,6 +171,7 @@ impl Histogram {
         self.buckets[Self::index(ns)] += 1;
         self.count += 1;
         self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
     }
 
@@ -185,12 +188,23 @@ impl Histogram {
         SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
     }
 
+    /// Smallest sample (exact), or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
     /// Largest sample (exact).
     pub fn max(&self) -> SimDuration {
         SimDuration::from_nanos(self.max_ns)
     }
 
     /// Quantile in `[0, 1]`, accurate to the bucket resolution (~4%).
+    /// Clamped into `[min, max]` of the recorded samples, so a quantile
+    /// of a single sample is exact rather than its bucket floor.
     pub fn quantile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
@@ -200,10 +214,56 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return SimDuration::from_nanos(Self::bucket_value(i).min(self.max_ns));
+                return SimDuration::from_nanos(
+                    Self::bucket_value(i).clamp(self.min_ns, self.max_ns),
+                );
             }
         }
         self.max()
+    }
+
+    /// Fold `other`'s samples into `self` (elementwise bucket add plus
+    /// count/sum/min/max), so per-shard histograms combine into one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Summary as a JSON object: count, mean/p50/p90/p99/max in
+    /// nanoseconds.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.count,
+            self.mean().as_nanos(),
+            self.quantile(0.50).as_nanos(),
+            self.quantile(0.90).as_nanos(),
+            self.quantile(0.99).as_nanos(),
+            self.max_ns,
+        )
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    /// `count=… mean=… p50=… p90=… p99=… max=…`, durations in
+    /// microseconds — the one-line summary the harnesses print.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = |d: SimDuration| d.as_nanos() as f64 / 1_000.0;
+        write!(
+            f,
+            "count={} mean={:.1}us p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us",
+            self.count,
+            us(self.mean()),
+            us(self.quantile(0.50)),
+            us(self.quantile(0.90)),
+            us(self.quantile(0.99)),
+            us(self.max()),
+        )
     }
 }
 
@@ -347,5 +407,81 @@ mod tests {
             let err = (got - ns as f64).abs() / ns as f64;
             assert!(err < 0.07, "ns={ns} got={got} err={err}");
         }
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_exact() {
+        // Min clamp: every quantile of one sample is that sample, not
+        // the bucket floor beneath it.
+        for ns in [1u64, 999, 123_456, 9_999_999] {
+            let mut h = Histogram::new();
+            h.record(SimDuration::from_nanos(ns));
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q).as_nanos(), ns, "ns={ns} q={q}");
+            }
+            assert_eq!(h.min().as_nanos(), ns);
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_never_below_min() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(1000));
+        h.record(SimDuration::from_nanos(1_000_000));
+        assert!(h.quantile(0.0) >= SimDuration::from_nanos(1000));
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for us in 1..=500u64 {
+            a.record(SimDuration::from_micros(us));
+        }
+        for us in 501..=1000u64 {
+            b.record(SimDuration::from_micros(us));
+        }
+        let mut whole = Histogram::new();
+        for us in 1..=1000u64 {
+            whole.record(SimDuration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.min(), SimDuration::from_micros(1));
+        assert_eq!(a.max(), SimDuration::from_micros(1000));
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_micros(7));
+        let before = (a.count(), a.min(), a.max(), a.mean());
+        a.merge(&Histogram::new());
+        assert_eq!(before, (a.count(), a.min(), a.max(), a.mean()));
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn histogram_summary_display_and_json() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(10));
+        let text = h.to_string();
+        assert!(text.contains("count=1"), "{text}");
+        assert!(text.contains("p50=10.0us"), "{text}");
+        assert!(text.contains("max=10.0us"), "{text}");
+        let json = h.to_json();
+        assert_eq!(
+            json,
+            "{\"count\":1,\"mean_ns\":10000,\"p50_ns\":10000,\
+             \"p90_ns\":10000,\"p99_ns\":10000,\"max_ns\":10000}"
+        );
     }
 }

@@ -1,0 +1,538 @@
+//! Structured lifecycle tracing: nested spans over virtual time.
+//!
+//! A [`crate::executor::Span`] (entered via `Sim::span`) records one
+//! phase of an RPC's life — client marshal, memory registration, fabric
+//! transit, server dispatch, backend I/O, RDMA data movement, reply —
+//! stamped with sim-time, the executing task and the enclosing span.
+//! Spans nest per task: the innermost open span on the entering task
+//! becomes the parent, and the guard's `Drop` closes the span, so
+//! nesting is LIFO by construction (a proptest pins this).
+//!
+//! Tracing is **off by default and free when off**: entering a span
+//! then costs one flag read and constructs an inert guard — no
+//! allocation, no RNG draw, no timer — so the instrumented hot path
+//! stays on the `tests/zero_alloc.rs` and golden-schedule gates.
+//!
+//! Completed spans export two ways:
+//!
+//! * [`chrome_trace_json`] — Chrome `trace_event` JSON ("X" complete
+//!   events), loadable in Perfetto / `chrome://tracing`.
+//! * [`aggregate_phases`] — per-(procedure, phase) [`Histogram`]s for
+//!   latency-anatomy tables. A span inherits its procedure from the
+//!   nearest proc-tagged ancestor, so only the outermost span of an
+//!   RPC needs `Sim::span_proc`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+
+use crate::metrics::escape_json;
+use crate::stats::Histogram;
+use crate::time::SimTime;
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique id (creation order).
+    pub id: u64,
+    /// Innermost span open on the same task at entry, if any.
+    pub parent: Option<u64>,
+    /// Executor task the span was entered on.
+    pub task: u64,
+    /// Component ("client", "hca", "fabric", "server", "fs", ...).
+    pub component: &'static str,
+    /// Phase name within the component ("marshal", "reg", "pull", ...).
+    pub name: &'static str,
+    /// RPC procedure number, when tagged at entry (`Sim::span_proc`).
+    pub proc_num: Option<u32>,
+    /// Entry instant (virtual time).
+    pub start: SimTime,
+    /// Exit instant (virtual time).
+    pub end: SimTime,
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    component: &'static str,
+    name: &'static str,
+    proc_num: Option<u32>,
+    start: SimTime,
+}
+
+/// Span recorder owned by the executor core. All methods are no-ops
+/// until [`Tracer::enable`].
+#[derive(Default)]
+pub(crate) struct Tracer {
+    enabled: Cell<bool>,
+    next_id: Cell<u64>,
+    /// Open span stacks, keyed by task id.
+    open: RefCell<HashMap<u64, Vec<OpenSpan>>>,
+    done: RefCell<Vec<SpanRecord>>,
+}
+
+impl Tracer {
+    pub(crate) fn enable(&self) {
+        self.enabled.set(true);
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Open a span on `task`; the top of the task's stack becomes the
+    /// parent. Returns the new span's id.
+    pub(crate) fn enter(
+        &self,
+        now: SimTime,
+        task: u64,
+        component: &'static str,
+        name: &'static str,
+        proc_num: Option<u32>,
+    ) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        let mut open = self.open.borrow_mut();
+        let stack = open.entry(task).or_default();
+        let parent = stack.last().map(|s| s.id);
+        stack.push(OpenSpan {
+            id,
+            parent,
+            component,
+            name,
+            proc_num,
+            start: now,
+        });
+        id
+    }
+
+    /// Close span `id` on `task` at `now`. Closes are LIFO in normal
+    /// use; a guard dropped out of order (e.g. a future torn down mid
+    /// `.await`) is found by searching down the stack.
+    pub(crate) fn exit(&self, now: SimTime, task: u64, id: u64) {
+        let mut open = self.open.borrow_mut();
+        let Some(stack) = open.get_mut(&task) else {
+            return;
+        };
+        let Some(pos) = stack.iter().rposition(|s| s.id == id) else {
+            return;
+        };
+        let s = stack.remove(pos);
+        if stack.is_empty() {
+            open.remove(&task);
+        }
+        drop(open);
+        self.done.borrow_mut().push(SpanRecord {
+            id: s.id,
+            parent: s.parent,
+            task,
+            component: s.component,
+            name: s.name,
+            proc_num: s.proc_num,
+            start: s.start,
+            end: now,
+        });
+    }
+
+    /// Drain completed spans, leaving tracing enabled. Spans still open
+    /// stay open and complete into the next drain.
+    pub(crate) fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.done.borrow_mut())
+    }
+}
+
+/// Format nanoseconds as fractional microseconds (Chrome's `ts` unit)
+/// without going through floating point.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render spans as Chrome `trace_event` JSON — an object with a
+/// `traceEvents` array of "X" (complete) events — loadable in Perfetto
+/// or `chrome://tracing`. `ts`/`dur` are microseconds of virtual time;
+/// `tid` is the executor task; span id, parent and procedure ride in
+/// `args`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let dur = s.end.as_nanos().saturating_sub(s.start.as_nanos());
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"id\":{}",
+            escape_json(s.name),
+            escape_json(s.component),
+            micros(s.start.as_nanos()),
+            micros(dur),
+            // Keep tids inside i64 for strict trace viewers.
+            s.task & (i64::MAX as u64),
+            s.id,
+        ));
+        if let Some(p) = s.parent {
+            out.push_str(&format!(",\"parent\":{p}"));
+        }
+        if let Some(p) = s.proc_num {
+            out.push_str(&format!(",\"proc\":{p}"));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Latency histogram of one (procedure, phase) cell.
+pub struct PhaseStats {
+    /// Procedure: the span's own tag, else the nearest tagged
+    /// ancestor's; `None` if no ancestor is tagged.
+    pub proc_num: Option<u32>,
+    /// Component the phase belongs to.
+    pub component: &'static str,
+    /// Phase name.
+    pub name: &'static str,
+    /// Latency distribution of every matching span.
+    pub hist: Histogram,
+}
+
+/// Fold spans into per-(procedure, component, phase) histograms,
+/// resolving each span's procedure by walking its parent chain to the
+/// nearest proc-tagged ancestor. Deterministically ordered by
+/// (procedure, component, phase).
+pub fn aggregate_phases(spans: &[SpanRecord]) -> Vec<PhaseStats> {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let resolve = |s: &SpanRecord| -> Option<u32> {
+        let mut cur = Some(s);
+        while let Some(s) = cur {
+            if s.proc_num.is_some() {
+                return s.proc_num;
+            }
+            cur = s.parent.and_then(|p| by_id.get(&p).copied());
+        }
+        None
+    };
+    let mut cells: BTreeMap<(Option<u32>, &'static str, &'static str), Histogram> = BTreeMap::new();
+    for s in spans {
+        let key = (resolve(s), s.component, s.name);
+        cells
+            .entry(key)
+            .or_default()
+            .record(s.end.saturating_since(s.start));
+    }
+    cells
+        .into_iter()
+        .map(|((proc_num, component, name), hist)| PhaseStats {
+            proc_num,
+            component,
+            name,
+            hist,
+        })
+        .collect()
+}
+
+/// Validate that `s` is one well-formed JSON value (hand-rolled — the
+/// workspace is hermetic, with no serde). Used by the trace-schema test
+/// and the `check.sh` traced-workload smoke step.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!(
+            "unexpected byte {c:#x} at offset {pos}",
+            pos = *pos
+        )),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad number at offset {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad number at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at offset {pos}", pos = *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte at offset {pos}", pos = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+                skip_ws(b, pos);
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected key at offset {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        id: u64,
+        parent: Option<u64>,
+        task: u64,
+        component: &'static str,
+        name: &'static str,
+        proc_num: Option<u32>,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            task,
+            component,
+            name,
+            proc_num,
+            start: SimTime::from_nanos(start_ns),
+            end: SimTime::from_nanos(end_ns),
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_fields() {
+        let spans = vec![
+            rec(0, None, 1, "client", "call", Some(6), 0, 5_000),
+            rec(1, Some(0), 1, "client", "marshal", None, 100, 1_100),
+        ];
+        let json = chrome_trace_json(&spans);
+        validate_json(&json).expect("chrome export must be valid JSON");
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"dur\":1.000"));
+        assert!(json.contains("\"parent\":0"));
+        assert!(json.contains("\"proc\":6"));
+    }
+
+    #[test]
+    fn empty_export_is_valid() {
+        validate_json(&chrome_trace_json(&[])).unwrap();
+    }
+
+    #[test]
+    fn aggregate_resolves_proc_through_parents() {
+        let spans = vec![
+            rec(0, None, 1, "client", "call", Some(7), 0, 10_000),
+            rec(1, Some(0), 1, "hca", "reg", None, 0, 2_000),
+            rec(2, Some(1), 1, "hca", "pin", None, 0, 1_000),
+            rec(3, None, 2, "fabric", "transit", None, 0, 500),
+        ];
+        let phases = aggregate_phases(&spans);
+        let find = |c: &str, n: &str| {
+            phases
+                .iter()
+                .find(|p| p.component == c && p.name == n)
+                .unwrap()
+        };
+        assert_eq!(find("hca", "reg").proc_num, Some(7));
+        assert_eq!(find("hca", "pin").proc_num, Some(7));
+        assert_eq!(find("client", "call").proc_num, Some(7));
+        assert_eq!(find("fabric", "transit").proc_num, None);
+        assert_eq!(
+            find("hca", "reg").hist.quantile(0.5),
+            SimDuration::from_micros(2)
+        );
+        // Untagged procs sort first.
+        assert_eq!(phases[0].proc_num, None);
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":true}"#,
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "01x",
+            "\"unterminated",
+            "[1] trailing",
+            "{'single':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn tracer_records_nesting_and_parenting() {
+        let t = Tracer::default();
+        t.enable();
+        let a = t.enter(SimTime::from_nanos(0), 1, "c", "outer", Some(6));
+        let b = t.enter(SimTime::from_nanos(10), 1, "c", "inner", None);
+        let x = t.enter(SimTime::from_nanos(5), 2, "c", "other", None);
+        t.exit(SimTime::from_nanos(20), 1, b);
+        t.exit(SimTime::from_nanos(30), 1, a);
+        t.exit(SimTime::from_nanos(7), 2, x);
+        let spans = t.take();
+        assert_eq!(spans.len(), 3);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(a));
+        assert_eq!(inner.task, 1);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.parent, None);
+        let other = spans.iter().find(|s| s.name == "other").unwrap();
+        assert_eq!(other.parent, None);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_exit_is_tolerated() {
+        let t = Tracer::default();
+        t.enable();
+        let a = t.enter(SimTime::from_nanos(0), 1, "c", "a", None);
+        let b = t.enter(SimTime::from_nanos(1), 1, "c", "b", None);
+        // Torn-down future drops guards outer-first.
+        t.exit(SimTime::from_nanos(2), 1, a);
+        t.exit(SimTime::from_nanos(3), 1, b);
+        let spans = t.take();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[1].name, "b");
+        assert_eq!(spans[1].parent, Some(a));
+    }
+}

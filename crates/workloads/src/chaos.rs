@@ -68,7 +68,7 @@ impl Default for ChaosParams {
 }
 
 /// What survived (and what the fault layer did) in one chaos run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ChaosResult {
     /// RPC operations the server executed (fresh, not replayed).
     pub server_ops: u64,
@@ -91,6 +91,10 @@ pub struct ChaosResult {
     pub corrupt_records: u64,
     /// FNV-1a hash of the run's trace (0 when fingerprinting is off).
     pub fingerprint: u64,
+    /// Sorted `(name, value)` dump of the run's whole metrics registry
+    /// (fabric ports, regcache, DRC, client/server RPC, executor) —
+    /// byte-identical across same-seed runs.
+    pub metrics_snapshot: Vec<(String, u64)>,
 }
 
 /// Seed for the synthetic payload of client `ci`'s record `r`.
@@ -110,6 +114,7 @@ pub fn run_chaos(seed: u64, profile: &Profile, params: ChaosParams) -> ChaosResu
     if params.fingerprint {
         result.fingerprint = fingerprint(&sim.take_trace());
     }
+    result.metrics_snapshot = sim.metrics().snapshot();
     result
 }
 
@@ -230,12 +235,13 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: ChaosParams) -> ChaosRe
         server_ops: rpc_server.stats.ops.get(),
         drc_replays: rpc_server.stats.drc_replays.get(),
         fs_writes: bed.server.stats.writes.get(),
-        drops: fabric.total_dropped(),
-        link_retransmits: fabric.total_retransmits(),
+        drops: sim.metrics().sum_matching("fabric.", ".dropped"),
+        link_retransmits: sim.metrics().sum_matching("fabric.", ".retransmits"),
         rpc_retransmits,
         timeouts,
         reconnects,
         corrupt_records,
         fingerprint: 0,
+        metrics_snapshot: Vec::new(),
     }
 }

@@ -86,6 +86,43 @@ fn same_seed_replays_identically() {
 }
 
 #[test]
+fn metrics_registry_snapshot_is_deterministic_across_replays() {
+    let profile = linux_sdr();
+    let params = ChaosParams {
+        drop_probability: 0.03,
+        qp_errors: 1,
+        ..base()
+    };
+    let a = run_chaos(21, &profile, params);
+    let b = run_chaos(21, &profile, params);
+    assert!(
+        !a.metrics_snapshot.is_empty(),
+        "registry never saw a counter"
+    );
+    assert_eq!(
+        a.metrics_snapshot, b.metrics_snapshot,
+        "metrics diverged across same-seed replays"
+    );
+    // The registry's totals back the result's summary fields.
+    let get = |name: &str| {
+        a.metrics_snapshot
+            .iter()
+            .filter(|(k, _)| k.starts_with("fabric.") && k.ends_with(name))
+            .map(|(_, v)| v)
+            .sum::<u64>()
+    };
+    assert_eq!(get(".dropped"), a.drops);
+    assert_eq!(get(".retransmits"), a.link_retransmits);
+    // Core series all registered.
+    for series in ["executor.polls", "server.drc.hits"] {
+        assert!(
+            a.metrics_snapshot.iter().any(|(k, _)| k == series),
+            "missing {series}"
+        );
+    }
+}
+
+#[test]
 fn qp_error_alone_recovers_without_data_loss() {
     // No drops, no jitter: the only fault is a forced QP error per
     // design. Recovery must re-establish the connection and the

@@ -21,10 +21,22 @@ if [ "${SKIP_TESTS:-0}" != "1" ]; then
     cargo test -q
 fi
 
-echo "==> simperf --smoke"
+echo "==> simperf --smoke (includes disabled-tracing hot-path gate)"
 cargo run --release -p bench --bin simperf -- --smoke
 
 echo "==> chaos --smoke"
 cargo run --release -p bench --bin chaos -- --smoke
+
+echo "==> fig5 --anatomy (traced-workload smoke + trace JSON validation)"
+cargo run --release -p bench --bin fig5 -- --anatomy >/dev/null
+for f in results/trace_fig5_rr.json results/trace_fig5_rw.json; do
+    [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
+    # The binary self-validates with sim_core::trace::validate_json
+    # before writing; double-check with python's parser when present.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
+    fi
+    echo "    $f ok"
+done
 
 echo "OK: all checks passed"
