@@ -75,6 +75,11 @@ impl Hca {
         fabric: &Fabric<WireMsg>,
     ) -> Hca {
         let inbox = fabric.attach(node, cfg.link_bandwidth, cfg.link_latency);
+        // The security ledger's violation/revocation counters feed the
+        // shared `tpt.*` registry series from day one, so chaos and
+        // adversary snapshots always carry them.
+        let mut tpt = Tpt::new(sim.fork_rng());
+        tpt.bind_metrics(&sim.metrics());
         let hca = Hca {
             inner: Rc::new(HcaInner {
                 sim: sim.clone(),
@@ -82,7 +87,7 @@ impl Hca {
                 cfg,
                 cpu,
                 mem,
-                tpt: RefCell::new(Tpt::new(sim.fork_rng())),
+                tpt: RefCell::new(tpt),
                 tpt_engine: Resource::new(sim, format!("hca{}.tpt", node.0), 1),
                 fabric: fabric.clone(),
                 qps: RefCell::new(HashMap::new()),
@@ -215,6 +220,13 @@ impl Hca {
                 self.inner.cfg.pin_per_page.as_nanos() * pages / 2,
             ))
             .await;
+    }
+
+    /// Record a forced teardown of a registration that has no TPT entry
+    /// of its own (all-physical pinnings ride the global steering tag).
+    /// Keeps the revocation ledger honest for every strategy.
+    pub fn note_forced_revocation(&self) {
+        self.inner.tpt.borrow_mut().note_revocation();
     }
 
     /// Enable the privileged all-physical (global) steering tag.

@@ -103,18 +103,40 @@ impl Mr {
     /// cost. FMR regions pay the (cheaper, batched) FMR unmap cost and
     /// return their steering tag to the pool.
     pub async fn deregister(self) {
+        self.retire(false).await;
+    }
+
+    /// Force-invalidate by policy (exposure TTL expiry, quarantine):
+    /// identical teardown costs to [`Mr::deregister`], but the TPT
+    /// ledger records the invalidation as a *revocation* — the owner
+    /// did not give the region up, the server took it away.
+    pub async fn revoke(self) {
+        self.retire(true).await;
+    }
+
+    async fn retire(self, forced: bool) {
         debug_assert!(self.valid.get(), "double deregistration");
         self.valid.set(false);
         let hca = self.hca.clone();
         hca.inner.sim.trace("reg", || {
-            format!("node{} deregister {:?}", hca.inner.node.0, self.rkey)
+            format!(
+                "node{} {} {:?}",
+                hca.inner.node.0,
+                if forced { "revoke" } else { "deregister" },
+                self.rkey
+            )
         });
         // Remove from the TPT first (the security-relevant step), then
         // pay the costs.
-        hca.inner
-            .tpt
-            .borrow_mut()
-            .invalidate(self.rkey, hca.inner.sim.now());
+        {
+            let mut tpt = hca.inner.tpt.borrow_mut();
+            let now = hca.inner.sim.now();
+            if forced {
+                tpt.revoke(self.rkey, now);
+            } else {
+                tpt.invalidate(self.rkey, now);
+            }
+        }
         match self.kind {
             MrKind::Dynamic => {
                 hca.inner

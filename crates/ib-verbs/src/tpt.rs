@@ -13,8 +13,10 @@
 //! from it.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use sim_core::{SimRng, SimTime};
+use sim_core::stats::Counter;
+use sim_core::{MetricsRegistry, SimRng, SimTime};
 
 use crate::memory::Buffer;
 use crate::types::{Access, Rkey, VerbsError};
@@ -56,6 +58,9 @@ pub struct ExposureReport {
     pub exposures: u64,
     /// Remote-access validation failures (attack probes, bugs).
     pub violations: u64,
+    /// Registrations force-invalidated by policy (exposure TTL expiry,
+    /// quarantine teardown) rather than by their owner's deregister.
+    pub revocations: u64,
 }
 
 /// Translation & Protection Table for one HCA.
@@ -71,6 +76,16 @@ pub struct Tpt {
     closed_byte_ns: u128,
     exposures: u64,
     violations: u64,
+    revocations: u64,
+    /// Registry-backed mirrors of the ledger counters (shared series
+    /// across every HCA in the simulation), bound by
+    /// [`Tpt::bind_metrics`].
+    metrics: Option<TptMetrics>,
+}
+
+struct TptMetrics {
+    violations: Rc<Counter>,
+    revocations: Rc<Counter>,
 }
 
 impl Tpt {
@@ -86,7 +101,47 @@ impl Tpt {
             closed_byte_ns: 0,
             exposures: 0,
             violations: 0,
+            revocations: 0,
+            metrics: None,
         }
+    }
+
+    /// Mirror the ledger's violation/revocation counters onto the
+    /// simulation's metrics registry (`tpt.violations`,
+    /// `tpt.revocations`). Counters are shared by name, so every HCA
+    /// in a simulation feeds the same series and `chaos`/`adversary`
+    /// snapshots carry them without extra plumbing.
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(TptMetrics {
+            violations: registry.counter("tpt.violations"),
+            revocations: registry.counter("tpt.revocations"),
+        });
+    }
+
+    fn count_violation(&mut self) {
+        self.violations += 1;
+        if let Some(m) = &self.metrics {
+            m.violations.inc();
+        }
+    }
+
+    /// Record a forced invalidation that bypasses the TPT (all-physical
+    /// registrations have no entry to remove; the pinning still had to
+    /// be torn down by policy).
+    pub fn note_revocation(&mut self) {
+        self.revocations += 1;
+        if let Some(m) = &self.metrics {
+            m.revocations.inc();
+        }
+    }
+
+    /// Force-invalidate an entry by policy (TTL expiry, quarantine):
+    /// closes the exposure window like [`Tpt::invalidate`] and records
+    /// the revocation in the ledger.
+    pub fn revoke(&mut self, rkey: Rkey, now: SimTime) -> Option<TptEntry> {
+        let e = self.invalidate(rkey, now)?;
+        self.note_revocation();
+        Some(e)
     }
 
     /// Install a new entry and return its steering tag.
@@ -195,7 +250,7 @@ impl Tpt {
                     Ok((buf, off))
                 }
                 None => {
-                    self.violations += 1;
+                    self.count_violation();
                     Err(VerbsError::RemoteAccess {
                         rkey,
                         reason: "global rkey: address not mapped",
@@ -204,14 +259,14 @@ impl Tpt {
             };
         }
         let Some(e) = self.entries.get(&rkey.0) else {
-            self.violations += 1;
+            self.count_violation();
             return Err(VerbsError::RemoteAccess {
                 rkey,
                 reason: "no such steering tag",
             });
         };
         if addr < e.base || addr + len > e.base + e.len {
-            self.violations += 1;
+            self.count_violation();
             return Err(VerbsError::RemoteAccess {
                 rkey,
                 reason: "out of registered bounds",
@@ -222,7 +277,7 @@ impl Tpt {
             RemoteOp::Write => e.access.allows_remote_write(),
         };
         if !allowed {
-            self.violations += 1;
+            self.count_violation();
             return Err(VerbsError::RemoteAccess {
                 rkey,
                 reason: "access rights do not permit operation",
@@ -248,6 +303,7 @@ impl Tpt {
             current_bytes: current,
             exposures: self.exposures,
             violations: self.violations,
+            revocations: self.revocations,
         }
     }
 
@@ -390,6 +446,42 @@ mod tests {
         assert_eq!(rep.byte_ns, 1_000_000); // closed at 1000ns duration
         assert_eq!(rep.current_bytes, 0);
         assert_eq!(rep.exposures, 1);
+    }
+
+    #[test]
+    fn revocation_closes_window_and_counts() {
+        let (mut tpt, buf) = setup();
+        let r = tpt.insert(buf.clone(), buf.addr(), 1000, Access::REMOTE_READ, t(0));
+        let e = tpt.revoke(r, t(500)).expect("live entry revokes");
+        assert_eq!(e.len, 1000);
+        // The steering tag is dead and the ledger shows one revocation
+        // with the exposure window closed at 500ns.
+        assert!(tpt
+            .check_remote(r, buf.addr(), 4, RemoteOp::Read, t(501), |_, _| None)
+            .is_err());
+        let rep = tpt.exposure_report(t(9999));
+        assert_eq!(rep.revocations, 1);
+        assert_eq!(rep.byte_ns, 500_000);
+        assert_eq!(rep.current_bytes, 0);
+        // Revoking an already-dead tag is a no-op, not a double count.
+        assert!(tpt.revoke(r, t(600)).is_none());
+        assert_eq!(tpt.exposure_report(t(9999)).revocations, 1);
+    }
+
+    #[test]
+    fn bound_metrics_mirror_ledger() {
+        let (mut tpt, buf) = setup();
+        let registry = sim_core::MetricsRegistry::new();
+        tpt.bind_metrics(&registry);
+        let r = tpt.insert(buf.clone(), buf.addr(), 64, Access::REMOTE_READ, t(0));
+        let _ = tpt.check_remote(Rkey(1), buf.addr(), 4, RemoteOp::Read, t(1), |_, _| None);
+        tpt.revoke(r, t(2)).unwrap();
+        tpt.note_revocation();
+        assert_eq!(registry.get("tpt.violations"), Some(1));
+        assert_eq!(registry.get("tpt.revocations"), Some(2));
+        let rep = tpt.exposure_report(t(3));
+        assert_eq!(rep.violations, 1);
+        assert_eq!(rep.revocations, 2);
     }
 
     #[test]

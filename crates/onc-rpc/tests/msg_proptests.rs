@@ -1,0 +1,95 @@
+//! Property tests for the ONC RPC message codec: headers round-trip
+//! exactly, byte soup never panics either decoder, and a hostile
+//! opaque-length field (the auth cred/verf bodies) can never pull
+//! bytes from beyond the message.
+
+use bytes::Bytes;
+use onc_rpc::msg::{decode_call, decode_reply, encode_call, encode_reply};
+use onc_rpc::{AcceptStat, CallHeader, ReplyHeader};
+use proptest::prelude::*;
+use xdr::Encoder;
+
+/// The decoded body is the raw remainder of the message: the original
+/// bytes plus XDR padding to the 4-byte boundary (XDR argument bodies
+/// are self-delimiting, so the padding is harmless).
+fn body_matches(decoded: &Bytes, original: &Bytes) -> bool {
+    decoded.len() == original.len().next_multiple_of(4)
+        && decoded[..original.len()] == original[..]
+        && decoded[original.len()..].iter().all(|&b| b == 0)
+}
+
+fn arb_call() -> impl Strategy<Value = CallHeader> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+        |(xid, prog, vers, proc_num)| CallHeader {
+            xid,
+            prog,
+            vers,
+            proc_num,
+        },
+    )
+}
+
+fn arb_stat() -> impl Strategy<Value = AcceptStat> {
+    prop_oneof![
+        Just(AcceptStat::Success),
+        Just(AcceptStat::ProgUnavail),
+        Just(AcceptStat::ProcUnavail),
+        Just(AcceptStat::GarbageArgs),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn call_roundtrips_with_any_body(
+        hdr in arb_call(),
+        body in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let body = Bytes::from(body);
+        let (h2, b2) = decode_call(encode_call(&hdr, &body)).unwrap();
+        prop_assert_eq!(h2, hdr);
+        prop_assert!(body_matches(&b2, &body));
+    }
+
+    #[test]
+    fn reply_roundtrips_with_any_body(
+        xid in any::<u32>(),
+        stat in arb_stat(),
+        body in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let hdr = ReplyHeader { xid, stat };
+        let body = Bytes::from(body);
+        let (h2, b2) = decode_reply(encode_reply(&hdr, &body)).unwrap();
+        prop_assert_eq!(h2, hdr);
+        prop_assert!(body_matches(&b2, &body));
+    }
+
+    /// Neither decoder panics on arbitrary bytes — they are the first
+    /// thing a hostile RPC payload reaches after the RDMA header.
+    #[test]
+    fn decoders_never_panic_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = decode_call(Bytes::from(bytes.clone()));
+        let _ = decode_reply(Bytes::from(bytes));
+    }
+
+    /// An auth cred whose declared opaque length runs past the end of
+    /// the message is rejected, whatever length is claimed — the
+    /// decoder must bound every read by the bytes actually present.
+    #[test]
+    fn oversized_auth_opaque_rejected(
+        xid in any::<u32>(),
+        claimed in 1u32..=u32::MAX,
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u32(xid)
+            .put_u32(0) // CALL
+            .put_u32(2) // RPC version
+            .put_u32(100003)
+            .put_u32(3)
+            .put_u32(0)
+            .put_u32(0) // cred flavor AUTH_NONE
+            .put_u32(claimed); // cred body length with no body behind it
+        prop_assert!(decode_call(enc.finish()).is_err());
+    }
+}

@@ -73,6 +73,27 @@ pub struct RpcRdmaConfig {
     /// (bounded LRU; evicted entries mean very late duplicates
     /// re-execute).
     pub drc_capacity: usize,
+    /// ADVERSARIAL HARDENING: most segments the server accepts in any
+    /// one client-advertised chunk list (read list, one write chunk,
+    /// reply chunk) before declaring a protocol violation. Must sit
+    /// below the wire-decode cap ([`crate::header::MAX_WIRE_SEGMENTS`])
+    /// and comfortably above the honest worst case (an all-physical
+    /// 1 MiB buffer fans out into ~16 runs on the 64 KiB-mean layout).
+    pub max_chunk_segments: u32,
+    /// ADVERSARIAL HARDENING: most bytes a single header may advertise
+    /// across all its chunk lists. Bounds the scratch memory + RDMA
+    /// traffic one hostile call can demand from the server.
+    pub max_chunk_bytes: u64,
+    /// ADVERSARIAL HARDENING: how long a Read-Read exposure may sit
+    /// un-`RDMA_DONE`d before the server force-revokes the registration
+    /// (the ledger records the revocation). `ZERO` disables the reaper
+    /// (the paper's original, pin-forever behavior).
+    pub exposure_ttl: SimDuration,
+    /// ADVERSARIAL HARDENING: protocol violations tolerated on one
+    /// connection before the server quarantines it (forces the QP into
+    /// the error state, tearing down only that client). `0` disables
+    /// quarantine.
+    pub violation_quarantine: u32,
 }
 
 impl RpcRdmaConfig {
@@ -96,6 +117,10 @@ impl RpcRdmaConfig {
             retrans_jitter: SimDuration::from_micros(500),
             reconnect_delay: SimDuration::from_millis(2),
             drc_capacity: 1024,
+            max_chunk_segments: 96,
+            max_chunk_bytes: 8 << 20,
+            exposure_ttl: SimDuration::ZERO,
+            violation_quarantine: 8,
         }
     }
 

@@ -14,6 +14,19 @@ use xdr::{Decoder, Encoder, Result as XdrResult, XdrCodec, XdrError};
 /// RPC/RDMA protocol version.
 pub const RPCRDMA_VERSION: u32 = 1;
 
+/// Hard wire-format cap on the segments decoded for any single chunk
+/// list (the read list, one write chunk's segment array, or the reply
+/// chunk). Checked *before* any allocation, so a hostile length prefix
+/// (`u32::MAX` segments) costs the decoder nothing but a typed error.
+/// Servers apply their (tighter, configurable) sanitizer on top; this
+/// constant only bounds what the codec will ever materialize.
+pub const MAX_WIRE_SEGMENTS: u32 = 128;
+
+/// Hard wire-format cap on the number of write chunks in one header.
+/// Real RPC/RDMA uses at most one write chunk plus a reply chunk per
+/// message; a handful leaves slack for experiments.
+pub const MAX_WIRE_CHUNKS: u32 = 8;
+
 /// Message types (paper Figure 2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MsgType {
@@ -154,6 +167,20 @@ impl RdmaHeader {
     }
 }
 
+/// Decode one counted segment array, rejecting the declared count
+/// before reserving space for it.
+fn decode_segments(dec: &mut Decoder) -> XdrResult<Vec<Segment>> {
+    let n = dec.get_u32()?;
+    if n > MAX_WIRE_SEGMENTS {
+        return Err(XdrError::LengthOutOfRange(n));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(Segment::decode(dec)?);
+    }
+    Ok(out)
+}
+
 impl XdrCodec for RdmaHeader {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u32(self.xid)
@@ -197,15 +224,21 @@ impl XdrCodec for RdmaHeader {
         };
         let mut read_chunks = Vec::new();
         while dec.get_bool()? {
+            if read_chunks.len() as u32 >= MAX_WIRE_SEGMENTS {
+                return Err(XdrError::LengthOutOfRange(read_chunks.len() as u32 + 1));
+            }
             let position = dec.get_u32()?;
             let segment = Segment::decode(dec)?;
             read_chunks.push(ReadChunk { position, segment });
         }
         let mut write_chunks = Vec::new();
         while dec.get_bool()? {
-            write_chunks.push(dec.get_array(Segment::decode)?);
+            if write_chunks.len() as u32 >= MAX_WIRE_CHUNKS {
+                return Err(XdrError::LengthOutOfRange(write_chunks.len() as u32 + 1));
+            }
+            write_chunks.push(decode_segments(dec)?);
         }
-        let reply_chunk = dec.get_option(|d| d.get_array(Segment::decode))?;
+        let reply_chunk = dec.get_option(decode_segments)?;
         Ok(RdmaHeader {
             xid,
             credits,
@@ -296,6 +329,55 @@ mod tests {
         let mut raw = h.to_bytes().to_vec();
         raw[4..8].copy_from_slice(&9u32.to_be_bytes());
         assert!(RdmaHeader::from_bytes(&raw).is_err());
+    }
+
+    #[test]
+    fn hostile_segment_count_rejected_before_allocation() {
+        // A reply chunk declaring u32::MAX segments: the count is the
+        // last word, so without the cap the decoder would try to
+        // reserve 16 GiB of segments before noticing truncation.
+        let mut enc = Encoder::new();
+        enc.put_u32(1) // xid
+            .put_u32(RPCRDMA_VERSION)
+            .put_u32(0) // credits
+            .put_u32(0) // RDMA_MSG
+            .put_bool(false) // read list
+            .put_bool(false) // write list
+            .put_bool(true) // reply chunk present
+            .put_u32(u32::MAX); // declared segment count
+        let err = RdmaHeader::from_bytes(enc.as_slice()).unwrap_err();
+        assert!(matches!(err, XdrError::LengthOutOfRange(n) if n == u32::MAX));
+    }
+
+    #[test]
+    fn unbounded_read_list_rejected() {
+        // One more bool-terminated read chunk than the wire cap.
+        let mut enc = Encoder::new();
+        enc.put_u32(1)
+            .put_u32(RPCRDMA_VERSION)
+            .put_u32(0)
+            .put_u32(0);
+        for i in 0..=MAX_WIRE_SEGMENTS {
+            enc.put_bool(true).put_u32(0);
+            seg(i, 8, 0x1000).encode(&mut enc);
+        }
+        enc.put_bool(false).put_bool(false).put_bool(false);
+        let err = RdmaHeader::from_bytes(enc.as_slice()).unwrap_err();
+        assert!(matches!(err, XdrError::LengthOutOfRange(_)));
+    }
+
+    #[test]
+    fn header_at_wire_caps_roundtrips() {
+        let mut h = RdmaHeader::new(5, 1, MsgType::Msg);
+        for i in 0..MAX_WIRE_SEGMENTS {
+            h.read_chunks.push(ReadChunk {
+                position: 4,
+                segment: seg(i, 16, 0x1000 + i as u64),
+            });
+        }
+        h.reply_chunk = Some((0..MAX_WIRE_SEGMENTS).map(|i| seg(i, 16, 0)).collect());
+        let got = RdmaHeader::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(got, h);
     }
 
     #[test]

@@ -24,12 +24,16 @@ pub mod config;
 pub mod header;
 pub mod reg;
 pub mod router;
+pub mod sanitize;
 pub mod server;
 pub mod service;
 
 pub use client::{BulkParams, CallReply, ClientStats, RdmaRpcClient};
 pub use config::{Design, RpcRdmaConfig};
-pub use header::{MsgType, RdmaHeader, ReadChunk, Segment, RPCRDMA_VERSION};
+pub use header::{
+    MsgType, RdmaHeader, ReadChunk, Segment, MAX_WIRE_CHUNKS, MAX_WIRE_SEGMENTS, RPCRDMA_VERSION,
+};
 pub use reg::{IoBuf, RegCache, Registrar, StrategyKind};
+pub use sanitize::{sanitize_header, ProtocolViolation};
 pub use server::{RdmaRpcServer, ServerStats};
 pub use service::{RdmaDispatch, RdmaService};

@@ -438,6 +438,22 @@ impl Registrar {
             }
         }
     }
+
+    /// Force-retire an [`IoBuf`] by policy (exposure TTL expiry): the
+    /// steering tag is invalidated *now* and the TPT ledger records a
+    /// revocation. Cached slab entries are dropped rather than parked —
+    /// their registration was advertised to an untrusted peer and must
+    /// not be handed to the next honest operation.
+    pub async fn revoke(&self, io: IoBuf) {
+        match io.handle {
+            Handle::Mr(mr) => mr.revoke().await,
+            Handle::Cached(e) => e.mr.revoke().await,
+            Handle::Pinned { pages } => {
+                self.hca.note_forced_revocation();
+                self.hca.unpin_pages(pages).await;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

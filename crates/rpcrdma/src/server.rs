@@ -19,6 +19,19 @@
 //! NFS WRITE is identical in both designs: the server pulls the
 //! client's Read chunks with RDMA Read and *blocks* until completion,
 //! because a Send after a Read carries no ordering guarantee (§4.1).
+//!
+//! # Adversarial hardening
+//!
+//! Every inbound header passes [`crate::sanitize::sanitize_header`]
+//! before the server allocates scratch or issues RDMA. Violations are
+//! counted (`server.violations.*`), clamp the offender's per-connection
+//! credit grant (halved per strike, restored after a streak of good
+//! calls), and — past `cfg.violation_quarantine` strikes — quarantine
+//! the connection by forcing its QP into the error state. Honest
+//! clients on other QPs keep their full windows. When
+//! `cfg.exposure_ttl` is non-zero, a per-connection reaper
+//! force-revokes Read-Read exposures whose `RDMA_DONE` never arrived,
+//! bounding how long a client can pin server memory.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -29,14 +42,19 @@ use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Srq, WrId};
 use onc_rpc::msg::{decode_call, encode_reply};
 use onc_rpc::{CallContext, DrcKey, DrcOutcome, DuplicateRequestCache, ReplyHeader};
 use sim_core::stats::Counter;
-use sim_core::{Payload, Resource, Sim};
+use sim_core::{Payload, Resource, Sim, SimDuration, SimTime};
 use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
 use crate::header::{MsgType, RdmaHeader, ReadChunk, Segment};
 use crate::reg::{IoBuf, Registrar};
 use crate::router::CompletionRouter;
+use crate::sanitize::{sanitize_header, ProtocolViolation};
 use crate::service::RdmaService;
+
+/// Good calls a clamped connection must complete before its credit
+/// window doubles back toward the server's base grant.
+const GOOD_OPS_PER_RESTORE: u32 = 8;
 
 /// Server-side statistics (shared across connections).
 #[derive(Default)]
@@ -63,6 +81,18 @@ pub struct ServerStats {
     /// Retransmitted calls answered from the duplicate request cache
     /// (or parked on an in-progress original) instead of re-executing.
     pub drc_replays: Cell<u64>,
+    /// Protocol violations detected by the chunk-list sanitizer (all
+    /// connections, all kinds).
+    pub violations: Cell<u64>,
+    /// Connections quarantined (QP forced to the error state) after
+    /// exhausting their violation budget.
+    pub quarantines: Cell<u64>,
+    /// Times a connection's credit grant was halved under violation
+    /// pressure.
+    pub credit_clamps: Cell<u64>,
+    /// Read-Read exposures force-revoked by the TTL reaper because the
+    /// client never sent `RDMA_DONE`.
+    pub exposures_revoked: Cell<u64>,
 }
 
 /// Registry-backed server counters (the [`ServerStats`] cells remain
@@ -71,6 +101,10 @@ pub struct ServerStats {
 struct ServerMetrics {
     ops: Rc<Counter>,
     replays: Rc<Counter>,
+    violations_total: Rc<Counter>,
+    quarantines: Rc<Counter>,
+    credit_clamps: Rc<Counter>,
+    exposures_revoked: Rc<Counter>,
 }
 
 /// A server endpoint shared by all client connections: the service,
@@ -137,6 +171,10 @@ impl RdmaRpcServer {
             metrics: ServerMetrics {
                 ops: registry.counter("server.ops"),
                 replays: registry.counter("server.drc.replays"),
+                violations_total: registry.counter("server.violations.total"),
+                quarantines: registry.counter("server.quarantines"),
+                credit_clamps: registry.counter("server.credit_clamps"),
+                exposures_revoked: registry.counter("server.exposures.revoked"),
             },
             stats: Rc::new(ServerStats::default()),
         })
@@ -178,14 +216,43 @@ impl RdmaRpcServer {
     }
 }
 
+/// A Read-Read exposure awaiting the client's `RDMA_DONE`: the buffers
+/// plus the time they went on the wire, so the TTL reaper can tell how
+/// long the client has been sitting on them.
+struct Exposure {
+    since: SimTime,
+    bufs: Vec<IoBuf>,
+}
+
 struct ConnState {
     wr_counter: Cell<u64>,
     /// Read-Read design: xid -> buffers exposed until RDMA_DONE.
-    pending_exposures: RefCell<HashMap<u32, Vec<IoBuf>>>,
+    pending_exposures: RefCell<HashMap<u32, Exposure>>,
     router: CompletionRouter,
     /// Per-connection scratch for assembling outgoing reply wire
     /// messages (header + inline body) without steady-state allocation.
     send_scratch: RefCell<Encoder>,
+    /// Per-connection credit grant: starts at the server's base grant,
+    /// halves on every protocol violation, doubles back after a streak
+    /// of clean calls. Never exceeds the server-wide grant.
+    granted: Cell<u32>,
+    /// Violations charged to this connection (never resets — the
+    /// quarantine budget is for the connection's lifetime).
+    violations: Cell<u32>,
+    /// Consecutive clean calls since the last violation.
+    good_streak: Cell<u32>,
+    /// Set at teardown so the exposure reaper exits.
+    closed: Cell<bool>,
+    /// Calls dispatched and not yet completed. The server *enforces*
+    /// its credit grant: a call arriving past the window is dropped
+    /// and charged as a violation instead of being dispatched, so
+    /// credit overcommit never buys server CPU.
+    in_flight: Cell<u32>,
+    /// Wakes the exposure reaper when a new exposure is created (or at
+    /// teardown). The reaper parks on this while the connection has no
+    /// pending exposures — an idle timer loop would keep the whole
+    /// simulation from ever quiescing.
+    exposure_signal: sim_core::sync::Semaphore,
 }
 
 impl ConnState {
@@ -193,6 +260,71 @@ impl ConnState {
         let id = self.wr_counter.get();
         self.wr_counter.set(id + 1);
         WrId(id)
+    }
+}
+
+/// Charge `v` to this connection: count it, clamp the connection's
+/// credit window, and quarantine the QP once the violation budget is
+/// spent. Never touches other connections.
+fn note_violation(server: &Rc<RdmaRpcServer>, conn: &ConnState, qp: &Qp, v: ProtocolViolation) {
+    server.sim.trace("rpc", || {
+        format!("server violation peer={} {}", qp.peer_node().0, v)
+    });
+    server
+        .stats
+        .violations
+        .set(server.stats.violations.get() + 1);
+    server.metrics.violations_total.inc();
+    server
+        .sim
+        .metrics()
+        .counter(&format!("server.violations.{}", v.metric_key()))
+        .inc();
+    conn.good_streak.set(0);
+    let g = conn.granted.get();
+    if g > 1 {
+        conn.granted.set((g / 2).max(1));
+        server
+            .stats
+            .credit_clamps
+            .set(server.stats.credit_clamps.get() + 1);
+        server.metrics.credit_clamps.inc();
+    }
+    let strikes = conn.violations.get() + 1;
+    conn.violations.set(strikes);
+    let budget = server.cfg.violation_quarantine;
+    if budget > 0 && strikes >= budget && !conn.closed.get() {
+        server.sim.trace("rpc", || {
+            format!(
+                "server quarantine peer={} after {strikes} violations",
+                qp.peer_node().0
+            )
+        });
+        server
+            .stats
+            .quarantines
+            .set(server.stats.quarantines.get() + 1);
+        server.metrics.quarantines.inc();
+        qp.force_error();
+    }
+}
+
+/// A clean call completed: walk the connection's credit window back up
+/// toward the server's base grant, one doubling per
+/// [`GOOD_OPS_PER_RESTORE`] streak.
+fn note_good_op(server: &RdmaRpcServer, conn: &ConnState) {
+    let base = server.credit_grant.get();
+    if conn.granted.get() >= base {
+        conn.good_streak.set(0);
+        return;
+    }
+    let streak = conn.good_streak.get() + 1;
+    if streak >= GOOD_OPS_PER_RESTORE {
+        conn.good_streak.set(0);
+        conn.granted
+            .set((conn.granted.get().saturating_mul(2)).min(base));
+    } else {
+        conn.good_streak.set(streak);
     }
 }
 
@@ -220,7 +352,16 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
         pending_exposures: RefCell::new(HashMap::new()),
         router: CompletionRouter::spawn(&server.sim, qp.send_cq().clone()),
         send_scratch: RefCell::new(Encoder::with_capacity(256)),
+        granted: Cell::new(server.credit_grant.get()),
+        violations: Cell::new(0),
+        good_streak: Cell::new(0),
+        closed: Cell::new(false),
+        in_flight: Cell::new(0),
+        exposure_signal: sim_core::sync::Semaphore::new(0),
     });
+    if cfg.exposure_ttl > SimDuration::ZERO {
+        spawn_exposure_reaper(&server, &conn);
+    }
 
     loop {
         let c = qp.recv_cq().next().await;
@@ -239,8 +380,16 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
         let raw = payload.materialize();
         let mut dec = xdr::Decoder::new(&raw);
         let Ok(hdr) = RdmaHeader::decode(&mut dec) else {
-            continue; // garbage header: drop (a real server would NAK)
+            // Byte soup where a header should be: charge the sender.
+            note_violation(&server, &conn, &qp, ProtocolViolation::GarbageHeader);
+            continue;
         };
+        // Sanitize every client-advertised chunk list *before* any
+        // allocation or RDMA is issued on its behalf.
+        if let Err(v) = sanitize_header(&hdr, &cfg) {
+            note_violation(&server, &conn, &qp, v);
+            continue;
+        }
         let at = dec.position();
         let body = raw.slice(at..);
 
@@ -248,49 +397,142 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
             MsgType::Done => {
                 // Read-Read: the client is done pulling; release the
                 // exposed buffers (finally paying deregistration).
-                let bufs = conn.pending_exposures.borrow_mut().remove(&hdr.xid);
-                if let Some(bufs) = bufs {
+                let exp = conn.pending_exposures.borrow_mut().remove(&hdr.xid);
+                if let Some(exp) = exp {
                     server.stats.dones.set(server.stats.dones.get() + 1);
                     server
                         .stats
                         .exposures_pending
-                        .set(server.stats.exposures_pending.get() - bufs.len() as u64);
+                        .set(server.stats.exposures_pending.get() - exp.bufs.len() as u64);
                     let registrar = server.registrar.clone();
                     server.sim.spawn(async move {
-                        for io in bufs {
+                        for io in exp.bufs {
                             registrar.release(io).await;
                         }
                     });
                 }
             }
             MsgType::Msg | MsgType::Nomsg | MsgType::Msgp => {
+                // Enforce the credit window: the base grant bounds how
+                // many calls any client may have in flight, whatever it
+                // chooses to believe about its credits.
+                let window = server.credit_grant.get();
+                if conn.in_flight.get() >= window {
+                    note_violation(
+                        &server,
+                        &conn,
+                        &qp,
+                        ProtocolViolation::WindowExceeded {
+                            in_flight: conn.in_flight.get() + 1,
+                            window,
+                        },
+                    );
+                    continue;
+                }
+                conn.in_flight.set(conn.in_flight.get() + 1);
                 let server = server.clone();
                 let qp = qp.clone();
                 let conn = conn.clone();
                 let peer = qp.peer_node().0;
                 server.sim.clone().spawn(async move {
-                    handle_op(server, qp, conn, hdr, body, peer).await;
+                    handle_op(server.clone(), qp, conn.clone(), hdr, body, peer).await;
+                    conn.in_flight.set(conn.in_flight.get() - 1);
                 });
             }
         }
     }
-    // Teardown: the peer can no longer send RDMA_DONE on this QP, so
-    // retire every buffer still exposed to it.
-    let leftover: Vec<Vec<IoBuf>> = conn
+    // Teardown: the peer can no longer send RDMA_DONE on this QP. The
+    // rkeys of every still-exposed buffer were advertised to that peer,
+    // so *revoke* them (registration dropped, ledger records it) rather
+    // than release them — a parked cache entry with a live registration
+    // the dead peer knows about would be a standing leak.
+    conn.closed.set(true);
+    conn.exposure_signal.add_permits(1); // unpark the reaper so it exits
+    let leftover: Vec<Exposure> = conn
         .pending_exposures
         .borrow_mut()
         .drain()
-        .map(|(_, bufs)| bufs)
+        .map(|(_, exp)| exp)
         .collect();
-    for bufs in leftover {
+    for exp in leftover {
         server
             .stats
             .exposures_pending
-            .set(server.stats.exposures_pending.get() - bufs.len() as u64);
-        for io in bufs {
-            server.registrar.release(io).await;
+            .set(server.stats.exposures_pending.get() - exp.bufs.len() as u64);
+        for io in exp.bufs {
+            server
+                .stats
+                .exposures_revoked
+                .set(server.stats.exposures_revoked.get() + 1);
+            server.metrics.exposures_revoked.inc();
+            server.registrar.revoke(io).await;
         }
     }
+}
+
+/// Spawn the per-connection exposure reaper: every quarter-TTL it
+/// force-revokes Read-Read exposures whose `RDMA_DONE` is overdue. The
+/// TPT ledger records each invalidation as a revocation, so the attack
+/// (and the defense) shows up in `tpt.revocations`.
+fn spawn_exposure_reaper(server: &Rc<RdmaRpcServer>, conn: &Rc<ConnState>) {
+    let server = server.clone();
+    let conn = conn.clone();
+    let ttl = server.cfg.exposure_ttl;
+    let tick = (ttl / 4).max(SimDuration::from_micros(1));
+    let sim = server.sim.clone();
+    sim.clone().spawn(async move {
+        loop {
+            if conn.closed.get() {
+                break;
+            }
+            if conn.pending_exposures.borrow().is_empty() {
+                // Nothing to watch: park until the next exposure (or
+                // teardown) instead of spinning the timer wheel.
+                conn.exposure_signal.acquire().await.forget();
+                continue;
+            }
+            sim.sleep(tick).await;
+            if conn.closed.get() {
+                break;
+            }
+            let now = sim.now();
+            let expired: Vec<(u32, Exposure)> = {
+                let mut map = conn.pending_exposures.borrow_mut();
+                let overdue: Vec<u32> = map
+                    .iter()
+                    .filter(|(_, exp)| now - exp.since >= ttl)
+                    .map(|(xid, _)| *xid)
+                    .collect();
+                overdue
+                    .into_iter()
+                    .map(|xid| {
+                        let exp = map.remove(&xid).expect("overdue exposure vanished");
+                        (xid, exp)
+                    })
+                    .collect()
+            };
+            for (xid, exp) in expired {
+                server.sim.trace("rpc", || {
+                    format!(
+                        "server exposure ttl-revoke xid={xid} bufs={}",
+                        exp.bufs.len()
+                    )
+                });
+                server
+                    .stats
+                    .exposures_pending
+                    .set(server.stats.exposures_pending.get() - exp.bufs.len() as u64);
+                for io in exp.bufs {
+                    server
+                        .stats
+                        .exposures_revoked
+                        .set(server.stats.exposures_revoked.get() + 1);
+                    server.metrics.exposures_revoked.inc();
+                    server.registrar.revoke(io).await;
+                }
+            }
+        }
+    });
 }
 
 /// Decrements the in-flight gauge on every exit path of `handle_op`.
@@ -339,16 +581,21 @@ async fn handle_op(
     if hdr.msg_type == MsgType::Msgp {
         // Padded inline: [head][padding][data]. The alignment means the
         // data was placed directly — no pull-up copy, no RDMA Read.
+        // The sanitizer vetted the static shape; what remains is the
+        // arithmetic against this message's actual length.
         let Some((align, head_len)) = hdr.msgp else {
+            note_violation(&server, &conn, &qp, ProtocolViolation::BadMsgp);
             return;
         };
         let (align, head_len) = (align as usize, head_len as usize);
         if head_len > call_msg.len() || align == 0 {
-            return; // malformed
+            note_violation(&server, &conn, &qp, ProtocolViolation::BadMsgp);
+            return;
         }
         let pad = (align - head_len % align) % align;
         let data_off = head_len + pad;
         if data_off > call_msg.len() {
+            note_violation(&server, &conn, &qp, ProtocolViolation::BadMsgp);
             return;
         }
         let data = call_msg.slice(data_off..);
@@ -399,6 +646,9 @@ async fn handle_op(
 
     // ---- Dispatch to the RPC program. --------------------------------
     let Ok((call_hdr, args)) = decode_call(call_msg) else {
+        // An RPC message that does not decode is the same class of
+        // hostility as an undecodable transport header.
+        note_violation(&server, &conn, &qp, ProtocolViolation::GarbageHeader);
         return;
     };
     let cx = CallContext {
@@ -430,6 +680,7 @@ async fn handle_op(
             };
             server.stats.ops.set(server.stats.ops.get() + 1);
             server.metrics.ops.inc();
+            note_good_op(&server, &conn);
             slot.fill(&dispatch);
             dispatch
         }
@@ -485,7 +736,10 @@ async fn handle_op(
         );
     }
 
-    let mut rhdr = RdmaHeader::new(call_hdr.xid, server.credit_grant.get(), MsgType::Msg);
+    // The grant this client sees is its own (violation-clamped) window,
+    // never more than the server-wide grant.
+    let grant = conn.granted.get().min(server.credit_grant.get());
+    let mut rhdr = RdmaHeader::new(call_hdr.xid, grant, MsgType::Msg);
     let mut to_release: Vec<IoBuf> = Vec::new();
     let mut to_expose: Vec<IoBuf> = Vec::new();
 
@@ -596,16 +850,20 @@ async fn handle_op(
             .stats
             .exposures_pending
             .set(server.stats.exposures_pending.get() + to_expose.len() as u64);
-        let old = conn
-            .pending_exposures
-            .borrow_mut()
-            .insert(call_hdr.xid, to_expose);
+        let old = conn.pending_exposures.borrow_mut().insert(
+            call_hdr.xid,
+            Exposure {
+                since: server.sim.now(),
+                bufs: to_expose,
+            },
+        );
+        conn.exposure_signal.add_permits(1);
         if let Some(old) = old {
             server
                 .stats
                 .exposures_pending
-                .set(server.stats.exposures_pending.get() - old.len() as u64);
-            for io in old {
+                .set(server.stats.exposures_pending.get() - old.bufs.len() as u64);
+            for io in old.bufs {
                 server.registrar.release(io).await;
             }
         }

@@ -1,0 +1,78 @@
+//! Decode hardening: the RPC/RDMA header decoder is the first server
+//! code an untrusted byte stream reaches, so it must (1) never panic
+//! on byte soup and (2) never size an allocation from a
+//! client-declared count — list lengths are capped at the wire limits
+//! *before* any `Vec` is reserved.
+
+use proptest::prelude::*;
+use rpcrdma::{RdmaHeader, MAX_WIRE_CHUNKS, MAX_WIRE_SEGMENTS};
+use xdr::{Encoder, XdrCodec};
+
+/// A syntactically valid header prefix (version, credits, RDMA_MSG,
+/// empty read and write lists) positioned right before the reply
+/// chunk, so tests can append a hostile segment array.
+fn prefix_before_reply_chunk(xid: u32, credits: u32) -> Encoder {
+    let mut enc = Encoder::new();
+    enc.put_u32(xid)
+        .put_u32(1) // RPC/RDMA version
+        .put_u32(credits)
+        .put_u32(0) // RDMA_MSG
+        .put_bool(false) // empty read list
+        .put_bool(false); // empty write list
+    enc
+}
+
+proptest! {
+    /// Whatever bytes arrive, a successfully decoded header holds
+    /// lists no larger than the wire caps — the decoder can never be
+    /// talked into an attacker-sized allocation.
+    #[test]
+    fn decoded_lists_never_exceed_wire_caps(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        if let Ok(hdr) = RdmaHeader::from_bytes(&bytes) {
+            prop_assert!(hdr.read_chunks.len() as u32 <= MAX_WIRE_SEGMENTS);
+            prop_assert!(hdr.write_chunks.len() as u32 <= MAX_WIRE_CHUNKS);
+            for chunk in &hdr.write_chunks {
+                prop_assert!(chunk.len() as u32 <= MAX_WIRE_SEGMENTS);
+            }
+            if let Some(reply) = &hdr.reply_chunk {
+                prop_assert!(reply.len() as u32 <= MAX_WIRE_SEGMENTS);
+            }
+        }
+    }
+
+    /// A reply chunk declaring any count beyond the wire cap is
+    /// rejected no matter what follows — in particular, the declared
+    /// count alone (with no segment data behind it) must not be
+    /// trusted for even a reservation.
+    #[test]
+    fn absurd_declared_counts_rejected(
+        xid in any::<u32>(),
+        credits in any::<u32>(),
+        count in (MAX_WIRE_SEGMENTS + 1)..=u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let mut enc = prefix_before_reply_chunk(xid, credits);
+        enc.put_bool(true).put_u32(count).put_raw(&tail);
+        prop_assert!(RdmaHeader::from_bytes(&enc.finish()).is_err());
+    }
+
+    /// The boolean-chained read list is capped too: more `true`
+    /// continuations than `MAX_WIRE_SEGMENTS` is an error even when
+    /// every individual entry is well-formed.
+    #[test]
+    fn read_list_continuation_capped(extra in 1u32..16) {
+        let mut enc = Encoder::new();
+        enc.put_u32(9).put_u32(1).put_u32(32).put_u32(0);
+        for i in 0..MAX_WIRE_SEGMENTS + extra {
+            enc.put_bool(true)
+                .put_u32(i) // position
+                .put_u32(7) // rkey
+                .put_u32(4096) // len
+                .put_u64(0x1000); // addr
+        }
+        enc.put_bool(false).put_bool(false).put_bool(false);
+        prop_assert!(RdmaHeader::from_bytes(&enc.finish()).is_err());
+    }
+}

@@ -1,0 +1,729 @@
+//! Adversarial-client harness: honest clients racing hostile ones.
+//!
+//! Attaches `M` attacker nodes to the testbed alongside `N` honest
+//! clients and drives the full attack catalog against the server while
+//! the honest clients run a write/commit/read-verify workload:
+//!
+//! * **garbage headers** — byte soup where an RPC/RDMA header belongs;
+//! * **crafted chunk lists** — segment counts past the sanitizer cap,
+//!   zero-length segments, overlapping write segments, multi-GiB
+//!   advertised totals, absurd credit requests;
+//! * **XID replay** — the same call sent twice (exercises the DRC);
+//! * **credit overcommit** — a burst far past the granted window;
+//! * **withheld `RDMA_DONE`** (Read-Read) — genuine READ calls whose
+//!   exposures the attacker never releases, pinning server buffers
+//!   until the exposure TTL reaper revokes them;
+//! * **stale steering tags** — RDMA Reads against rkeys captured from
+//!   earlier replies, after the TTL should have killed them. A probe
+//!   that *succeeds* is a real data leak and is counted separately.
+//!
+//! The run is fully deterministic under [`sim_core::SimRng`]; the
+//! result carries the honest clients' goodput (compare against an
+//! `attackers: 0` baseline to bound degradation), every violation and
+//! revocation counter, and the read-back corruption count (must be
+//! zero: attacks may slow honest clients, never corrupt them).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ib_verbs::{connect, Buffer, Hca, HostMem, NodeId, Qp, Rkey, WrId};
+use nfs::proto::{FileHandle, ReadArgs};
+use onc_rpc::msg::{encode_call, CallHeader};
+use rpcrdma::{Design, MsgType, RdmaHeader, RdmaRpcServer, ReadChunk, RpcRdmaConfig, Segment};
+use sim_core::{Cpu, Payload, Sim, SimDuration, SimRng, Simulation};
+use xdr::{Encoder, XdrCodec};
+
+use crate::profiles::Profile;
+use crate::testbed::{build_rdma, Backend, Testbed};
+
+/// Parameters of one adversary run.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversaryParams {
+    /// Bulk-transfer design under test.
+    pub design: Design,
+    /// Registration strategy.
+    pub strategy: rpcrdma::StrategyKind,
+    /// Honest client hosts.
+    pub honest_clients: usize,
+    /// Attacker hosts (0 = baseline run).
+    pub attackers: usize,
+    /// Records each honest client writes, then reads back.
+    pub records_per_client: u64,
+    /// Record size in bytes; above the inline threshold so honest
+    /// traffic exercises the bulk (chunk) path the attacks target.
+    pub record: u64,
+    /// Catalog iterations per attacker (each round fires every attack
+    /// in the catalog once).
+    pub attack_rounds: u64,
+    /// Exposure TTL installed on the server (`ZERO` = reaper off,
+    /// the paper's original pin-forever behavior).
+    pub exposure_ttl: SimDuration,
+    /// Record a trace and return its FNV-1a fingerprint.
+    pub fingerprint: bool,
+}
+
+impl Default for AdversaryParams {
+    fn default() -> Self {
+        AdversaryParams {
+            design: Design::ReadWrite,
+            strategy: rpcrdma::StrategyKind::Dynamic,
+            honest_clients: 2,
+            attackers: 2,
+            records_per_client: 24,
+            record: 8192,
+            attack_rounds: 6,
+            exposure_ttl: SimDuration::from_micros(200),
+            fingerprint: false,
+        }
+    }
+}
+
+/// What one adversary run produced.
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryResult {
+    /// RPC operations the server executed (fresh, not replayed).
+    pub server_ops: u64,
+    /// Retransmitted/replayed calls answered from the DRC.
+    pub drc_replays: u64,
+    /// Protocol violations the sanitizer charged to attackers.
+    pub violations: u64,
+    /// Connections quarantined (attacker QPs forced into error).
+    pub quarantines: u64,
+    /// Credit-grant halvings under violation pressure.
+    pub credit_clamps: u64,
+    /// Exposures force-revoked by the TTL reaper.
+    pub exposures_revoked: u64,
+    /// Exposures still pinned when the honest workload finished.
+    pub exposures_pending: u64,
+    /// HCA-level TPT violations (rkey probes refused with a NAK).
+    pub tpt_violations: u64,
+    /// TPT-ledger revocations (must equal `exposures_revoked`).
+    pub tpt_revocations: u64,
+    /// Bytes × time the server's memory sat remotely readable.
+    pub exposure_byte_ns: u128,
+    /// Attack messages the attackers fired.
+    pub attack_probes: u64,
+    /// Attacker reconnects (each quarantine/self-destruct costs one).
+    pub attacker_reconnects: u64,
+    /// Stale-rkey probes that *succeeded* — server memory read through
+    /// a steering tag that should have been dead. The leak metric.
+    pub stale_reads_ok: u64,
+    /// Stale-rkey probes refused with a NAK.
+    pub stale_reads_refused: u64,
+    /// Phys-scan probes that succeeded: a captured steering tag read
+    /// the *bottom* of the server's memory. Only the all-physical
+    /// strategy's global rkey can do this; it is the paper's argument
+    /// against all-physical registration, measured.
+    pub scan_reads_ok: u64,
+    /// Honest records whose read-back bytes differed from what was
+    /// written (must be zero).
+    pub corrupt_records: u64,
+    /// Honest application bytes moved (writes + verified reads).
+    pub honest_bytes: u64,
+    /// Virtual time from workload start to the last honest completion.
+    pub elapsed: SimDuration,
+    /// Honest goodput in MB/s of virtual time.
+    pub goodput_mb_s: f64,
+    /// FNV-1a hash of the run's trace (0 when fingerprinting is off).
+    pub fingerprint: u64,
+    /// Sorted `(name, value)` dump of the whole metrics registry.
+    pub metrics_snapshot: Vec<(String, u64)>,
+}
+
+/// Seed for the synthetic payload of client `ci`'s record `r`.
+fn record_seed(ci: usize, r: u64) -> u64 {
+    1 + ci as u64 * 1_000_003 + r
+}
+
+/// Run one adversary workload inside a fresh simulation.
+pub fn run_adversary(seed: u64, profile: &Profile, params: AdversaryParams) -> AdversaryResult {
+    let mut sim = Simulation::new(seed);
+    if params.fingerprint {
+        sim.enable_tracing();
+    }
+    let h = sim.handle();
+    let mut profile = *profile;
+    profile.rpc.exposure_ttl = params.exposure_ttl;
+    let mut result = sim.block_on(async move { run_inner(&h, &profile, params).await });
+    if params.fingerprint {
+        result.fingerprint = fingerprint(&sim.take_trace());
+    }
+    result.metrics_snapshot = sim.metrics().snapshot();
+    result
+}
+
+/// FNV-1a over every trace event (time, category, detail).
+fn fingerprint(events: &[sim_core::TraceEvent]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    for e in events {
+        eat(&e.at.as_nanos().to_le_bytes());
+        eat(e.category.as_bytes());
+        eat(e.detail.as_bytes());
+        eat(&[0xff]);
+    }
+    hash
+}
+
+/// Shared attacker accounting.
+#[derive(Default)]
+struct Ledger {
+    probes: Cell<u64>,
+    reconnects: Cell<u64>,
+    stale_ok: Cell<u64>,
+    stale_refused: Cell<u64>,
+    scan_ok: Cell<u64>,
+}
+
+/// Bottom of the simulated server's virtual address space: the first
+/// host allocations (long-lived server state) land here, so a global
+/// rkey lets the scan probe read memory no RPC ever exposed.
+const SCAN_BASE: u64 = 0x1000_0000;
+
+/// What a steering-tag probe is aimed at.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    /// A captured tag at its advertised address, after the TTL.
+    Stale,
+    /// A random rkey nobody ever advertised.
+    Guess,
+    /// A captured tag aimed at the bottom of the server's memory —
+    /// under all-physical registration the captured tag is the global
+    /// rkey, so this reads live server state that was never exposed.
+    Scan,
+}
+
+async fn run_inner(sim: &Sim, profile: &Profile, params: AdversaryParams) -> AdversaryResult {
+    let bed: Testbed = build_rdma(
+        sim,
+        profile,
+        params.design,
+        params.strategy,
+        Backend::Tmpfs,
+        params.honest_clients,
+    );
+    let server_hca = bed.server_hca.as_ref().expect("rdma testbed").clone();
+    let rpc_server = bed.rpc_server.as_ref().expect("rdma testbed").clone();
+    let cfg = profile.rpc.with_design(params.design);
+
+    // Bait: a real file the attackers will READ (and then sit on the
+    // exposure). Created through the honest path before the clock that
+    // matters starts.
+    let root = bed.server.root_handle();
+    let victim = bed.clients[0]
+        .nfs
+        .create(root, "victim.bin")
+        .await
+        .expect("create victim file");
+    let victim_fh = victim.handle();
+    bed.fs
+        .write(
+            fs_backend::FileId(victim_fh.0),
+            0,
+            Payload::synthetic(0xBA17, 1 << 20),
+        )
+        .await
+        .expect("prepopulate victim file");
+
+    let attackers_done = sim_core::sync::Semaphore::new(0);
+    let ledger = Rc::new(Ledger::default());
+
+    // Attackers: their own hosts (nodes honest+1..), their own HCAs.
+    for a in 0..params.attackers {
+        let node = NodeId((params.honest_clients + 1 + a) as u32);
+        let cpu = Cpu::new(
+            sim,
+            format!("attacker{a}-cpu"),
+            profile.client_cores,
+            profile.client_cpu,
+        );
+        let mem = Rc::new(HostMem::new(node, profile.phys, sim.fork_rng()));
+        let fabric = bed.fabric.as_ref().expect("rdma testbed");
+        let hca = Hca::new(sim, node, profile.hca, cpu, mem.clone(), fabric);
+        let rng = sim.fork_rng();
+        let t = AttackerTask {
+            sim: sim.clone(),
+            hca,
+            server_hca: server_hca.clone(),
+            rpc_server: rpc_server.clone(),
+            mem,
+            cfg,
+            victim: victim_fh,
+            rounds: params.attack_rounds,
+            done: attackers_done.clone(),
+            ledger: ledger.clone(),
+        };
+        sim.spawn(async move {
+            t.run(rng).await;
+        });
+    }
+
+    // Honest workload: write/commit/read-verify, seeded payloads.
+    let start = sim.now();
+    let done = sim_core::sync::Semaphore::new(0);
+    let corrupt_total = Rc::new(Cell::new(0u64));
+    for (ci, client) in bed.clients.iter().enumerate() {
+        let nfs = client.nfs.clone();
+        let mem = client.mem.clone();
+        let done = done.clone();
+        let sim2 = sim.clone();
+        let corrupt_total = corrupt_total.clone();
+        let (records, record) = (params.records_per_client, params.record);
+        sim.spawn(async move {
+            let f = nfs
+                .create(root, &format!("honest-{ci}"))
+                .await
+                .expect("create survives attack");
+            let fh = f.handle();
+            let buf = mem.alloc(record);
+            for r in 0..records {
+                buf.write(0, Payload::synthetic(record_seed(ci, r), record));
+                nfs.write(fh, r * record, &buf, 0, record as u32, false)
+                    .await
+                    .expect("write survives attack");
+            }
+            nfs.commit(fh).await.expect("commit survives attack");
+            for r in 0..records {
+                let (data, _) = nfs
+                    .read(fh, r * record, record as u32, None)
+                    .await
+                    .expect("read survives attack");
+                let want = Payload::synthetic(record_seed(ci, r), record);
+                if !data.content_eq(&want) {
+                    corrupt_total.set(corrupt_total.get() + 1);
+                    sim2.trace("attack", || format!("CORRUPT client={ci} record={r}"));
+                }
+            }
+            done.add_permits(1);
+        });
+    }
+    for _ in 0..bed.clients.len() {
+        done.acquire().await.forget();
+    }
+    let elapsed = sim.now() - start;
+
+    // Let the attackers finish the catalog (goodput is already
+    // measured), then — if the TTL reaper is armed — wait out two TTLs
+    // so every withheld exposure they left behind gets reaped.
+    for _ in 0..params.attackers {
+        attackers_done.acquire().await.forget();
+    }
+    if params.exposure_ttl > SimDuration::ZERO {
+        sim.sleep(params.exposure_ttl * 2).await;
+    }
+
+    let honest_bytes = 2 * params.honest_clients as u64 * params.records_per_client * params.record;
+    let secs = elapsed.as_secs_f64();
+    let report = server_hca.exposure_report();
+    let stats = &rpc_server.stats;
+    AdversaryResult {
+        server_ops: stats.ops.get(),
+        drc_replays: stats.drc_replays.get(),
+        violations: stats.violations.get(),
+        quarantines: stats.quarantines.get(),
+        credit_clamps: stats.credit_clamps.get(),
+        exposures_revoked: stats.exposures_revoked.get(),
+        exposures_pending: stats.exposures_pending.get(),
+        tpt_violations: report.violations,
+        tpt_revocations: report.revocations,
+        exposure_byte_ns: report.byte_ns,
+        attack_probes: ledger.probes.get(),
+        attacker_reconnects: ledger.reconnects.get(),
+        stale_reads_ok: ledger.stale_ok.get(),
+        stale_reads_refused: ledger.stale_refused.get(),
+        scan_reads_ok: ledger.scan_ok.get(),
+        corrupt_records: corrupt_total.get(),
+        honest_bytes,
+        elapsed,
+        goodput_mb_s: if secs > 0.0 {
+            honest_bytes as f64 / 1e6 / secs
+        } else {
+            0.0
+        },
+        fingerprint: 0,
+        metrics_snapshot: Vec::new(),
+    }
+}
+
+/// Receive buffers each attacker keeps posted (enough for the paced
+/// catalog; deliberately *not* enough for the overcommit burst's
+/// replies, so that attack self-destructs the attacker's own QP).
+const ATTACKER_RECVS: u64 = 8;
+
+struct AttackerTask {
+    sim: Sim,
+    hca: Hca,
+    server_hca: Hca,
+    rpc_server: Rc<RdmaRpcServer>,
+    mem: Rc<HostMem>,
+    cfg: RpcRdmaConfig,
+    victim: FileHandle,
+    rounds: u64,
+    done: sim_core::sync::Semaphore,
+    ledger: Rc<Ledger>,
+}
+
+impl AttackerTask {
+    async fn run(&self, mut rng: SimRng) {
+        let recv_bufs: Vec<Buffer> = (0..ATTACKER_RECVS)
+            .map(|_| self.mem.alloc(self.cfg.recv_buffer_size))
+            .collect();
+        let probe_buf = self.mem.alloc(8192);
+        let mut qp = self.connect_qp(&recv_bufs);
+        let mut wr = 1u64;
+        let mut dead = false;
+        // Steering tags captured from withheld-DONE replies, probed
+        // after the TTL has had time to kill them.
+        let mut captured: Vec<Segment> = Vec::new();
+        for round in 0..self.rounds {
+            // The previous round's violations error the QP from the
+            // server side; a failed send then errors it locally too.
+            if dead || qp.is_error() {
+                qp = self.reconnect(&recv_bufs).await;
+                dead = false;
+            }
+            let base_xid = 0x4000_0000 + (round as u32) * 256;
+
+            // 1. XID replay: the same NULL call twice; the DRC must
+            // answer the duplicate without re-executing.
+            let call = null_call(&self.cfg, base_xid);
+            match self
+                .call_and_wait(&qp, call.clone(), &recv_bufs, &mut wr)
+                .await
+            {
+                Some(_) => {
+                    if self
+                        .call_and_wait(&qp, call, &recv_bufs, &mut wr)
+                        .await
+                        .is_none()
+                    {
+                        dead = true;
+                    }
+                }
+                None => dead = true,
+            }
+
+            // 2. Withheld RDMA_DONE: a genuine READ whose exposure we
+            // never release. Under Read-Read the reply advertises the
+            // server's steering tags — capture them for later probing.
+            if !dead {
+                let read = read_call(&self.cfg, base_xid + 1, self.victim, 8192);
+                match self.call_and_wait(&qp, read, &recv_bufs, &mut wr).await {
+                    Some(raw) => {
+                        if let Some(rhdr) = decode_header_prefix(&raw) {
+                            captured.extend(rhdr.read_chunks.iter().map(|c| c.segment));
+                        }
+                    }
+                    None => dead = true,
+                }
+            }
+
+            // Rounds rotate through three postures: a quiet round that
+            // only withholds its DONE (the connection stays alive, so
+            // the exposure sits there until the TTL reaper takes it —
+            // quiet comes first so the leak is on display before any
+            // quarantine teardown revokes it), a strike batch
+            // (quarantine path), and a credit burst (overload path).
+            if !dead && round % 3 == 1 {
+                // Strike batch: garbage where a header belongs plus the
+                // crafted chunk lists — enough sanitizer rejections to
+                // spend the connection's whole quarantine budget.
+                let mut strikes = vec![garbage(&mut rng)];
+                strikes.extend(hostile_headers(&self.cfg, base_xid + 0x80));
+                while strikes.len() < 9 {
+                    strikes.push(garbage(&mut rng));
+                }
+                for s in strikes {
+                    if !self.fire(&qp, s, &mut wr) {
+                        dead = true;
+                        break;
+                    }
+                }
+            } else if !dead && round % 3 == 2 {
+                // Credit overcommit: a burst far past any granted
+                // window. The server drops and charges everything past
+                // the window; the replies it does send flood our own
+                // tiny receive pool, erroring *our* QP pair.
+                let burst = self.cfg.credits * 2 + ATTACKER_RECVS as u32;
+                for k in 0..burst {
+                    if !self.fire(&qp, null_call(&self.cfg, base_xid + 8 + k), &mut wr) {
+                        break;
+                    }
+                }
+                dead = true;
+            }
+
+            // Age the captured tags past the TTL (also paces the
+            // catalog so the attack overlaps the whole honest workload
+            // rather than front-loading).
+            let pause = if self.cfg.exposure_ttl > SimDuration::ZERO {
+                self.cfg.exposure_ttl * 2
+            } else {
+                SimDuration::from_micros(100)
+            };
+            self.sim.sleep(pause).await;
+
+            // 4. Steering-tag probes: every captured (stale) tag plus
+            // one guessed rkey. With the TTL reaper armed the stale
+            // probes must all NAK; without it (or under all-physical
+            // registration) the read lands — a measured leak. Each NAK
+            // kills the probing QP, so reconnect as needed.
+            let mut probes: Vec<(Segment, ProbeKind)> = Vec::new();
+            for seg in captured.drain(..) {
+                // The captured tag where it was advertised (stale), and
+                // the same tag aimed at the server's first long-lived
+                // allocations (phys scan — only the all-physical global
+                // rkey reaches those).
+                probes.push((
+                    Segment {
+                        rkey: seg.rkey,
+                        len: 4096,
+                        addr: SCAN_BASE,
+                    },
+                    ProbeKind::Scan,
+                ));
+                probes.push((seg, ProbeKind::Stale));
+            }
+            probes.push((
+                Segment {
+                    rkey: Rkey(rng.next_u32() | 0x8000_0000),
+                    len: 4096,
+                    addr: SCAN_BASE,
+                },
+                ProbeKind::Guess,
+            ));
+            for (seg, kind) in probes {
+                if dead || qp.is_error() {
+                    qp = self.reconnect(&recv_bufs).await;
+                    dead = false;
+                }
+                self.ledger.probes.set(self.ledger.probes.get() + 1);
+                let len = seg.len.min(8192);
+                let w = WrId(wr);
+                wr += 1;
+                if qp
+                    .post_rdma_read(probe_buf.clone(), 0, seg.addr, seg.rkey, len, w)
+                    .is_err()
+                {
+                    dead = true;
+                    continue;
+                }
+                if self.await_wr(&qp, w).await {
+                    match kind {
+                        ProbeKind::Stale => {
+                            self.ledger.stale_ok.set(self.ledger.stale_ok.get() + 1)
+                        }
+                        ProbeKind::Scan => self.ledger.scan_ok.set(self.ledger.scan_ok.get() + 1),
+                        ProbeKind::Guess => {}
+                    }
+                } else {
+                    if kind == ProbeKind::Stale {
+                        self.ledger
+                            .stale_refused
+                            .set(self.ledger.stale_refused.get() + 1);
+                    }
+                    dead = true; // the NAK killed this QP
+                }
+            }
+        }
+        self.done.add_permits(1);
+    }
+
+    /// Fresh QP pair: server serves its half, we drive ours raw.
+    fn connect_qp(&self, recv_bufs: &[Buffer]) -> Qp {
+        let (qc, qs) = connect(&self.hca, &self.server_hca);
+        self.rpc_server.serve_connection(qs);
+        for (i, buf) in recv_bufs.iter().enumerate() {
+            let _ = qc.post_recv(buf.clone(), 0, self.cfg.recv_buffer_size, WrId(i as u64));
+        }
+        qc
+    }
+
+    /// Replace a dead QP pair after the polite reconnect delay.
+    async fn reconnect(&self, recv_bufs: &[Buffer]) -> Qp {
+        self.sim.sleep(self.cfg.reconnect_delay).await;
+        self.ledger.reconnects.set(self.ledger.reconnects.get() + 1);
+        self.connect_qp(recv_bufs)
+    }
+
+    /// Post one unsignaled send; false means the QP is already dead.
+    /// (A send that fails in flight errors the QP asynchronously and is
+    /// caught at the next `is_error` check.)
+    fn fire(&self, qp: &Qp, wire: Bytes, wr: &mut u64) -> bool {
+        self.ledger.probes.set(self.ledger.probes.get() + 1);
+        let w = WrId(*wr);
+        *wr += 1;
+        qp.post_send(Payload::real(wire), w, false).is_ok()
+    }
+
+    /// One well-formed call: signaled send, wait for the send
+    /// completion (so a quarantined peer can't strand us awaiting a
+    /// reply that will never come), then wait for the reply. `None`
+    /// means the connection died.
+    async fn call_and_wait(
+        &self,
+        qp: &Qp,
+        wire: Bytes,
+        recv_bufs: &[Buffer],
+        wr: &mut u64,
+    ) -> Option<Bytes> {
+        self.ledger.probes.set(self.ledger.probes.get() + 1);
+        let w = WrId(*wr);
+        *wr += 1;
+        qp.post_send(Payload::real(wire), w, true).ok()?;
+        if !self.await_wr(qp, w).await {
+            return None;
+        }
+        self.await_reply(qp, recv_bufs).await
+    }
+
+    /// Wait for work request `w` on the send CQ. Earlier unsignaled
+    /// sends that failed leave stray error completions; skip them (any
+    /// of them already means the QP is in error, which the caller
+    /// discovers via `is_error` or the final result). True iff `w`
+    /// completed successfully.
+    async fn await_wr(&self, qp: &Qp, w: WrId) -> bool {
+        loop {
+            let c = qp.send_cq().next().await;
+            if c.wr_id == w {
+                return c.result.is_ok();
+            }
+        }
+    }
+
+    /// Wait for one reply, re-posting its receive buffer. `None` means
+    /// the connection died (flush or quarantine).
+    async fn await_reply(&self, qp: &Qp, recv_bufs: &[Buffer]) -> Option<Bytes> {
+        let c = qp.recv_cq().next().await;
+        if c.result.is_err() {
+            return None;
+        }
+        let idx = c.wr_id.0 as usize;
+        if idx < recv_bufs.len() {
+            let _ = qp.post_recv(
+                recv_bufs[idx].clone(),
+                0,
+                self.cfg.recv_buffer_size,
+                c.wr_id,
+            );
+        }
+        c.payload.map(|p| p.materialize())
+    }
+}
+
+/// Random byte soup where an RPC/RDMA header belongs.
+fn garbage(rng: &mut SimRng) -> Bytes {
+    let mut junk = vec![0u8; 48];
+    for b in junk.iter_mut() {
+        *b = rng.next_u32() as u8;
+    }
+    Bytes::from(junk)
+}
+
+/// Decode just the RPC/RDMA header off the front of a reply wire
+/// message (the attacker ignores the RPC body).
+fn decode_header_prefix(raw: &Bytes) -> Option<RdmaHeader> {
+    let mut dec = xdr::Decoder::new(raw);
+    RdmaHeader::decode(&mut dec).ok()
+}
+
+/// A well-formed NFS NULL call on the wire.
+fn null_call(cfg: &RpcRdmaConfig, xid: u32) -> Bytes {
+    let call = encode_call(
+        &CallHeader {
+            xid,
+            prog: nfs::NFS_PROGRAM,
+            vers: nfs::NFS_VERSION,
+            proc_num: 0,
+        },
+        &Bytes::new(),
+    );
+    let hdr = RdmaHeader::new(xid, cfg.credits, MsgType::Msg);
+    let mut enc = Encoder::with_capacity(64 + call.len());
+    hdr.encode(&mut enc);
+    enc.put_raw(&call);
+    enc.finish()
+}
+
+/// A well-formed NFS READ call (no write chunks: under Read-Read the
+/// server answers by exposing its buffers; under Read-Write there is
+/// nothing for it to expose).
+fn read_call(cfg: &RpcRdmaConfig, xid: u32, file: FileHandle, count: u32) -> Bytes {
+    let mut args = Encoder::new();
+    ReadArgs {
+        file,
+        offset: 0,
+        count,
+    }
+    .encode(&mut args);
+    let call = encode_call(
+        &CallHeader {
+            xid,
+            prog: nfs::NFS_PROGRAM,
+            vers: nfs::NFS_VERSION,
+            proc_num: 6,
+        },
+        &args.finish(),
+    );
+    let hdr = RdmaHeader::new(xid, cfg.credits, MsgType::Msg);
+    let mut enc = Encoder::with_capacity(64 + call.len());
+    hdr.encode(&mut enc);
+    enc.put_raw(&call);
+    enc.finish()
+}
+
+/// The crafted-header arm of the catalog: each decodes cleanly at the
+/// wire layer but violates a server cap, so each costs the server one
+/// sanitizer rejection and the attacker one strike.
+fn hostile_headers(cfg: &RpcRdmaConfig, base_xid: u32) -> Vec<Bytes> {
+    let seg = |rkey: u32, len: u64, addr: u64| Segment {
+        rkey: Rkey(rkey),
+        len,
+        addr,
+    };
+    let mut out = Vec::new();
+    // Too many segments (past the sanitizer cap, inside the wire cap).
+    let mut h = RdmaHeader::new(base_xid + 1, 1, MsgType::Msg);
+    for i in 0..=cfg.max_chunk_segments.min(rpcrdma::MAX_WIRE_SEGMENTS - 1) {
+        h.read_chunks.push(ReadChunk {
+            position: 4,
+            segment: seg(i, 8, 0x1000 + i as u64 * 8),
+        });
+    }
+    out.push(h);
+    // Zero-length segment.
+    let mut h = RdmaHeader::new(base_xid + 2, 1, MsgType::Msg);
+    h.read_chunks.push(ReadChunk {
+        position: 4,
+        segment: seg(7, 0, 0x2000),
+    });
+    out.push(h);
+    // Overlapping write segments.
+    let mut h = RdmaHeader::new(base_xid + 3, 1, MsgType::Msg);
+    h.write_chunks
+        .push(vec![seg(8, 4096, 0x3000), seg(9, 4096, 0x3800)]);
+    out.push(h);
+    // Multi-GiB advertised total.
+    let mut h = RdmaHeader::new(base_xid + 4, 1, MsgType::Msg);
+    h.reply_chunk = Some(vec![
+        seg(10, u32::MAX as u64, 0),
+        seg(11, u32::MAX as u64, 1 << 40),
+        seg(12, u32::MAX as u64, 1 << 41),
+    ]);
+    out.push(h);
+    // Absurd credit request.
+    out.push(RdmaHeader::new(base_xid + 5, u32::MAX, MsgType::Msg));
+    out.into_iter()
+        .map(|h| {
+            let mut enc = Encoder::new();
+            h.encode(&mut enc);
+            enc.finish()
+        })
+        .collect()
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod chaos;
 pub mod iozone;
 pub mod multiclient;
@@ -22,6 +23,7 @@ pub mod profiles;
 pub mod report;
 pub mod testbed;
 
+pub use adversary::{run_adversary, AdversaryParams, AdversaryResult};
 pub use chaos::{run_chaos, ChaosParams, ChaosResult};
 pub use iozone::{run_iozone, IoMode, IozoneParams, IozoneResult};
 pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClientResult};

@@ -27,6 +27,9 @@ cargo run --release -p bench --bin simperf -- --smoke
 echo "==> chaos --smoke"
 cargo run --release -p bench --bin chaos -- --smoke
 
+echo "==> adversary --smoke (hostile-client catalog, 20% goodput bound)"
+cargo run --release -p bench --bin adversary -- --smoke
+
 echo "==> fig5 --anatomy (traced-workload smoke + trace JSON validation)"
 cargo run --release -p bench --bin fig5 -- --anatomy >/dev/null
 for f in results/trace_fig5_rr.json results/trace_fig5_rw.json; do
