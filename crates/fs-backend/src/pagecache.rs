@@ -10,6 +10,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use sim_core::Counter;
 
 use crate::disk::Raid0;
 use crate::vfs::FileId;
@@ -63,11 +66,24 @@ pub struct PageCache {
     capacity_pages: u64,
     /// Pages fetched per miss (sequential readahead, like the kernel's
     /// readahead window); amortizes disk positioning across streams.
-    readahead_pages: u64,
+    readahead_pages: Cell<u64>,
+    /// Per-file next expected page, for classifying access patterns.
+    next_expected: RefCell<HashMap<u64, u64>>,
     inner: RefCell<CacheInner>,
     hits: Cell<u64>,
     misses: Cell<u64>,
     writebacks: Cell<u64>,
+    ra_windows: Cell<u64>,
+    ra_pages: Cell<u64>,
+    ra_sequential: Cell<u64>,
+    metrics: RefCell<Option<RaMetrics>>,
+}
+
+/// Registry counters mirroring the readahead statistics.
+struct RaMetrics {
+    windows: Rc<Counter>,
+    pages: Rc<Counter>,
+    sequential: Rc<Counter>,
 }
 
 impl PageCache {
@@ -78,7 +94,8 @@ impl PageCache {
             raid,
             page_size,
             capacity_pages: (capacity_bytes / page_size).max(1),
-            readahead_pages: 8,
+            readahead_pages: Cell::new(8),
+            next_expected: RefCell::new(HashMap::new()),
             inner: RefCell::new(CacheInner {
                 pages: HashMap::new(),
                 order: BTreeMap::new(),
@@ -87,7 +104,47 @@ impl PageCache {
             hits: Cell::new(0),
             misses: Cell::new(0),
             writebacks: Cell::new(0),
+            ra_windows: Cell::new(0),
+            ra_pages: Cell::new(0),
+            ra_sequential: Cell::new(0),
+            metrics: RefCell::new(None),
         }
+    }
+
+    /// Current readahead window, in pages.
+    pub fn readahead(&self) -> u64 {
+        self.readahead_pages.get()
+    }
+
+    /// Set the readahead window (clamped to at least one page).
+    pub fn set_readahead(&self, pages: u64) {
+        self.readahead_pages.set(pages.max(1));
+    }
+
+    /// Mirror readahead statistics into the shared metrics registry as
+    /// `pagecache.readahead.{windows,pages,sequential}`.
+    pub fn bind_metrics(&self, metrics: &sim_core::MetricsRegistry) {
+        *self.metrics.borrow_mut() = Some(RaMetrics {
+            windows: metrics.counter("pagecache.readahead.windows"),
+            pages: metrics.counter("pagecache.readahead.pages"),
+            sequential: metrics.counter("pagecache.readahead.sequential"),
+        });
+    }
+
+    /// Readahead windows issued (miss fetches that pulled more than the
+    /// demanded pages).
+    pub fn readahead_windows(&self) -> u64 {
+        self.ra_windows.get()
+    }
+
+    /// Speculative pages fetched beyond demand.
+    pub fn readahead_pages_fetched(&self) -> u64 {
+        self.ra_pages.get()
+    }
+
+    /// Reads that continued a file's sequential stream.
+    pub fn sequential_reads(&self) -> u64 {
+        self.ra_sequential.get()
     }
 
     /// Cache page size.
@@ -124,6 +181,17 @@ impl PageCache {
         }
         let first = off / self.page_size;
         let last = (off + len - 1) / self.page_size;
+        // Classify the access: a read starting where the file's last
+        // read ended continues a sequential stream (the pattern the
+        // readahead window exists to serve).
+        let sequential = self.next_expected.borrow().get(&file.0) == Some(&first);
+        if sequential {
+            self.ra_sequential.set(self.ra_sequential.get() + 1);
+            if let Some(m) = self.metrics.borrow().as_ref() {
+                m.sequential.inc();
+            }
+        }
+        self.next_expected.borrow_mut().insert(file.0, last + 1);
         let mut page = first;
         while page <= last {
             let key = (file.0, page);
@@ -137,7 +205,7 @@ impl PageCache {
             // Miss: fetch a readahead window of consecutive missing
             // pages in one disk request.
             let mut run = 1u64;
-            while run < self.readahead_pages {
+            while run < self.readahead_pages.get() {
                 let next = (file.0, page + run);
                 if self.inner.borrow().pages.contains_key(&next) {
                     break;
@@ -148,6 +216,14 @@ impl PageCache {
             // beyond `last` are speculative.
             let demanded = (last.min(page + run - 1) - page) + 1;
             self.misses.set(self.misses.get() + demanded);
+            if run > demanded {
+                self.ra_windows.set(self.ra_windows.get() + 1);
+                self.ra_pages.set(self.ra_pages.get() + (run - demanded));
+                if let Some(m) = self.metrics.borrow().as_ref() {
+                    m.windows.inc();
+                    m.pages.add(run - demanded);
+                }
+            }
             self.evict_for(run).await;
             self.raid
                 .transfer(disk_base + page * self.page_size, run * self.page_size)
@@ -210,6 +286,7 @@ impl PageCache {
 
     /// Drop all pages of `file` (delete/truncate).
     pub fn invalidate(&self, file: FileId) {
+        self.next_expected.borrow_mut().remove(&file.0);
         let mut inner = self.inner.borrow_mut();
         let victims: Vec<PageKey> = inner
             .pages
@@ -337,6 +414,30 @@ mod tests {
             // Second commit: nothing dirty.
             c2.commit(FileId(1), 0).await;
             assert_eq!(c2.writebacks(), 4);
+        });
+    }
+
+    #[test]
+    fn sequential_stream_readahead_classifies_and_prefetches() {
+        let mut sim = Simulation::new(1);
+        let c = std::rc::Rc::new(cache(&sim, 64 << 20));
+        let c2 = c.clone();
+        sim.block_on(async move {
+            // First read of 2 pages: a miss whose window (8 pages)
+            // prefetches 6 beyond demand.
+            c2.read_range(FileId(1), 0, 0, 512 * 1024).await;
+            assert_eq!(c2.misses(), 2);
+            assert_eq!(c2.readahead_windows(), 1);
+            assert_eq!(c2.readahead_pages_fetched(), 6);
+            assert_eq!(c2.sequential_reads(), 0, "first read has no stream");
+            // Continuing where the last read ended: classified
+            // sequential, and the readahead already made it a pure hit.
+            c2.read_range(FileId(1), 0, 512 * 1024, 512 * 1024).await;
+            assert_eq!(c2.sequential_reads(), 1);
+            assert_eq!(c2.misses(), 2, "prefetched pages must hit");
+            // A jump elsewhere in the file is not sequential.
+            c2.read_range(FileId(1), 0, 8 << 20, 256 * 1024).await;
+            assert_eq!(c2.sequential_reads(), 1);
         });
     }
 

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use sim_core::{ExtentMap, Payload};
+use sim_core::{ExtentMap, Payload, SgList};
 
 use crate::disk::Raid0;
 use crate::pagecache::PageCache;
@@ -19,11 +19,18 @@ struct Contents {
 
 impl Contents {
     fn read(&self, file: FileId, off: u64, len: u64) -> Payload {
+        self.read_sg(file, off, len).to_payload()
+    }
+
+    /// Hand out the backing extents as reference-counted slices — the
+    /// store-side half of the zero-copy READ path. No flattening: a
+    /// caller that can gather keeps each piece as-is.
+    fn read_sg(&self, file: FileId, off: u64, len: u64) -> SgList {
         self.files
             .borrow()
             .get(&file.0)
-            .map(|m| m.read(off, len))
-            .unwrap_or_else(|| Payload::zeros(len))
+            .map(|m| SgList::from_pieces(m.read_sg(off, len)))
+            .unwrap_or_else(|| SgList::from(Payload::zeros(len)))
     }
 
     fn write(&self, file: FileId, off: u64, data: Payload) {
@@ -49,6 +56,11 @@ pub struct MemStore {
 impl DataStore for MemStore {
     fn read(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<Payload> {
         let data = self.contents.read(file, off, len);
+        Box::pin(async move { data })
+    }
+
+    fn read_sg(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<SgList> {
+        let data = self.contents.read_sg(file, off, len);
         Box::pin(async move { data })
     }
 
@@ -123,6 +135,16 @@ impl DataStore for CachedDiskStore {
         Box::pin(async move {
             cache.read_range(file, base, off, len).await;
             contents.read(file, off, len)
+        })
+    }
+
+    fn read_sg(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<SgList> {
+        let cache = self.cache.clone();
+        let contents = self.contents.clone();
+        let base = self.base_of(file);
+        Box::pin(async move {
+            cache.read_range(file, base, off, len).await;
+            contents.read_sg(file, off, len)
         })
     }
 

@@ -7,7 +7,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
-use sim_core::{Payload, Sim, SimTime};
+use sim_core::{Payload, SgList, Sim, SimTime};
 
 /// Single-threaded boxed future.
 pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T> + 'static>>;
@@ -101,6 +101,14 @@ pub struct FsStat {
 pub trait DataStore {
     /// Read `[off, off+len)` of `file` (timing included).
     fn read(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<Payload>;
+    /// Read `[off, off+len)` as a scatter/gather list of
+    /// reference-counted cache slices — the zero-copy READ hot path.
+    /// Stores that can hand out their extents directly override this;
+    /// the default wraps the flat read.
+    fn read_sg(&self, file: FileId, off: u64, len: u64) -> LocalBoxFuture<SgList> {
+        let flat = self.read(file, off, len);
+        Box::pin(async move { SgList::from(flat.await) })
+    }
     /// Write data at `off` (timing included); returns bytes written.
     fn write(&self, file: FileId, off: u64, data: Payload) -> LocalBoxFuture<u64>;
     /// Flush dirty state for `file` to stable storage.
@@ -372,16 +380,22 @@ impl<S: DataStore> Fs<S> {
 
     /// Read file data.
     pub async fn read(&self, id: FileId, off: u64, len: u64) -> FsResult<Payload> {
+        Ok(self.read_sg(id, off, len).await?.to_payload())
+    }
+
+    /// Read file data as reference-counted pieces (no flattening): the
+    /// server READ path gathers these straight onto the wire.
+    pub async fn read_sg(&self, id: FileId, off: u64, len: u64) -> FsResult<SgList> {
         let attr = self.getattr(id)?;
         if attr.kind != FileKind::Regular {
             return Err(FsError::IsDir);
         }
         if off >= attr.size {
-            return Ok(Payload::empty());
+            return Ok(SgList::new());
         }
         let n = len.min(attr.size - off);
         let _s = self.ns.sim.span("fs", "read");
-        Ok(self.store.read(id, off, n).await)
+        Ok(self.store.read_sg(id, off, n).await)
     }
 
     /// Write file data, extending the size as needed.
@@ -444,6 +458,8 @@ pub trait Vfs {
     fn readdir(&self, dir: FileId) -> FsResult<Vec<DirEntry>>;
     /// Read file data.
     fn read(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<Payload>>;
+    /// Read file data as zero-copy scatter/gather pieces.
+    fn read_sg(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<SgList>>;
     /// Write file data.
     fn write(&self, id: FileId, off: u64, data: Payload) -> LocalBoxFuture<FsResult<u64>>;
     /// Flush to stable storage.
@@ -492,6 +508,10 @@ impl<S: DataStore + 'static> Vfs for Rc<Fs<S>> {
     fn read(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<Payload>> {
         let fs = self.clone();
         Box::pin(async move { fs.as_ref().read(id, off, len).await })
+    }
+    fn read_sg(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<SgList>> {
+        let fs = self.clone();
+        Box::pin(async move { fs.as_ref().read_sg(id, off, len).await })
     }
     fn write(&self, id: FileId, off: u64, data: Payload) -> LocalBoxFuture<FsResult<u64>> {
         let fs = self.clone();

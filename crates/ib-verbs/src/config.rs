@@ -57,6 +57,23 @@ pub struct HcaConfig {
     /// Maximum bytes one FMR entry can map; larger regions must fall
     /// back to dynamic registration.
     pub fmr_max_len: u64,
+    /// Work requests accumulated per doorbell ring. Posts collect in a
+    /// software pending queue and ring the HCA once the queue reaches
+    /// this depth (callers flush explicitly at operation boundaries).
+    /// `1` rings on every post — the classic one-doorbell-per-WQE
+    /// behavior the batching ablation measures against.
+    pub doorbell_batch: usize,
+    /// Maximum scatter/gather entries one WQE may carry. Posting more
+    /// is an immediate `InvalidRequest`.
+    pub max_send_sge: usize,
+    /// CQ interrupt moderation: completions accumulated before a parked
+    /// consumer is interrupted. `1` interrupts on every completion
+    /// (no coalescing).
+    pub cq_coalesce_count: usize,
+    /// CQ interrupt moderation: longest a completion may wait for
+    /// companions before the consumer is interrupted anyway. Only
+    /// meaningful when `cq_coalesce_count > 1`.
+    pub cq_coalesce_delay: SimDuration,
 }
 
 impl HcaConfig {
@@ -81,6 +98,10 @@ impl HcaConfig {
             fmr_unmap: SimDuration::from_micros(80),
             fmr_pool_size: 512,
             fmr_max_len: 1 << 20,
+            doorbell_batch: 1,
+            max_send_sge: 16,
+            cq_coalesce_count: 1,
+            cq_coalesce_delay: SimDuration::from_micros(4),
         }
     }
 
@@ -140,5 +161,15 @@ mod tests {
         let c = HcaConfig::sdr();
         assert!(c.reg_cost(256) > c.reg_cost(32) * 4);
         assert!(c.dereg_cost(32) > c.dereg_cost(1));
+    }
+
+    #[test]
+    fn batching_defaults_are_off() {
+        // Defaults must preserve the unbatched per-WQE behavior so
+        // every calibrated curve is unchanged until a profile opts in.
+        let c = HcaConfig::sdr();
+        assert_eq!(c.doorbell_batch, 1);
+        assert_eq!(c.cq_coalesce_count, 1);
+        assert!(c.max_send_sge >= 2);
     }
 }

@@ -55,6 +55,10 @@ pub(crate) struct HcaInner {
     pub(crate) qps: RefCell<HashMap<u32, Qp>>,
     next_qpn: Cell<u32>,
     pub(crate) stats: RefCell<RegStats>,
+    /// Mirror of the TPT's global (all-physical) steering tag, shared
+    /// with every QP so post-time SG checks see enablement regardless
+    /// of ordering between `enable_all_physical` and `connect`.
+    global_rkey_cell: Rc<Cell<Option<Rkey>>>,
 }
 
 /// Handle to a simulated HCA.
@@ -93,6 +97,7 @@ impl Hca {
                 qps: RefCell::new(HashMap::new()),
                 next_qpn: Cell::new(1),
                 stats: RefCell::new(RegStats::default()),
+                global_rkey_cell: Rc::new(Cell::new(None)),
             }),
         };
         let h2 = hca.clone();
@@ -233,7 +238,9 @@ impl Hca {
     /// Kernel consumers only (paper §4.3, "All Physical Memory
     /// Registration").
     pub fn enable_all_physical(&self) -> Rkey {
-        self.inner.tpt.borrow_mut().enable_global_rkey()
+        let rkey = self.inner.tpt.borrow_mut().enable_global_rkey();
+        self.inner.global_rkey_cell.set(Some(rkey));
+        rkey
     }
 
     /// The global steering tag, if enabled.
@@ -243,7 +250,7 @@ impl Hca {
 
     // -- Queue pairs ----------------------------------------------------
 
-    pub(crate) fn alloc_qp(&self, send_cq: Cq, recv_cq: Cq) -> (Qp, Receiver<crate::qp::Wqe>) {
+    pub(crate) fn alloc_qp(&self, send_cq: Cq, recv_cq: Cq) -> (Qp, Receiver<Vec<crate::qp::Wqe>>) {
         let qpn = QpNum(self.inner.next_qpn.get());
         self.inner.next_qpn.set(qpn.0 + 1);
         let (qp, wqe_rx) = Qp::new(
@@ -254,17 +261,74 @@ impl Hca {
             self.inner.fabric.clone(),
             send_cq,
             recv_cq,
+            self.inner.global_rkey_cell.clone(),
         );
+        qp.bind_doorbell_metric(self.inner.sim.metrics().counter("hca.doorbells"));
         self.inner.qps.borrow_mut().insert(qpn.0, qp.clone());
         (qp, wqe_rx)
+    }
+
+    /// A fresh CQ on this HCA's host CPU, honoring the configured
+    /// interrupt moderation and bound to the shared `cq.*` metrics.
+    pub(crate) fn make_cq(&self) -> Cq {
+        let cq = Cq::with_coalescing(
+            self.inner.cpu.clone(),
+            &self.inner.sim,
+            self.inner.cfg.cq_coalesce_count,
+            self.inner.cfg.cq_coalesce_delay,
+        );
+        let metrics = self.inner.sim.metrics();
+        cq.bind_metrics(
+            metrics.counter("cq.interrupts"),
+            metrics.counter("cq.coalesced"),
+        );
+        cq
+    }
+
+    /// Total doorbells rung across this HCA's QPs.
+    pub fn doorbells(&self) -> u64 {
+        self.inner
+            .qps
+            .borrow()
+            .values()
+            .map(|q| q.doorbells())
+            .sum()
+    }
+
+    /// Total CQ interrupts taken across this HCA's QPs' completion
+    /// queues (each distinct CQ counted once, even when QPs share one).
+    pub fn cq_interrupts(&self) -> u64 {
+        self.fold_cqs(|cq| cq.interrupts())
+    }
+
+    /// Total completions that shared an interrupt across this HCA's
+    /// completion queues.
+    pub fn cq_coalesced(&self) -> u64 {
+        self.fold_cqs(|cq| cq.coalesced())
+    }
+
+    fn fold_cqs(&self, f: impl Fn(&Cq) -> u64) -> u64 {
+        let mut seen = Vec::new();
+        let mut total = 0;
+        for qp in self.inner.qps.borrow().values() {
+            for cq in [qp.send_cq(), qp.recv_cq()] {
+                let id = cq.id();
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    total += f(cq);
+                }
+            }
+        }
+        total
     }
 }
 
 /// Create and connect a reliable-connection queue pair between two
-/// HCAs. Each side gets fresh send/recv CQs bound to its host CPU.
+/// HCAs. Each side gets fresh send/recv CQs bound to its host CPU,
+/// with the interrupt moderation its [`HcaConfig`] asks for.
 pub fn connect(a: &Hca, b: &Hca) -> (Qp, Qp) {
-    let (qa, rx_a) = a.alloc_qp(Cq::new(a.inner.cpu.clone()), Cq::new(a.inner.cpu.clone()));
-    let (qb, rx_b) = b.alloc_qp(Cq::new(b.inner.cpu.clone()), Cq::new(b.inner.cpu.clone()));
+    let (qa, rx_a) = a.alloc_qp(a.make_cq(), a.make_cq());
+    let (qb, rx_b) = b.alloc_qp(b.make_cq(), b.make_cq());
     qa.inner.peer_node.set(b.inner.node);
     qa.inner.peer_qpn.set(qb.qpn());
     qa.inner.connected.set(true);
@@ -318,17 +382,26 @@ async fn dispatch_loop(hca: Hca, mut inbox: Receiver<WireMsg>) {
                 ack,
             } => {
                 let mem = hca.inner.mem.clone();
+                let total: u64 = data.iter().map(|p| p.len()).sum();
+                // One protection check covers the whole gathered range;
+                // the pieces then DMA back to back, each placed without
+                // flattening (zero-copy on both ends).
                 let check = hca.inner.tpt.borrow_mut().check_remote(
                     rkey,
                     raddr,
-                    data.len(),
+                    total,
                     RemoteOp::Write,
                     hca.inner.sim.now(),
                     move |a, l| mem.lookup(a, l),
                 );
                 match check {
                     Ok((buffer, off)) => {
-                        buffer.write(off, data);
+                        let mut at = off;
+                        for piece in data {
+                            let n = piece.len();
+                            buffer.write(at, piece);
+                            at += n;
+                        }
                         ack.send(Ok(()));
                     }
                     Err(e) => {
@@ -399,4 +472,89 @@ async fn dispatch_loop(hca: Hca, mut inbox: Receiver<WireMsg>) {
 /// Convenience: materialize a payload for assertions in tests.
 pub fn payload_bytes(p: &Payload) -> Vec<u8> {
     p.materialize().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::PhysLayout;
+    use crate::qp::sender_loop;
+    use crate::types::{Access, NodeId, WrId};
+    use sim_core::{CpuCosts, Simulation};
+
+    /// Satellite 6 determinism guarantee: when several QPs share one
+    /// CQ, coalesced completions drain strictly in CQ push order, each
+    /// QP's completions stay in its own post order, and the whole drain
+    /// sequence (and interrupt count) is identical for identical seeds.
+    #[test]
+    fn shared_cq_drains_coalesced_completions_in_post_order() {
+        let run = |seed: u64| -> (Vec<u64>, u64) {
+            let mut sim = Simulation::new(seed);
+            let h = sim.handle();
+            let fabric = Fabric::new(&h);
+            let mut cfg = HcaConfig::sdr();
+            cfg.cq_coalesce_count = 4;
+            cfg.cq_coalesce_delay = SimDuration::from_micros(100);
+            let mk = |id: u32| {
+                let node = NodeId(id);
+                let cpu = Cpu::new(&h, format!("cpu{id}"), 2, CpuCosts::default());
+                let mem = Rc::new(HostMem::new(node, PhysLayout::default(), h.fork_rng()));
+                (Hca::new(&h, node, cfg, cpu, mem.clone(), &fabric), mem)
+            };
+            let (a, _amem) = mk(0);
+            let (b, bmem) = mk(1);
+            // Two requester QPs on `a` share one send CQ.
+            let shared = a.make_cq();
+            let (q1, rx1) = a.alloc_qp(shared.clone(), a.make_cq());
+            let (q2, rx2) = a.alloc_qp(shared.clone(), a.make_cq());
+            let (p1, rxp1) = b.alloc_qp(b.make_cq(), b.make_cq());
+            let (p2, rxp2) = b.alloc_qp(b.make_cq(), b.make_cq());
+            for (q, p) in [(&q1, &p1), (&q2, &p2)] {
+                q.inner.peer_node.set(b.inner.node);
+                q.inner.peer_qpn.set(p.qpn());
+                q.inner.connected.set(true);
+                p.inner.peer_node.set(a.inner.node);
+                p.inner.peer_qpn.set(q.qpn());
+                p.inner.connected.set(true);
+            }
+            h.spawn(sender_loop(q1.inner.clone(), rx1));
+            h.spawn(sender_loop(q2.inner.clone(), rx2));
+            h.spawn(sender_loop(p1.inner.clone(), rxp1));
+            h.spawn(sender_loop(p2.inner.clone(), rxp2));
+
+            let target = bmem.alloc(1 << 20);
+            let drain_cq = shared.clone();
+            let order = sim.block_on(async move {
+                let mr = b.register(&target, 0, 1 << 20, Access::REMOTE_WRITE).await;
+                for i in 0..8u64 {
+                    let q = if i % 2 == 0 { &q1 } else { &q2 };
+                    q.post_rdma_write(
+                        Payload::synthetic(9, 512),
+                        mr.addr() + i * 512,
+                        mr.rkey(),
+                        WrId(i),
+                        true,
+                    )
+                    .unwrap();
+                }
+                let mut order = Vec::with_capacity(8);
+                for _ in 0..8 {
+                    order.push(drain_cq.next().await.wr_id.0);
+                }
+                order
+            });
+            (order, shared.interrupts())
+        };
+        let (o1, i1) = run(7);
+        let (o2, i2) = run(7);
+        assert_eq!(o1, o2, "same seed must drain in the same order");
+        assert_eq!(i1, i2, "same seed must take the same interrupts");
+        assert!(i1 < 8, "coalescing must amortize interrupts, got {i1}");
+        // Per-QP completion order == post order, even interleaved in
+        // the shared queue (evens posted on q1, odds on q2).
+        let evens: Vec<u64> = o1.iter().copied().filter(|w| w % 2 == 0).collect();
+        let odds: Vec<u64> = o1.iter().copied().filter(|w| w % 2 == 1).collect();
+        assert!(evens.windows(2).all(|w| w[0] < w[1]), "q1 order: {o1:?}");
+        assert!(odds.windows(2).all(|w| w[0] < w[1]), "q2 order: {o1:?}");
+    }
 }

@@ -48,7 +48,7 @@ pub use fabric::{Fabric, FaultConfig};
 pub use hca::{connect, Hca, RegStats};
 pub use memory::{Buffer, HostMem, PhysLayout, PAGE_SIZE};
 pub use mr::{FmrPool, Mr};
-pub use qp::{Qp, WireMsg};
+pub use qp::{Qp, Sge, WireMsg};
 pub use sim_core::extent;
 pub use srq::Srq;
 pub use tpt::{ExposureReport, RemoteOp};

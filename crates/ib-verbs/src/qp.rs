@@ -14,13 +14,21 @@
 //!   completion first (paper §4.1, "Synchronous RDMA Read").
 //! * **ORD head-of-line blocking**: when `max_ord` Reads are in flight,
 //!   the next Read WQE stalls the entire send queue.
+//!
+//! Work requests are submitted to the HCA through a software pending
+//! queue that models **doorbell batching**: with
+//! [`HcaConfig::doorbell_batch`] > 1, posts accumulate and one doorbell
+//! ring (one WQE-processing charge) submits the whole batch. Callers
+//! must [`Qp::flush`] at operation boundaries before waiting on a
+//! completion; the default depth of 1 rings on every post, preserving
+//! the classic behavior.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 use sim_core::sync::{channel, oneshot, OneshotSender, Receiver, Semaphore, Sender};
-use sim_core::{Payload, Sim};
+use sim_core::{Counter, Payload, Sim};
 
 use crate::config::HcaConfig;
 use crate::cq::{Completion, Cq};
@@ -39,7 +47,8 @@ pub enum WireMsg {
         /// Ack/nak path back to the requester.
         ack: OneshotSender<Result<(), VerbsError>>,
     },
-    /// One-sided RDMA Write.
+    /// One-sided RDMA Write (possibly gathered from several local
+    /// pieces; placed contiguously at `raddr` in order).
     Write {
         /// Destination queue pair (for error propagation only).
         dst_qpn: QpNum,
@@ -47,8 +56,11 @@ pub enum WireMsg {
         raddr: u64,
         /// Steering tag authorizing the access.
         rkey: Rkey,
-        /// Data to place.
-        data: Payload,
+        /// Data to place, as the gather list the WQE carried. The
+        /// responder places the pieces back to back — keeping them
+        /// separate end to end is what makes the server READ path
+        /// copy-free.
+        data: Vec<Payload>,
         /// Ack/nak path back to the requester.
         ack: OneshotSender<Result<(), VerbsError>>,
     },
@@ -79,6 +91,18 @@ pub struct PostedRecv {
     pub wr_id: WrId,
 }
 
+/// One scatter/gather entry of a vectored work request.
+#[derive(Clone, Debug)]
+pub struct Sge {
+    /// The data this entry contributes.
+    pub data: Payload,
+    /// Local key of the registration covering the entry. Entries
+    /// backed by the privileged all-physical registration use the
+    /// global steering tag — and such a WQE may carry only one entry
+    /// (the no-local-scatter/gather restriction of the paper's §4.3).
+    pub lkey: Rkey,
+}
+
 pub(crate) enum Wqe {
     Send {
         wr_id: WrId,
@@ -87,7 +111,7 @@ pub(crate) enum Wqe {
     },
     Write {
         wr_id: WrId,
-        data: Payload,
+        sgl: Vec<Payload>,
         raddr: u64,
         rkey: Rkey,
         signaled: bool,
@@ -125,7 +149,20 @@ pub(crate) struct QpInner {
     /// IRD only bounds how many requests may be queued (enforced by the
     /// peer's ORD in this workspace's configurations).
     pub(crate) read_engine: Semaphore,
-    wqe_tx: Sender<Wqe>,
+    /// Software pending queue: posted WQEs awaiting a doorbell ring.
+    pending: RefCell<Vec<Wqe>>,
+    /// Rings per doorbell batch (see [`HcaConfig::doorbell_batch`]);
+    /// runtime-adjustable per QP so a server can batch while its peer
+    /// stays unbatched.
+    doorbell_batch: Cell<usize>,
+    /// Doorbells rung on this QP.
+    doorbells: Cell<u64>,
+    /// Shared registry counter (bound by the owning HCA).
+    doorbell_metric: RefCell<Option<Rc<Counter>>>,
+    /// The HCA's all-physical global steering tag, if enabled — needed
+    /// to enforce the no-local-scatter/gather rule at post time.
+    pub(crate) global_rkey: Rc<Cell<Option<Rkey>>>,
+    wqe_tx: Sender<Vec<Wqe>>,
 }
 
 impl QpInner {
@@ -141,6 +178,7 @@ pub struct Qp {
 }
 
 impl Qp {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         sim: Sim,
         cfg: HcaConfig,
@@ -149,7 +187,8 @@ impl Qp {
         fabric: Fabric<WireMsg>,
         send_cq: Cq,
         recv_cq: Cq,
-    ) -> (Qp, Receiver<Wqe>) {
+        global_rkey: Rc<Cell<Option<Rkey>>>,
+    ) -> (Qp, Receiver<Vec<Wqe>>) {
         let (wqe_tx, wqe_rx) = channel();
         let qp = Qp {
             inner: Rc::new(QpInner {
@@ -168,6 +207,11 @@ impl Qp {
                 srq: RefCell::new(None),
                 ord: Semaphore::new(cfg.max_ord),
                 read_engine: Semaphore::new(1),
+                pending: RefCell::new(Vec::new()),
+                doorbell_batch: Cell::new(cfg.doorbell_batch.max(1)),
+                doorbells: Cell::new(0),
+                doorbell_metric: RefCell::new(None),
+                global_rkey,
                 wqe_tx,
             }),
         };
@@ -235,9 +279,13 @@ impl Qp {
     /// crash, retry-count exceeded, cable pull). As on real hardware,
     /// posted receives are flushed with error completions, which is
     /// how consumers blocked on the receive CQ learn about the
-    /// teardown.
+    /// teardown. WQEs still sitting in the software pending queue are
+    /// handed to the engine, which flushes them the same way.
     pub fn force_error(&self) {
         self.inner.set_error();
+        // Ring out anything the batcher was holding so its completions
+        // (error-flushed) still surface.
+        self.flush();
         let flushed: Vec<PostedRecv> = self.inner.recv_queue.borrow_mut().drain(..).collect();
         for r in flushed {
             self.inner.recv_cq.push(Completion {
@@ -285,14 +333,11 @@ impl Qp {
     /// Post a two-sided Send of `data`.
     pub fn post_send(&self, data: Payload, wr_id: WrId, signaled: bool) -> Result<(), VerbsError> {
         self.check_postable()?;
-        self.inner
-            .wqe_tx
-            .send(Wqe::Send {
-                wr_id,
-                data,
-                signaled,
-            })
-            .map_err(|_| VerbsError::Flushed)
+        self.enqueue(Wqe::Send {
+            wr_id,
+            data,
+            signaled,
+        })
     }
 
     /// Post an RDMA Write of `data` to `(raddr, rkey)` at the peer.
@@ -305,16 +350,56 @@ impl Qp {
         signaled: bool,
     ) -> Result<(), VerbsError> {
         self.check_postable()?;
-        self.inner
-            .wqe_tx
-            .send(Wqe::Write {
-                wr_id,
-                data,
-                raddr,
-                rkey,
-                signaled,
-            })
-            .map_err(|_| VerbsError::Flushed)
+        self.enqueue(Wqe::Write {
+            wr_id,
+            sgl: vec![data],
+            raddr,
+            rkey,
+            signaled,
+        })
+    }
+
+    /// Post a vectored RDMA Write: one WQE gathers `sges` and places
+    /// them contiguously at `(raddr, rkey)`.
+    ///
+    /// Enforces the hardware SG limits: at most
+    /// [`HcaConfig::max_send_sge`] entries, and an entry backed by the
+    /// privileged all-physical registration (its lkey is the global
+    /// steering tag) must be the *only* entry — all-physical addresses
+    /// memory by physical run and the HCA cannot locally scatter/gather
+    /// across runs (paper §4.3); such callers post one WQE per run and
+    /// lean on doorbell batching instead.
+    pub fn post_rdma_write_vec(
+        &self,
+        sges: Vec<Sge>,
+        raddr: u64,
+        rkey: Rkey,
+        wr_id: WrId,
+        signaled: bool,
+    ) -> Result<(), VerbsError> {
+        self.check_postable()?;
+        if sges.is_empty() {
+            return Err(VerbsError::InvalidRequest("empty scatter/gather list"));
+        }
+        if sges.len() > self.inner.cfg.max_send_sge {
+            return Err(VerbsError::InvalidRequest("scatter/gather list too long"));
+        }
+        if sges.len() > 1 {
+            if let Some(global) = self.inner.global_rkey.get() {
+                if sges.iter().any(|s| s.lkey == global) {
+                    return Err(VerbsError::LocalProtection(
+                        "all-physical registration cannot local scatter/gather",
+                    ));
+                }
+            }
+        }
+        self.enqueue(Wqe::Write {
+            wr_id,
+            sgl: sges.into_iter().map(|s| s.data).collect(),
+            raddr,
+            rkey,
+            signaled,
+        })
     }
 
     /// Post an RDMA Read of `len` bytes from `(raddr, rkey)` at the
@@ -333,163 +418,222 @@ impl Qp {
         if dst_off + len > dst.len() {
             return Err(VerbsError::LocalProtection("read dest out of buffer"));
         }
-        self.inner
-            .wqe_tx
-            .send(Wqe::Read {
-                wr_id,
-                dst,
-                dst_off,
-                raddr,
-                rkey,
-                len,
-            })
-            .map_err(|_| VerbsError::Flushed)
+        self.enqueue(Wqe::Read {
+            wr_id,
+            dst,
+            dst_off,
+            raddr,
+            rkey,
+            len,
+        })
+    }
+
+    /// Queue a WQE in the software pending queue, ringing the doorbell
+    /// when the batch depth is reached.
+    fn enqueue(&self, wqe: Wqe) -> Result<(), VerbsError> {
+        let depth = {
+            let mut pending = self.inner.pending.borrow_mut();
+            pending.push(wqe);
+            pending.len()
+        };
+        if depth >= self.inner.doorbell_batch.get() {
+            self.flush();
+        }
+        Ok(())
+    }
+
+    /// Ring the doorbell: submit every pending WQE to the HCA engine as
+    /// one batch. A no-op when nothing is pending. Callers running with
+    /// a batch depth > 1 must flush at operation boundaries — before
+    /// waiting on any completion of a pending WQE, and on connection
+    /// quiesce.
+    pub fn flush(&self) {
+        let batch: Vec<Wqe> = std::mem::take(&mut *self.inner.pending.borrow_mut());
+        if batch.is_empty() {
+            return;
+        }
+        self.inner.doorbells.set(self.inner.doorbells.get() + 1);
+        if let Some(m) = self.inner.doorbell_metric.borrow().as_ref() {
+            m.inc();
+        }
+        // A send on a torn-down engine loses the batch; the QP is (or
+        // is about to be) in the error state and receives flush there.
+        let _ = self.inner.wqe_tx.send(batch);
+    }
+
+    /// Override the doorbell batch depth for this QP (takes effect for
+    /// subsequent posts; depth 0 is clamped to 1).
+    pub fn set_doorbell_batch(&self, depth: usize) {
+        self.inner.doorbell_batch.set(depth.max(1));
+    }
+
+    /// Doorbells rung on this QP so far.
+    pub fn doorbells(&self) -> u64 {
+        self.inner.doorbells.get()
+    }
+
+    /// Report doorbell rings into a shared registry counter.
+    pub fn bind_doorbell_metric(&self, counter: Rc<Counter>) {
+        *self.inner.doorbell_metric.borrow_mut() = Some(counter);
     }
 }
 
-/// Per-QP send-queue engine: drains WQEs strictly in post order.
-pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Wqe>) {
-    while let Ok(wqe) = wqe_rx.recv().await {
-        if qp.error.get() {
-            flush_wqe(&qp, wqe);
-            continue;
+/// Per-QP send-queue engine: drains doorbell batches strictly in post
+/// order. The WQE-processing charge (doorbell write, WQE fetch, DMA
+/// setup) is paid once per doorbell ring — amortizing it across the
+/// batch is the point of doorbell batching.
+pub(crate) async fn sender_loop(qp: Rc<QpInner>, mut wqe_rx: Receiver<Vec<Wqe>>) {
+    while let Ok(batch) = wqe_rx.recv().await {
+        // HCA processing for this doorbell (skipped when the QP is
+        // already flushing errors).
+        if !qp.error.get() {
+            qp.sim.sleep(qp.cfg.wqe_process).await;
         }
-        // HCA WQE processing (doorbell, fetch, DMA setup).
-        qp.sim.sleep(qp.cfg.wqe_process).await;
-        let peer = qp.peer_node.get();
-        qp.sim.trace("wire", || {
-            let (kind, len) = match &wqe {
-                Wqe::Send { data, .. } => ("send", data.len()),
-                Wqe::Write { data, .. } => ("rdma-write", data.len()),
-                Wqe::Read { len, .. } => ("rdma-read", *len),
-            };
-            format!(
-                "node{} qp{} {kind} {len}B -> node{}",
-                qp.node.0, qp.qpn.0, peer.0
-            )
-        });
-        // Span covers WQE execution up to fabric hand-off; completion
-        // propagation is async and traced by the RPC-layer spans.
-        let _wqe_span = qp.sim.span(
-            "hca",
-            match &wqe {
-                Wqe::Send { .. } => "send",
-                Wqe::Write { .. } => "rdma_write",
-                Wqe::Read { .. } => "rdma_read",
-            },
-        );
-        match wqe {
-            Wqe::Send {
-                wr_id,
-                data,
-                signaled,
-            } => {
-                let (ack_tx, ack_rx) = oneshot();
-                let bytes = qp.cfg.wire_header_bytes + data.len();
-                let lost = qp
-                    .fabric
-                    .send(
-                        qp.node,
-                        peer,
-                        bytes,
-                        WireMsg::Send {
-                            dst_qpn: qp.peer_qpn.get(),
-                            data: data.clone(),
-                            ack: ack_tx,
-                        },
-                    )
-                    .await;
-                if let Some(WireMsg::Send { ack, .. }) = lost {
-                    // Lost above the link layer: the requester still
-                    // sees a successful completion while the peer's ULP
-                    // never receives the message. Recovery is the RPC
-                    // layer's job (timeout + retransmission).
-                    ack.send(Ok(()));
-                }
-                let qp2 = qp.clone();
-                let dlen = data.len();
-                qp.sim.clone().spawn(async move {
-                    let res = ack_rx.await.unwrap_or(Err(VerbsError::Flushed));
-                    // Ack propagation back to the requester.
-                    qp2.sim.sleep(qp2.fabric.latency_to(qp2.node)).await;
-                    finish(&qp2, wr_id, Opcode::Send, res.map(|()| dlen), signaled);
-                });
+        for wqe in batch {
+            run_wqe(&qp, wqe).await;
+        }
+    }
+}
+
+/// Execute one WQE (fabric hand-off plus async completion).
+async fn run_wqe(qp: &Rc<QpInner>, wqe: Wqe) {
+    if qp.error.get() {
+        flush_wqe(qp, wqe);
+        return;
+    }
+    let peer = qp.peer_node.get();
+    qp.sim.trace("wire", || {
+        let (kind, len) = match &wqe {
+            Wqe::Send { data, .. } => ("send", data.len()),
+            Wqe::Write { sgl, .. } => ("rdma-write", sgl.iter().map(|p| p.len()).sum()),
+            Wqe::Read { len, .. } => ("rdma-read", *len),
+        };
+        format!(
+            "node{} qp{} {kind} {len}B -> node{}",
+            qp.node.0, qp.qpn.0, peer.0
+        )
+    });
+    // Span covers WQE execution up to fabric hand-off; completion
+    // propagation is async and traced by the RPC-layer spans.
+    let _wqe_span = qp.sim.span(
+        "hca",
+        match &wqe {
+            Wqe::Send { .. } => "send",
+            Wqe::Write { .. } => "rdma_write",
+            Wqe::Read { .. } => "rdma_read",
+        },
+    );
+    match wqe {
+        Wqe::Send {
+            wr_id,
+            data,
+            signaled,
+        } => {
+            let (ack_tx, ack_rx) = oneshot();
+            let bytes = qp.cfg.wire_header_bytes + data.len();
+            let lost = qp
+                .fabric
+                .send(
+                    qp.node,
+                    peer,
+                    bytes,
+                    WireMsg::Send {
+                        dst_qpn: qp.peer_qpn.get(),
+                        data: data.clone(),
+                        ack: ack_tx,
+                    },
+                )
+                .await;
+            if let Some(WireMsg::Send { ack, .. }) = lost {
+                // Lost above the link layer: the requester still
+                // sees a successful completion while the peer's ULP
+                // never receives the message. Recovery is the RPC
+                // layer's job (timeout + retransmission).
+                ack.send(Ok(()));
             }
-            Wqe::Write {
-                wr_id,
-                data,
-                raddr,
-                rkey,
-                signaled,
-            } => {
-                let (ack_tx, ack_rx) = oneshot();
-                let bytes = qp.cfg.wire_header_bytes + data.len();
-                let dlen = data.len();
-                // RDMA data placement is guaranteed by the RC transport:
-                // drops are retransmitted at link level, never surfaced.
-                qp.fabric
-                    .send_reliable(
-                        qp.node,
-                        peer,
-                        bytes,
-                        WireMsg::Write {
-                            dst_qpn: qp.peer_qpn.get(),
-                            raddr,
-                            rkey,
-                            data,
-                            ack: ack_tx,
-                        },
-                    )
-                    .await;
-                let qp2 = qp.clone();
-                qp.sim.clone().spawn(async move {
-                    let res = ack_rx.await.unwrap_or(Err(VerbsError::Flushed));
-                    qp2.sim.sleep(qp2.fabric.latency_to(qp2.node)).await;
-                    finish(&qp2, wr_id, Opcode::RdmaWrite, res.map(|()| dlen), signaled);
-                });
-            }
-            Wqe::Read {
-                wr_id,
-                dst,
-                dst_off,
-                raddr,
-                rkey,
-                len,
-            } => {
-                // ORD: if the outstanding-read window is full, the whole
-                // send queue stalls here (head-of-line blocking).
-                let permit = qp.ord.acquire().await;
-                let (resp_tx, resp_rx) = oneshot();
-                qp.fabric
-                    .send_reliable(
-                        qp.node,
-                        peer,
-                        qp.cfg.wire_header_bytes + 28, // request only
-                        WireMsg::ReadReq {
-                            dst_qpn: qp.peer_qpn.get(),
-                            raddr,
-                            rkey,
-                            len,
-                            resp: resp_tx,
-                        },
-                    )
-                    .await;
-                let qp2 = qp.clone();
-                qp.sim.clone().spawn(async move {
-                    let res = resp_rx.await.unwrap_or(Err(VerbsError::Flushed));
-                    drop(permit);
-                    match res {
-                        Ok(payload) => {
-                            let n = payload.len();
-                            dst.write(dst_off, payload);
-                            finish(&qp2, wr_id, Opcode::RdmaRead, Ok(n), true);
-                        }
-                        Err(e) => {
-                            finish(&qp2, wr_id, Opcode::RdmaRead, Err(e), true);
-                        }
+            let qp2 = qp.clone();
+            let dlen = data.len();
+            qp.sim.clone().spawn(async move {
+                let res = ack_rx.await.unwrap_or(Err(VerbsError::Flushed));
+                // Ack propagation back to the requester.
+                qp2.sim.sleep(qp2.fabric.latency_to(qp2.node)).await;
+                finish(&qp2, wr_id, Opcode::Send, res.map(|()| dlen), signaled);
+            });
+        }
+        Wqe::Write {
+            wr_id,
+            sgl,
+            raddr,
+            rkey,
+            signaled,
+        } => {
+            let (ack_tx, ack_rx) = oneshot();
+            let dlen: u64 = sgl.iter().map(|p| p.len()).sum();
+            let bytes = qp.cfg.wire_header_bytes + dlen;
+            // RDMA data placement is guaranteed by the RC transport:
+            // drops are retransmitted at link level, never surfaced.
+            qp.fabric
+                .send_reliable(
+                    qp.node,
+                    peer,
+                    bytes,
+                    WireMsg::Write {
+                        dst_qpn: qp.peer_qpn.get(),
+                        raddr,
+                        rkey,
+                        data: sgl,
+                        ack: ack_tx,
+                    },
+                )
+                .await;
+            let qp2 = qp.clone();
+            qp.sim.clone().spawn(async move {
+                let res = ack_rx.await.unwrap_or(Err(VerbsError::Flushed));
+                qp2.sim.sleep(qp2.fabric.latency_to(qp2.node)).await;
+                finish(&qp2, wr_id, Opcode::RdmaWrite, res.map(|()| dlen), signaled);
+            });
+        }
+        Wqe::Read {
+            wr_id,
+            dst,
+            dst_off,
+            raddr,
+            rkey,
+            len,
+        } => {
+            // ORD: if the outstanding-read window is full, the whole
+            // send queue stalls here (head-of-line blocking).
+            let permit = qp.ord.acquire().await;
+            let (resp_tx, resp_rx) = oneshot();
+            qp.fabric
+                .send_reliable(
+                    qp.node,
+                    peer,
+                    qp.cfg.wire_header_bytes + 28, // request only
+                    WireMsg::ReadReq {
+                        dst_qpn: qp.peer_qpn.get(),
+                        raddr,
+                        rkey,
+                        len,
+                        resp: resp_tx,
+                    },
+                )
+                .await;
+            let qp2 = qp.clone();
+            qp.sim.clone().spawn(async move {
+                let res = resp_rx.await.unwrap_or(Err(VerbsError::Flushed));
+                drop(permit);
+                match res {
+                    Ok(payload) => {
+                        let n = payload.len();
+                        dst.write(dst_off, payload);
+                        finish(&qp2, wr_id, Opcode::RdmaRead, Ok(n), true);
                     }
-                });
-            }
+                    Err(e) => {
+                        finish(&qp2, wr_id, Opcode::RdmaRead, Err(e), true);
+                    }
+                }
+            });
         }
     }
 }

@@ -623,3 +623,184 @@ fn concurrent_registrations_queue_on_tpt_engine() {
     );
     assert!(a.hca.tpt_engine_utilization() > 0.9);
 }
+
+#[test]
+fn vectored_write_gathers_pieces_contiguously() {
+    // One WQE carrying three SGEs places the pieces back to back at
+    // the remote address — and rings exactly one doorbell.
+    let mut sim = Simulation::new(11);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+
+    let target = b.mem.alloc(8192);
+    let src = a.mem.alloc(4096);
+    let comp = sim.block_on({
+        let ah = a.hca.clone();
+        let bh = b.hca.clone();
+        let target = target.clone();
+        let qa = qa.clone();
+        async move {
+            let lmr = ah.register(&src, 0, 4096, Access::LOCAL).await;
+            let mr = bh.register(&target, 0, 8192, Access::REMOTE_WRITE).await;
+            let sges = vec![
+                ib_verbs::Sge {
+                    data: Payload::real(vec![1u8; 100]),
+                    lkey: lmr.rkey(),
+                },
+                ib_verbs::Sge {
+                    data: Payload::real(vec![2u8; 200]),
+                    lkey: lmr.rkey(),
+                },
+                ib_verbs::Sge {
+                    data: Payload::real(vec![3u8; 300]),
+                    lkey: lmr.rkey(),
+                },
+            ];
+            qa.post_rdma_write_vec(sges, mr.addr(), mr.rkey(), WrId(9), true)
+                .unwrap();
+            qa.send_cq().next().await
+        }
+    });
+    assert_eq!(comp.result, Ok(600));
+    let placed = target.read(0, 600).materialize();
+    assert!(placed[..100].iter().all(|&x| x == 1));
+    assert!(placed[100..300].iter().all(|&x| x == 2));
+    assert!(placed[300..600].iter().all(|&x| x == 3));
+    assert_eq!(qa.doorbells(), 1);
+}
+
+#[test]
+fn sg_list_limits_are_enforced() {
+    let sim = Simulation::new(12);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+    let lkey = ib_verbs::Rkey(0x5151);
+    let max = a.hca.config().max_send_sge;
+
+    let sge = |n: usize| {
+        (0..n)
+            .map(|_| ib_verbs::Sge {
+                data: Payload::real(vec![0u8; 8]),
+                lkey,
+            })
+            .collect::<Vec<_>>()
+    };
+    assert!(matches!(
+        qa.post_rdma_write_vec(sge(0), 0, lkey, WrId(1), true),
+        Err(VerbsError::InvalidRequest(_))
+    ));
+    assert!(matches!(
+        qa.post_rdma_write_vec(sge(max + 1), 0, lkey, WrId(2), true),
+        Err(VerbsError::InvalidRequest(_))
+    ));
+    drop(sim);
+    drop(b);
+}
+
+#[test]
+fn all_physical_refuses_local_scatter_gather() {
+    // The global steering tag addresses memory by physical run; the
+    // HCA cannot gather across runs in one WQE (paper §4.3). A
+    // multi-SGE post whose entries carry the global tag must fail with
+    // a local protection error before anything reaches the wire, while
+    // a single all-physical SGE per WQE remains legal.
+    let mut sim = Simulation::new(13);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+    let global = a.hca.enable_all_physical();
+
+    let target = b.mem.alloc(4096);
+    let comp = sim.block_on({
+        let bh = b.hca.clone();
+        let target = target.clone();
+        let qa = qa.clone();
+        async move {
+            let mr = bh.register(&target, 0, 4096, Access::REMOTE_WRITE).await;
+            let two = vec![
+                ib_verbs::Sge {
+                    data: Payload::real(vec![4u8; 64]),
+                    lkey: global,
+                },
+                ib_verbs::Sge {
+                    data: Payload::real(vec![5u8; 64]),
+                    lkey: global,
+                },
+            ];
+            let err = qa
+                .post_rdma_write_vec(two, mr.addr(), mr.rkey(), WrId(1), true)
+                .unwrap_err();
+            assert!(matches!(err, VerbsError::LocalProtection(_)), "{err:?}");
+            assert!(!qa.is_error(), "a refused post must not tear down the QP");
+
+            // One physical run per WQE is the legal all-physical shape.
+            let one = vec![ib_verbs::Sge {
+                data: Payload::real(vec![6u8; 64]),
+                lkey: global,
+            }];
+            qa.post_rdma_write_vec(one, mr.addr(), mr.rkey(), WrId(2), true)
+                .unwrap();
+            qa.send_cq().next().await
+        }
+    });
+    assert_eq!(comp.result, Ok(64));
+    assert_eq!(&target.read(0, 64).materialize()[..], &[6u8; 64]);
+}
+
+#[test]
+fn doorbell_batching_rings_once_per_batch() {
+    let mut sim = Simulation::new(14);
+    let h = sim.handle();
+    let (a, b) = two_hosts(&h);
+    let (qa, _qb) = connect(&a.hca, &b.hca);
+    qa.set_doorbell_batch(4);
+
+    let target = b.mem.alloc(64 * 1024);
+    sim.block_on({
+        let bh = b.hca.clone();
+        let target = target.clone();
+        let qa = qa.clone();
+        async move {
+            let mr = bh
+                .register(&target, 0, 64 * 1024, Access::REMOTE_WRITE)
+                .await;
+            // Four posts fill the batch: the doorbell rings itself.
+            for i in 0..4u64 {
+                qa.post_rdma_write(
+                    Payload::synthetic(3, 1024),
+                    mr.addr() + i * 1024,
+                    mr.rkey(),
+                    WrId(i),
+                    true,
+                )
+                .unwrap();
+            }
+            for _ in 0..4 {
+                assert_eq!(qa.send_cq().next().await.result, Ok(1024));
+            }
+            assert_eq!(qa.doorbells(), 1, "full batch is one doorbell");
+
+            // A partial batch stays pending until an explicit flush —
+            // the operation-boundary contract for batched callers.
+            for i in 4..6u64 {
+                qa.post_rdma_write(
+                    Payload::synthetic(3, 1024),
+                    mr.addr() + i * 1024,
+                    mr.rkey(),
+                    WrId(i),
+                    true,
+                )
+                .unwrap();
+            }
+            assert_eq!(qa.doorbells(), 1, "partial batch must not ring");
+            qa.flush();
+            for _ in 0..2 {
+                assert_eq!(qa.send_cq().next().await.result, Ok(1024));
+            }
+            assert_eq!(qa.doorbells(), 2);
+        }
+    });
+    assert_eq!(a.hca.doorbells(), 2);
+}

@@ -9,7 +9,7 @@ use bytes::Bytes;
 use fs_backend::Vfs;
 use onc_rpc::{AcceptStat, CallContext, DispatchResult, LocalBoxFuture, RpcService};
 use rpcrdma::{RdmaDispatch, RdmaService};
-use sim_core::Payload;
+use sim_core::{Payload, SgList};
 use xdr::{Decoder, Encoder, XdrCodec};
 
 use crate::proto::*;
@@ -36,10 +36,12 @@ pub struct NfsServer {
     pub stats: NfsServerStats,
 }
 
-/// Internal dispatch result: head plus optional bulk payload.
+/// Internal dispatch result: head plus optional bulk scatter/gather
+/// data (READ replies keep cache slices unflattened for the RDMA
+/// transport to gather on the wire).
 struct OpResult {
     head: Bytes,
-    bulk: Option<Payload>,
+    bulk: Option<SgList>,
 }
 
 impl NfsServer {
@@ -142,7 +144,7 @@ impl NfsServer {
                 self.stats.reads.set(self.stats.reads.get() + 1);
                 let a = ReadArgs::from_bytes(&args).map_err(bad)?;
                 let id = Self::fid(a.file);
-                match fs.read(id, a.offset, a.count as u64).await {
+                match fs.read_sg(id, a.offset, a.count as u64).await {
                     Ok(data) => {
                         let attr = fs.getattr(id).map_err(|_| AcceptStat::GarbageArgs)?;
                         let n = data.len();
@@ -158,7 +160,7 @@ impl NfsServer {
                             let mut enc = Encoder::new();
                             enc.put_u32(NfsStat::Ok as u32);
                             head.encode(&mut enc);
-                            enc.put_opaque(&data.materialize());
+                            enc.put_opaque(&data.to_payload().materialize());
                             Ok(OpResult {
                                 head: enc.finish(),
                                 bulk: None,

@@ -115,26 +115,36 @@ impl DispatchResult {
 
 /// Result of a bulk-aware dispatch: an XDR head plus optional bulk
 /// payload that transports move by their own best means (chunks over
-/// RDMA, a trailing segment over streams). `Clone` is cheap (refcounted
-/// bytes) and lets the duplicate request cache replay a retained reply.
+/// RDMA, a trailing segment over streams). The bulk output is a
+/// scatter/gather list so a server can hand out pagecache slices
+/// without flattening them — the RDMA transport gathers the pieces
+/// on the wire, the stream transport concatenates lazily. `Clone` is
+/// cheap (refcounted bytes) and lets the duplicate request cache
+/// replay a retained reply.
 #[derive(Clone)]
 pub struct BulkDispatch {
     /// Accept status for the reply header.
     pub stat: AcceptStat,
     /// Encoded result head (without the bulk data).
     pub head: Bytes,
-    /// Bulk result data (e.g. NFS READ data).
-    pub bulk_out: Option<sim_core::Payload>,
+    /// Bulk result data (e.g. NFS READ data), as zero-copy pieces.
+    pub bulk_out: Option<sim_core::SgList>,
 }
 
 impl BulkDispatch {
     /// Successful dispatch.
-    pub fn success(head: Bytes, bulk_out: Option<sim_core::Payload>) -> Self {
+    pub fn success(head: Bytes, bulk_out: Option<sim_core::SgList>) -> Self {
         BulkDispatch {
             stat: AcceptStat::Success,
             head,
             bulk_out,
         }
+    }
+
+    /// Successful dispatch with a flat bulk payload (convenience for
+    /// callers that do not scatter/gather).
+    pub fn success_flat(head: Bytes, bulk_out: Option<sim_core::Payload>) -> Self {
+        Self::success(head, bulk_out.map(sim_core::SgList::from))
     }
 
     /// Failed dispatch with no body.

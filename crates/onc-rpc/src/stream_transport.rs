@@ -321,12 +321,14 @@ pub async fn serve_stream_bulk_connection(sim: Sim, stream: TcpStream, service: 
                 &result.head,
             );
             let _guard = send_lock.acquire().await;
-            write_record(
-                &stream2,
-                reply,
-                &result.bulk_out.unwrap_or_else(Payload::empty),
-            )
-            .await;
+            // Streams carry the bulk as one trailing segment; collapse
+            // the scatter/gather list lazily (a single cached piece
+            // passes through without copying).
+            let bulk_out = result
+                .bulk_out
+                .map(|sg| sg.to_payload())
+                .unwrap_or_else(Payload::empty);
+            write_record(&stream2, reply, &bulk_out).await;
         });
     }
 }
@@ -477,7 +479,7 @@ mod tests {
             args: Bytes,
             bulk_in: Option<Payload>,
         ) -> LocalBoxFuture<BulkDispatch> {
-            Box::pin(async move { BulkDispatch::success(args, bulk_in) })
+            Box::pin(async move { BulkDispatch::success_flat(args, bulk_in) })
         }
     }
 

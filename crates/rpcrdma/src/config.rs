@@ -94,6 +94,26 @@ pub struct RpcRdmaConfig {
     /// the error state, tearing down only that client). `0` disables
     /// quarantine.
     pub violation_quarantine: u32,
+    /// Server zero-copy READ pipeline: gather the NFS READ reply
+    /// straight from the page-cache slices the file system handed out
+    /// (vectored RDMA Write), instead of flattening them into a staging
+    /// buffer first. Registration work is identical either way — the
+    /// scratch window is still acquired — only the host data movement
+    /// disappears. The `Cache` registration strategy always stages (its
+    /// pre-registered bounce buffers are the whole point).
+    pub server_zero_copy: bool,
+    /// Doorbell batch depth for server-side QPs: the server enqueues up
+    /// to this many WQEs (RDMA Writes plus the reply Send) before
+    /// ringing the doorbell once for the whole batch. `1` rings per
+    /// WQE (the paper-era default). The server always schedules a
+    /// backstop flush before awaiting a completion, so no depth can
+    /// deadlock an op.
+    pub server_doorbell_batch: usize,
+    /// Backstop for doorbell batching (depth > 1 only): a WQE posted
+    /// without filling the batch rings at most this much later, so
+    /// concurrent ops posting within the window share the doorbell.
+    /// The latency each op trades for the shared ring.
+    pub server_doorbell_flush: SimDuration,
 }
 
 impl RpcRdmaConfig {
@@ -121,6 +141,9 @@ impl RpcRdmaConfig {
             max_chunk_bytes: 8 << 20,
             exposure_ttl: SimDuration::ZERO,
             violation_quarantine: 8,
+            server_zero_copy: true,
+            server_doorbell_batch: 1,
+            server_doorbell_flush: SimDuration::from_micros(8),
         }
     }
 
@@ -153,5 +176,10 @@ mod tests {
         assert!(l.server_op_serial < s.server_op_serial);
         let rr = s.with_design(Design::ReadRead);
         assert_eq!(rr.design, Design::ReadRead);
+        // Batching defaults preserve paper-era behavior: one doorbell
+        // per WQE; zero-copy gather is on (it changes host copies, not
+        // simulated timing).
+        assert_eq!(s.server_doorbell_batch, 1);
+        assert!(s.server_zero_copy);
     }
 }

@@ -24,7 +24,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ib_verbs::{Access, Buffer, FmrPool, Hca, Mr, PAGE_SIZE};
+use ib_verbs::{Access, Buffer, FmrPool, Hca, Mr, Rkey, PAGE_SIZE};
 use sim_core::stats::Counter;
 use sim_core::Payload;
 
@@ -100,6 +100,21 @@ impl IoBuf {
     /// Offset of the window within [`IoBuf::buffer`].
     pub fn base(&self) -> u64 {
         self.base
+    }
+
+    /// The local steering tag a send-side scatter/gather element on
+    /// this window must carry. TPT-backed registrations gather under
+    /// their MR's key; all-physical windows only have the privileged
+    /// global key — which the HCA refuses for multi-element local
+    /// gathers (callers must post one WQE per piece instead).
+    pub fn lkey(&self, hca: &Hca) -> Rkey {
+        match &self.handle {
+            Handle::Mr(mr) => mr.rkey(),
+            Handle::Cached(e) => e.mr.rkey(),
+            Handle::Pinned { .. } => hca
+                .global_rkey()
+                .expect("all-physical IoBuf without global rkey"),
+        }
     }
 
     /// The RDMA segments describing `[off, off+len)` of the window.

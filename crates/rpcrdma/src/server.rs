@@ -38,11 +38,11 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Srq, WrId};
+use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Sge, Srq, WrId};
 use onc_rpc::msg::{decode_call, encode_reply};
 use onc_rpc::{CallContext, DrcKey, DrcOutcome, DuplicateRequestCache, ReplyHeader};
 use sim_core::stats::Counter;
-use sim_core::{Payload, Resource, Sim, SimDuration, SimTime};
+use sim_core::{Payload, Resource, SgList, Sim, SimDuration, SimTime};
 use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
@@ -74,6 +74,9 @@ pub struct ServerStats {
     pub exposures_pending: Cell<u64>,
     /// Server-side staging copies, bytes.
     pub copied_bytes: Cell<u64>,
+    /// READ reply bytes gathered straight from file-system pages onto
+    /// the wire (no staging write): the zero-copy pipeline's output.
+    pub zero_copy_bytes: Cell<u64>,
     /// Operations currently being serviced.
     pub inflight: Cell<u64>,
     /// High-water mark of concurrent operations.
@@ -105,6 +108,7 @@ struct ServerMetrics {
     quarantines: Rc<Counter>,
     credit_clamps: Rc<Counter>,
     exposures_revoked: Rc<Counter>,
+    zero_copy_bytes: Rc<Counter>,
 }
 
 /// A server endpoint shared by all client connections: the service,
@@ -175,6 +179,7 @@ impl RdmaRpcServer {
                 quarantines: registry.counter("server.quarantines"),
                 credit_clamps: registry.counter("server.credit_clamps"),
                 exposures_revoked: registry.counter("server.exposures.revoked"),
+                zero_copy_bytes: registry.counter("server.read.zero_copy_bytes"),
             },
             stats: Rc::new(ServerStats::default()),
         })
@@ -330,6 +335,10 @@ fn note_good_op(server: &RdmaRpcServer, conn: &ConnState) {
 
 async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
     let cfg = server.cfg;
+    // Doorbell batching on the server's send side: WQEs queue in
+    // software and one doorbell flushes the batch. Safe because every
+    // path below flushes before awaiting a completion.
+    qp.set_doorbell_batch(cfg.server_doorbell_batch);
     // Receive buffers: a shared pool (SRQ) across all connections, or a
     // doubled credit window per connection (calls plus RDMA_DONEs).
     let mut recv_bufs = Vec::new();
@@ -441,7 +450,10 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
             }
         }
     }
-    // Teardown: the peer can no longer send RDMA_DONE on this QP. The
+    // Teardown: ring out anything still sitting in the software send
+    // queue so no WQE is silently dropped by the batching layer.
+    qp.flush();
+    // The peer can no longer send RDMA_DONE on this QP. The
     // rkeys of every still-exposed buffer were advertised to that peer,
     // so *revoke* them (registration dropped, ledger records it) rather
     // than release them — a parked cache entry with a live registration
@@ -749,9 +761,43 @@ async fn handle_op(
             if let Some(bulk) = &dispatch.bulk_out {
                 if !hdr.write_chunks.is_empty() {
                     let _s = server.sim.span("server", "rdma_write");
-                    let io = stage_source(&server, bulk, Access::LOCAL).await;
-                    write_into_segments(&server, &qp, &conn, &io, bulk.len(), &hdr.write_chunks[0])
+                    let io = if cfg.server_zero_copy && !server.registrar.is_staged() {
+                        // Zero-copy pipeline: register a window over the
+                        // source pages (same TPT cost as staging) but
+                        // gather the file-system slices straight into
+                        // vectored Writes — no placement into scratch.
+                        let io = server
+                            .registrar
+                            .acquire_scratch(bulk.len(), Access::LOCAL)
+                            .await;
+                        write_sg_into_segments(
+                            &server,
+                            &qp,
+                            &conn,
+                            &io,
+                            bulk,
+                            &hdr.write_chunks[0],
+                        )
                         .await;
+                        server
+                            .stats
+                            .zero_copy_bytes
+                            .set(server.stats.zero_copy_bytes.get() + bulk.len());
+                        server.metrics.zero_copy_bytes.add(bulk.len());
+                        io
+                    } else {
+                        let io = stage_source(&server, bulk, Access::LOCAL).await;
+                        write_into_segments(
+                            &server,
+                            &qp,
+                            &conn,
+                            &io,
+                            bulk.len(),
+                            &hdr.write_chunks[0],
+                        )
+                        .await;
+                        io
+                    };
                     rhdr.write_chunks
                         .push(echo_actual(&hdr.write_chunks[0], bulk.len()));
                     server
@@ -766,7 +812,7 @@ async fn handle_op(
                 let Some(reply_segs) = hdr.reply_chunk.as_ref() else {
                     return; // client provisioned no reply chunk: drop
                 };
-                let payload = Payload::real(reply_msg.clone());
+                let payload = SgList::from(Payload::real(reply_msg.clone()));
                 let io = stage_source(&server, &payload, Access::LOCAL).await;
                 write_into_segments(&server, &qp, &conn, &io, payload.len(), reply_segs).await;
                 rhdr.msg_type = MsgType::Nomsg;
@@ -793,7 +839,7 @@ async fn handle_op(
             }
             if reply_msg.len() as u64 > cfg.inline_threshold {
                 // Long reply: expose the whole RPC message (position 0).
-                let payload = Payload::real(reply_msg.clone());
+                let payload = SgList::from(Payload::real(reply_msg.clone()));
                 let io = stage_source(&server, &payload, Access::REMOTE_READ).await;
                 for seg in io.segments(0, payload.len(), &server.hca) {
                     rhdr.read_chunks.push(ReadChunk {
@@ -834,6 +880,28 @@ async fn handle_op(
             if qp.post_send(Payload::real(wire), wr, true).is_err() {
                 false
             } else {
+                if cfg.server_doorbell_batch > 1 {
+                    // Doorbell moderation: if the batch doesn't fill
+                    // (which rings on its own), a backstop task rings
+                    // at most `server_doorbell_flush` later, so ops
+                    // posting within the window share one doorbell.
+                    // The ring is always scheduled before the await,
+                    // so the completion cannot hang. (Depth 1 rang on
+                    // post already.) Any doorbell after this post
+                    // carries the reply with it — the backstop checks
+                    // the ring count and stands down rather than ring
+                    // a partial batch early.
+                    let qp2 = qp.clone();
+                    let sim2 = server.sim.clone();
+                    let delay = cfg.server_doorbell_flush;
+                    let rung = qp.doorbells();
+                    server.sim.spawn(async move {
+                        sim2.sleep(delay).await;
+                        if qp2.doorbells() == rung {
+                            qp2.flush();
+                        }
+                    });
+                }
                 wait.await.is_ok()
             }
         }
@@ -913,6 +981,8 @@ async fn pull_chunks(
         }
         off += chunk.segment.len;
     }
+    // Ring the doorbell for the whole batch of Reads before blocking.
+    qp.flush();
     for rx in waits {
         match rx.await {
             Ok(c) if c.result.is_ok() => {}
@@ -925,12 +995,17 @@ async fn pull_chunks(
     Some(io)
 }
 
-/// Stage a bulk payload into a DMA-able buffer. Non-cache strategies
-/// reference the file-system pages directly (no copy); the cache
-/// strategy copies into its pre-registered slab entry.
-async fn stage_source(server: &Rc<RdmaRpcServer>, data: &Payload, access: Access) -> IoBuf {
+/// Stage a bulk scatter/gather list into a DMA-able buffer. Non-cache
+/// strategies reference the file-system pages directly (the pieces land
+/// in the window without flattening); the cache strategy copies into
+/// its pre-registered slab entry.
+async fn stage_source(server: &Rc<RdmaRpcServer>, data: &SgList, access: Access) -> IoBuf {
     let io = server.registrar.acquire_scratch(data.len(), access).await;
-    io.write(0, data.clone());
+    let mut off = 0u64;
+    for piece in data.pieces() {
+        io.write(off, piece.clone());
+        off += piece.len();
+    }
     if server.registrar.is_staged() {
         server.hca.cpu().copy(data.len()).await;
         server
@@ -966,6 +1041,71 @@ async fn write_into_segments(
             .is_err()
         {
             return;
+        }
+        off += n;
+        remaining -= n;
+    }
+}
+
+/// RDMA Write a scatter/gather list into the client's segments without
+/// ever flattening it: within each remote segment the pieces ride as
+/// the SG entries of one vectored WQE (split at the HCA's `max_send_sge`
+/// limit). All-physical windows only hold the global steering tag,
+/// which the HCA refuses for multi-entry local gathers (§4.3), so they
+/// post one WQE per piece and lean on doorbell batching instead.
+/// Unsignaled either way: the reply Send is the ordering fence.
+async fn write_sg_into_segments(
+    server: &Rc<RdmaRpcServer>,
+    qp: &Qp,
+    conn: &Rc<ConnState>,
+    io: &IoBuf,
+    sgl: &SgList,
+    segs: &[Segment],
+) {
+    let lkey = io.lkey(&server.hca);
+    let no_local_sg = server.hca.global_rkey() == Some(lkey);
+    let max_sge = server.hca.config().max_send_sge.max(1);
+    let mut remaining = sgl.len();
+    let mut off = 0u64;
+    for seg in segs {
+        if remaining == 0 {
+            break;
+        }
+        let n = seg.len.min(remaining);
+        let part = sgl.slice(off, n);
+        let mut addr = seg.addr;
+        if no_local_sg {
+            for piece in part.into_pieces() {
+                let plen = piece.len();
+                let wr = conn.alloc_wr();
+                if qp
+                    .post_rdma_write(piece, addr, seg.rkey, wr, false)
+                    .is_err()
+                {
+                    return;
+                }
+                addr += plen;
+            }
+        } else {
+            let pieces = part.into_pieces();
+            for group in pieces.chunks(max_sge) {
+                let glen: u64 = group.iter().map(Payload::len).sum();
+                let sges: Vec<Sge> = group
+                    .iter()
+                    .map(|p| Sge {
+                        data: p.clone(),
+                        lkey,
+                    })
+                    .collect();
+                let wr = conn.alloc_wr();
+                if qp
+                    .post_rdma_write_vec(sges, addr, seg.rkey, wr, false)
+                    .is_err()
+                {
+                    return;
+                }
+                addr += glen;
+            }
         }
         off += n;
         remaining -= n;

@@ -47,7 +47,7 @@ impl RdmaService for Reader {
             RdmaDispatch {
                 stat: AcceptStat::Success,
                 head: enc.finish(),
-                bulk_out: Some(Payload::synthetic(9, len)),
+                bulk_out: Some(sim_core::SgList::from(Payload::synthetic(9, len))),
             }
         })
     }

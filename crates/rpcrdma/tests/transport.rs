@@ -45,7 +45,7 @@ impl RdmaService for ToyFs {
                     let len = dec.get_u32().unwrap_or(0) as u64;
                     let mut enc = xdr::Encoder::new();
                     enc.put_u32(len as u32);
-                    RdmaDispatch::success(enc.finish(), Some(Payload::synthetic(seed, len)))
+                    RdmaDispatch::success_flat(enc.finish(), Some(Payload::synthetic(seed, len)))
                 }
                 // write: bulk_in is the data; returns its checksum-ish len
                 2 => {

@@ -58,8 +58,17 @@ impl ExtentMap {
 
     /// Read `len` bytes at `offset`; unwritten gaps read as zeros.
     pub fn read(&self, offset: u64, len: u64) -> Payload {
+        Payload::concat(&self.read_sg(offset, len))
+    }
+
+    /// Read `len` bytes at `offset` as a scatter list of extent slices
+    /// (unwritten gaps appear as zero payloads). Each piece is a
+    /// reference-counted slice of the stored extent — nothing is
+    /// flattened or copied, which is what lets the server READ path
+    /// gather straight out of the page cache.
+    pub fn read_sg(&self, offset: u64, len: u64) -> Vec<Payload> {
         if len == 0 {
-            return Payload::empty();
+            return Vec::new();
         }
         let end = offset + len;
         let mut pieces: Vec<Payload> = Vec::new();
@@ -97,7 +106,7 @@ impl ExtentMap {
         if cursor < end {
             pieces.push(Payload::zeros(end - cursor));
         }
-        Payload::concat(&pieces)
+        pieces
     }
 
     /// Number of stored extents (diagnostic).
@@ -203,5 +212,18 @@ mod tests {
         m.write(5, Payload::empty());
         assert_eq!(m.extent_count(), 0);
         assert!(m.read(5, 0).is_empty());
+        assert!(m.read_sg(5, 0).is_empty());
+    }
+
+    #[test]
+    fn read_sg_pieces_match_flat_read() {
+        let mut m = ExtentMap::new();
+        m.write(0, bytes(&[1; 8]));
+        m.write(16, Payload::synthetic(3, 8));
+        let pieces = m.read_sg(4, 24);
+        assert!(pieces.len() >= 3, "head, gap, tail = {}", pieces.len());
+        let total: u64 = pieces.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 24);
+        assert!(Payload::concat(&pieces).content_eq(&m.read(4, 24)));
     }
 }

@@ -59,7 +59,7 @@ pub use cpu::{Cpu, CpuCosts};
 pub use executor::{yield_now, Sim, Simulation, Span, Timeout, TraceEvent};
 pub use extent::ExtentMap;
 pub use metrics::MetricsRegistry;
-pub use payload::Payload;
+pub use payload::{Payload, SgList};
 pub use resource::{Link, Resource};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Meter, Summary};

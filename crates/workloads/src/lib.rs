@@ -30,4 +30,6 @@ pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClie
 pub use oltp::{run_oltp, OltpParams, OltpResult};
 pub use profiles::{linux_ddr_raid, linux_sdr, solaris_sdr, Profile};
 pub use report::{mb, pct, Table};
-pub use testbed::{build_rdma, build_tcp, Backend, ClientHost, Testbed, OS_RESERVE};
+pub use testbed::{
+    build_rdma, build_rdma_custom, build_tcp, Backend, ClientHost, RdmaOpts, Testbed, OS_RESERVE,
+};

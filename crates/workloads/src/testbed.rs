@@ -8,7 +8,7 @@ use ib_verbs::{connect, Fabric, Hca, HostMem, NodeId};
 use net_stack::{TcpConfig, TcpNet};
 use nfs::{NfsClient, NfsServer, NfsServerHandle};
 use onc_rpc::{serve_stream_bulk_connection, BulkServiceRef, StreamRpcClient};
-use rpcrdma::{Design, RdmaRpcClient, RdmaRpcServer, Registrar, StrategyKind};
+use rpcrdma::{Design, RdmaRpcClient, RdmaRpcServer, Registrar, RpcRdmaConfig, StrategyKind};
 use sim_core::{Cpu, Sim};
 
 use crate::profiles::Profile;
@@ -104,9 +104,26 @@ fn build_fs(sim: &Sim, backend: Backend) -> (Rc<dyn Vfs>, Option<Rc<Fs<CachedDis
             let cache = ram_bytes.saturating_sub(OS_RESERVE).max(128 << 20);
             let fs: Rc<Fs<CachedDiskStore>> =
                 Rc::new(Fs::new(sim, CachedDiskStore::new(raid, cache, 256 * 1024)));
+            fs.store().cache().bind_metrics(&sim.metrics());
             (Rc::new(fs.clone()) as Rc<dyn Vfs>, Some(fs))
         }
     }
+}
+
+/// Knobs for [`build_rdma_custom`]: a full transport config plus split
+/// registration strategies (the zero-copy ablation runs clients on
+/// dynamic registration against an all-physical server) and an optional
+/// server-only HCA override (CQ interrupt moderation on the server
+/// without touching client completion handling).
+pub struct RdmaOpts {
+    /// Transport configuration (design, credits, batching knobs).
+    pub cfg: RpcRdmaConfig,
+    /// Client-side registration strategy.
+    pub client_strategy: StrategyKind,
+    /// Server-side registration strategy.
+    pub server_strategy: StrategyKind,
+    /// HCA config for the server node; `None` uses the profile's.
+    pub server_hca: Option<ib_verbs::HcaConfig>,
 }
 
 /// Build an RPC/RDMA testbed: server at node 0, clients at 1..=n.
@@ -118,8 +135,31 @@ pub fn build_rdma(
     backend: Backend,
     n_clients: usize,
 ) -> Testbed {
+    build_rdma_custom(
+        sim,
+        profile,
+        RdmaOpts {
+            cfg: profile.rpc.with_design(design),
+            client_strategy: strategy,
+            server_strategy: strategy,
+            server_hca: None,
+        },
+        backend,
+        n_clients,
+    )
+}
+
+/// Build an RPC/RDMA testbed with per-side strategies and overridden
+/// configs (the batching/zero-copy ablation harness).
+pub fn build_rdma_custom(
+    sim: &Sim,
+    profile: &Profile,
+    opts: RdmaOpts,
+    backend: Backend,
+    n_clients: usize,
+) -> Testbed {
     let fabric = Fabric::new(sim);
-    let cfg = profile.rpc.with_design(design);
+    let cfg = opts.cfg;
 
     let server_node = NodeId(0);
     let server_cpu = Cpu::new(sim, "server-cpu", profile.server_cores, profile.server_cpu);
@@ -127,7 +167,7 @@ pub fn build_rdma(
     let server_hca = Hca::new(
         sim,
         server_node,
-        profile.hca,
+        opts.server_hca.unwrap_or(profile.hca),
         server_cpu.clone(),
         server_mem,
         &fabric,
@@ -139,7 +179,7 @@ pub fn build_rdma(
         sim,
         &server_hca,
         Rc::new(NfsServerHandle(server.clone())),
-        Registrar::new(&server_hca, strategy),
+        Registrar::new(&server_hca, opts.server_strategy),
         cfg,
     );
 
@@ -160,7 +200,7 @@ pub fn build_rdma(
             sim,
             &hca,
             qc,
-            Registrar::new(&hca, strategy),
+            Registrar::new(&hca, opts.client_strategy),
             cfg,
             nfs::NFS_PROGRAM,
             nfs::NFS_VERSION,

@@ -184,3 +184,78 @@ fn testbed_reset_accounting_clears_utilization() {
         assert_eq!(bed.clients[0].cpu.busy_time().as_nanos(), 0);
     });
 }
+
+/// One full batched-READ run; returns the whole metrics registry plus
+/// the measured bandwidth so callers can compare runs bit-for-bit.
+fn batched_read_run(seed: u64) -> (Vec<(String, u64)>, f64) {
+    let mut sim = Simulation::new(seed);
+    let h = sim.handle();
+    let profile = workloads::linux_sdr();
+    sim.block_on(async move {
+        let mut cfg = profile.rpc.with_design(Design::ReadWrite);
+        cfg.server_doorbell_batch = 4;
+        cfg.server_doorbell_flush = SimDuration::from_micros(32);
+        let mut server_hca = profile.hca;
+        server_hca.cq_coalesce_count = 4;
+        server_hca.cq_coalesce_delay = SimDuration::from_micros(64);
+        let bed = workloads::build_rdma_custom(
+            &h,
+            &profile,
+            workloads::RdmaOpts {
+                cfg,
+                client_strategy: StrategyKind::Cache,
+                server_strategy: StrategyKind::AllPhysical,
+                server_hca: Some(server_hca),
+            },
+            Backend::Tmpfs,
+            1,
+        );
+        let r = run_iozone(
+            &h,
+            &bed,
+            IozoneParams {
+                threads_per_client: 8,
+                file_size: 128 * 1024,
+                record: 4096,
+                mode: IoMode::Read,
+            },
+        )
+        .await;
+        (h.metrics().snapshot(), r.bandwidth_mb)
+    })
+}
+
+/// The full batched pipeline — doorbell batching, backstop flush tasks,
+/// CQ completion coalescing, zero-copy gather — must stay bit-for-bit
+/// deterministic: two runs from the same seed produce identical metric
+/// registries (every counter, including the batching ones, is part of
+/// the fingerprint).
+#[test]
+fn batched_read_pipeline_same_seed_metrics_fingerprint() {
+    let (a, bw_a) = batched_read_run(0xFEED);
+    let (b, bw_b) = batched_read_run(0xFEED);
+    assert_eq!(
+        a, b,
+        "same-seed batched runs must produce identical metrics"
+    );
+    assert_eq!(bw_a, bw_b);
+    let get = |k: &str| {
+        a.iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric {k} missing from snapshot"))
+    };
+    // The batching machinery actually engaged in the fingerprinted run.
+    assert!(get("hca.doorbells") > 0);
+    assert!(get("cq.coalesced") > 0, "CQ coalescing never engaged");
+    // Every cached READ byte rode the zero-copy gather path.
+    assert_eq!(get("server.read.zero_copy_bytes"), 8 * 128 * 1024);
+    // Batched doorbells ring less than once per WQE: the READ pass
+    // alone posts two WQEs per op (RDMA Write + reply Send).
+    let ops = get("server.ops");
+    assert!(ops > 0);
+    assert!(
+        get("hca.doorbells") < 2 * ops,
+        "doorbell batching never amortized a ring"
+    );
+}

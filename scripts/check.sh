@@ -24,6 +24,9 @@ fi
 echo "==> simperf --smoke (includes disabled-tracing hot-path gate)"
 cargo run --release -p bench --bin simperf -- --smoke
 
+echo "==> ablation --batching --smoke (zero-copy >= 1.3x; doorbells/op and interrupts/op < 1 at depth 4)"
+cargo run --release -p bench --bin ablation -- --batching --smoke
+
 echo "==> chaos --smoke"
 cargo run --release -p bench --bin chaos -- --smoke
 

@@ -9,35 +9,45 @@
 //!   vectors at capacity) must poll tasks without per-event
 //!   allocations; only the `run()`-scoped batch buffer may grow, so the
 //!   bound is a small constant independent of the poll count.
+//! - A steady-state **cached NFS READ** on the Read-Write design with
+//!   the server's zero-copy gather path must move zero payload bytes
+//!   through host copies (`copied_bytes` frozen, `zero_copy_bytes`
+//!   advancing) and must not allocate payload-sized buffers anywhere in
+//!   the stack: heap bytes per op stay far below the record size.
 //!
-//! Both measurements live in ONE `#[test]` so no sibling test thread
+//! All measurements live in ONE `#[test]` so no sibling test thread
 //! can inflate the counter mid-measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ib_verbs::Rkey;
-use rpcrdma::{MsgType, RdmaHeader, ReadChunk, Segment};
-use sim_core::{yield_now, SimDuration, Simulation};
+use rpcrdma::{Design, MsgType, RdmaHeader, ReadChunk, Segment, StrategyKind};
+use sim_core::{yield_now, Payload, SimDuration, Simulation};
+use workloads::{build_rdma_custom, solaris_sdr, Backend, RdmaOpts};
 use xdr::{Encoder, XdrCodec};
 
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -51,6 +61,10 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
+}
+
+fn alloc_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
 }
 
 /// A realistic READ-call header: one read chunk, one write chunk.
@@ -138,4 +152,92 @@ fn steady_state_hot_paths_do_not_allocate() {
         run_allocs <= 64,
         "steady-state executor run allocated {run_allocs} times for {polls} polls"
     );
+
+    // ---- Cached READ through the zero-copy server pipeline. ---------
+    // Read-Write design, all-physical server window: the reply gathers
+    // page-cache slices straight into vectored RDMA Writes. After a
+    // warmup pass, every byte of a cached READ must ride the zero-copy
+    // path (no staged host copy on the server), and nothing in the
+    // stack may allocate a payload-sized buffer — for 1 MiB records the
+    // per-op heap traffic is bounded at a small fraction of the record.
+    let record: u64 = 1 << 20;
+    let file: u64 = 8 * record;
+    let ops: u64 = 16;
+    let mut sim = Simulation::new(0x2C07);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let profile = solaris_sdr();
+        let bed = build_rdma_custom(
+            &h,
+            &profile,
+            RdmaOpts {
+                cfg: profile.rpc.with_design(Design::ReadWrite),
+                client_strategy: StrategyKind::Dynamic,
+                server_strategy: StrategyKind::AllPhysical,
+                server_hca: None,
+            },
+            Backend::Tmpfs,
+            1,
+        );
+        let root = bed.server.root_handle();
+        let c = &bed.clients[0];
+        let fh = c
+            .nfs
+            .create(root, "zero-copy")
+            .await
+            .expect("create")
+            .handle();
+        let buf = c.mem.alloc(record);
+        buf.write(0, Payload::synthetic(0x5EED, record));
+        let mut off = 0;
+        while off < file {
+            c.nfs
+                .write(fh, off, &buf, 0, record as u32, false)
+                .await
+                .expect("prepopulate");
+            off += record;
+        }
+        // Warmup: heat the page cache, the connection scratch encoders,
+        // the registration bookkeeping and the per-QP pending queue.
+        let mut off = 0;
+        while off < file {
+            c.nfs
+                .read(fh, off, record as u32, Some((&buf, 0)))
+                .await
+                .expect("warmup read");
+            off += record;
+        }
+
+        let rpc = bed.rpc_server.as_ref().expect("rdma testbed");
+        let copied0 = rpc.stats.copied_bytes.get();
+        let zero0 = rpc.stats.zero_copy_bytes.get();
+        let bytes0 = alloc_bytes();
+        for i in 0..ops {
+            let (data, _eof) = c
+                .nfs
+                .read(fh, (i * record) % file, record as u32, Some((&buf, 0)))
+                .await
+                .expect("steady-state read");
+            assert_eq!(data.len(), record);
+        }
+        let copied = rpc.stats.copied_bytes.get() - copied0;
+        let zeroed = rpc.stats.zero_copy_bytes.get() - zero0;
+        let heap_per_op = (alloc_bytes() - bytes0) / ops;
+
+        assert_eq!(
+            copied, 0,
+            "cached READ staged {copied} payload bytes through server host copies"
+        );
+        assert_eq!(
+            zeroed,
+            ops * record,
+            "every cached READ byte must take the zero-copy gather path"
+        );
+        assert!(
+            heap_per_op < record / 8,
+            "steady-state cached READ allocated {heap_per_op} heap bytes/op \
+             for {record}-byte records — a payload-sized buffer is being \
+             allocated somewhere on the hot path"
+        );
+    });
 }
