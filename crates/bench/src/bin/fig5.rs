@@ -29,6 +29,7 @@ fn traced_pass(design: Design, strategy: StrategyKind, mode: IoMode) -> Vec<Span
                 file_size: 8 * 128 * 1024,
                 record: 128 * 1024,
                 mode,
+                ..Default::default()
             },
         )
         .await

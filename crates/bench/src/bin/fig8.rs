@@ -36,6 +36,7 @@ fn main() {
                     io_size: 128 * 1024,
                     db_size: 512 << 20,
                     duration: SimDuration::from_millis(400),
+                    ..Default::default()
                 },
             )
             .await

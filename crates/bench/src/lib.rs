@@ -62,6 +62,7 @@ pub fn run_iozone_point(seed: u64, p: &IozonePoint) -> IozoneResult {
                 file_size: p.file_size,
                 record: p.record,
                 mode: p.mode,
+                ..Default::default()
             },
         )
         .await

@@ -20,8 +20,10 @@ pub mod disk;
 pub mod pagecache;
 pub mod stores;
 pub mod vfs;
+pub mod wal;
 
 pub use disk::{Disk, Raid0};
 pub use pagecache::PageCache;
-pub use stores::{diskfs, tmpfs, CachedDiskStore, DiskFs, MemStore, Tmpfs};
+pub use stores::{diskfs, diskfs_wal, tmpfs, CachedDiskStore, DiskFs, MemStore, Tmpfs};
 pub use vfs::{Attr, DataStore, DirEntry, FileId, FileKind, Fs, FsError, FsResult, FsStat, Vfs};
+pub use wal::{Wal, WalConfig, WalRecord, WalStats};

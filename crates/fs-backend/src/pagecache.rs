@@ -284,6 +284,36 @@ impl PageCache {
         }
     }
 
+    /// Mark every dirty page clean without charging disk time; returns
+    /// the number of pages cleaned. Used by the WAL-backed store after
+    /// a group commit: the data is durable in the log, so home-location
+    /// writeback is elided (log-structured durability).
+    pub fn mark_clean_all(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let dirty: Vec<PageKey> = inner
+            .pages
+            .iter()
+            .filter(|(_, (s, _))| *s == PageState::Dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        let n = dirty.len() as u64;
+        for key in dirty {
+            if let Some((_, stamp)) = inner.pages.get(&key).copied() {
+                inner.pages.insert(key, (PageState::Clean, stamp));
+            }
+        }
+        n
+    }
+
+    /// Drop every resident page without write-back — power failure:
+    /// whatever was dirty is simply gone.
+    pub fn drop_all(&self) {
+        self.next_expected.borrow_mut().clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.pages.clear();
+        inner.order.clear();
+    }
+
     /// Drop all pages of `file` (delete/truncate).
     pub fn invalidate(&self, file: FileId) {
         self.next_expected.borrow_mut().remove(&file.0);

@@ -9,6 +9,7 @@ use sim_core::{ExtentMap, Payload, SgList};
 use crate::disk::Raid0;
 use crate::pagecache::PageCache;
 use crate::vfs::{DataStore, FileId, Fs, LocalBoxFuture};
+use crate::wal::{Wal, WalConfig};
 
 /// Shared per-file content maps (contents are always exact; only
 /// timing differs between stores).
@@ -41,8 +42,23 @@ impl Contents {
             .write(off, data);
     }
 
+    /// Scatter each piece at its own sub-offset — the store-side half
+    /// of the zero-copy WRITE path (no flattening of the gather list).
+    fn write_sg(&self, file: FileId, off: u64, data: &SgList) {
+        let mut files = self.files.borrow_mut();
+        let map = files.entry(file.0).or_default();
+        for (at, p) in data.pieces_with_offsets() {
+            map.write(off + at, p.clone());
+        }
+    }
+
     fn delete(&self, file: FileId) {
         self.files.borrow_mut().remove(&file.0);
+    }
+
+    /// Power failure: everything in (simulated) RAM is gone.
+    fn clear(&self) {
+        self.files.borrow_mut().clear();
     }
 }
 
@@ -70,6 +86,12 @@ impl DataStore for MemStore {
         Box::pin(async move { n })
     }
 
+    fn write_sg(&self, file: FileId, off: u64, data: SgList) -> LocalBoxFuture<u64> {
+        let n = data.len();
+        self.contents.write_sg(file, off, &data);
+        Box::pin(async move { n })
+    }
+
     fn commit(&self, _file: FileId) -> LocalBoxFuture<()> {
         Box::pin(async {})
     }
@@ -94,6 +116,9 @@ pub fn tmpfs(sim: &sim_core::Sim) -> Tmpfs {
 pub struct CachedDiskStore {
     contents: Rc<Contents>,
     cache: Rc<PageCache>,
+    /// Optional write-ahead log. `None` (the default) preserves the
+    /// paper-era behavior exactly: commit = coalesced RAID sweep.
+    wal: Option<Rc<Wal>>,
     /// File -> base address in the array's space (simple contiguous
     /// allocation; fragmentation is not modelled).
     layout: RefCell<HashMap<u64, u64>>,
@@ -106,14 +131,47 @@ impl CachedDiskStore {
         CachedDiskStore {
             contents: Rc::default(),
             cache: Rc::new(PageCache::new(raid, ram_bytes, cache_page)),
+            wal: None,
             layout: RefCell::new(HashMap::new()),
             next_base: std::cell::Cell::new(0),
         }
     }
 
+    /// Like [`CachedDiskStore::new`], but journal every write through
+    /// `wal`: COMMIT becomes a sequential group commit on the log
+    /// device instead of a page-granular RAID sweep, and
+    /// [`CachedDiskStore::power_fail_restart`] recovers committed data
+    /// by replay.
+    pub fn with_wal(raid: Raid0, ram_bytes: u64, cache_page: u64, wal: Rc<Wal>) -> CachedDiskStore {
+        let mut store = CachedDiskStore::new(raid, ram_bytes, cache_page);
+        store.wal = Some(wal);
+        store
+    }
+
     /// The page cache (for statistics).
     pub fn cache(&self) -> &Rc<PageCache> {
         &self.cache
+    }
+
+    /// The write-ahead log, when journaling is enabled.
+    pub fn wal(&self) -> Option<&Rc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Power failure followed by restart: volatile contents and cache
+    /// residency are gone; recovery replays the WAL's committed records
+    /// (in append order — idempotent) into fresh contents. Without a
+    /// WAL everything is lost. Namespace metadata is assumed journaled
+    /// separately and survives; uncommitted ranges read back as zeros.
+    pub async fn power_fail_restart(&self) {
+        self.contents.clear();
+        self.cache.drop_all();
+        if let Some(wal) = &self.wal {
+            wal.power_fail();
+            for r in wal.recover().await {
+                self.contents.write(r.file, r.off, r.data);
+            }
+        }
     }
 
     fn base_of(&self, file: FileId) -> u64 {
@@ -151,10 +209,31 @@ impl DataStore for CachedDiskStore {
     fn write(&self, file: FileId, off: u64, data: Payload) -> LocalBoxFuture<u64> {
         let cache = self.cache.clone();
         let contents = self.contents.clone();
+        let wal = self.wal.clone();
         Box::pin(async move {
             let n = data.len();
-            contents.write(file, off, data);
+            contents.write(file, off, data.clone());
             cache.write_range(file, off, n).await;
+            if let Some(wal) = wal {
+                wal.append(file, off, data).await;
+            }
+            n
+        })
+    }
+
+    fn write_sg(&self, file: FileId, off: u64, data: SgList) -> LocalBoxFuture<u64> {
+        let cache = self.cache.clone();
+        let contents = self.contents.clone();
+        let wal = self.wal.clone();
+        Box::pin(async move {
+            let n = data.len();
+            contents.write_sg(file, off, &data);
+            cache.write_range(file, off, n).await;
+            if let Some(wal) = wal {
+                for (at, p) in data.pieces_with_offsets() {
+                    wal.append(file, off + at, p.clone()).await;
+                }
+            }
             n
         })
     }
@@ -162,8 +241,19 @@ impl DataStore for CachedDiskStore {
     fn commit(&self, file: FileId) -> LocalBoxFuture<()> {
         let cache = self.cache.clone();
         let base = self.base_of(file);
+        let wal = self.wal.clone();
         Box::pin(async move {
-            cache.commit(file, base).await;
+            match wal {
+                // Log-structured durability: one sequential group
+                // commit covers every file's pending records, and the
+                // dirty pages are cleaned without a home-location
+                // sweep (write-back elided; the log is stable).
+                Some(wal) => {
+                    wal.commit().await;
+                    cache.mark_clean_all();
+                }
+                None => cache.commit(file, base).await,
+            }
         })
     }
 
@@ -187,4 +277,16 @@ pub type DiskFs = Fs<CachedDiskStore>;
 pub fn diskfs(sim: &sim_core::Sim, ram_bytes: u64) -> DiskFs {
     let raid = Raid0::paper_array(sim);
     Fs::new(sim, CachedDiskStore::new(raid, ram_bytes, 256 * 1024))
+}
+
+/// The §5.3 array plus a write-ahead log on a dedicated log disk:
+/// COMMIT group-commits sequentially instead of sweeping the RAID, and
+/// power failures recover committed data by replay.
+pub fn diskfs_wal(sim: &sim_core::Sim, ram_bytes: u64, cfg: WalConfig) -> DiskFs {
+    let raid = Raid0::paper_array(sim);
+    let wal = Wal::new(sim, cfg);
+    Fs::new(
+        sim,
+        CachedDiskStore::with_wal(raid, ram_bytes, 256 * 1024, wal),
+    )
 }

@@ -111,6 +111,23 @@ pub trait DataStore {
     }
     /// Write data at `off` (timing included); returns bytes written.
     fn write(&self, file: FileId, off: u64, data: Payload) -> LocalBoxFuture<u64>;
+    /// Scatter a gather list at `off` — the zero-copy WRITE hot path:
+    /// each reference-counted piece lands at its own sub-offset with no
+    /// flattening copy. Stores that can scatter directly override this;
+    /// the default forwards piece-by-piece to [`DataStore::write`].
+    fn write_sg(&self, file: FileId, off: u64, data: SgList) -> LocalBoxFuture<u64> {
+        let futs: Vec<LocalBoxFuture<u64>> = data
+            .pieces_with_offsets()
+            .map(|(at, p)| self.write(file, off + at, p.clone()))
+            .collect();
+        Box::pin(async move {
+            let mut n = 0;
+            for f in futs {
+                n += f.await;
+            }
+            n
+        })
+    }
     /// Flush dirty state for `file` to stable storage.
     fn commit(&self, file: FileId) -> LocalBoxFuture<()>;
     /// Discard data beyond `size` / zero-extend bookkeeping.
@@ -400,17 +417,28 @@ impl<S: DataStore> Fs<S> {
 
     /// Write file data, extending the size as needed.
     pub async fn write(&self, id: FileId, off: u64, data: Payload) -> FsResult<u64> {
-        {
-            let mut inodes = self.ns.inodes.borrow_mut();
-            let inode = inodes.get_mut(&id.0).ok_or(FsError::Stale)?;
-            if inode.attr.kind != FileKind::Regular {
-                return Err(FsError::IsDir);
-            }
-            inode.attr.size = inode.attr.size.max(off + data.len());
-            inode.attr.mtime = self.ns.sim.now();
-        }
+        self.note_write(id, off, data.len())?;
         let _s = self.ns.sim.span("fs", "write");
         Ok(self.store.write(id, off, data).await)
+    }
+
+    /// Scatter a gather list into the file (no flattening): the server
+    /// WRITE path hands transport pieces straight to the store.
+    pub async fn write_sg(&self, id: FileId, off: u64, data: SgList) -> FsResult<u64> {
+        self.note_write(id, off, data.len())?;
+        let _s = self.ns.sim.span("fs", "write");
+        Ok(self.store.write_sg(id, off, data).await)
+    }
+
+    fn note_write(&self, id: FileId, off: u64, len: u64) -> FsResult<()> {
+        let mut inodes = self.ns.inodes.borrow_mut();
+        let inode = inodes.get_mut(&id.0).ok_or(FsError::Stale)?;
+        if inode.attr.kind != FileKind::Regular {
+            return Err(FsError::IsDir);
+        }
+        inode.attr.size = inode.attr.size.max(off + len);
+        inode.attr.mtime = self.ns.sim.now();
+        Ok(())
     }
 
     /// Flush a file to stable storage.
@@ -462,6 +490,8 @@ pub trait Vfs {
     fn read_sg(&self, id: FileId, off: u64, len: u64) -> LocalBoxFuture<FsResult<SgList>>;
     /// Write file data.
     fn write(&self, id: FileId, off: u64, data: Payload) -> LocalBoxFuture<FsResult<u64>>;
+    /// Write file data as zero-copy scatter/gather pieces.
+    fn write_sg(&self, id: FileId, off: u64, data: SgList) -> LocalBoxFuture<FsResult<u64>>;
     /// Flush to stable storage.
     fn commit(&self, id: FileId) -> LocalBoxFuture<FsResult<()>>;
     /// Aggregate statistics.
@@ -516,6 +546,10 @@ impl<S: DataStore + 'static> Vfs for Rc<Fs<S>> {
     fn write(&self, id: FileId, off: u64, data: Payload) -> LocalBoxFuture<FsResult<u64>> {
         let fs = self.clone();
         Box::pin(async move { fs.as_ref().write(id, off, data).await })
+    }
+    fn write_sg(&self, id: FileId, off: u64, data: SgList) -> LocalBoxFuture<FsResult<u64>> {
+        let fs = self.clone();
+        Box::pin(async move { fs.as_ref().write_sg(id, off, data).await })
     }
     fn commit(&self, id: FileId) -> LocalBoxFuture<FsResult<()>> {
         let fs = self.clone();

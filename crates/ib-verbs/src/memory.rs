@@ -81,6 +81,16 @@ impl Buffer {
         self.inner.data.borrow().read(offset, len)
     }
 
+    /// Read `len` bytes at byte `offset` as a scatter/gather list: one
+    /// piece per stored extent, no flattening. This is the receive-side
+    /// scatter primitive — data RDMA-Read in as separate chunks comes
+    /// back out as the same refcounted pieces, ready to land in
+    /// page-cache pages without a pull-up copy.
+    pub fn read_sg(&self, offset: u64, len: u64) -> sim_core::SgList {
+        assert!(offset + len <= self.len, "buffer read out of bounds");
+        sim_core::SgList::from_pieces(self.inner.data.borrow().read_sg(offset, len))
+    }
+
     /// Write a payload at byte `offset` within the buffer.
     pub fn write(&self, offset: u64, data: Payload) {
         assert!(

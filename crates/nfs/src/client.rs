@@ -8,6 +8,8 @@
 //! synthetic payloads compact. This is the baseline the paper
 //! measures against.
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -18,6 +20,10 @@ use sim_core::Payload;
 use xdr::{Encoder, XdrCodec};
 
 use crate::proto::*;
+
+/// Re-drive attempts before a COMMIT verifier mismatch becomes an
+/// error (each attempt replays every pending write and re-commits).
+const MAX_REDRIVE_ROUNDS: u32 = 8;
 
 /// Client-visible errors.
 #[derive(Debug)]
@@ -62,11 +68,48 @@ enum Transport {
     Tcp(Rc<StreamRpcClient>),
 }
 
+/// One UNSTABLE write awaiting COMMIT, kept so the client can re-drive
+/// it if the server's write verifier changes (RFC 1813 §3.3.7: a new
+/// verifier means the server rebooted and uncommitted data may be
+/// gone).
+struct PendingWrite {
+    offset: u64,
+    buf: Buffer,
+    buf_off: u64,
+    count: u32,
+    /// Snapshot of the written bytes, taken when the WRITE was acked —
+    /// the sim's stand-in for the client page cache retaining dirty
+    /// pages until COMMIT. The application may scribble on `buf` after
+    /// the ack; a re-drive restores this snapshot into the registered
+    /// region before resending.
+    data: Payload,
+}
+
+/// Uncommitted state for one file.
+struct PendingFile {
+    /// Verifier in force when the first pending write was acked.
+    verf: u64,
+    writes: Vec<PendingWrite>,
+}
+
+/// Client-side write/commit counters.
+#[derive(Default)]
+pub struct NfsClientStats {
+    /// UNSTABLE writes re-sent after a COMMIT verifier mismatch.
+    pub redriven_writes: Cell<u64>,
+    /// COMMIT rounds that observed a verifier mismatch.
+    pub verf_mismatches: Cell<u64>,
+}
+
 /// An NFSv3 client handle (one mount).
 pub struct NfsClient {
     transport: Transport,
     /// Maximum long-reply provision for READDIR/READLINK.
     long_reply_max: u64,
+    /// UNSTABLE writes not yet covered by a matching COMMIT, per file.
+    pending: RefCell<HashMap<u64, PendingFile>>,
+    /// Statistics.
+    pub stats: NfsClientStats,
 }
 
 impl NfsClient {
@@ -75,6 +118,8 @@ impl NfsClient {
         NfsClient {
             transport: Transport::Rdma(client),
             long_reply_max: 1 << 20,
+            pending: RefCell::new(HashMap::new()),
+            stats: NfsClientStats::default(),
         }
     }
 
@@ -83,7 +128,18 @@ impl NfsClient {
         NfsClient {
             transport: Transport::Tcp(client),
             long_reply_max: 1 << 20,
+            pending: RefCell::new(HashMap::new()),
+            stats: NfsClientStats::default(),
         }
+    }
+
+    /// UNSTABLE writes recorded for `fh` and not yet confirmed durable
+    /// by a verifier-matching COMMIT.
+    pub fn pending_writes(&self, fh: FileHandle) -> usize {
+        self.pending
+            .borrow()
+            .get(&fh.0)
+            .map_or(0, |p| p.writes.len())
     }
 
     /// The underlying RPC/RDMA client, when mounted over RDMA (fault
@@ -314,15 +370,68 @@ impl NfsClient {
         }
     }
 
-    /// COMMIT unstable writes to stable storage.
-    pub async fn commit(&self, fh: FileHandle) -> NfsResult<()> {
+    /// One COMMIT on the wire; returns the server's write verifier.
+    async fn commit_once(&self, fh: FileHandle) -> NfsResult<u64> {
         let (body, _) = self
             .call(NfsProc::Commit, fh.to_bytes(), BulkParams::default())
             .await?;
-        match decode_res(body, |_| Ok(()))? {
-            Ok(()) => Ok(()),
+        match decode_res(body, CommitRes::decode)? {
+            Ok(r) => Ok(r.verf),
             Err(s) => Err(NfsError::Status(s)),
         }
+    }
+
+    /// COMMIT unstable writes to stable storage.
+    ///
+    /// If the reply's write verifier differs from the one seen when the
+    /// pending UNSTABLE writes were acked, the server rebooted and may
+    /// have lost them: re-drive every pending write for this file and
+    /// COMMIT again, until the verifiers agree (bounded by
+    /// [`MAX_REDRIVE_ROUNDS`]).
+    pub async fn commit(&self, fh: FileHandle) -> NfsResult<()> {
+        let mut verf = self.commit_once(fh).await?;
+        for _ in 0..MAX_REDRIVE_ROUNDS {
+            let expected = match self.pending.borrow().get(&fh.0) {
+                Some(p) => p.verf,
+                None => return Ok(()),
+            };
+            if verf == expected {
+                self.pending.borrow_mut().remove(&fh.0);
+                return Ok(());
+            }
+            self.stats
+                .verf_mismatches
+                .set(self.stats.verf_mismatches.get() + 1);
+            // Replay the whole pending burst under the new boot
+            // instance, then re-commit and re-check.
+            let replay: Vec<(u64, Buffer, u64, u32, Payload)> = {
+                let pending = self.pending.borrow();
+                let p = &pending[&fh.0];
+                p.writes
+                    .iter()
+                    .map(|w| (w.offset, w.buf.clone(), w.buf_off, w.count, w.data.clone()))
+                    .collect()
+            };
+            let mut last_verf = verf;
+            for (offset, buf, buf_off, count, data) in replay {
+                // Restore the retained dirty bytes into the registered
+                // region: the application may have reused the buffer
+                // since the original ack.
+                buf.write(buf_off, data);
+                let r = self
+                    .write_once(fh, offset, &buf, buf_off, count, false)
+                    .await?;
+                self.stats
+                    .redriven_writes
+                    .set(self.stats.redriven_writes.get() + 1);
+                last_verf = r.verf;
+            }
+            if let Some(p) = self.pending.borrow_mut().get_mut(&fh.0) {
+                p.verf = last_verf;
+            }
+            verf = self.commit_once(fh).await?;
+        }
+        Err(NfsError::Protocol)
     }
 
     /// READ `count` bytes at `offset`. Supplying `user` enables the
@@ -377,8 +486,50 @@ impl NfsClient {
         }
     }
 
+    /// One WRITE on the wire, no pending-write bookkeeping.
+    async fn write_once(
+        &self,
+        fh: FileHandle,
+        offset: u64,
+        buf: &Buffer,
+        buf_off: u64,
+        count: u32,
+        stable: bool,
+    ) -> NfsResult<WriteRes> {
+        let head = WriteArgsHead {
+            file: fh,
+            offset,
+            count,
+            stable,
+        };
+        let res = match &self.transport {
+            Transport::Rdma(c) => {
+                let bulk = BulkParams {
+                    send: Some((buf.clone(), buf_off, count as u64)),
+                    ..Default::default()
+                };
+                let reply = c.call(NfsProc::Write as u32, head.to_bytes(), bulk).await?;
+                decode_res(reply.body, WriteRes::decode)?
+            }
+            Transport::Tcp(c) => {
+                let data = buf.read(buf_off, count as u64);
+                let (body, _) = c
+                    .call_bulk(NfsProc::Write as u32, head.to_bytes(), Some(data))
+                    .await?;
+                decode_res(body, WriteRes::decode)?
+            }
+        };
+        match res {
+            Ok(r) => Ok(r),
+            Err(s) => Err(NfsError::Status(s)),
+        }
+    }
+
     /// WRITE `count` bytes from `buf[buf_off..]` at `offset`.
-    /// `stable = true` requests FILE_SYNC semantics.
+    /// `stable = true` requests FILE_SYNC semantics; `stable = false`
+    /// is an UNSTABLE write — it is acked once the server's cache is
+    /// dirty, and the client records it for re-drive until a COMMIT
+    /// with a matching write verifier confirms durability.
     pub async fn write(
         &self,
         fh: FileHandle,
@@ -388,34 +539,32 @@ impl NfsClient {
         count: u32,
         stable: bool,
     ) -> NfsResult<u32> {
-        let head = WriteArgsHead {
-            file: fh,
-            offset,
-            count,
-            stable,
-        };
-        match &self.transport {
-            Transport::Rdma(c) => {
-                let bulk = BulkParams {
-                    send: Some((buf.clone(), buf_off, count as u64)),
-                    ..Default::default()
-                };
-                let reply = c.call(NfsProc::Write as u32, head.to_bytes(), bulk).await?;
-                match decode_res(reply.body, WriteRes::decode)? {
-                    Ok(r) => Ok(r.count),
-                    Err(s) => Err(NfsError::Status(s)),
-                }
+        let r = self
+            .write_once(fh, offset, buf, buf_off, count, stable)
+            .await?;
+        if stable {
+            // FILE_SYNC committed everything pending for this file —
+            // but only under the verifier we recorded; a changed
+            // verifier means earlier UNSTABLE data may be gone, so
+            // keep the ledger for commit() to re-drive.
+            let mut pending = self.pending.borrow_mut();
+            if pending.get(&fh.0).is_some_and(|p| p.verf == r.verf) {
+                pending.remove(&fh.0);
             }
-            Transport::Tcp(c) => {
-                let data = buf.read(buf_off, count as u64);
-                let (body, _) = c
-                    .call_bulk(NfsProc::Write as u32, head.to_bytes(), Some(data))
-                    .await?;
-                match decode_res(body, WriteRes::decode)? {
-                    Ok(r) => Ok(r.count),
-                    Err(s) => Err(NfsError::Status(s)),
-                }
-            }
+        } else {
+            let mut pending = self.pending.borrow_mut();
+            let entry = pending.entry(fh.0).or_insert(PendingFile {
+                verf: r.verf,
+                writes: Vec::new(),
+            });
+            entry.writes.push(PendingWrite {
+                offset,
+                buf: buf.clone(),
+                buf_off,
+                count,
+                data: buf.read(buf_off, count as u64),
+            });
         }
+        Ok(r.count)
     }
 }

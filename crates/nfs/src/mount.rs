@@ -12,7 +12,6 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use onc_rpc::{AcceptStat, BulkDispatch, BulkService, CallContext, LocalBoxFuture};
-use sim_core::Payload;
 use xdr::{Decoder, Encoder, XdrCodec};
 
 use crate::proto::FileHandle;
@@ -113,7 +112,7 @@ impl BulkService for MountdHandle {
         cx: CallContext,
         proc_num: u32,
         args: Bytes,
-        _bulk_in: Option<Payload>,
+        _bulk_in: Option<sim_core::SgList>,
     ) -> LocalBoxFuture<BulkDispatch> {
         let mountd = self.0.clone();
         Box::pin(async move {

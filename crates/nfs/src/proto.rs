@@ -459,19 +459,46 @@ impl XdrCodec for WriteArgsHead {
 pub struct WriteRes {
     /// Post-op attributes.
     pub attr: Fattr,
-    /// Bytes committed to the file.
+    /// Bytes accepted into the file.
     pub count: u32,
+    /// Write verifier: the server's boot-instance cookie (RFC 1813
+    /// §3.3.7). A client holding UNSTABLE writes compares this across
+    /// replies — a change means the server restarted and may have lost
+    /// uncommitted data, so everything pending must be re-driven.
+    pub verf: u64,
 }
 
 impl XdrCodec for WriteRes {
     fn encode(&self, enc: &mut Encoder) {
         self.attr.encode(enc);
-        enc.put_u32(self.count);
+        enc.put_u32(self.count).put_u64(self.verf);
     }
     fn decode(dec: &mut Decoder) -> XdrResult<Self> {
         Ok(WriteRes {
             attr: Fattr::decode(dec)?,
             count: dec.get_u32()?,
+            verf: dec.get_u64()?,
+        })
+    }
+}
+
+/// COMMIT result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRes {
+    /// Write verifier at commit time. Must match the verifier returned
+    /// with the UNSTABLE writes being committed; a mismatch tells the
+    /// client the server rebooted in between and the writes must be
+    /// re-sent before the commit means anything.
+    pub verf: u64,
+}
+
+impl XdrCodec for CommitRes {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.verf);
+    }
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(CommitRes {
+            verf: dec.get_u64()?,
         })
     }
 }
@@ -525,6 +552,18 @@ mod tests {
             stable: false,
         };
         assert_eq!(WriteArgsHead::from_bytes(&w.to_bytes()).unwrap(), w);
+
+        let wr = WriteRes {
+            attr: attr(),
+            count: 65536,
+            verf: 0xb007_0000_0000_0001,
+        };
+        assert_eq!(WriteRes::from_bytes(&wr.to_bytes()).unwrap(), wr);
+
+        let cr = CommitRes {
+            verf: 0xb007_0000_0000_0002,
+        };
+        assert_eq!(CommitRes::from_bytes(&cr.to_bytes()).unwrap(), cr);
     }
 
     #[test]

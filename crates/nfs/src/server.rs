@@ -2,7 +2,8 @@
 //! the RPC/RDMA transport (chunk-aware, the paper's subject) and the
 //! TCP stream transport (bulk data inline, the baseline).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -13,6 +14,9 @@ use sim_core::{Payload, SgList};
 use xdr::{Decoder, Encoder, XdrCodec};
 
 use crate::proto::*;
+
+/// Base of the deterministic write verifier; each (re)boot adds one.
+const WRITE_VERF_BASE: u64 = 0xb007_0000_0000_0000;
 
 /// Operation counters.
 #[derive(Default)]
@@ -27,11 +31,26 @@ pub struct NfsServerStats {
     pub bytes_read: Cell<u64>,
     /// Data bytes written to the VFS.
     pub bytes_written: Cell<u64>,
+    /// UNSTABLE (stable=false) WRITE calls acked from dirty cache.
+    pub unstable_writes: Cell<u64>,
+    /// COMMIT calls that triggered a group commit (the file had dirty
+    /// uncommitted data).
+    pub commits: Cell<u64>,
+    /// COMMIT calls answered without touching storage (nothing dirty).
+    pub clean_commits: Cell<u64>,
 }
 
 /// The server. Construct once, register with one or both transports.
 pub struct NfsServer {
     fs: Rc<dyn Vfs>,
+    /// Write verifier: boot-instance cookie returned with every WRITE
+    /// and COMMIT reply (RFC 1813 §3.3.7). Deterministic — derived from
+    /// the boot count, never from wall-clock time.
+    verf: Cell<u64>,
+    /// Uncommitted (UNSTABLE-written) bytes per file: the dirty side of
+    /// the per-file dirty/commit ledger. COMMIT consults it to decide
+    /// between a group commit and a free clean-commit reply.
+    dirty: RefCell<HashMap<u64, u64>>,
     /// Statistics.
     pub stats: NfsServerStats,
 }
@@ -49,8 +68,32 @@ impl NfsServer {
     pub fn new(fs: Rc<dyn Vfs>) -> Rc<NfsServer> {
         Rc::new(NfsServer {
             fs,
+            verf: Cell::new(WRITE_VERF_BASE + 1),
+            dirty: RefCell::new(HashMap::new()),
             stats: NfsServerStats::default(),
         })
+    }
+
+    /// The write verifier currently in force.
+    pub fn write_verf(&self) -> u64 {
+        self.verf.get()
+    }
+
+    /// Uncommitted UNSTABLE-written bytes tracked for `file` (0 when
+    /// clean). Diagnostic view of the dirty/commit ledger.
+    pub fn dirty_bytes(&self, file: FileHandle) -> u64 {
+        self.dirty.borrow().get(&file.0).copied().unwrap_or(0)
+    }
+
+    /// Simulate an NFS server reboot after a power failure: bump the
+    /// write verifier to a fresh boot-instance value and forget the
+    /// dirty ledger (whatever was uncommitted is gone — the backend's
+    /// recovery decides what survived). Clients notice the verifier
+    /// change on their next WRITE/COMMIT reply and re-drive everything
+    /// pending.
+    pub fn server_reboot(&self) {
+        self.verf.set(self.verf.get() + 1);
+        self.dirty.borrow_mut().clear();
     }
 
     /// The root file handle clients mount.
@@ -69,7 +112,7 @@ impl NfsServer {
         self: &Rc<Self>,
         proc_num: u32,
         args: Bytes,
-        bulk_in: Option<Payload>,
+        bulk_in: Option<SgList>,
         inline_bulk: bool,
     ) -> Result<OpResult, AcceptStat> {
         let Some(proc_id) = NfsProc::from_u32(proc_num) else {
@@ -183,7 +226,7 @@ impl NfsServer {
                     // Zero-copy: re-anchor the borrowed opaque into the
                     // args buffer rather than copying it out.
                     let raw = dec.get_opaque().map_err(bad)?;
-                    Payload::real(args.slice_ref(raw))
+                    SgList::from(Payload::real(args.slice_ref(raw)))
                 } else {
                     bulk_in.ok_or(AcceptStat::GarbageArgs)?
                 };
@@ -192,13 +235,24 @@ impl NfsServer {
                 }
                 let id = Self::fid(head.file);
                 let n = data.len();
-                match fs.write(id, head.offset, data).await {
+                // Receive-side scatter: each transport piece lands in
+                // the file system at its own offset, unflattened.
+                match fs.write_sg(id, head.offset, data).await {
                     Ok(written) => {
                         self.stats
                             .bytes_written
                             .set(self.stats.bytes_written.get() + written);
                         if head.stable {
                             let _ = fs.commit(id).await;
+                            self.dirty.borrow_mut().remove(&head.file.0);
+                        } else {
+                            // UNSTABLE: acked as soon as the pages are
+                            // dirty in cache; durability waits for
+                            // COMMIT's group commit.
+                            self.stats
+                                .unstable_writes
+                                .set(self.stats.unstable_writes.get() + 1);
+                            *self.dirty.borrow_mut().entry(head.file.0).or_insert(0) += written;
                         }
                         let attr = fs.getattr(id).map_err(|_| AcceptStat::GarbageArgs)?;
                         debug_assert_eq!(written, n);
@@ -206,6 +260,7 @@ impl NfsServer {
                             WriteRes {
                                 attr: Fattr::from_attr(&attr),
                                 count: written as u32,
+                                verf: self.verf.get(),
                             }
                             .encode(e)
                         }))
@@ -325,8 +380,24 @@ impl NfsServer {
             NfsProc::Commit => {
                 self.stats.others.set(self.stats.others.get() + 1);
                 let fh = FileHandle::from_bytes(&args).map_err(bad)?;
+                let was_dirty = self.dirty.borrow_mut().remove(&fh.0).is_some();
+                if was_dirty {
+                    self.stats.commits.set(self.stats.commits.get() + 1);
+                } else {
+                    self.stats
+                        .clean_commits
+                        .set(self.stats.clean_commits.get() + 1);
+                }
+                // Group commit: the backend flushes every pending
+                // uncommitted write (a WAL-backed store drains its whole
+                // tail in one sequential burst, not just this file's).
                 match fs.commit(Self::fid(fh)).await {
-                    Ok(()) => ok(encode_res(NfsStat::Ok, |_| {})),
+                    Ok(()) => ok(encode_res(NfsStat::Ok, |e| {
+                        CommitRes {
+                            verf: self.verf.get(),
+                        }
+                        .encode(e)
+                    })),
                     Err(e) => ok(encode_res(e.into(), |_| {})),
                 }
             }
@@ -350,7 +421,7 @@ impl RdmaService for NfsServerHandle {
         _cx: CallContext,
         proc_num: u32,
         args: Bytes,
-        bulk_in: Option<Payload>,
+        bulk_in: Option<SgList>,
     ) -> LocalBoxFuture<RdmaDispatch> {
         let server = self.0.clone();
         Box::pin(async move {

@@ -78,7 +78,7 @@ impl BulkService for ServiceRegistry {
         cx: CallContext,
         proc_num: u32,
         args: Bytes,
-        bulk_in: Option<sim_core::Payload>,
+        bulk_in: Option<sim_core::SgList>,
     ) -> LocalBoxFuture<BulkDispatch> {
         match self.services.get(&(cx.prog, cx.vers)) {
             Some(svc) => svc.call(cx, proc_num, args, bulk_in),
@@ -160,7 +160,11 @@ impl BulkDispatch {
 /// A bulk-aware RPC program: receives argument heads plus out-of-band
 /// bulk input (NFS WRITE data) and returns result heads plus bulk
 /// output (NFS READ data). Both the RPC/RDMA transport and the stream
-/// transport dispatch to this.
+/// transport dispatch to this. The bulk input is a scatter/gather list
+/// for the same reason the bulk output is: the RDMA transport pulls
+/// WRITE chunks as separate pieces, and handing them to the service
+/// unflattened is what lets the file system place each piece in its
+/// page cache without a pull-up copy (receive-side scatter).
 pub trait BulkService {
     /// Program number served.
     fn program(&self) -> u32;
@@ -172,7 +176,7 @@ pub trait BulkService {
         cx: CallContext,
         proc_num: u32,
         args: Bytes,
-        bulk_in: Option<sim_core::Payload>,
+        bulk_in: Option<sim_core::SgList>,
     ) -> LocalBoxFuture<BulkDispatch>;
 }
 

@@ -300,7 +300,7 @@ pub async fn serve_stream_bulk_connection(sim: Sim, stream: TcpStream, service: 
         let stream2 = stream.clone();
         let send_lock = send_lock.clone();
         sim.spawn(async move {
-            let bulk_in = (!bulk.is_empty()).then_some(bulk);
+            let bulk_in = (!bulk.is_empty()).then(|| sim_core::SgList::from(bulk));
             let cx = CallContext {
                 peer,
                 prog: hdr.prog,
@@ -477,9 +477,9 @@ mod tests {
             _cx: CallContext,
             _p: u32,
             args: Bytes,
-            bulk_in: Option<Payload>,
+            bulk_in: Option<sim_core::SgList>,
         ) -> LocalBoxFuture<BulkDispatch> {
-            Box::pin(async move { BulkDispatch::success_flat(args, bulk_in) })
+            Box::pin(async move { BulkDispatch::success(args, bulk_in) })
         }
     }
 

@@ -87,6 +87,14 @@ impl IoBuf {
         self.buffer.read(self.base + off, len)
     }
 
+    /// Read out of the window as a scatter/gather list: one refcounted
+    /// piece per landed chunk, no flattening. The receive-scatter WRITE
+    /// pipeline hands these pieces straight to the file system, where
+    /// they become page-cache extents without a pull-up copy.
+    pub fn read_sg(&self, off: u64, len: u64) -> sim_core::SgList {
+        self.buffer.read_sg(self.base + off, len)
+    }
+
     /// Write into the window.
     pub fn write(&self, off: u64, data: Payload) {
         self.buffer.write(self.base + off, data);

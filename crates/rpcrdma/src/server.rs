@@ -77,6 +77,11 @@ pub struct ServerStats {
     /// READ reply bytes gathered straight from file-system pages onto
     /// the wire (no staging write): the zero-copy pipeline's output.
     pub zero_copy_bytes: Cell<u64>,
+    /// WRITE bytes pulled from clients and handed to the file system
+    /// as scatter pieces (no flattening, no staging copy): the
+    /// receive-side scatter pipeline's output, mirroring
+    /// [`ServerStats::zero_copy_bytes`] on the READ side.
+    pub write_zero_copy_bytes: Cell<u64>,
     /// Operations currently being serviced.
     pub inflight: Cell<u64>,
     /// High-water mark of concurrent operations.
@@ -109,6 +114,7 @@ struct ServerMetrics {
     credit_clamps: Rc<Counter>,
     exposures_revoked: Rc<Counter>,
     zero_copy_bytes: Rc<Counter>,
+    write_zero_copy_bytes: Rc<Counter>,
 }
 
 /// A server endpoint shared by all client connections: the service,
@@ -180,6 +186,7 @@ impl RdmaRpcServer {
                 credit_clamps: registry.counter("server.credit_clamps"),
                 exposures_revoked: registry.counter("server.exposures.revoked"),
                 zero_copy_bytes: registry.counter("server.read.zero_copy_bytes"),
+                write_zero_copy_bytes: registry.counter("server.write.zero_copy_bytes"),
             },
             stats: Rc::new(ServerStats::default()),
         })
@@ -589,7 +596,7 @@ async fn handle_op(
 
     // ---- Pull read chunks (long call and/or WRITE payload). ---------
     let mut call_msg = inline_body;
-    let mut bulk_in: Option<Payload> = None;
+    let mut bulk_in: Option<SgList> = None;
     if hdr.msg_type == MsgType::Msgp {
         // Padded inline: [head][padding][data]. The alignment means the
         // data was placed directly — no pull-up copy, no RDMA Read.
@@ -619,7 +626,7 @@ async fn handle_op(
             .stats
             .msgp_recvs
             .set(server.stats.msgp_recvs.get() + 1);
-        bulk_in = Some(Payload::real(data));
+        bulk_in = Some(SgList::from(Payload::real(data)));
         call_msg = call_msg.slice(..head_len);
     }
     {
@@ -640,14 +647,31 @@ async fn handle_op(
             let total: u64 = data_chunks.iter().map(|c| c.segment.len).sum();
             let io = pull_chunks(&server, &qp, &conn, &data_chunks).await;
             let Some(io) = io else { return };
-            bulk_in = Some(io.read(0, total));
-            if server.registrar.is_staged() {
-                // Data must move from the slab into the file system.
-                cpu.copy(total).await;
+            if cfg.server_zero_copy && !server.registrar.is_staged() {
+                // Receive-side scatter: each pulled chunk leaves the
+                // window as its own refcounted piece and lands in the
+                // file system (page-cache extents) as-is — no pull-up
+                // copy, no flattening. Registration work is identical
+                // to the staged path (the scratch window was still
+                // acquired), only the host data movement disappears.
+                bulk_in = Some(io.read_sg(0, total));
                 server
                     .stats
-                    .copied_bytes
-                    .set(server.stats.copied_bytes.get() + total);
+                    .write_zero_copy_bytes
+                    .set(server.stats.write_zero_copy_bytes.get() + total);
+                server.metrics.write_zero_copy_bytes.add(total);
+            } else {
+                bulk_in = Some(SgList::from(io.read(0, total)));
+                if server.registrar.is_staged() {
+                    // Data must move from the slab into the file system
+                    // — the Cache strategy's pre-registered bounce
+                    // buffers are the only path that still copies.
+                    cpu.copy(total).await;
+                    server
+                        .stats
+                        .copied_bytes
+                        .set(server.stats.copied_bytes.get() + total);
+                }
             }
             server.stats.bulk_in.set(server.stats.bulk_in.get() + total);
             // Figure 4 points 8-9: server-side deregistration after the

@@ -27,7 +27,7 @@ impl RdmaService for Reader {
         _cx: CallContext,
         _p: u32,
         args: Bytes,
-        bulk_in: Option<Payload>,
+        bulk_in: Option<sim_core::SgList>,
     ) -> LocalBoxFuture<RdmaDispatch> {
         Box::pin(async move {
             let mut dec = xdr::Decoder::new(&args);

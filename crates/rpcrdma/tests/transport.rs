@@ -34,7 +34,7 @@ impl RdmaService for ToyFs {
         _cx: CallContext,
         proc_num: u32,
         args: Bytes,
-        bulk_in: Option<Payload>,
+        bulk_in: Option<sim_core::SgList>,
     ) -> LocalBoxFuture<RdmaDispatch> {
         let seed = self.seed;
         Box::pin(async move {

@@ -249,6 +249,26 @@ impl SgList {
         self.pieces
     }
 
+    /// The pieces paired with their byte offset within the list, in
+    /// order. Scatter consumers (page-cache placement, log records)
+    /// use this to land each piece at its own destination offset
+    /// without flattening the list first.
+    pub fn pieces_with_offsets(&self) -> impl Iterator<Item = (u64, &Payload)> {
+        let mut off = 0u64;
+        self.pieces.iter().map(move |p| {
+            let at = off;
+            off += p.len();
+            (at, p)
+        })
+    }
+
+    /// Append every piece of `other` (zero-copy).
+    pub fn append(&mut self, other: SgList) {
+        for p in other.pieces {
+            self.push(p);
+        }
+    }
+
     /// Sub-range `[start, start+len)` as a new list, slicing pieces at
     /// the boundaries (zero-copy). Panics if out of bounds.
     pub fn slice(&self, start: u64, len: u64) -> SgList {
@@ -434,6 +454,19 @@ mod tests {
             sg.to_payload(),
             Payload::Synthetic { len: 64, .. }
         ));
+    }
+
+    #[test]
+    fn sg_list_pieces_with_offsets_and_append() {
+        let mut sg =
+            SgList::from_pieces(vec![Payload::real(vec![0, 1, 2]), Payload::synthetic(3, 5)]);
+        let offs: Vec<u64> = sg.pieces_with_offsets().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![0, 3]);
+        sg.append(SgList::from(Payload::zeros(4)));
+        assert_eq!(sg.len(), 12);
+        assert_eq!(sg.piece_count(), 3);
+        let offs: Vec<u64> = sg.pieces_with_offsets().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![0, 3, 8]);
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct ChaosParams {
     pub first_qp_error: SimDuration,
     /// Spacing between consecutive forced QP errors.
     pub qp_error_spacing: SimDuration,
+    /// Storage behind the server. Crash scenarios need a WAL backend
+    /// ([`Backend::WalRaid`]) so committed data can be recovered.
+    pub backend: Backend,
+    /// Power-fail the server's storage at this virtual time and
+    /// restart it (WAL replay + write-verifier bump). Clients notice
+    /// the verifier change on their next COMMIT and re-drive every
+    /// pending UNSTABLE write.
+    pub server_crash_at: Option<SimDuration>,
     /// Record a trace and return its FNV-1a fingerprint (identical
     /// seeds must produce identical fingerprints).
     pub fingerprint: bool,
@@ -62,6 +70,8 @@ impl Default for ChaosParams {
             qp_errors: 1,
             first_qp_error: SimDuration::from_micros(200),
             qp_error_spacing: SimDuration::from_millis(1),
+            backend: Backend::Tmpfs,
+            server_crash_at: None,
             fingerprint: true,
         }
     }
@@ -89,6 +99,14 @@ pub struct ChaosResult {
     pub reconnects: u64,
     /// Records whose read-back bytes differed from what was written.
     pub corrupt_records: u64,
+    /// UNSTABLE writes clients re-sent after a COMMIT verifier
+    /// mismatch (server crash scenarios).
+    pub redriven_writes: u64,
+    /// COMMIT rounds that observed a verifier mismatch.
+    pub verf_mismatches: u64,
+    /// WAL records behind a commit marker at the end of the run (0
+    /// without a WAL backend).
+    pub wal_committed_records: u64,
     /// FNV-1a hash of the run's trace (0 when fingerprinting is off).
     pub fingerprint: u64,
     /// Sorted `(name, value)` dump of the run's whole metrics registry
@@ -142,7 +160,7 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: ChaosParams) -> ChaosRe
         profile,
         params.design,
         params.strategy,
-        Backend::Tmpfs,
+        params.backend,
         params.clients,
     );
     let fabric = bed.fabric.as_ref().expect("rdma testbed has a fabric");
@@ -175,6 +193,26 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: ChaosParams) -> ChaosRe
                 sim2.trace("fault", || "forcing client qp error".into());
                 victim.inject_qp_error();
             }
+        });
+    }
+
+    // Server power failure: storage loses everything volatile, the WAL
+    // replays its committed prefix, and the write verifier changes so
+    // clients re-drive uncommitted data. (The transport survives — a
+    // fast reboot; the storage and verifier state are what crash.)
+    if let Some(at) = params.server_crash_at {
+        let store = bed
+            .disk_store
+            .as_ref()
+            .expect("server crash scenarios need a disk-backed store")
+            .clone();
+        let server = bed.server.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(at).await;
+            sim2.trace("fault", || "server power failure + restart".into());
+            store.store().power_fail_restart().await;
+            server.server_reboot();
         });
     }
 
@@ -225,12 +263,21 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: ChaosParams) -> ChaosRe
     let mut rpc_retransmits = 0;
     let mut timeouts = 0;
     let mut reconnects = 0;
+    let mut redriven_writes = 0;
+    let mut verf_mismatches = 0;
     for c in &bed.clients {
         let s = c.nfs.rdma().expect("rdma mount").stats();
         rpc_retransmits += s.retransmits;
         timeouts += s.timeouts;
         reconnects += s.reconnects;
+        redriven_writes += c.nfs.stats.redriven_writes.get();
+        verf_mismatches += c.nfs.stats.verf_mismatches.get();
     }
+    let wal_committed_records = bed
+        .disk_store
+        .as_ref()
+        .and_then(|fs| fs.store().wal().map(|w| w.committed_records()))
+        .unwrap_or(0);
     ChaosResult {
         server_ops: rpc_server.stats.ops.get(),
         drc_replays: rpc_server.stats.drc_replays.get(),
@@ -241,6 +288,9 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: ChaosParams) -> ChaosRe
         timeouts,
         reconnects,
         corrupt_records,
+        redriven_writes,
+        verf_mismatches,
+        wal_committed_records,
         fingerprint: 0,
         metrics_snapshot: Vec::new(),
     }

@@ -33,6 +33,23 @@ pub struct IozoneParams {
     pub record: u64,
     /// Read or write.
     pub mode: IoMode,
+    /// Write mode only: issue WRITEs UNSTABLE and COMMIT each file
+    /// when its thread finishes (close-to-commit batching). The
+    /// default `false` keeps paper-era behavior: UNSTABLE writes with
+    /// no COMMIT at all.
+    pub commit_on_close: bool,
+}
+
+impl Default for IozoneParams {
+    fn default() -> Self {
+        IozoneParams {
+            threads_per_client: 1,
+            file_size: 32 << 20,
+            record: 128 * 1024,
+            mode: IoMode::Read,
+            commit_on_close: false,
+        }
+    }
 }
 
 /// Measured results.
@@ -104,6 +121,7 @@ pub async fn run_iozone(sim: &Sim, bed: &Testbed, params: IozoneParams) -> Iozon
             }
             let done = done.clone();
             let mode = params.mode;
+            let commit_on_close = params.commit_on_close;
             let sim2 = sim.clone();
             let latencies = latencies.clone();
             tasks += 1;
@@ -131,6 +149,9 @@ pub async fn run_iozone(sim: &Sim, bed: &Testbed, params: IozoneParams) -> Iozon
                         .borrow_mut()
                         .record(sim2.now().saturating_since(op_start));
                     off += record;
+                }
+                if commit_on_close && mode == IoMode::Write {
+                    nfs.commit(fh).await.expect("commit on close");
                 }
                 done.add_permits(1);
             });

@@ -25,6 +25,13 @@ pub enum Backend {
         /// Total server RAM.
         ram_bytes: u64,
     },
+    /// The RAID configuration plus a write-ahead log on a dedicated
+    /// log disk: COMMIT becomes a sequential group commit, and a
+    /// power failure recovers committed data by replay.
+    WalRaid {
+        /// Total server RAM.
+        ram_bytes: u64,
+    },
 }
 
 /// RAM the OS keeps for itself on the RAID server; the page cache gets
@@ -104,6 +111,18 @@ fn build_fs(sim: &Sim, backend: Backend) -> (Rc<dyn Vfs>, Option<Rc<Fs<CachedDis
             let cache = ram_bytes.saturating_sub(OS_RESERVE).max(128 << 20);
             let fs: Rc<Fs<CachedDiskStore>> =
                 Rc::new(Fs::new(sim, CachedDiskStore::new(raid, cache, 256 * 1024)));
+            fs.store().cache().bind_metrics(&sim.metrics());
+            (Rc::new(fs.clone()) as Rc<dyn Vfs>, Some(fs))
+        }
+        Backend::WalRaid { ram_bytes } => {
+            let raid = Raid0::paper_array(sim);
+            let cache = ram_bytes.saturating_sub(OS_RESERVE).max(128 << 20);
+            let wal = fs_backend::Wal::new(sim, fs_backend::WalConfig::default());
+            wal.bind_metrics(&sim.metrics());
+            let fs: Rc<Fs<CachedDiskStore>> = Rc::new(Fs::new(
+                sim,
+                CachedDiskStore::with_wal(raid, cache, 256 * 1024, wal),
+            ));
             fs.store().cache().bind_metrics(&sim.metrics());
             (Rc::new(fs.clone()) as Rc<dyn Vfs>, Some(fs))
         }

@@ -31,6 +31,7 @@ fn iozone_solaris(
                 file_size: 16 << 20,
                 record: 128 * 1024,
                 mode,
+                ..Default::default()
             },
         )
         .await
@@ -129,6 +130,7 @@ fn fig9_linux_allphysical_read_near_wire_and_write_degraded() {
                     file_size: 16 << 20,
                     record: 128 * 1024,
                     mode,
+                    ..Default::default()
                 },
             )
             .await

@@ -27,6 +27,7 @@ fn iozone_write_pass_stores_correct_bytes() {
             file_size: 1 << 20,
             record: 128 * 1024,
             mode: IoMode::Write,
+            ..Default::default()
         };
         let r = run_iozone(&h, &bed, params).await;
         assert_eq!(r.ops, 2 * (1 << 20) / (128 * 1024));
@@ -70,6 +71,7 @@ fn iozone_read_pass_counts_and_cpu() {
                 file_size: 1 << 20,
                 record: 64 * 1024,
                 mode: IoMode::Read,
+                ..Default::default()
             },
         )
         .await;
@@ -107,6 +109,7 @@ fn iozone_runs_over_tcp_testbed_too() {
                 file_size: 512 * 1024,
                 record: 64 * 1024,
                 mode: IoMode::Write,
+                ..Default::default()
             },
         )
         .await;
@@ -139,6 +142,7 @@ fn oltp_mix_produces_reads_writes_and_log_appends() {
                 io_size: 64 * 1024,
                 db_size: 16 << 20,
                 duration: SimDuration::from_millis(20),
+                ..Default::default()
             },
         )
         .await;
@@ -218,6 +222,7 @@ fn batched_read_run(seed: u64) -> (Vec<(String, u64)>, f64) {
                 file_size: 128 * 1024,
                 record: 4096,
                 mode: IoMode::Read,
+                ..Default::default()
             },
         )
         .await;

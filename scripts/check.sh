@@ -27,7 +27,10 @@ cargo run --release -p bench --bin simperf -- --smoke
 echo "==> ablation --batching --smoke (zero-copy >= 1.3x; doorbells/op and interrupts/op < 1 at depth 4)"
 cargo run --release -p bench --bin ablation -- --batching --smoke
 
-echo "==> chaos --smoke"
+echo "==> ablation --write-path --smoke (zero-copy WRITE >= 1.3x; copied_bytes frozen; Cache still the one bouncing strategy)"
+cargo run --release -p bench --bin ablation -- --write-path --smoke
+
+echo "==> chaos --smoke (fault sweep + crash-matrix gate: power-fail mid-burst, WAL replay, re-drive, zero corruption)"
 cargo run --release -p bench --bin chaos -- --smoke
 
 echo "==> adversary --smoke (hostile-client catalog, 20% goodput bound)"

@@ -240,4 +240,86 @@ fn steady_state_hot_paths_do_not_allocate() {
              allocated somewhere on the hot path"
         );
     });
+
+    // ---- Cached WRITE through the receive-side scatter pipeline. ----
+    // The WRITE mirror of the READ section: the server pulls the
+    // client's read chunks straight into page-cache pages (SgList of
+    // refcounted pieces, no bounce buffer). At steady state an UNSTABLE
+    // WRITE must stage zero bytes, every byte must be accounted by
+    // `server.write.zero_copy_bytes`, and per-op heap traffic stays far
+    // below the record size (the pending-write ledger keeps payload
+    // *references*, not copies).
+    let mut sim = Simulation::new(0x2C08);
+    let h = sim.handle();
+    sim.block_on(async move {
+        let profile = solaris_sdr();
+        let mut cfg = profile.rpc.with_design(Design::ReadWrite);
+        cfg.server_zero_copy = true;
+        let bed = build_rdma_custom(
+            &h,
+            &profile,
+            RdmaOpts {
+                cfg,
+                client_strategy: StrategyKind::Dynamic,
+                server_strategy: StrategyKind::AllPhysical,
+                server_hca: None,
+            },
+            Backend::Tmpfs,
+            1,
+        );
+        let root = bed.server.root_handle();
+        let c = &bed.clients[0];
+        let fh = c
+            .nfs
+            .create(root, "zero-copy-write")
+            .await
+            .expect("create")
+            .handle();
+        let buf = c.mem.alloc(record);
+        buf.write(0, Payload::synthetic(0x5EED, record));
+        // Warmup: size the file, heat the page cache, the scratch
+        // encoders, the registration bookkeeping and the pending-write
+        // ledger's vectors.
+        let mut off = 0;
+        while off < file {
+            c.nfs
+                .write(fh, off, &buf, 0, record as u32, false)
+                .await
+                .expect("warmup write");
+            off += record;
+        }
+        c.nfs.commit(fh).await.expect("warmup commit");
+
+        let rpc = bed.rpc_server.as_ref().expect("rdma testbed");
+        let copied0 = rpc.stats.copied_bytes.get();
+        let zero0 = rpc.stats.write_zero_copy_bytes.get();
+        let bytes0 = alloc_bytes();
+        for i in 0..ops {
+            let n = c
+                .nfs
+                .write(fh, (i * record) % file, &buf, 0, record as u32, false)
+                .await
+                .expect("steady-state write");
+            assert_eq!(n as u64, record);
+        }
+        let copied = rpc.stats.copied_bytes.get() - copied0;
+        let zeroed = rpc.stats.write_zero_copy_bytes.get() - zero0;
+        let heap_per_op = (alloc_bytes() - bytes0) / ops;
+
+        assert_eq!(
+            copied, 0,
+            "cached WRITE staged {copied} payload bytes through server host copies"
+        );
+        assert_eq!(
+            zeroed,
+            ops * record,
+            "every cached WRITE byte must take the receive-side scatter path"
+        );
+        assert!(
+            heap_per_op < record / 8,
+            "steady-state cached WRITE allocated {heap_per_op} heap bytes/op \
+             for {record}-byte records — a payload-sized buffer is being \
+             allocated or copied somewhere on the hot path"
+        );
+    });
 }
