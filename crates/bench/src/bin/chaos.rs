@@ -12,7 +12,10 @@
 
 use rpcrdma::Design;
 use sim_core::SimDuration;
-use workloads::{linux_sdr, run_chaos, Backend, ChaosParams, ChaosResult, Table};
+use workloads::{
+    linux_sdr, run_chaos, run_failover, Backend, ChaosParams, ChaosResult, FailoverParams,
+    FailoverResult, Table,
+};
 
 fn params(design: Design, drop: f64, qp_errors: u32) -> ChaosParams {
     ChaosParams {
@@ -115,8 +118,231 @@ fn smoke() {
     println!("chaos smoke: all invariants held");
 }
 
+// ---------------------------------------------------------------------
+// Failover matrix: the two-node replicated cluster under seeded
+// primary kills. Kill offsets are phase-anchored against the
+// deterministic 8 KiB/commit-every-8 workload: ≤ ~1.79 ms lands in an
+// UNSTABLE burst, ~1.8-2.0 ms lands between a client's local group
+// commit and the backup's marker ack (`interrupted_markers` proves
+// it), and the rejoin row brings the killed node back while the
+// promoted primary is still mid-workload.
+// ---------------------------------------------------------------------
+
+const FAILOVER_SEED: u64 = 0xFA11;
+/// Kill inside the UNSTABLE burst, clear of any commit marker.
+const KILL_MID_BURST_US: u64 = 1500;
+/// Kill between the local group commit and the backup's marker ack.
+const KILL_FLUSH_MARKER_US: u64 = 1860;
+/// Client stalls across a failover stay bounded by the retransmission
+/// backoff plus detection; anything past this is a hang, not a stall.
+const STALL_BOUND_US: u64 = 300_000;
+
+fn failover_fail(tag: &str, msg: &str) -> ! {
+    eprintln!("FAIL failover {tag}: {msg}");
+    std::process::exit(1);
+}
+
+fn failover_check(tag: &str, r: &FailoverResult, expect_kill: bool) {
+    if r.corrupt_records != 0 {
+        failover_fail(tag, &format!("{} corrupt records", r.corrupt_records));
+    }
+    if expect_kill {
+        if !r.promoted {
+            failover_fail(tag, "backup never promoted after the kill");
+        }
+        if r.stall_p99_us > STALL_BOUND_US {
+            failover_fail(
+                tag,
+                &format!(
+                    "p99 client stall {}us exceeds bound {STALL_BOUND_US}us",
+                    r.stall_p99_us
+                ),
+            );
+        }
+    } else if r.promoted {
+        failover_fail(tag, "spurious promotion without a kill");
+    }
+}
+
+fn failover_row(t: &mut Table, tag: &str, kill_us: Option<u64>, r: &FailoverResult) {
+    t.row(&[
+        tag.to_string(),
+        kill_us.map_or_else(|| "-".into(), |k| format!("{k}us")),
+        if r.promoted {
+            format!("{:.2}ms", r.failover_us as f64 / 1000.0)
+        } else {
+            "-".into()
+        },
+        format!("{:.2}ms", r.stall_p99_us as f64 / 1000.0),
+        r.interrupted_markers.to_string(),
+        r.redriven_writes.to_string(),
+        r.cross_epoch_replays.to_string(),
+        format!("{}", r.resync_bytes / 1024),
+        r.shipped_records.to_string(),
+        format!("{:.1}", r.write_mbps),
+        r.corrupt_records.to_string(),
+    ]);
+}
+
+/// The determinism gate the CI satellite requires: same seed, same
+/// scenario — byte-identical trace fingerprint *and* metrics snapshot.
+fn failover_determinism(tag: &str, p: FailoverParams, a: &FailoverResult) {
+    let b = run_failover(FAILOVER_SEED, &linux_sdr(), p);
+    if a.fingerprint != b.fingerprint {
+        failover_fail(
+            tag,
+            &format!(
+                "same seed, different traces ({:#x} vs {:#x})",
+                a.fingerprint, b.fingerprint
+            ),
+        );
+    }
+    if a.metrics_snapshot != b.metrics_snapshot {
+        failover_fail(tag, "same seed, different metrics snapshots");
+    }
+}
+
+/// Replication overhead gate: with no kill, the replicated cluster's
+/// WRITE throughput must stay within 15% of the same workload with
+/// replication disabled.
+fn failover_overhead(t: &mut Table) -> (f64, f64) {
+    let on = run_failover(FAILOVER_SEED, &linux_sdr(), FailoverParams::default());
+    failover_check("steady", &on, false);
+    if on.shipped_records == 0 || on.backup_applied != on.log_len {
+        failover_fail(
+            "steady",
+            "replication idle or backup lagging in steady state",
+        );
+    }
+    let mut p = FailoverParams::default();
+    p.cluster.replicate = false;
+    let off = run_failover(FAILOVER_SEED, &linux_sdr(), p);
+    failover_check("repl-off", &off, false);
+    failover_row(t, "steady (repl on)", None, &on);
+    failover_row(t, "ablation (repl off)", None, &off);
+    let ratio = on.write_mbps / off.write_mbps;
+    if ratio < 0.85 {
+        failover_fail(
+            "overhead",
+            &format!(
+                "replication costs {:.1}% of WRITE throughput (> 15% budget)",
+                (1.0 - ratio) * 100.0
+            ),
+        );
+    }
+    (on.write_mbps, off.write_mbps)
+}
+
+fn failover_matrix(smoke: bool) {
+    let profile = linux_sdr();
+    let mut t = Table::new(
+        "Failover matrix — 2-node replicated cluster, 3 clients, 8 KiB UNSTABLE records, COMMIT every 8",
+        &[
+            "scenario",
+            "kill at",
+            "failover",
+            "p99 stall",
+            "intr markers",
+            "re-driven",
+            "xepoch replays",
+            "resync KiB",
+            "shipped",
+            "MB/s",
+            "corrupt",
+        ],
+    );
+
+    let (on_mbps, off_mbps) = failover_overhead(&mut t);
+
+    // Kill point 1: mid-UNSTABLE-burst, with the same-seed determinism
+    // double-run (the replication CI gate).
+    let p = FailoverParams {
+        kill_at: Some(SimDuration::from_micros(KILL_MID_BURST_US)),
+        ..FailoverParams::default()
+    };
+    let r = run_failover(FAILOVER_SEED, &profile, p);
+    failover_check("mid-burst", &r, true);
+    if r.redriven_writes == 0 {
+        failover_fail("mid-burst", "kill landed outside the UNSTABLE burst");
+    }
+    failover_determinism("mid-burst", p, &r);
+    failover_row(&mut t, "kill mid-burst", Some(KILL_MID_BURST_US), &r);
+
+    // Kill point 2: between a client's local group commit (WAL flush +
+    // marker) and the backup's commit-marker acknowledgement.
+    let p = FailoverParams {
+        kill_at: Some(SimDuration::from_micros(KILL_FLUSH_MARKER_US)),
+        ..FailoverParams::default()
+    };
+    let r = run_failover(FAILOVER_SEED, &profile, p);
+    failover_check("flush-marker", &r, true);
+    if r.interrupted_markers == 0 {
+        failover_fail(
+            "flush-marker",
+            "kill missed the flush-to-marker window (no interrupted markers)",
+        );
+    }
+    failover_row(
+        &mut t,
+        "kill flush-to-marker",
+        Some(KILL_FLUSH_MARKER_US),
+        &r,
+    );
+
+    if !smoke {
+        // Kill point 3: a lossy fabric around the kill, so replies the
+        // failed primary already executed are retransmitted into the
+        // promoted backup's replicated DRC window (cross-epoch replays).
+        let p = FailoverParams {
+            drop_probability: 0.05,
+            kill_at: Some(SimDuration::from_micros(2000)),
+            ..FailoverParams::default()
+        };
+        let r = run_failover(3, &profile, p);
+        failover_check("drop-storm", &r, true);
+        if r.cross_epoch_replays == 0 {
+            failover_fail(
+                "drop-storm",
+                "no retransmission hit the replicated DRC window",
+            );
+        }
+        failover_row(&mut t, "kill + 5% drops", Some(2000), &r);
+
+        // Kill point 4: the killed node rejoins as a backup while the
+        // promoted primary is still serving — promotion, resync and
+        // live traffic overlap.
+        let p = FailoverParams {
+            records_per_client: 48,
+            kill_at: Some(SimDuration::from_micros(KILL_MID_BURST_US)),
+            rejoin_after: Some(SimDuration::from_millis(1)),
+            ..FailoverParams::default()
+        };
+        let r = run_failover(FAILOVER_SEED, &profile, p);
+        failover_check("rejoin", &r, true);
+        if r.resync_bytes == 0 {
+            failover_fail("rejoin", "rejoined node never re-synced the log tail");
+        }
+        failover_row(&mut t, "kill + rejoin/resync", Some(KILL_MID_BURST_US), &r);
+
+        bench::emit("failover_matrix", &t);
+    } else {
+        println!("{}", t.render());
+    }
+    println!(
+        "failover matrix: all kill points recovered with zero corruption \
+         (replication overhead {:.1}% of {off_mbps:.1} MB/s)",
+        (1.0 - on_mbps / off_mbps) * 100.0
+    );
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let failover = std::env::args().any(|a| a == "--failover");
+    let is_smoke = std::env::args().any(|a| a == "--smoke");
+    if failover {
+        failover_matrix(is_smoke);
+        return;
+    }
+    if is_smoke {
         smoke();
         return;
     }

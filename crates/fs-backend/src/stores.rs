@@ -174,6 +174,21 @@ impl CachedDiskStore {
         }
     }
 
+    /// Restart after a crash to *rejoin a cluster as backup*: like
+    /// [`CachedDiskStore::power_fail_restart`], but first truncates the
+    /// committed WAL to `keep_records` — the prefix the new primary's
+    /// replicated log acknowledges. Anything this node committed beyond
+    /// that died with it (local commit raced the backup ack), so replay
+    /// stops at the cluster-agreed history and the primary re-ships the
+    /// missing tail (a bounded catch-up metered as
+    /// `fs.wal.resync_bytes`) instead of this node cold-starting.
+    pub async fn rejoin_restart(&self, keep_records: u64) {
+        if let Some(wal) = &self.wal {
+            wal.truncate_committed_to(keep_records);
+        }
+        self.power_fail_restart().await;
+    }
+
     fn base_of(&self, file: FileId) -> u64 {
         *self.layout.borrow_mut().entry(file.0).or_insert_with(|| {
             // Reserve a generous fixed extent per file (64 GiB apart);

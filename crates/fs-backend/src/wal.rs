@@ -89,6 +89,13 @@ pub struct WalStats {
     pub replayed_records: Cell<u64>,
     /// Data bytes replayed by recovery.
     pub replayed_bytes: Cell<u64>,
+    /// Committed records discarded at cluster rejoin because the new
+    /// primary's replicated log does not contain them (the node died
+    /// after committing locally but before the backup acknowledged).
+    pub rejoin_truncated_records: Cell<u64>,
+    /// Bytes re-shipped by the primary during rejoin catch-up (the
+    /// bounded WAL-tail resync, as opposed to a full cold start).
+    pub resync_bytes: Cell<u64>,
 }
 
 struct WalMetrics {
@@ -101,6 +108,7 @@ struct WalMetrics {
     truncated_records: Rc<Counter>,
     replayed_records: Rc<Counter>,
     replayed_bytes: Rc<Counter>,
+    resync_bytes: Rc<Counter>,
 }
 
 /// The write-ahead log. One per store; owns its own (sequential) log
@@ -164,6 +172,7 @@ impl Wal {
             truncated_records: metrics.counter("fs.wal.truncated_records"),
             replayed_records: metrics.counter("fs.wal.replayed_records"),
             replayed_bytes: metrics.counter("fs.wal.replayed_bytes"),
+            resync_bytes: metrics.counter("fs.wal.resync_bytes"),
         });
     }
 
@@ -290,6 +299,35 @@ impl Wal {
         self.tail.borrow_mut().clear();
         self.tail_bytes.set(0);
         self.flushed.borrow_mut().clear();
+    }
+
+    /// Cluster rejoin, step 1: discard committed records beyond the
+    /// replicated prefix the new primary acknowledged. A primary that
+    /// died between its local group commit and the backup's ack holds
+    /// committed records the rest of the cluster never saw; rejoining
+    /// as a backup means adopting the survivor's history, so the
+    /// divergent tail is truncated before replay (the real-system
+    /// analogue: the rejoin handshake compares log sequence numbers
+    /// stored in the commit markers).
+    pub fn truncate_committed_to(&self, keep_records: u64) {
+        let mut committed = self.committed.borrow_mut();
+        if (committed.len() as u64) <= keep_records {
+            return;
+        }
+        let dropped = committed.len() as u64 - keep_records;
+        committed.truncate(keep_records as usize);
+        self.bump(
+            |s| &s.rejoin_truncated_records,
+            |m| &m.truncated_records,
+            dropped,
+        );
+    }
+
+    /// Cluster rejoin, step 2 accounting: `bytes` of log records were
+    /// re-shipped by the primary to catch this node's WAL tail up
+    /// (bounded catch-up instead of a cold start).
+    pub fn note_resync(&self, bytes: u64) {
+        self.bump(|s| &s.resync_bytes, |m| &m.resync_bytes, bytes);
     }
 
     /// Recovery replay: scan the log sequentially (charged as one

@@ -12,7 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use sim_core::sync::Receiver;
+use sim_core::sync::{Receiver, Sender};
 use sim_core::{Cpu, Payload, Resource, Sim, SimDuration};
 
 use crate::config::HcaConfig;
@@ -59,6 +59,13 @@ pub(crate) struct HcaInner {
     /// with every QP so post-time SG checks see enablement regardless
     /// of ordering between `enable_all_physical` and `connect`.
     global_rkey_cell: Rc<Cell<Option<Rkey>>>,
+    /// Placement watches: per-rkey subscribers notified `(raddr, len)`
+    /// the instant an inbound RDMA Write lands in that region. Models
+    /// a host consumer polling its own memory for one-sided arrivals
+    /// (a replication log ring) without burning simulated CPU — the
+    /// poll hit coincides with DMA placement, which is exactly the
+    /// ordering a real poller observes.
+    watches: RefCell<HashMap<Rkey, Sender<(u64, u64)>>>,
 }
 
 /// Handle to a simulated HCA.
@@ -98,6 +105,7 @@ impl Hca {
                 next_qpn: Cell::new(1),
                 stats: RefCell::new(RegStats::default()),
                 global_rkey_cell: Rc::new(Cell::new(None)),
+                watches: RefCell::new(HashMap::new()),
             }),
         };
         let h2 = hca.clone();
@@ -307,6 +315,22 @@ impl Hca {
         self.fold_cqs(|cq| cq.coalesced())
     }
 
+    /// Subscribe to RDMA Write placements into the region behind
+    /// `rkey`: every accepted inbound Write sends `(raddr, len)` on
+    /// `tx` at placement time. One subscriber per rkey (a later call
+    /// replaces the earlier one); dropping the paired receiver simply
+    /// discards notifications. This is how a replication log ring's
+    /// owner learns that the primary deposited a record without any
+    /// two-sided traffic.
+    pub fn watch_writes(&self, rkey: Rkey, tx: Sender<(u64, u64)>) {
+        self.inner.watches.borrow_mut().insert(rkey, tx);
+    }
+
+    /// Remove a placement watch installed by [`Hca::watch_writes`].
+    pub fn unwatch_writes(&self, rkey: Rkey) {
+        self.inner.watches.borrow_mut().remove(&rkey);
+    }
+
     fn fold_cqs(&self, f: impl Fn(&Cq) -> u64) -> u64 {
         let mut seen = Vec::new();
         let mut total = 0;
@@ -401,6 +425,14 @@ async fn dispatch_loop(hca: Hca, mut inbox: Receiver<WireMsg>) {
                             let n = piece.len();
                             buffer.write(at, piece);
                             at += n;
+                        }
+                        // Placement watch: wake any local consumer
+                        // polling this region (see `watch_writes`).
+                        if !hca.inner.watches.borrow().is_empty() {
+                            if let Some(tx) = hca.inner.watches.borrow().get(&rkey) {
+                                // A gone consumer just stops polling.
+                                let _ = tx.send((raddr, total));
+                            }
                         }
                         ack.send(Ok(()));
                     }

@@ -10,11 +10,16 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod cluster;
 pub mod mount;
 pub mod proto;
 pub mod server;
 
 pub use client::{NfsClient, NfsError, NfsResult};
+pub use cluster::{
+    promote_backup, run_backup, BackupSession, ClusterMount, ReplRecord, Replicator,
+    ReplicatorStats,
+};
 pub use mount::{MountClient, Mountd, MountdHandle, MOUNT_PROGRAM, MOUNT_VERSION};
 pub use proto::{
     DirOpArgs, Fattr, FileHandle, NfsProc, NfsStat, ReadArgs, ReadResHead, WireDirEntry,

@@ -16,7 +16,7 @@ use xdr::{Decoder, Encoder, XdrCodec};
 use crate::proto::*;
 
 /// Base of the deterministic write verifier; each (re)boot adds one.
-const WRITE_VERF_BASE: u64 = 0xb007_0000_0000_0000;
+pub(crate) const WRITE_VERF_BASE: u64 = 0xb007_0000_0000_0000;
 
 /// Operation counters.
 #[derive(Default)]
@@ -51,6 +51,12 @@ pub struct NfsServer {
     /// the per-file dirty/commit ledger. COMMIT consults it to decide
     /// between a group commit and a free clean-commit reply.
     dirty: RefCell<HashMap<u64, u64>>,
+    /// Fenced/failed: a deposed primary stops executing (its replies
+    /// would die on errored QPs anyway; this stops zombie mutations).
+    dead: Cell<bool>,
+    /// When serving as a cluster primary: the replicated-log sequencer
+    /// every successful mutation ships through before its reply.
+    replicator: RefCell<Option<Rc<crate::cluster::Replicator>>>,
     /// Statistics.
     pub stats: NfsServerStats,
 }
@@ -70,8 +76,60 @@ impl NfsServer {
             fs,
             verf: Cell::new(WRITE_VERF_BASE + 1),
             dirty: RefCell::new(HashMap::new()),
+            dead: Cell::new(false),
+            replicator: RefCell::new(None),
             stats: NfsServerStats::default(),
         })
+    }
+
+    /// Install the cluster replicator: from here on, every successful
+    /// mutating call is shipped to the backup before its reply, and
+    /// COMMIT waits for the backup's marker ack.
+    pub fn set_replicator(&self, r: Rc<crate::cluster::Replicator>) {
+        *self.replicator.borrow_mut() = Some(r);
+    }
+
+    /// The installed replicator, if any.
+    pub fn replicator(&self) -> Option<Rc<crate::cluster::Replicator>> {
+        self.replicator.borrow().clone()
+    }
+
+    /// Fence or unfence the server (failed nodes stop executing).
+    pub fn set_dead(&self, dead: bool) {
+        self.dead.set(dead);
+    }
+
+    /// Adopt a cluster-assigned boot-instance write verifier (promotion
+    /// and rejoin use the [`crate::cluster::ClusterMount`] boot counter
+    /// so verifiers stay strictly monotonic across incarnations).
+    pub fn install_boot_verf(&self, verf: u64) {
+        self.verf.set(verf);
+    }
+
+    /// Promotion durability point: group-commit everything pending and
+    /// reset the dirty ledger (the replayed prefix is now stable).
+    pub async fn force_commit(&self) {
+        let root = self.fs.root();
+        let _ = self.fs.commit(root).await;
+        self.dirty.borrow_mut().clear();
+    }
+
+    /// Apply one replicated record on the backup: same protocol engine,
+    /// `replicate = false` so the apply path never re-ships.
+    pub async fn apply_replicated(self: &Rc<Self>, rec: &crate::cluster::ReplRecord) {
+        let bulk = rec.bulk.clone().map(SgList::from);
+        let res = self
+            .run_op(
+                rec.peer,
+                rec.xid,
+                rec.proc_num,
+                rec.args.clone(),
+                bulk,
+                false,
+                false,
+            )
+            .await;
+        debug_assert!(res.is_ok(), "replicated record failed to apply");
     }
 
     /// The write verifier currently in force.
@@ -107,14 +165,26 @@ impl NfsServer {
 
     /// Execute one NFS procedure. `bulk_in` carries WRITE data when the
     /// transport moved it out of band (RDMA); over TCP the data is
-    /// still inline in `args` and `bulk_in` is `None`.
+    /// still inline in `args` and `bulk_in` is `None`. `peer`/`xid`
+    /// identify the call for replication (the backup mirrors the DRC
+    /// window under them); `replicate = false` marks the backup apply
+    /// path, which must never re-ship.
+    #[allow(clippy::too_many_arguments)]
     async fn run_op(
         self: &Rc<Self>,
+        peer: u32,
+        xid: u32,
         proc_num: u32,
         args: Bytes,
         bulk_in: Option<SgList>,
         inline_bulk: bool,
+        replicate: bool,
     ) -> Result<OpResult, AcceptStat> {
+        if self.dead.get() {
+            // Fenced: refuse to execute (the reply dies on an errored
+            // QP regardless; this stops zombie mutations).
+            return Err(AcceptStat::ProcUnavail);
+        }
         let Some(proc_id) = NfsProc::from_u32(proc_num) else {
             return Err(AcceptStat::ProcUnavail);
         };
@@ -122,7 +192,21 @@ impl NfsServer {
         let fs = &self.fs;
         let ok = |head: Bytes| Ok(OpResult { head, bulk: None });
 
-        match proc_id {
+        let repl = if replicate {
+            self.replicator.borrow().clone()
+        } else {
+            None
+        };
+        // Captured along the WRITE path for the replication hook.
+        let mut repl_bulk: Option<Payload> = None;
+        let mut repl_marker = false;
+        // Markers (COMMIT, stable WRITE) take the sequencing lock
+        // *before* their local group commit so every previously
+        // sequenced record's WAL appends land inside the marker's
+        // committed set — the rejoin-truncation invariant.
+        let mut marker_permit = None;
+
+        let result = match proc_id {
             NfsProc::Null => {
                 self.stats.others.set(self.stats.others.get() + 1);
                 ok(Bytes::new())
@@ -235,6 +319,14 @@ impl NfsServer {
                 }
                 let id = Self::fid(head.file);
                 let n = data.len();
+                if let Some(r) = &repl {
+                    // Content-preserving capture for the backup ship.
+                    repl_bulk = Some(data.to_payload());
+                    if head.stable {
+                        repl_marker = true;
+                        marker_permit = Some(r.begin_marker().await);
+                    }
+                }
                 // Receive-side scatter: each transport piece lands in
                 // the file system at its own offset, unflattened.
                 match fs.write_sg(id, head.offset, data).await {
@@ -388,6 +480,10 @@ impl NfsServer {
                         .clean_commits
                         .set(self.stats.clean_commits.get() + 1);
                 }
+                if let Some(r) = &repl {
+                    repl_marker = true;
+                    marker_permit = Some(r.begin_marker().await);
+                }
                 // Group commit: the backend flushes every pending
                 // uncommitted write (a WAL-backed store drains its whole
                 // tail in one sequential burst, not just this file's).
@@ -401,7 +497,40 @@ impl NfsServer {
                     Err(e) => ok(encode_res(e.into(), |_| {})),
                 }
             }
+        };
+
+        // Replication hook: ship every *successful* mutation to the
+        // backup before the reply is released; markers additionally
+        // wait for the backup's ack inside `replicate`.
+        if let (Some(repl), Ok(res)) = (repl, &result) {
+            let mutating = matches!(
+                proc_id,
+                NfsProc::Setattr
+                    | NfsProc::Write
+                    | NfsProc::Create
+                    | NfsProc::Mkdir
+                    | NfsProc::Symlink
+                    | NfsProc::Remove
+                    | NfsProc::Rmdir
+                    | NfsProc::Rename
+                    | NfsProc::Commit
+            );
+            let ok_reply = res.head.len() >= 4 && res.head[..4] == [0u8; 4];
+            if mutating && ok_reply {
+                repl.replicate(
+                    marker_permit.take(),
+                    proc_num,
+                    peer,
+                    xid,
+                    args.clone(),
+                    res.head.clone(),
+                    repl_bulk.take(),
+                    repl_marker,
+                )
+                .await;
+            }
         }
+        result
     }
 }
 
@@ -418,14 +547,17 @@ impl RdmaService for NfsServerHandle {
     }
     fn call(
         &self,
-        _cx: CallContext,
+        cx: CallContext,
         proc_num: u32,
         args: Bytes,
         bulk_in: Option<SgList>,
     ) -> LocalBoxFuture<RdmaDispatch> {
         let server = self.0.clone();
         Box::pin(async move {
-            match server.run_op(proc_num, args, bulk_in, false).await {
+            match server
+                .run_op(cx.peer, cx.xid, proc_num, args, bulk_in, false, true)
+                .await
+            {
                 Ok(r) => RdmaDispatch::success(r.head, r.bulk),
                 Err(stat) => RdmaDispatch::error(stat),
             }
@@ -440,10 +572,13 @@ impl RpcService for NfsServerHandle {
     fn version(&self) -> u32 {
         NFS_VERSION
     }
-    fn call(&self, _cx: CallContext, proc_num: u32, args: Bytes) -> LocalBoxFuture<DispatchResult> {
+    fn call(&self, cx: CallContext, proc_num: u32, args: Bytes) -> LocalBoxFuture<DispatchResult> {
         let server = self.0.clone();
         Box::pin(async move {
-            match server.run_op(proc_num, args, None, true).await {
+            match server
+                .run_op(cx.peer, cx.xid, proc_num, args, None, true, true)
+                .await
+            {
                 Ok(r) => {
                     debug_assert!(r.bulk.is_none(), "TCP path returns data inline");
                     DispatchResult::success(r.head)

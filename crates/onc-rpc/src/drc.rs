@@ -26,13 +26,20 @@ use sim_core::stats::Counter;
 use sim_core::sync::{oneshot, OneshotReceiver, OneshotSender};
 use sim_core::MetricsRegistry;
 
-/// Cache key: requesting peer plus the call's XID.
+/// Cache key: requesting peer plus the call's XID, qualified by the
+/// *service epoch* the call first executed under. A replicated cluster
+/// bumps the epoch at every promotion; entries recorded under the old
+/// primary are carried to the backup and replayed from the previous
+/// epoch (see [`DuplicateRequestCache::lookup_cached`]), so a WRITE
+/// retransmitted across a failover is replayed, never re-executed.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct DrcKey {
     /// Fabric node id of the calling peer.
     pub peer: u32,
     /// Transaction id carried by the call (stable across retransmits).
     pub xid: u32,
+    /// Service epoch (0 for a standalone server; bumped per promotion).
+    pub epoch: u32,
 }
 
 enum Entry<V> {
@@ -212,6 +219,37 @@ impl<V: Clone> DuplicateRequestCache<V> {
         }
     }
 
+    /// Peek at a completed entry without admitting a new call: a hit
+    /// replays (counted + LRU-touched) and a miss changes nothing — no
+    /// in-progress entry is created. Used for the cross-epoch fallback:
+    /// after a promotion the server probes the previous epoch before
+    /// admitting the call as new under the current one.
+    pub fn lookup_cached(&self, key: DrcKey) -> Option<V> {
+        let mut g = self.inner.borrow_mut();
+        let Some(Entry::Done(v)) = g.entries.get(&key) else {
+            return None;
+        };
+        let v = v.clone();
+        g.hits += 1;
+        if let Some(m) = &g.metrics {
+            m.hits.inc();
+        }
+        if let Some(pos) = g.order.iter().position(|k| *k == key) {
+            g.order.remove(pos);
+            g.order.push_back(key);
+        }
+        Some(v)
+    }
+
+    /// Insert a completed reply directly, without a prior
+    /// [`DuplicateRequestCache::begin`] reservation. This is how a
+    /// replicated backup mirrors the primary's completed-reply window:
+    /// every applied record installs its reply so the window is already
+    /// in place when the backup is promoted.
+    pub fn insert_completed(&self, key: DrcKey, value: &V) {
+        self.complete(key, value);
+    }
+
     fn abort(&self, key: DrcKey) {
         let mut g = self.inner.borrow_mut();
         // Only an in-progress entry can belong to an unfilled
@@ -262,7 +300,11 @@ mod tests {
     use super::*;
 
     fn k(xid: u32) -> DrcKey {
-        DrcKey { peer: 1, xid }
+        DrcKey {
+            peer: 1,
+            xid,
+            epoch: 0,
+        }
     }
 
     #[test]
@@ -363,12 +405,62 @@ mod tests {
     #[test]
     fn distinct_peers_do_not_collide_on_xid() {
         let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
-        let a = DrcKey { peer: 1, xid: 5 };
-        let b = DrcKey { peer: 2, xid: 5 };
+        let a = DrcKey {
+            peer: 1,
+            xid: 5,
+            epoch: 0,
+        };
+        let b = DrcKey {
+            peer: 2,
+            xid: 5,
+            epoch: 0,
+        };
         let DrcOutcome::New(sa) = drc.begin(a) else {
             panic!()
         };
         sa.fill(&1);
         assert!(matches!(drc.begin(b), DrcOutcome::New(_)));
+    }
+
+    #[test]
+    fn distinct_epochs_do_not_collide_on_xid() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        let DrcOutcome::New(s) = drc.begin(k(5)) else {
+            panic!()
+        };
+        s.fill(&1);
+        let next_epoch = DrcKey {
+            peer: 1,
+            xid: 5,
+            epoch: 1,
+        };
+        assert!(matches!(drc.begin(next_epoch), DrcOutcome::New(_)));
+    }
+
+    #[test]
+    fn lookup_cached_replays_without_admitting() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        // Miss leaves no in-progress residue: a later begin is New.
+        assert_eq!(drc.lookup_cached(k(9)), None);
+        assert!(!drc.contains(k(9)));
+        let DrcOutcome::New(s) = drc.begin(k(9)) else {
+            panic!()
+        };
+        s.fill(&7);
+        assert_eq!(drc.lookup_cached(k(9)), Some(7));
+        assert_eq!(drc.hits(), 1);
+    }
+
+    #[test]
+    fn insert_completed_mirrors_a_window_entry() {
+        let drc: DuplicateRequestCache<u32> = DuplicateRequestCache::new(8);
+        // A backup installs the primary's reply directly; a retransmit
+        // arriving after promotion replays it.
+        drc.insert_completed(k(11), &99);
+        assert_eq!(drc.inserts(), 1);
+        match drc.begin(k(11)) {
+            DrcOutcome::Cached(v) => assert_eq!(v, 99),
+            _ => panic!("imported entry must replay"),
+        }
     }
 }

@@ -25,6 +25,10 @@ pub struct CallContext {
     pub prog: u32,
     /// RPC program version from the call header.
     pub vers: u32,
+    /// Transaction id from the call header (0 if unknown). Services
+    /// that replicate execution (primary/backup NFS) ship it with each
+    /// record so the backup can mirror the duplicate-request window.
+    pub xid: u32,
 }
 
 /// Sentinel program number: a [`BulkService`] returning this from

@@ -264,6 +264,7 @@ pub async fn serve_stream_connection(sim: Sim, stream: TcpStream, service: Servi
                     peer,
                     prog: hdr.prog,
                     vers: hdr.vers,
+                    xid: hdr.xid,
                 },
                 hdr.prog,
                 hdr.vers,
@@ -305,6 +306,7 @@ pub async fn serve_stream_bulk_connection(sim: Sim, stream: TcpStream, service: 
                 peer,
                 prog: hdr.prog,
                 vers: hdr.vers,
+                xid: hdr.xid,
             };
             let wildcard = service.program() == crate::service::PROG_WILDCARD;
             let result =

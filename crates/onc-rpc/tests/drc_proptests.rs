@@ -28,7 +28,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn key(xid: u32) -> DrcKey {
-    DrcKey { peer: 1, xid }
+    DrcKey {
+        peer: 1,
+        xid,
+        epoch: 0,
+    }
 }
 
 /// Exact mirror of the cache's contract.

@@ -84,8 +84,12 @@ pub struct ClientStats {
 }
 
 /// Rebuilds a client connection after a QP error: tears down the old
-/// server-side endpoint and returns a fresh connected QP.
-pub type Connector = Box<dyn Fn() -> Qp>;
+/// server-side endpoint and returns a fresh connected QP. The returned
+/// future lets a cluster-aware connector *wait* (e.g. for a backup's
+/// promotion to finish) instead of handing back a dead endpoint — a
+/// connector returning an un-postable QP kills the client for good.
+/// Plain single-server connectors resolve immediately.
+pub type Connector = Box<dyn Fn() -> onc_rpc::LocalBoxFuture<Qp>>;
 
 /// Registry handles for the client-side series (`client.*`). Shared by
 /// every client endpoint in the world, so they aggregate fleet-wide;
@@ -222,6 +226,19 @@ impl RdmaRpcClient {
     /// retransmit. Without a connector, QP errors are fatal and every
     /// call fails with [`RpcError::Disconnected`].
     pub fn set_connector(&self, f: impl Fn() -> Qp + 'static) {
+        // Synchronous connectors wrap into an already-resolved future,
+        // so recovery timing is identical to the pre-async contract.
+        *self.inner.connector.borrow_mut() = Some(Box::new(move || {
+            let qp = f();
+            Box::pin(async move { qp }) as onc_rpc::LocalBoxFuture<Qp>
+        }));
+    }
+
+    /// Like [`RdmaRpcClient::set_connector`], but the connector itself
+    /// is async: a `ClusterMount` connector awaits the failure
+    /// detector's promotion before resolving to a QP on the *new*
+    /// primary, so recovery never hands back a dead endpoint.
+    pub fn set_connector_async(&self, f: impl Fn() -> onc_rpc::LocalBoxFuture<Qp> + 'static) {
         *self.inner.connector.borrow_mut() = Some(Box::new(f));
     }
 
@@ -785,7 +802,11 @@ fn start_recovery(inner: &Rc<ClientInner>) {
     let inner = inner.clone();
     inner.sim.clone().spawn(async move {
         inner.sim.sleep(inner.cfg.reconnect_delay).await;
-        let qp = {
+        // Build the reconnect future while holding the borrow, await
+        // it after releasing it: a cluster connector may park here
+        // until a promotion gate opens, and set_connector must stay
+        // callable meanwhile.
+        let reconnect = {
             let connector = inner.connector.borrow();
             match connector.as_ref() {
                 Some(f) => f(),
@@ -798,6 +819,7 @@ fn start_recovery(inner: &Rc<ClientInner>) {
                 }
             }
         };
+        let qp = reconnect.await;
         // Registrations cached against the torn-down connection are
         // conservatively dropped and re-established on demand.
         inner.registrar.flush_cache().await;

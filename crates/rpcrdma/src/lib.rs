@@ -23,6 +23,7 @@ pub mod client;
 pub mod config;
 pub mod header;
 pub mod reg;
+pub mod repl;
 pub mod router;
 pub mod sanitize;
 pub mod server;
@@ -34,6 +35,7 @@ pub use header::{
     MsgType, RdmaHeader, ReadChunk, Segment, MAX_WIRE_CHUNKS, MAX_WIRE_SEGMENTS, RPCRDMA_VERSION,
 };
 pub use reg::{IoBuf, RegCache, Registrar, StrategyKind};
+pub use repl::{CtrlTarget, CtrlWriter, LogRing, ReplError, RingTarget, Shipper, RING_SENTINEL};
 pub use sanitize::{sanitize_header, ProtocolViolation};
 pub use server::{RdmaRpcServer, ServerStats};
 pub use service::{RdmaDispatch, RdmaService};

@@ -89,6 +89,10 @@ pub struct ServerStats {
     /// Retransmitted calls answered from the duplicate request cache
     /// (or parked on an in-progress original) instead of re-executing.
     pub drc_replays: Cell<u64>,
+    /// DRC replays served from the *previous* service epoch: calls
+    /// first executed on a failed primary and retransmitted to this
+    /// server after its promotion (subset of `drc_replays`).
+    pub cross_epoch_replays: Cell<u64>,
     /// Protocol violations detected by the chunk-list sanitizer (all
     /// connections, all kinds).
     pub violations: Cell<u64>,
@@ -138,6 +142,11 @@ pub struct RdmaRpcServer {
     /// Duplicate request cache: retransmitted calls (same peer + XID)
     /// replay the original dispatch instead of re-executing it.
     drc: DuplicateRequestCache<crate::service::RdmaDispatch>,
+    /// Service epoch qualifying DRC keys. 0 for a standalone server;
+    /// a replicated cluster bumps it when this server is promoted, and
+    /// calls that miss the current epoch probe the previous one so
+    /// retransmissions across a failover replay instead of re-executing.
+    service_epoch: Cell<u32>,
     /// Registry-backed counters.
     metrics: ServerMetrics,
     /// Statistics.
@@ -178,6 +187,7 @@ impl RdmaRpcServer {
             credit_grant: Cell::new(cfg.credits),
             srq,
             drc,
+            service_epoch: Cell::new(0),
             metrics: ServerMetrics {
                 ops: registry.counter("server.ops"),
                 replays: registry.counter("server.drc.replays"),
@@ -217,6 +227,28 @@ impl RdmaRpcServer {
     /// The duplicate request cache (diagnostics).
     pub fn drc(&self) -> &DuplicateRequestCache<crate::service::RdmaDispatch> {
         &self.drc
+    }
+
+    /// The service epoch qualifying DRC keys (0 = standalone).
+    pub fn service_epoch(&self) -> u32 {
+        self.service_epoch.get()
+    }
+
+    /// Install a new service epoch (promotion). New calls key the DRC
+    /// under this epoch; misses probe `epoch - 1` so the completed-
+    /// reply window carried over from the failed primary still replays.
+    pub fn set_service_epoch(&self, epoch: u32) {
+        self.service_epoch.set(epoch);
+    }
+
+    /// Mirror a completed reply into the DRC under an explicit epoch —
+    /// how a backup installs the primary's completed-reply window entry
+    /// for every replicated record it applies.
+    pub fn import_reply(&self, peer: u32, xid: u32, epoch: u32, head: Bytes) {
+        self.drc.insert_completed(
+            DrcKey { peer, xid, epoch },
+            &crate::service::RdmaDispatch::success(head, None),
+        );
     }
 
     /// Attach one accepted connection (a connected QP) and serve it.
@@ -691,62 +723,97 @@ async fn handle_op(
         peer,
         prog: call_hdr.prog,
         vers: call_hdr.vers,
+        xid: call_hdr.xid,
     };
     let wildcard = server.service.program() == onc_rpc::PROG_WILDCARD;
     // At-most-once: retransmitted calls (same peer + XID) replay the
     // original dispatch; duplicates of a call still executing park on
     // it. Only a genuinely new call reaches the service.
+    let epoch = server.service_epoch.get();
     let key = DrcKey {
         peer,
         xid: call_hdr.xid,
+        epoch,
     };
-    let dispatch = match server.drc.begin(key) {
-        DrcOutcome::New(slot) => {
-            let dispatch = if !wildcard
-                && (call_hdr.prog != server.service.program()
-                    || call_hdr.vers != server.service.version())
-            {
-                crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
-            } else {
-                let _s = server.sim.span_proc("server", "service", call_hdr.proc_num);
-                server
-                    .service
-                    .call(cx, call_hdr.proc_num, args, bulk_in)
-                    .await
-            };
-            server.stats.ops.set(server.stats.ops.get() + 1);
-            server.metrics.ops.inc();
-            note_good_op(&server, &conn);
-            slot.fill(&dispatch);
-            dispatch
-        }
-        DrcOutcome::Cached(dispatch) => {
-            server
-                .stats
-                .drc_replays
-                .set(server.stats.drc_replays.get() + 1);
-            server.metrics.replays.inc();
-            server
-                .sim
-                .trace("rpc", || format!("server drc replay xid={}", call_hdr.xid));
-            dispatch
-        }
-        DrcOutcome::InProgress(rx) => match rx.await {
-            Ok(dispatch) => {
+    // Cross-epoch fallback: after a promotion, a call the *failed*
+    // primary already executed retransmits here with its original XID.
+    // The replicated window carries those replies under the previous
+    // epoch; replaying them keeps re-driven WRITEs exactly-once. Safe
+    // to probe before admitting as new: clients allocate fresh XIDs
+    // for re-driven writes, so an old-epoch hit is always a genuine
+    // retransmission of an executed call.
+    let prev_hit = (epoch > 0)
+        .then(|| {
+            server.drc.lookup_cached(DrcKey {
+                peer,
+                xid: call_hdr.xid,
+                epoch: epoch - 1,
+            })
+        })
+        .flatten();
+    let dispatch = if let Some(dispatch) = prev_hit {
+        server
+            .stats
+            .drc_replays
+            .set(server.stats.drc_replays.get() + 1);
+        server
+            .stats
+            .cross_epoch_replays
+            .set(server.stats.cross_epoch_replays.get() + 1);
+        server.metrics.replays.inc();
+        server.sim.trace("rpc", || {
+            format!("server drc cross-epoch replay xid={}", call_hdr.xid)
+        });
+        dispatch
+    } else {
+        match server.drc.begin(key) {
+            DrcOutcome::New(slot) => {
+                let dispatch = if !wildcard
+                    && (call_hdr.prog != server.service.program()
+                        || call_hdr.vers != server.service.version())
+                {
+                    crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
+                } else {
+                    let _s = server.sim.span_proc("server", "service", call_hdr.proc_num);
+                    server
+                        .service
+                        .call(cx, call_hdr.proc_num, args, bulk_in)
+                        .await
+                };
+                server.stats.ops.set(server.stats.ops.get() + 1);
+                server.metrics.ops.inc();
+                note_good_op(&server, &conn);
+                slot.fill(&dispatch);
+                dispatch
+            }
+            DrcOutcome::Cached(dispatch) => {
                 server
                     .stats
                     .drc_replays
                     .set(server.stats.drc_replays.get() + 1);
                 server.metrics.replays.inc();
-                server.sim.trace("rpc", || {
-                    format!("server drc wait-replay xid={}", call_hdr.xid)
-                });
+                server
+                    .sim
+                    .trace("rpc", || format!("server drc replay xid={}", call_hdr.xid));
                 dispatch
             }
-            // The original aborted without replying; drop this copy too
-            // and let the client's next retransmission execute afresh.
-            Err(_) => return,
-        },
+            DrcOutcome::InProgress(rx) => match rx.await {
+                Ok(dispatch) => {
+                    server
+                        .stats
+                        .drc_replays
+                        .set(server.stats.drc_replays.get() + 1);
+                    server.metrics.replays.inc();
+                    server.sim.trace("rpc", || {
+                        format!("server drc wait-replay xid={}", call_hdr.xid)
+                    });
+                    dispatch
+                }
+                // The original aborted without replying; drop this copy too
+                // and let the client's next retransmission execute afresh.
+                Err(_) => return,
+            },
+        }
     };
 
     let mut reply_msg = encode_reply(

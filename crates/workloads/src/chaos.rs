@@ -137,7 +137,7 @@ pub fn run_chaos(seed: u64, profile: &Profile, params: ChaosParams) -> ChaosResu
 }
 
 /// FNV-1a over every trace event (time, category, detail).
-fn fingerprint(events: &[sim_core::TraceEvent]) -> u64 {
+pub(crate) fn fingerprint(events: &[sim_core::TraceEvent]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {

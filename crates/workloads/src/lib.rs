@@ -16,6 +16,8 @@
 
 pub mod adversary;
 pub mod chaos;
+pub mod cluster;
+pub mod failover;
 pub mod iozone;
 pub mod multiclient;
 pub mod oltp;
@@ -25,6 +27,8 @@ pub mod testbed;
 
 pub use adversary::{run_adversary, AdversaryParams, AdversaryResult};
 pub use chaos::{run_chaos, ChaosParams, ChaosResult};
+pub use cluster::{build_cluster, ClusterConfig, ClusterTestbed, ServerNode};
+pub use failover::{run_failover, FailoverParams, FailoverResult};
 pub use iozone::{run_iozone, IoMode, IozoneParams, IozoneResult};
 pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClientResult};
 pub use oltp::{run_oltp, OltpParams, OltpResult};

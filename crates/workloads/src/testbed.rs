@@ -100,7 +100,10 @@ impl Testbed {
     }
 }
 
-fn build_fs(sim: &Sim, backend: Backend) -> (Rc<dyn Vfs>, Option<Rc<Fs<CachedDiskStore>>>) {
+pub(crate) fn build_fs_for(
+    sim: &Sim,
+    backend: Backend,
+) -> (Rc<dyn Vfs>, Option<Rc<Fs<CachedDiskStore>>>) {
     match backend {
         Backend::Tmpfs => {
             let fs: Rc<Fs<MemStore>> = Rc::new(Fs::new(sim, MemStore::default()));
@@ -192,7 +195,7 @@ pub fn build_rdma_custom(
         &fabric,
     );
 
-    let (fs, disk_store) = build_fs(sim, backend);
+    let (fs, disk_store) = build_fs_for(sim, backend);
     let server = NfsServer::new(fs.clone());
     let rpc_server = RdmaRpcServer::new(
         sim,
@@ -275,7 +278,7 @@ pub async fn build_tcp(
     let server_cpu = Cpu::new(sim, "server-cpu", profile.server_cores, profile.server_cpu);
     net.attach(server_node, server_cpu.clone());
 
-    let (fs, disk_store) = build_fs(sim, backend);
+    let (fs, disk_store) = build_fs_for(sim, backend);
     let server = NfsServer::new(fs.clone());
     let handle = NfsServerHandle(server.clone());
     let mut listener = net.listen(server_node, 2049);

@@ -1,0 +1,104 @@
+//! Failover integration: the replicated cluster keeps every record
+//! intact across a mid-workload primary kill, rejoins the crashed
+//! node, and replays identically under the same seed.
+
+use sim_core::SimDuration;
+use workloads::{linux_sdr, run_failover, FailoverParams};
+
+fn base() -> FailoverParams {
+    FailoverParams::default()
+}
+
+#[test]
+fn replicated_steady_state_ships_everything() {
+    let r = run_failover(11, &linux_sdr(), base());
+    assert_eq!(
+        r.corrupt_records, 0,
+        "read-back must match what was written"
+    );
+    assert!(!r.promoted, "no kill, no promotion");
+    assert!(r.shipped_records > 0, "mutations must ship to the backup");
+    assert_eq!(
+        r.backup_applied, r.log_len,
+        "backup applies the full replicated log"
+    );
+    assert!(r.durable_seq > 0, "commit markers advance the durable seq");
+    assert_eq!(r.fs_writes[0], r.fs_writes[1], "backup mirrors every WRITE");
+}
+
+#[test]
+fn overhead_baseline_runs_without_replication() {
+    let mut p = base();
+    p.cluster.replicate = false;
+    let r = run_failover(11, &linux_sdr(), p);
+    assert_eq!(r.corrupt_records, 0);
+    assert_eq!(r.shipped_records, 0);
+    assert_eq!(r.log_len, 0);
+    assert_eq!(r.fs_writes[1], 0, "backup idle without replication");
+}
+
+#[test]
+fn mid_burst_kill_fails_over_without_corruption() {
+    let mut p = base();
+    p.kill_at = Some(SimDuration::from_millis(2));
+    let r = run_failover(23, &linux_sdr(), p);
+    assert!(r.promoted, "backup must promote after the kill");
+    assert_eq!(r.corrupt_records, 0, "zero corruption across failover");
+    assert!(r.failover_us > 0);
+    assert!(
+        r.fs_writes[0] + r.redriven_writes + r.drc_replays > 0,
+        "the cluster must have made progress through the kill"
+    );
+}
+
+/// Satellite regression: a WRITE the failed primary already executed
+/// and replicated, whose reply the client never saw (dropped), is
+/// *replayed* from the promoted backup's imported DRC window — not
+/// re-executed as a fresh call. `cross_epoch_replays` counts exactly
+/// the old-epoch DRC hits, which bypass service dispatch entirely.
+#[test]
+fn retransmitted_write_across_promotion_replays_from_drc() {
+    let mut p = base();
+    p.drop_probability = 0.05;
+    p.kill_at = Some(SimDuration::from_millis(2));
+    let r = run_failover(3, &linux_sdr(), p);
+    assert!(r.promoted);
+    assert_eq!(
+        r.corrupt_records, 0,
+        "replay must preserve exactly-once contents"
+    );
+    assert!(
+        r.cross_epoch_replays >= 1,
+        "at least one retransmission must hit the replicated DRC window"
+    );
+    assert!(
+        r.drc_replays >= r.cross_epoch_replays,
+        "cross-epoch hits are a subset of all DRC replays"
+    );
+}
+
+#[test]
+fn same_seed_failover_replays_bit_for_bit() {
+    let mut p = base();
+    p.kill_at = Some(SimDuration::from_millis(2));
+    let a = run_failover(42, &linux_sdr(), p);
+    let b = run_failover(42, &linux_sdr(), p);
+    assert_eq!(a.fingerprint, b.fingerprint, "trace fingerprints diverged");
+    assert_eq!(a.metrics_snapshot, b.metrics_snapshot);
+    assert_eq!(a.corrupt_records, 0);
+}
+
+#[test]
+fn killed_node_rejoins_and_resyncs() {
+    let mut p = base();
+    p.records_per_client = 48;
+    p.kill_at = Some(SimDuration::from_millis(2));
+    p.rejoin_after = Some(SimDuration::from_millis(1));
+    let r = run_failover(31, &linux_sdr(), p);
+    assert!(r.promoted);
+    assert_eq!(r.corrupt_records, 0);
+    assert!(
+        r.resync_bytes > 0,
+        "rejoin must re-ship the missing log tail"
+    );
+}

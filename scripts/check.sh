@@ -36,6 +36,9 @@ cargo run --release -p bench --bin chaos -- --smoke
 echo "==> adversary --smoke (hostile-client catalog, 20% goodput bound)"
 cargo run --release -p bench --bin adversary -- --smoke
 
+echo "==> chaos --failover --smoke (replicated-cluster kill matrix: promotion, zero corruption, exactly-once, <=15% replication overhead, same-seed determinism)"
+cargo run --release -p bench --bin chaos -- --failover --smoke
+
 echo "==> fig5 --anatomy (traced-workload smoke + trace JSON validation)"
 cargo run --release -p bench --bin fig5 -- --anatomy >/dev/null
 for f in results/trace_fig5_rr.json results/trace_fig5_rw.json; do
