@@ -410,6 +410,31 @@ fn batching_smoke() {
         "interrupts/op {:.3} not < 1 at batch depth 4",
         r[2].interrupts_per_op
     );
+    bench::emit_bench_json(
+        "read",
+        &format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"read\",\n",
+                "  \"mode\": \"smoke\",\n",
+                "  \"baseline_mb_s\": {:.3},\n",
+                "  \"zero_copy_mb_s\": {:.3},\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"batched\": {{\n",
+                "    \"doorbells_per_op\": {:.4},\n",
+                "    \"interrupts_per_op\": {:.4},\n",
+                "    \"coalesced_per_op\": {:.4}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            r[0].bandwidth_mb,
+            r[1].bandwidth_mb,
+            speedup,
+            r[2].doorbells_per_op,
+            r[2].interrupts_per_op,
+            r[2].coalesced_per_op,
+        ),
+    );
     println!("batching smoke OK");
 }
 
@@ -643,6 +668,33 @@ fn write_path_smoke() {
         "Cache slabs must remain the one bouncing strategy: copied {:.1} MB, \
          expected >= {expect_mb:.1} MB",
         r[2].copied_mb
+    );
+    bench::emit_bench_json(
+        "write",
+        &format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"write\",\n",
+                "  \"mode\": \"smoke\",\n",
+                "  \"baseline_mb_s\": {:.3},\n",
+                "  \"zero_copy_mb_s\": {:.3},\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"zero_copy\": {{\n",
+                "    \"staged_mb\": {:.3},\n",
+                "    \"zero_copy_mb\": {:.3},\n",
+                "    \"unstable_writes\": {},\n",
+                "    \"commits\": {}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            r[0].bandwidth_mb,
+            r[1].bandwidth_mb,
+            speedup,
+            r[1].copied_mb,
+            r[1].write_zero_copy_mb,
+            r[1].unstable_writes,
+            r[1].commits,
+        ),
     );
     println!("write-path smoke OK");
 }

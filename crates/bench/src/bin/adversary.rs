@@ -34,19 +34,42 @@ fn params(design: Design, strategy: StrategyKind) -> AdversaryParams {
     }
 }
 
+/// Fail a gate: dump the node's flight-recorder ring (the always-on
+/// last-N event log) to `results/` for postmortem, then exit nonzero.
+fn fail(tag: &str, msg: &str, flight: &[sim_core::FlightRecord]) -> ! {
+    if !flight.is_empty() {
+        let name = format!(
+            "flight_adversary_{}.txt",
+            tag.to_ascii_lowercase().replace(['/', ' '], "_")
+        );
+        bench::emit_results_file(&name, &sim_core::format_flight(flight));
+    }
+    eprintln!("FAIL {tag}: {msg}");
+    std::process::exit(1);
+}
+
 /// Invariants every point of the sweep must hold.
 fn check(tag: &str, base: &AdversaryResult, atk: &AdversaryResult) {
     if atk.corrupt_records != 0 {
-        eprintln!("FAIL {tag}: {} corrupt honest records", atk.corrupt_records);
-        std::process::exit(1);
+        fail(
+            tag,
+            &format!("{} corrupt honest records", atk.corrupt_records),
+            &atk.flight,
+        );
     }
     if base.violations != 0 || base.quarantines != 0 {
-        eprintln!("FAIL {tag}: honest-only baseline charged with violations");
-        std::process::exit(1);
+        fail(
+            tag,
+            "honest-only baseline charged with violations",
+            &base.flight,
+        );
     }
     if atk.violations == 0 || atk.quarantines == 0 {
-        eprintln!("FAIL {tag}: attack catalog never tripped the defenses");
-        std::process::exit(1);
+        fail(
+            tag,
+            "attack catalog never tripped the defenses",
+            &atk.flight,
+        );
     }
     let metric_total = atk
         .metrics_snapshot
@@ -55,26 +78,35 @@ fn check(tag: &str, base: &AdversaryResult, atk: &AdversaryResult) {
         .map(|(_, v)| *v)
         .unwrap_or(0);
     if metric_total != atk.violations {
-        eprintln!(
-            "FAIL {tag}: server stats count {} violations but the metrics registry says {}",
-            atk.violations, metric_total
+        fail(
+            tag,
+            &format!(
+                "server stats count {} violations but the metrics registry says {}",
+                atk.violations, metric_total
+            ),
+            &atk.flight,
         );
-        std::process::exit(1);
     }
     if atk.tpt_revocations != atk.exposures_revoked {
-        eprintln!(
-            "FAIL {tag}: {} exposures revoked but the TPT ledger records {}",
-            atk.exposures_revoked, atk.tpt_revocations
+        fail(
+            tag,
+            &format!(
+                "{} exposures revoked but the TPT ledger records {}",
+                atk.exposures_revoked, atk.tpt_revocations
+            ),
+            &atk.flight,
         );
-        std::process::exit(1);
     }
     let ratio = atk.goodput_mb_s / base.goodput_mb_s;
     if ratio < 0.8 {
-        eprintln!(
-            "FAIL {tag}: honest goodput degraded {:.1}% under attack (bound 20%)",
-            (1.0 - ratio) * 100.0
+        fail(
+            tag,
+            &format!(
+                "honest goodput degraded {:.1}% under attack (bound 20%)",
+                (1.0 - ratio) * 100.0
+            ),
+            &atk.flight,
         );
-        std::process::exit(1);
     }
 }
 
@@ -88,15 +120,21 @@ fn smoke() {
         let atk = run_adversary(SEED, &profile, p);
         check(&format!("{design:?}"), &base, &atk);
         if design == Design::ReadRead && atk.exposures_revoked == 0 {
-            eprintln!("FAIL ReadRead: TTL reaper never revoked a withheld exposure");
-            std::process::exit(1);
+            fail(
+                "ReadRead",
+                "TTL reaper never revoked a withheld exposure",
+                &atk.flight,
+            );
         }
         if atk.stale_reads_ok != 0 {
-            eprintln!(
-                "FAIL {design:?}: {} stale steering-tag probes read server memory",
-                atk.stale_reads_ok
+            fail(
+                &format!("{design:?}"),
+                &format!(
+                    "{} stale steering-tag probes read server memory",
+                    atk.stale_reads_ok
+                ),
+                &atk.flight,
             );
-            std::process::exit(1);
         }
         println!(
             "adversary smoke {design:?}: ok (goodput {:.0}%, {} violations, {} quarantines, \

@@ -44,18 +44,39 @@ fn expected_writes(p: &ChaosParams) -> u64 {
     p.clients as u64 * p.records_per_client
 }
 
+/// Dump the run's flight-recorder ring next to the failure message and
+/// exit: the last [`sim_core::FLIGHT_CAPACITY`] records of what the
+/// protocol machinery did, sim-time stamped, always captured.
+fn fail_with_flight(tag: &str, msg: &str, flight: &[sim_core::FlightRecord]) -> ! {
+    if !flight.is_empty() {
+        let name = format!(
+            "flight_{}.txt",
+            tag.replace([' ', '/', '@', '%'], "_").replace('.', "_")
+        );
+        bench::emit_results_file(&name, &sim_core::format_flight(flight));
+    }
+    eprintln!("FAIL {tag}: {msg}");
+    std::process::exit(1);
+}
+
 fn check(tag: &str, p: &ChaosParams, r: &ChaosResult) {
     if r.corrupt_records != 0 {
-        eprintln!("FAIL {tag}: {} corrupt records", r.corrupt_records);
-        std::process::exit(1);
+        fail_with_flight(
+            tag,
+            &format!("{} corrupt records", r.corrupt_records),
+            &r.flight,
+        );
     }
     if r.fs_writes != expected_writes(p) {
-        eprintln!(
-            "FAIL {tag}: {} WRITEs applied, expected {} (lost or double-applied)",
-            r.fs_writes,
-            expected_writes(p)
+        fail_with_flight(
+            tag,
+            &format!(
+                "{} WRITEs applied, expected {} (lost or double-applied)",
+                r.fs_writes,
+                expected_writes(p)
+            ),
+            &r.flight,
         );
-        std::process::exit(1);
     }
 }
 
@@ -66,16 +87,22 @@ fn smoke() {
         let a = run_chaos(0xC0FFEE, &profile, p);
         check(&format!("{design:?}"), &p, &a);
         if a.reconnects == 0 {
-            eprintln!("FAIL {design:?}: forced QP error was not recovered");
-            std::process::exit(1);
+            fail_with_flight(
+                &format!("{design:?}"),
+                "forced QP error was not recovered",
+                &a.flight,
+            );
         }
         let b = run_chaos(0xC0FFEE, &profile, p);
         if a.fingerprint != b.fingerprint {
-            eprintln!(
-                "FAIL {design:?}: same seed, different traces ({:#x} vs {:#x})",
-                a.fingerprint, b.fingerprint
+            fail_with_flight(
+                &format!("{design:?}"),
+                &format!(
+                    "same seed, different traces ({:#x} vs {:#x})",
+                    a.fingerprint, b.fingerprint
+                ),
+                &b.flight,
             );
-            std::process::exit(1);
         }
         println!(
             "chaos smoke {design:?}: ok ({} drops, {} rpc retransmits, {} drc replays, {} reconnects, trace {:#018x})",
@@ -89,27 +116,39 @@ fn smoke() {
     let p = crash_params(Design::ReadWrite, 0.01, 400);
     let a = run_chaos(0xC0FFEE, &profile, p);
     if a.corrupt_records != 0 {
-        eprintln!("FAIL crash: {} corrupt records", a.corrupt_records);
-        std::process::exit(1);
+        fail_with_flight(
+            "crash",
+            &format!("{} corrupt records", a.corrupt_records),
+            &a.flight,
+        );
     }
     if a.verf_mismatches == 0 || a.redriven_writes == 0 {
-        eprintln!(
-            "FAIL crash: crash landed outside the burst ({} mismatches, {} re-driven)",
-            a.verf_mismatches, a.redriven_writes
+        fail_with_flight(
+            "crash",
+            &format!(
+                "crash landed outside the burst ({} mismatches, {} re-driven)",
+                a.verf_mismatches, a.redriven_writes
+            ),
+            &a.flight,
         );
-        std::process::exit(1);
     }
     if a.wal_committed_records == 0 {
-        eprintln!("FAIL crash: final COMMIT landed no WAL commit marker");
-        std::process::exit(1);
+        fail_with_flight(
+            "crash",
+            "final COMMIT landed no WAL commit marker",
+            &a.flight,
+        );
     }
     let b = run_chaos(0xC0FFEE, &profile, p);
     if a.fingerprint != b.fingerprint {
-        eprintln!(
-            "FAIL crash: same seed, different traces ({:#x} vs {:#x})",
-            a.fingerprint, b.fingerprint
+        fail_with_flight(
+            "crash",
+            &format!(
+                "same seed, different traces ({:#x} vs {:#x})",
+                a.fingerprint, b.fingerprint
+            ),
+            &b.flight,
         );
-        std::process::exit(1);
     }
     println!(
         "chaos smoke crash: ok ({} re-driven, {} mismatches, {} WAL-committed, trace {:#018x})",
@@ -137,18 +176,21 @@ const KILL_FLUSH_MARKER_US: u64 = 1860;
 /// backoff plus detection; anything past this is a hang, not a stall.
 const STALL_BOUND_US: u64 = 300_000;
 
-fn failover_fail(tag: &str, msg: &str) -> ! {
-    eprintln!("FAIL failover {tag}: {msg}");
-    std::process::exit(1);
+fn failover_fail(tag: &str, msg: &str, flight: &[sim_core::FlightRecord]) -> ! {
+    fail_with_flight(&format!("failover_{tag}"), msg, flight);
 }
 
 fn failover_check(tag: &str, r: &FailoverResult, expect_kill: bool) {
     if r.corrupt_records != 0 {
-        failover_fail(tag, &format!("{} corrupt records", r.corrupt_records));
+        failover_fail(
+            tag,
+            &format!("{} corrupt records", r.corrupt_records),
+            &r.flight,
+        );
     }
     if expect_kill {
         if !r.promoted {
-            failover_fail(tag, "backup never promoted after the kill");
+            failover_fail(tag, "backup never promoted after the kill", &r.flight);
         }
         if r.stall_p99_us > STALL_BOUND_US {
             failover_fail(
@@ -157,10 +199,11 @@ fn failover_check(tag: &str, r: &FailoverResult, expect_kill: bool) {
                     "p99 client stall {}us exceeds bound {STALL_BOUND_US}us",
                     r.stall_p99_us
                 ),
+                &r.flight,
             );
         }
     } else if r.promoted {
-        failover_fail(tag, "spurious promotion without a kill");
+        failover_fail(tag, "spurious promotion without a kill", &r.flight);
     }
 }
 
@@ -195,10 +238,11 @@ fn failover_determinism(tag: &str, p: FailoverParams, a: &FailoverResult) {
                 "same seed, different traces ({:#x} vs {:#x})",
                 a.fingerprint, b.fingerprint
             ),
+            &b.flight,
         );
     }
     if a.metrics_snapshot != b.metrics_snapshot {
-        failover_fail(tag, "same seed, different metrics snapshots");
+        failover_fail(tag, "same seed, different metrics snapshots", &b.flight);
     }
 }
 
@@ -212,6 +256,7 @@ fn failover_overhead(t: &mut Table) -> (f64, f64) {
         failover_fail(
             "steady",
             "replication idle or backup lagging in steady state",
+            &on.flight,
         );
     }
     let mut p = FailoverParams::default();
@@ -228,9 +273,163 @@ fn failover_overhead(t: &mut Table) -> (f64, f64) {
                 "replication costs {:.1}% of WRITE throughput (> 15% budget)",
                 (1.0 - ratio) * 100.0
             ),
+            &on.flight,
         );
     }
     (on.write_mbps, off.write_mbps)
+}
+
+/// Phase of a timeline bucket relative to the kill/promotion window.
+fn timeline_phase(t_us: u64, r: &FailoverResult) -> &'static str {
+    if r.killed_at_us == 0 {
+        "steady"
+    } else if t_us < r.killed_at_us {
+        "pre"
+    } else if t_us < r.promoted_at_us {
+        "stall"
+    } else {
+        "post"
+    }
+}
+
+/// Export the streaming telemetry timeline as
+/// `results/timeline_failover.{csv,md}` with the promotion stall
+/// window phase-annotated.
+fn emit_timeline(r: &FailoverResult) {
+    let mut csv = String::from(
+        "t_us,phase,ops,goodput_mbps,p99_us,in_flight,ring_occupancy,wal_lag,credit_grants\n",
+    );
+    for b in &r.timeline {
+        csv.push_str(&format!(
+            "{},{},{},{:.3},{},{},{},{},{}\n",
+            b.t_us,
+            timeline_phase(b.t_us, r),
+            b.ops,
+            b.goodput_mbps,
+            b.p99_us,
+            b.in_flight,
+            b.ring_occupancy,
+            b.wal_lag,
+            b.credit_grants
+        ));
+    }
+    bench::emit_results_file("timeline_failover.csv", &csv);
+
+    let mut md = String::from("# Failover telemetry timeline\n\n");
+    md.push_str(&format!(
+        "Primary killed at {} µs; promotion complete at {} µs — \
+         the `stall` rows are the promotion window ({} µs).\n\n",
+        r.killed_at_us,
+        r.promoted_at_us,
+        r.promoted_at_us.saturating_sub(r.killed_at_us)
+    ));
+    md.push_str(
+        "| t (µs) | phase | ops | goodput MB/s | p99 (µs) | in-flight | ring occ | WAL lag | credits |\n\
+         |---:|---|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for b in &r.timeline {
+        md.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {} | {} | {} | {} | {} |\n",
+            b.t_us,
+            timeline_phase(b.t_us, r),
+            b.ops,
+            b.goodput_mbps,
+            b.p99_us,
+            b.in_flight,
+            b.ring_occupancy,
+            b.wal_lag,
+            b.credit_grants
+        ));
+    }
+    bench::emit_results_file("timeline_failover.md", &md);
+}
+
+/// The observability acceptance run: the mid-burst kill with span
+/// tracing and the telemetry timeline enabled. Exports the
+/// Perfetto-loadable cluster trace and the stall timeline, asserts the
+/// cross-node causal tree, and double-runs for byte-identical
+/// tracing-enabled determinism. Returns the result for the benchmark
+/// JSON.
+fn failover_observability(profile: &workloads::Profile) -> FailoverResult {
+    let p = FailoverParams {
+        kill_at: Some(SimDuration::from_micros(KILL_MID_BURST_US)),
+        span_trace: true,
+        timeline: true,
+        ..FailoverParams::default()
+    };
+    let r = run_failover(FAILOVER_SEED, profile, p);
+    failover_check("observability", &r, true);
+    let json = sim_core::chrome_trace_json(&r.spans);
+    if let Err(e) = sim_core::validate_json(&json) {
+        failover_fail(
+            "observability",
+            &format!("cluster trace JSON invalid: {e}"),
+            &r.flight,
+        );
+    }
+    if !json.contains("\"ph\":\"s\"") || !json.contains("\"ph\":\"f\",\"bp\":\"e\"") {
+        failover_fail(
+            "observability",
+            "cluster trace carries no flow events",
+            &r.flight,
+        );
+    }
+    // One client op's causal tree must span client → primary → backup,
+    // across the epoch bump.
+    {
+        use std::collections::{HashMap, HashSet};
+        let mut roles: HashMap<u64, HashSet<&str>> = HashMap::new();
+        for s in &r.spans {
+            if s.trace_id != 0 {
+                roles.entry(s.trace_id).or_default().insert(s.component);
+            }
+        }
+        if !roles
+            .values()
+            .any(|c| c.contains("client") && c.contains("server") && c.contains("backup"))
+        {
+            failover_fail(
+                "observability",
+                "no trace id links client, primary and backup spans",
+                &r.flight,
+            );
+        }
+    }
+    if r.timeline.is_empty()
+        || r.promoted_at_us <= r.killed_at_us
+        || !r
+            .timeline
+            .iter()
+            .any(|b| timeline_phase(b.t_us, &r) == "stall")
+    {
+        failover_fail(
+            "observability",
+            "timeline missed the promotion stall window",
+            &r.flight,
+        );
+    }
+    // Tracing-enabled determinism: every export byte-identical on a
+    // same-seed rerun.
+    let b = run_failover(FAILOVER_SEED, profile, p);
+    if sim_core::chrome_trace_json(&b.spans) != json
+        || format!("{:?}", b.timeline) != format!("{:?}", r.timeline)
+        || sim_core::format_flight(&b.flight) != sim_core::format_flight(&r.flight)
+    {
+        failover_fail(
+            "observability",
+            "tracing-enabled same-seed runs diverged",
+            &b.flight,
+        );
+    }
+    bench::emit_results_file("trace_failover_cluster.json", &json);
+    emit_timeline(&r);
+    println!(
+        "failover observability: {} spans, {} timeline buckets, stall window {} µs",
+        r.spans.len(),
+        r.timeline.len(),
+        r.promoted_at_us - r.killed_at_us
+    );
+    r
 }
 
 fn failover_matrix(smoke: bool) {
@@ -260,13 +459,17 @@ fn failover_matrix(smoke: bool) {
         kill_at: Some(SimDuration::from_micros(KILL_MID_BURST_US)),
         ..FailoverParams::default()
     };
-    let r = run_failover(FAILOVER_SEED, &profile, p);
-    failover_check("mid-burst", &r, true);
-    if r.redriven_writes == 0 {
-        failover_fail("mid-burst", "kill landed outside the UNSTABLE burst");
+    let mid = run_failover(FAILOVER_SEED, &profile, p);
+    failover_check("mid-burst", &mid, true);
+    if mid.redriven_writes == 0 {
+        failover_fail(
+            "mid-burst",
+            "kill landed outside the UNSTABLE burst",
+            &mid.flight,
+        );
     }
-    failover_determinism("mid-burst", p, &r);
-    failover_row(&mut t, "kill mid-burst", Some(KILL_MID_BURST_US), &r);
+    failover_determinism("mid-burst", p, &mid);
+    failover_row(&mut t, "kill mid-burst", Some(KILL_MID_BURST_US), &mid);
 
     // Kill point 2: between a client's local group commit (WAL flush +
     // marker) and the backup's commit-marker acknowledgement.
@@ -274,19 +477,20 @@ fn failover_matrix(smoke: bool) {
         kill_at: Some(SimDuration::from_micros(KILL_FLUSH_MARKER_US)),
         ..FailoverParams::default()
     };
-    let r = run_failover(FAILOVER_SEED, &profile, p);
-    failover_check("flush-marker", &r, true);
-    if r.interrupted_markers == 0 {
+    let flush = run_failover(FAILOVER_SEED, &profile, p);
+    failover_check("flush-marker", &flush, true);
+    if flush.interrupted_markers == 0 {
         failover_fail(
             "flush-marker",
             "kill missed the flush-to-marker window (no interrupted markers)",
+            &flush.flight,
         );
     }
     failover_row(
         &mut t,
         "kill flush-to-marker",
         Some(KILL_FLUSH_MARKER_US),
-        &r,
+        &flush,
     );
 
     if !smoke {
@@ -304,6 +508,7 @@ fn failover_matrix(smoke: bool) {
             failover_fail(
                 "drop-storm",
                 "no retransmission hit the replicated DRC window",
+                &r.flight,
             );
         }
         failover_row(&mut t, "kill + 5% drops", Some(2000), &r);
@@ -320,7 +525,11 @@ fn failover_matrix(smoke: bool) {
         let r = run_failover(FAILOVER_SEED, &profile, p);
         failover_check("rejoin", &r, true);
         if r.resync_bytes == 0 {
-            failover_fail("rejoin", "rejoined node never re-synced the log tail");
+            failover_fail(
+                "rejoin",
+                "rejoined node never re-synced the log tail",
+                &r.flight,
+            );
         }
         failover_row(&mut t, "kill + rejoin/resync", Some(KILL_MID_BURST_US), &r);
 
@@ -328,6 +537,61 @@ fn failover_matrix(smoke: bool) {
     } else {
         println!("{}", t.render());
     }
+
+    // The observability acceptance run: Perfetto trace + telemetry
+    // timeline exports, cross-node causal-tree and tracing-enabled
+    // determinism gates.
+    let obs = failover_observability(&profile);
+
+    bench::emit_bench_json(
+        "failover",
+        &format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"failover\",\n",
+                "  \"mode\": \"{}\",\n",
+                "  \"steady\": {{\n",
+                "    \"write_mbps_repl_on\": {:.3},\n",
+                "    \"write_mbps_repl_off\": {:.3},\n",
+                "    \"overhead_pct\": {:.2}\n",
+                "  }},\n",
+                "  \"mid_burst\": {{\n",
+                "    \"failover_us\": {},\n",
+                "    \"stall_p99_us\": {},\n",
+                "    \"redriven_writes\": {},\n",
+                "    \"cross_epoch_replays\": {}\n",
+                "  }},\n",
+                "  \"flush_marker\": {{\n",
+                "    \"failover_us\": {},\n",
+                "    \"stall_p99_us\": {},\n",
+                "    \"interrupted_markers\": {}\n",
+                "  }},\n",
+                "  \"observability\": {{\n",
+                "    \"spans\": {},\n",
+                "    \"timeline_buckets\": {},\n",
+                "    \"stall_window_us\": {},\n",
+                "    \"flight_records\": {}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            if smoke { "smoke" } else { "full" },
+            on_mbps,
+            off_mbps,
+            (1.0 - on_mbps / off_mbps) * 100.0,
+            mid.failover_us,
+            mid.stall_p99_us,
+            mid.redriven_writes,
+            mid.cross_epoch_replays,
+            flush.failover_us,
+            flush.stall_p99_us,
+            flush.interrupted_markers,
+            obs.spans.len(),
+            obs.timeline.len(),
+            obs.promoted_at_us - obs.killed_at_us,
+            obs.flight.len(),
+        ),
+    );
+
     println!(
         "failover matrix: all kill points recovered with zero corruption \
          (replication overhead {:.1}% of {off_mbps:.1} MB/s)",

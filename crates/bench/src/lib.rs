@@ -91,6 +91,32 @@ pub fn emit(name: &str, table: &Table) {
     let _ = std::fs::write(dir.join(format!("{name}.csv")), table.to_csv());
 }
 
+/// Write a hand-rolled JSON benchmark artifact to
+/// `results/BENCH_<name>.json` (the flat schema established by
+/// `BENCH_hotpath.json`: a `"bench"` tag, a `"mode"` tag, then numeric
+/// fields grouped in at most one level of sections).
+pub fn emit_bench_json(name: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}
+
+/// Write an arbitrary artifact (trace JSON, timeline CSV, flight dump)
+/// to `results/<name>`.
+pub fn emit_results_file(name: &str, contents: &str) {
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}
+
 /// Scale factor for quick runs: `QUICK=1` divides file sizes by 8.
 pub fn file_size_scaled() -> u64 {
     if std::env::var("QUICK").is_ok() {

@@ -34,7 +34,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use rpcrdma::{LogRing, RdmaRpcServer, ReplError, RingTarget, Shipper, RING_SENTINEL};
 use sim_core::sync::{Notify, SemPermit, Semaphore};
-use sim_core::{Payload, Sim};
+use sim_core::{Payload, Sim, TraceCtx};
 
 use crate::proto::{NfsProc, NFS_PROGRAM, NFS_VERSION};
 use crate::server::{NfsServer, WRITE_VERF_BASE};
@@ -42,6 +42,15 @@ use crate::server::{NfsServer, WRITE_VERF_BASE};
 /// Fixed wire header of a [`ReplRecord`]: seq (8) + six u32 fields +
 /// bulk length (8).
 const RECORD_HDR: u64 = 8 + 6 * 4 + 8;
+
+/// Flags bit marking a record that carries a 16-byte [`TraceCtx`]
+/// trailer after the bulk data. Conditional so untraced encodes stay
+/// byte-identical to the pre-tracing wire format (and so tracing off
+/// perturbs no modeled transfer time).
+const FLAG_TRACED: u32 = 4;
+
+/// Byte length of the optional trace trailer: trace id + parent span.
+const TRACE_TRAILER: u64 = 16;
 
 /// One replicated mutation, exactly as the primary executed it.
 #[derive(Clone)]
@@ -67,11 +76,17 @@ pub struct ReplRecord {
     pub reply_head: Bytes,
     /// WRITE data (content-preserving, possibly synthetic).
     pub bulk: Option<Payload>,
+    /// Trace context of the primary's service span
+    /// ([`TraceCtx::NONE`] when span tracing was off): the backup's
+    /// apply span joins the client's causal tree through it.
+    pub trace: TraceCtx,
 }
 
 impl ReplRecord {
     /// Serialize into one contiguous payload for the ring deposit. The
-    /// bulk piece rides as-is (no flattening of synthetic content).
+    /// bulk piece rides as-is (no flattening of synthetic content). A
+    /// non-empty trace context appends a [`TRACE_TRAILER`] behind the
+    /// bulk, gated by [`FLAG_TRACED`].
     pub fn encode(&self) -> Payload {
         let bulk_len = self.bulk.as_ref().map_or(0, Payload::len);
         let mut flags = 0u32;
@@ -80,6 +95,10 @@ impl ReplRecord {
         }
         if self.is_write {
             flags |= 2;
+        }
+        let traced = self.trace.trace_id != 0;
+        if traced {
+            flags |= FLAG_TRACED;
         }
         let mut h =
             Vec::with_capacity(RECORD_HDR as usize + self.args.len() + self.reply_head.len());
@@ -93,9 +112,18 @@ impl ReplRecord {
         h.extend_from_slice(&bulk_len.to_be_bytes());
         h.extend_from_slice(&self.args);
         h.extend_from_slice(&self.reply_head);
-        match &self.bulk {
-            Some(b) => Payload::concat(&[Payload::real(Bytes::from(h)), b.clone()]),
-            None => Payload::real(Bytes::from(h)),
+        let trailer = traced.then(|| {
+            let mut t = Vec::with_capacity(TRACE_TRAILER as usize);
+            t.extend_from_slice(&self.trace.trace_id.to_be_bytes());
+            t.extend_from_slice(&self.trace.parent_span.to_be_bytes());
+            Payload::real(Bytes::from(t))
+        });
+        let head = Payload::real(Bytes::from(h));
+        match (&self.bulk, trailer) {
+            (Some(b), Some(t)) => Payload::concat(&[head, b.clone(), t]),
+            (Some(b), None) => Payload::concat(&[head, b.clone()]),
+            (None, Some(t)) => Payload::concat(&[head, t]),
+            (None, None) => head,
         }
     }
 
@@ -112,10 +140,26 @@ impl ReplRecord {
         let flags = u32_at(24);
         let args_len = u32_at(28) as u64;
         let bulk_len = u64_at(32);
+        let trailer_len = if flags & FLAG_TRACED != 0 {
+            TRACE_TRAILER
+        } else {
+            0
+        };
         let args = p.slice(RECORD_HDR, args_len).materialize();
-        let reply_len = p.len() - RECORD_HDR - args_len - bulk_len;
+        let reply_len = p.len() - RECORD_HDR - args_len - bulk_len - trailer_len;
         let reply_head = p.slice(RECORD_HDR + args_len, reply_len).materialize();
         let bulk = (bulk_len > 0).then(|| p.slice(RECORD_HDR + args_len + reply_len, bulk_len));
+        let trace = if trailer_len > 0 {
+            let t = p
+                .slice(p.len() - TRACE_TRAILER, TRACE_TRAILER)
+                .materialize();
+            TraceCtx {
+                trace_id: u64::from_be_bytes(t[0..8].try_into().unwrap()),
+                parent_span: u64::from_be_bytes(t[8..16].try_into().unwrap()),
+            }
+        } else {
+            TraceCtx::NONE
+        };
         ReplRecord {
             seq,
             proc_num,
@@ -127,6 +171,7 @@ impl ReplRecord {
             args,
             reply_head,
             bulk,
+            trace,
         }
     }
 }
@@ -272,6 +317,7 @@ impl Replicator {
         reply_head: Bytes,
         bulk: Option<Payload>,
         needs_ack: bool,
+        trace: TraceCtx,
     ) {
         let permit = match permit {
             Some(p) => p,
@@ -289,6 +335,7 @@ impl Replicator {
             args,
             reply_head,
             bulk,
+            trace,
         };
         let bytes = rec.encode();
         let wal_cut = if needs_ack {
@@ -453,6 +500,7 @@ pub async fn run_backup(
     let idle = Rc::new(Notify::new());
     while let Ok((addr, len)) = rx.recv().await {
         if addr == RING_SENTINEL {
+            sim.flight("backup", "sentinel", ring.drained(), acked);
             break;
         }
         let p = ring.consume(addr, len);
@@ -467,10 +515,18 @@ pub async fn run_backup(
             let session = session.clone();
             let outstanding = outstanding.clone();
             let idle = idle.clone();
+            let sim = sim.clone();
             outstanding.set(outstanding.get() + 1);
-            sim.spawn(async move {
+            sim.clone().spawn(async move {
+                let _apply = sim.span_remote("backup", "apply", Some(rec.proc_num), rec.trace);
                 server.apply_replicated(&rec).await;
-                rpc.import_reply(rec.peer, rec.xid, rec.epoch, rec.reply_head.clone());
+                rpc.import_reply(
+                    rec.peer,
+                    rec.xid,
+                    rec.epoch,
+                    rec.reply_head.clone(),
+                    rec.trace,
+                );
                 session.applied.set(session.applied.get() + 1);
                 session.notify.notify_all();
                 outstanding.set(outstanding.get() - 1);
@@ -495,16 +551,25 @@ pub async fn run_backup(
                 // drains whatever an earlier one left), so neither the
                 // next marker nor structural ops need to wait on it —
                 // only the final drain does.
-                rpc.import_reply(rec.peer, rec.xid, rec.epoch, rec.reply_head.clone());
+                rpc.import_reply(
+                    rec.peer,
+                    rec.xid,
+                    rec.epoch,
+                    rec.reply_head.clone(),
+                    rec.trace,
+                );
                 repl.append_mirror(&rec, p);
                 repl.set_durable(rec.seq);
                 acked = rec.seq;
+                sim.flight("backup", "marker", rec.seq, rec.xid as u64);
                 let server = server.clone();
                 let session = session.clone();
                 let flushing = flushing.clone();
                 let idle = idle.clone();
+                let sim = sim.clone();
                 flushing.set(flushing.get() + 1);
-                sim.spawn(async move {
+                sim.clone().spawn(async move {
+                    let _apply = sim.span_remote("backup", "apply", Some(rec.proc_num), rec.trace);
                     server.apply_replicated(&rec).await;
                     session.applied.set(session.applied.get() + 1);
                     session.notify.notify_all();
@@ -514,8 +579,16 @@ pub async fn run_backup(
                     }
                 });
             } else {
+                let apply = sim.span_remote("backup", "apply", Some(rec.proc_num), rec.trace);
                 server.apply_replicated(&rec).await;
-                rpc.import_reply(rec.peer, rec.xid, rec.epoch, rec.reply_head.clone());
+                drop(apply);
+                rpc.import_reply(
+                    rec.peer,
+                    rec.xid,
+                    rec.epoch,
+                    rec.reply_head.clone(),
+                    rec.trace,
+                );
                 repl.append_mirror(&rec, p);
                 session.applied.set(session.applied.get() + 1);
                 session.notify.notify_all();
@@ -672,5 +745,6 @@ pub fn replica_context(rec: &ReplRecord) -> onc_rpc::CallContext {
         prog: NFS_PROGRAM,
         vers: NFS_VERSION,
         xid: rec.xid,
+        trace: rec.trace,
     }
 }

@@ -127,6 +127,7 @@ impl NfsServer {
                 bulk,
                 false,
                 false,
+                rec.trace,
             )
             .await;
         debug_assert!(res.is_ok(), "replicated record failed to apply");
@@ -168,7 +169,9 @@ impl NfsServer {
     /// still inline in `args` and `bulk_in` is `None`. `peer`/`xid`
     /// identify the call for replication (the backup mirrors the DRC
     /// window under them); `replicate = false` marks the backup apply
-    /// path, which must never re-ship.
+    /// path, which must never re-ship. `trace` is the service span's
+    /// context, stamped on shipped records so the backup apply joins
+    /// the client's causal tree.
     #[allow(clippy::too_many_arguments)]
     async fn run_op(
         self: &Rc<Self>,
@@ -179,6 +182,7 @@ impl NfsServer {
         bulk_in: Option<SgList>,
         inline_bulk: bool,
         replicate: bool,
+        trace: sim_core::TraceCtx,
     ) -> Result<OpResult, AcceptStat> {
         if self.dead.get() {
             // Fenced: refuse to execute (the reply dies on an errored
@@ -526,6 +530,7 @@ impl NfsServer {
                     res.head.clone(),
                     repl_bulk.take(),
                     repl_marker,
+                    trace,
                 )
                 .await;
             }
@@ -555,7 +560,9 @@ impl RdmaService for NfsServerHandle {
         let server = self.0.clone();
         Box::pin(async move {
             match server
-                .run_op(cx.peer, cx.xid, proc_num, args, bulk_in, false, true)
+                .run_op(
+                    cx.peer, cx.xid, proc_num, args, bulk_in, false, true, cx.trace,
+                )
                 .await
             {
                 Ok(r) => RdmaDispatch::success(r.head, r.bulk),
@@ -576,7 +583,7 @@ impl RpcService for NfsServerHandle {
         let server = self.0.clone();
         Box::pin(async move {
             match server
-                .run_op(cx.peer, cx.xid, proc_num, args, None, true, true)
+                .run_op(cx.peer, cx.xid, proc_num, args, None, true, true, cx.trace)
                 .await
             {
                 Ok(r) => {

@@ -29,6 +29,11 @@ pub struct CallContext {
     /// that replicate execution (primary/backup NFS) ship it with each
     /// record so the backup can mirror the duplicate-request window.
     pub xid: u32,
+    /// Trace context of the caller's service span
+    /// ([`sim_core::TraceCtx::NONE`] when span tracing is off):
+    /// services stamp it on replication records so the whole causal
+    /// tree — client call through backup apply — shares one trace id.
+    pub trace: sim_core::TraceCtx,
 }
 
 /// Sentinel program number: a [`BulkService`] returning this from
@@ -133,6 +138,12 @@ pub struct BulkDispatch {
     pub head: Bytes,
     /// Bulk result data (e.g. NFS READ data), as zero-copy pieces.
     pub bulk_out: Option<sim_core::SgList>,
+    /// Trace context of the execution that produced this dispatch
+    /// ([`sim_core::TraceCtx::NONE`] when span tracing is off). Riding
+    /// here means the duplicate request cache retains it with the
+    /// reply, so a replay — even one served across a failover epoch —
+    /// links back to the original execution's causal tree.
+    pub trace: sim_core::TraceCtx,
 }
 
 impl BulkDispatch {
@@ -142,6 +153,7 @@ impl BulkDispatch {
             stat: AcceptStat::Success,
             head,
             bulk_out,
+            trace: sim_core::TraceCtx::NONE,
         }
     }
 
@@ -157,6 +169,7 @@ impl BulkDispatch {
             stat,
             head: Bytes::new(),
             bulk_out: None,
+            trace: sim_core::TraceCtx::NONE,
         }
     }
 }

@@ -265,6 +265,7 @@ pub async fn serve_stream_connection(sim: Sim, stream: TcpStream, service: Servi
                     prog: hdr.prog,
                     vers: hdr.vers,
                     xid: hdr.xid,
+                    trace: sim_core::TraceCtx::NONE,
                 },
                 hdr.prog,
                 hdr.vers,
@@ -307,6 +308,7 @@ pub async fn serve_stream_bulk_connection(sim: Sim, stream: TcpStream, service: 
                 prog: hdr.prog,
                 vers: hdr.vers,
                 xid: hdr.xid,
+                trace: sim_core::TraceCtx::NONE,
             };
             let wildcard = service.program() == crate::service::PROG_WILDCARD;
             let result =

@@ -437,6 +437,13 @@ impl RdmaRpcClient {
         // recovery: the TPT is per-HCA, not per-QP), so advertised
         // rkeys in the retransmitted call still work.
         let mut attempt: u32 = 0;
+        // Out-of-band trace propagation: the call span's context is
+        // stashed under (node, xid) for whichever server task adopts
+        // the call — never a wire byte, so modeled transfer times are
+        // untouched. Re-injected per attempt: after a failover the
+        // retransmission reaches the *promoted* node, whose adoption
+        // links the new epoch's spans into the same causal tree.
+        let trace_key = ((inner.qp.borrow().node().0 as u64) << 32) | xid as u64;
         let result: Result<CallReply, RpcError> = loop {
             if inner.dead.get() {
                 break Err(RpcError::Disconnected);
@@ -444,6 +451,7 @@ impl RdmaRpcClient {
             let (tx, rx) = oneshot();
             let mut rx = rx;
             inner.pending.borrow_mut().insert(xid, tx);
+            inner.sim.trace_inject(trace_key);
             if !inner.recovering.get() {
                 let posted = inner.qp.borrow().post_send(
                     Payload::real(wire.clone()),
@@ -508,6 +516,9 @@ impl RdmaRpcClient {
             }
         };
         inner.pending.borrow_mut().remove(&xid);
+        // Call resolved: drop any context the server never adopted (a
+        // timed-out final attempt) so the in-flight map stays bounded.
+        let _ = inner.sim.trace_adopt(trace_key);
 
         // Release every held registration (Figure 4, point 10): the
         // reply's arrival guarantees the server is done with them.

@@ -243,12 +243,22 @@ impl RdmaRpcServer {
 
     /// Mirror a completed reply into the DRC under an explicit epoch —
     /// how a backup installs the primary's completed-reply window entry
-    /// for every replicated record it applies.
-    pub fn import_reply(&self, peer: u32, xid: u32, epoch: u32, head: Bytes) {
-        self.drc.insert_completed(
-            DrcKey { peer, xid, epoch },
-            &crate::service::RdmaDispatch::success(head, None),
-        );
+    /// for every replicated record it applies. `trace` is the original
+    /// execution's context (carried on the replication record), so a
+    /// replay served from this mirrored entry after a promotion still
+    /// links to the execution on the failed primary.
+    pub fn import_reply(
+        &self,
+        peer: u32,
+        xid: u32,
+        epoch: u32,
+        head: Bytes,
+        trace: sim_core::TraceCtx,
+    ) {
+        let mut dispatch = crate::service::RdmaDispatch::success(head, None);
+        dispatch.trace = trace;
+        self.drc
+            .insert_completed(DrcKey { peer, xid, epoch }, &dispatch);
     }
 
     /// Attach one accepted connection (a connected QP) and serve it.
@@ -349,6 +359,12 @@ fn note_violation(server: &Rc<RdmaRpcServer>, conn: &ConnState, qp: &Qp, v: Prot
             .quarantines
             .set(server.stats.quarantines.get() + 1);
         server.metrics.quarantines.inc();
+        server.sim.flight(
+            "server",
+            "quarantine",
+            qp.peer_node().0 as u64,
+            strikes as u64,
+        );
         qp.force_error();
     }
 }
@@ -617,7 +633,13 @@ async fn handle_op(
     server.sim.trace("rpc", || {
         format!("server op xid={} type={:?}", hdr.xid, hdr.msg_type)
     });
-    let _op_span = server.sim.span("server", "op");
+    // Adopt the caller's trace context (stashed out-of-band under the
+    // same (node, xid) key the client injected): the op span joins the
+    // client's causal tree with a flow edge from the call span.
+    let call_ctx = server
+        .sim
+        .trace_adopt(((peer as u64) << 32) | hdr.xid as u64);
+    let _op_span = server.sim.span_remote("server", "op", None, call_ctx);
     {
         let _s = server.sim.span("server", "dispatch");
         // Figure 1: the serialized server task queue.
@@ -719,11 +741,12 @@ async fn handle_op(
         note_violation(&server, &conn, &qp, ProtocolViolation::GarbageHeader);
         return;
     };
-    let cx = CallContext {
+    let mut cx = CallContext {
         peer,
         prog: call_hdr.prog,
         vers: call_hdr.vers,
         xid: call_hdr.xid,
+        trace: sim_core::TraceCtx::NONE,
     };
     let wildcard = server.service.program() == onc_rpc::PROG_WILDCARD;
     // At-most-once: retransmitted calls (same peer + XID) replay the
@@ -764,22 +787,39 @@ async fn handle_op(
         server.sim.trace("rpc", || {
             format!("server drc cross-epoch replay xid={}", call_hdr.xid)
         });
+        server
+            .sim
+            .flight("server", "xepoch_replay", peer as u64, call_hdr.xid as u64);
+        // The retained dispatch carries the *original* execution's
+        // context: the replay span flows from the service span that
+        // ran on the failed primary, stitching the epochs together.
+        let _s = server.sim.span_remote(
+            "server",
+            "drc_replay",
+            Some(call_hdr.proc_num),
+            dispatch.trace,
+        );
         dispatch
     } else {
         match server.drc.begin(key) {
             DrcOutcome::New(slot) => {
-                let dispatch = if !wildcard
+                let mut dispatch = if !wildcard
                     && (call_hdr.prog != server.service.program()
                         || call_hdr.vers != server.service.version())
                 {
                     crate::service::RdmaDispatch::error(onc_rpc::AcceptStat::ProgUnavail)
                 } else {
                     let _s = server.sim.span_proc("server", "service", call_hdr.proc_num);
+                    // The service sees the service span as its caller:
+                    // replication records it ships inherit the client's
+                    // trace id and flow from this span.
+                    cx.trace = server.sim.current_ctx();
                     server
                         .service
                         .call(cx, call_hdr.proc_num, args, bulk_in)
                         .await
                 };
+                dispatch.trace = cx.trace;
                 server.stats.ops.set(server.stats.ops.get() + 1);
                 server.metrics.ops.inc();
                 note_good_op(&server, &conn);
@@ -795,6 +835,12 @@ async fn handle_op(
                 server
                     .sim
                     .trace("rpc", || format!("server drc replay xid={}", call_hdr.xid));
+                let _s = server.sim.span_remote(
+                    "server",
+                    "drc_replay",
+                    Some(call_hdr.proc_num),
+                    dispatch.trace,
+                );
                 dispatch
             }
             DrcOutcome::InProgress(rx) => match rx.await {
@@ -807,6 +853,12 @@ async fn handle_op(
                     server.sim.trace("rpc", || {
                         format!("server drc wait-replay xid={}", call_hdr.xid)
                     });
+                    let _s = server.sim.span_remote(
+                        "server",
+                        "drc_replay",
+                        Some(call_hdr.proc_num),
+                        dispatch.trace,
+                    );
                     dispatch
                 }
                 // The original aborted without replying; drop this copy too

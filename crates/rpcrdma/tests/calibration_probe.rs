@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use ib_verbs::{connect, Fabric, Hca, HcaConfig, HostMem, NodeId, PhysLayout};
-use onc_rpc::{AcceptStat, CallContext, LocalBoxFuture};
+use onc_rpc::{CallContext, LocalBoxFuture};
 use rpcrdma::{
     BulkParams, Design, RdmaDispatch, RdmaRpcClient, RdmaRpcServer, RdmaService, Registrar,
     RpcRdmaConfig, StrategyKind,
@@ -36,19 +36,14 @@ impl RdmaService for Reader {
                 // write path
                 let mut enc = xdr::Encoder::new();
                 enc.put_u32(data.len() as u32);
-                return RdmaDispatch {
-                    stat: AcceptStat::Success,
-                    head: enc.finish(),
-                    bulk_out: None,
-                };
+                return RdmaDispatch::success(enc.finish(), None);
             }
             let mut enc = xdr::Encoder::new();
             enc.put_u32(len as u32);
-            RdmaDispatch {
-                stat: AcceptStat::Success,
-                head: enc.finish(),
-                bulk_out: Some(sim_core::SgList::from(Payload::synthetic(9, len))),
-            }
+            RdmaDispatch::success(
+                enc.finish(),
+                Some(sim_core::SgList::from(Payload::synthetic(9, len))),
+            )
         })
     }
 }

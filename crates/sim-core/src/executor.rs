@@ -58,12 +58,13 @@ use std::task::{Context, Poll, Wake, Waker};
 
 use parking_lot::Mutex;
 
+use crate::flight::{FlightRecord, FlightRing, FLIGHT_CAPACITY};
 use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
 use crate::stats::Counter;
 use crate::time::{SimDuration, SimTime};
 use crate::timer_wheel::{TimerHandle, TimerWheel};
-use crate::trace::{SpanRecord, Tracer};
+use crate::trace::{SpanRecord, TraceCtx, Tracer};
 
 /// Packed task id: `generation << 32 | slot index`.
 type TaskId = u64;
@@ -73,7 +74,7 @@ type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 /// executor, e.g. between `run()` calls).
 const NO_TASK: TaskId = u64::MAX;
 
-fn task_slot(id: TaskId) -> usize {
+pub(crate) fn task_slot(id: TaskId) -> usize {
     (id & u32::MAX as u64) as usize
 }
 
@@ -182,6 +183,9 @@ struct Core {
     current_task: Cell<TaskId>,
     /// Structured span recorder (off by default; see [`crate::trace`]).
     tracer: Tracer,
+    /// Always-on flight recorder (see [`crate::flight`]): a fixed ring
+    /// of recent protocol events, dumped by harnesses on failure.
+    flight: FlightRing,
     /// Named-counter registry shared by every component in the world.
     metrics: MetricsRegistry,
 }
@@ -217,6 +221,7 @@ impl Simulation {
                 trace: RefCell::new(None),
                 current_task: Cell::new(NO_TASK),
                 tracer: Tracer::default(),
+                flight: FlightRing::new(FLIGHT_CAPACITY),
                 metrics,
             }),
             ready: Arc::new(ReadyQueue::default()),
@@ -269,6 +274,18 @@ impl Simulation {
     /// state. Spans still open stay open and land in the next drain.
     pub fn take_spans(&self) -> Vec<SpanRecord> {
         self.core.tracer.take()
+    }
+
+    /// Snapshot the always-on flight recorder in chronological order
+    /// (oldest surviving record first). Allocates — dump-time only.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        self.core.flight.snapshot()
+    }
+
+    /// Flight records ever written (the ring overwrites; this counter
+    /// does not).
+    pub fn flight_total(&self) -> u64 {
+        self.core.flight.total()
     }
 
     /// The world's metrics registry (shared; cheap to clone).
@@ -484,14 +501,29 @@ impl Sim {
     /// so instrumented hot paths stay on the zero-alloc and
     /// golden-schedule gates.
     pub fn span(&self, component: &'static str, name: &'static str) -> Span {
-        self.span_inner(component, name, None)
+        self.span_inner(component, name, None, TraceCtx::NONE)
     }
 
     /// Like [`Sim::span`], tagging the span with an RPC procedure
     /// number. Child spans inherit the tag through their parent chain
     /// when aggregated (see [`crate::trace::aggregate_phases`]).
     pub fn span_proc(&self, component: &'static str, name: &'static str, proc_num: u32) -> Span {
-        self.span_inner(component, name, Some(proc_num))
+        self.span_inner(component, name, Some(proc_num), TraceCtx::NONE)
+    }
+
+    /// Like [`Sim::span_proc`], adopting a remote [`TraceCtx`]: the
+    /// span joins the sender's causal tree and renders with a flow
+    /// edge from the sending span in the Chrome export. An empty
+    /// context degrades to a plain span. Same disabled fast path as
+    /// [`Sim::span`].
+    pub fn span_remote(
+        &self,
+        component: &'static str,
+        name: &'static str,
+        proc_num: Option<u32>,
+        ctx: TraceCtx,
+    ) -> Span {
+        self.span_inner(component, name, proc_num, ctx)
     }
 
     fn span_inner(
@@ -499,6 +531,7 @@ impl Sim {
         component: &'static str,
         name: &'static str,
         proc_num: Option<u32>,
+        ctx: TraceCtx,
     ) -> Span {
         if !self.core.tracer.enabled() {
             return Span {
@@ -508,15 +541,67 @@ impl Sim {
             };
         }
         let task = self.core.current_task.get();
-        let id = self
-            .core
-            .tracer
-            .enter(self.core.now.get(), task, component, name, proc_num);
+        let id = self.core.tracer.enter_remote(
+            self.core.now.get(),
+            task,
+            component,
+            name,
+            proc_num,
+            ctx,
+        );
         Span {
             core: Some(self.core.clone()),
             task,
             id,
         }
+    }
+
+    /// The [`TraceCtx`] a message sent from the current task right now
+    /// should carry: the innermost open span's trace id with that span
+    /// as the link point. [`TraceCtx::NONE`] when span tracing is off
+    /// (one flag read) or no span is open.
+    pub fn current_ctx(&self) -> TraceCtx {
+        if !self.core.tracer.enabled() {
+            return TraceCtx::NONE;
+        }
+        self.core.tracer.current_ctx(self.core.current_task.get())
+    }
+
+    /// Stash the current task's [`TraceCtx`] for the in-flight RPC
+    /// `key` (conventionally `(client_node << 32) | xid`) — the
+    /// out-of-band channel the receiver's [`Sim::trace_adopt`] reads,
+    /// keeping modeled wire bytes untouched. Retransmissions overwrite.
+    /// One flag read when span tracing is off.
+    pub fn trace_inject(&self, key: u64) {
+        if self.core.tracer.enabled() {
+            let ctx = self.core.tracer.current_ctx(self.core.current_task.get());
+            self.core.tracer.inject(key, ctx);
+        }
+    }
+
+    /// Remove and return the [`TraceCtx`] stashed under `key` by the
+    /// sender's [`Sim::trace_inject`] ([`TraceCtx::NONE`] when absent
+    /// or span tracing is off).
+    pub fn trace_adopt(&self, key: u64) -> TraceCtx {
+        if !self.core.tracer.enabled() {
+            return TraceCtx::NONE;
+        }
+        self.core.tracer.adopt(key)
+    }
+
+    /// Record one event in the always-on flight recorder: plain-old-
+    /// data stores into a preallocated ring — no allocation, no RNG,
+    /// no timer — safe on any hot path and never perturbing the
+    /// schedule. See [`crate::flight`].
+    pub fn flight(&self, component: &'static str, event: &'static str, a: u64, b: u64) {
+        self.core.flight.record(FlightRecord {
+            at: self.core.now.get(),
+            task: self.core.current_task.get(),
+            component,
+            event,
+            a,
+            b,
+        });
     }
 
     /// The world's metrics registry (shared; cheap to clone). Components
@@ -809,6 +894,55 @@ mod tests {
         // Taking drains but keeps tracing on.
         assert!(sim.take_trace().is_empty());
         assert!(h.tracing());
+    }
+
+    #[test]
+    fn trace_ctx_rides_out_of_band_between_tasks() {
+        let mut sim = Simulation::new(1);
+        // Off: everything is inert and ctx-free.
+        let h = sim.handle();
+        assert_eq!(h.current_ctx(), TraceCtx::NONE);
+        h.trace_inject(7);
+        assert_eq!(h.trace_adopt(7), TraceCtx::NONE);
+
+        sim.enable_span_tracing();
+        let h = sim.handle();
+        let h2 = h.clone();
+        sim.block_on(async move {
+            let _call = h2.span_proc("client", "call", 7);
+            h2.trace_inject(42);
+            let h3 = h2.clone();
+            h2.spawn(async move {
+                // "Server" task: adopt the caller's context.
+                let ctx = h3.trace_adopt(42);
+                assert_ne!(ctx, TraceCtx::NONE);
+                let _op = h3.span_remote("server", "op", Some(7), ctx);
+            });
+            h2.sleep(SimDuration::from_nanos(1)).await;
+        });
+        let spans = sim.take_spans();
+        let call = spans.iter().find(|s| s.name == "call").unwrap();
+        let op = spans.iter().find(|s| s.name == "op").unwrap();
+        assert_eq!(op.trace_id, call.trace_id);
+        assert_eq!(op.flow_from, call.id);
+        assert_ne!(op.task, call.task);
+    }
+
+    #[test]
+    fn flight_recorder_is_always_armed() {
+        let mut sim = Simulation::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            h.flight("test", "start", 1, 2);
+            h.sleep(SimDuration::from_micros(3)).await;
+            h.flight("test", "stop", 3, 4);
+        });
+        let recs = sim.flight_records();
+        assert_eq!(sim.flight_total(), 2);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].event, "start");
+        assert_eq!(recs[1].at, SimTime::from_nanos(3_000));
+        assert_ne!(recs[0].task, NO_TASK);
     }
 
     #[test]

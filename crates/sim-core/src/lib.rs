@@ -44,6 +44,7 @@
 pub mod cpu;
 pub mod executor;
 pub mod extent;
+pub mod flight;
 pub mod metrics;
 pub mod payload;
 pub mod resource;
@@ -58,10 +59,13 @@ pub mod trace;
 pub use cpu::{Cpu, CpuCosts};
 pub use executor::{yield_now, Sim, Simulation, Span, Timeout, TraceEvent};
 pub use extent::ExtentMap;
+pub use flight::{format_flight, FlightRecord, FLIGHT_CAPACITY};
 pub use metrics::MetricsRegistry;
 pub use payload::{Payload, SgList};
 pub use resource::{Link, Resource};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Meter, Summary};
 pub use time::{transfer_time, SimDuration, SimTime};
-pub use trace::{aggregate_phases, chrome_trace_json, validate_json, PhaseStats, SpanRecord};
+pub use trace::{
+    aggregate_phases, chrome_trace_json, validate_json, PhaseStats, SpanRecord, TraceCtx,
+};

@@ -129,6 +129,9 @@ pub struct AdversaryResult {
     pub fingerprint: u64,
     /// Sorted `(name, value)` dump of the whole metrics registry.
     pub metrics_snapshot: Vec<(String, u64)>,
+    /// Flight-recorder snapshot — always captured (the ring is always
+    /// armed), bounded by [`sim_core::FLIGHT_CAPACITY`].
+    pub flight: Vec<sim_core::FlightRecord>,
 }
 
 /// Seed for the synthetic payload of client `ci`'s record `r`.
@@ -149,6 +152,7 @@ pub fn run_adversary(seed: u64, profile: &Profile, params: AdversaryParams) -> A
     if params.fingerprint {
         result.fingerprint = fingerprint(&sim.take_trace());
     }
+    result.flight = sim.flight_records();
     result.metrics_snapshot = sim.metrics().snapshot();
     result
 }
@@ -348,6 +352,7 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: AdversaryParams) -> Adv
         },
         fingerprint: 0,
         metrics_snapshot: Vec::new(),
+        flight: Vec::new(),
     }
 }
 

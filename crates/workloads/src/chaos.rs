@@ -113,6 +113,9 @@ pub struct ChaosResult {
     /// (fabric ports, regcache, DRC, client/server RPC, executor) —
     /// byte-identical across same-seed runs.
     pub metrics_snapshot: Vec<(String, u64)>,
+    /// Flight-recorder snapshot — always captured (the ring is always
+    /// armed), bounded by [`sim_core::FLIGHT_CAPACITY`].
+    pub flight: Vec<sim_core::FlightRecord>,
 }
 
 /// Seed for the synthetic payload of client `ci`'s record `r`.
@@ -132,6 +135,7 @@ pub fn run_chaos(seed: u64, profile: &Profile, params: ChaosParams) -> ChaosResu
     if params.fingerprint {
         result.fingerprint = fingerprint(&sim.take_trace());
     }
+    result.flight = sim.flight_records();
     result.metrics_snapshot = sim.metrics().snapshot();
     result
 }
@@ -293,5 +297,6 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: ChaosParams) -> ChaosRe
         wal_committed_records,
         fingerprint: 0,
         metrics_snapshot: Vec::new(),
+        flight: Vec::new(),
     }
 }

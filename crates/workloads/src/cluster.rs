@@ -260,6 +260,7 @@ pub async fn build_cluster(
                         continue;
                     }
                     misses += 1;
+                    sim2.flight("cluster", "hb_miss", misses as u64, limit as u64);
                     if misses < limit {
                         continue;
                     }
@@ -278,6 +279,12 @@ pub async fn build_cluster(
                     .await;
                     promoted2.set(true);
                     promoted_at2.set(Some(sim2.now()));
+                    sim2.flight(
+                        "cluster",
+                        "promoted",
+                        mount2.epoch() as u64,
+                        session2.applied.get(),
+                    );
                     sim2.trace("cluster", || {
                         format!(
                             "promotion complete: epoch={} applied={}",
@@ -375,6 +382,7 @@ impl ClusterTestbed {
     pub fn kill_primary(&self, sim: &Sim) {
         let p = self.mount.primary();
         let node = &self.nodes[p];
+        sim.flight("cluster", "kill_primary", p as u64, node.repl.log_len());
         sim.trace("cluster", || format!("killing primary node {p}"));
         self.mount.kill(p);
         node.server.set_dead(true);
@@ -412,6 +420,7 @@ impl ClusterTestbed {
         joiner.server.install_boot_verf(self.mount.bump_boot());
         joiner.rpc.set_service_epoch(self.mount.epoch());
         joiner.repl.set_epoch(self.mount.epoch());
+        sim.flight("cluster", "rejoin", idx as u64, durable);
         sim.trace("cluster", || {
             format!("node {idx} rejoining: durable_seq={durable} wal_keep={keep}")
         });
@@ -450,6 +459,7 @@ impl ClusterTestbed {
         self.resync_bytes.set(bytes);
         *self.ring.borrow_mut() = Some(ring);
         *self.session.borrow_mut() = Some(session);
+        sim.flight("cluster", "resynced", bytes, from);
         sim.trace("cluster", || {
             format!("node {idx} resynced: {bytes} bytes re-shipped from seq {from}")
         });

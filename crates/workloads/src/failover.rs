@@ -11,7 +11,7 @@
 //! verdict. Optionally, the crashed node rejoins as backup and
 //! re-syncs the WAL tail.
 
-use sim_core::{Payload, Sim, SimDuration, Simulation};
+use sim_core::{FlightRecord, Payload, Sim, SimDuration, SimTime, Simulation, SpanRecord};
 
 use ib_verbs::{FaultConfig, NodeId};
 use rpcrdma::{Design, StrategyKind};
@@ -52,6 +52,12 @@ pub struct FailoverParams {
     pub rejoin_after: Option<SimDuration>,
     /// Record a trace and return its FNV-1a fingerprint.
     pub fingerprint: bool,
+    /// Record the hierarchical span trace (cross-node causal trees,
+    /// Perfetto-exportable) and return it in [`FailoverResult::spans`].
+    pub span_trace: bool,
+    /// Sample the streaming telemetry timeline and return it in
+    /// [`FailoverResult::timeline`].
+    pub timeline: bool,
 }
 
 impl Default for FailoverParams {
@@ -75,9 +81,39 @@ impl Default for FailoverParams {
             kill_at: None,
             rejoin_after: None,
             fingerprint: true,
+            span_trace: false,
+            timeline: false,
         }
     }
 }
+
+/// One bucket of the streaming failover telemetry timeline
+/// ([`TIMELINE_BUCKET_US`] of virtual time each).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimelineBucket {
+    /// Bucket start, virtual µs.
+    pub t_us: u64,
+    /// Client WRITE/COMMIT ops completing in the bucket.
+    pub ops: u64,
+    /// UNSTABLE-write goodput over the bucket, MB/s.
+    pub goodput_mbps: f64,
+    /// 99th-percentile latency of ops completing in the bucket, µs.
+    pub p99_us: u64,
+    /// Client ops in flight at the bucket's sample point.
+    pub in_flight: u64,
+    /// Replication-ring occupancy at the sample point: records
+    /// sequenced into the log but not yet applied by the backup.
+    pub ring_occupancy: u64,
+    /// Group-commit lag at the sample point: records sequenced past
+    /// the last cluster-durable commit marker (the WAL-flush window).
+    pub wal_lag: u64,
+    /// Cumulative replication credit grants returned by the backup's
+    /// one-sided control writes.
+    pub credit_grants: u64,
+}
+
+/// Timeline bucket width in virtual µs (also the sampler cadence).
+pub const TIMELINE_BUCKET_US: u64 = 100;
 
 /// What one failover run produced.
 #[derive(Clone, Debug, Default)]
@@ -131,6 +167,18 @@ pub struct FailoverResult {
     /// Full metrics-registry dump, byte-identical across same-seed
     /// runs.
     pub metrics_snapshot: Vec<(String, u64)>,
+    /// Virtual time of the kill, µs since run start (0 without one).
+    pub killed_at_us: u64,
+    /// Virtual time promotion completed, µs (0 without a promotion).
+    pub promoted_at_us: u64,
+    /// Hierarchical span records (empty unless
+    /// [`FailoverParams::span_trace`]).
+    pub spans: Vec<SpanRecord>,
+    /// Telemetry timeline (empty unless [`FailoverParams::timeline`]).
+    pub timeline: Vec<TimelineBucket>,
+    /// Flight-recorder snapshot — always captured (the ring is always
+    /// armed), bounded by [`sim_core::FLIGHT_CAPACITY`].
+    pub flight: Vec<FlightRecord>,
 }
 
 /// Seed for client `ci`'s record `r` (distinct from the plain chaos
@@ -145,18 +193,19 @@ pub fn run_failover(seed: u64, profile: &Profile, params: FailoverParams) -> Fai
     if params.fingerprint {
         sim.enable_tracing();
     }
+    if params.span_trace {
+        sim.enable_span_tracing();
+    }
     let h = sim.handle();
     let profile = *profile;
     let mut result = sim.block_on(async move { run_inner(&h, &profile, params).await });
     if params.fingerprint {
-        let trace = sim.take_trace();
-        if std::env::var("FAILOVER_TRACE").is_ok() {
-            for e in &trace {
-                eprintln!("{:>12}ns [{}] {}", e.at.as_nanos(), e.category, e.detail);
-            }
-        }
-        result.fingerprint = fingerprint(&trace);
+        result.fingerprint = fingerprint(&sim.take_trace());
     }
+    if params.span_trace {
+        result.spans = sim.take_spans();
+    }
+    result.flight = sim.flight_records();
     result.metrics_snapshot = sim.metrics().snapshot();
     result
 }
@@ -220,15 +269,57 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: FailoverParams) -> Fail
     let root = bed.nodes[0].server.root_handle();
     let done = sim_core::sync::Semaphore::new(0);
     let corrupt_total = std::rc::Rc::new(std::cell::Cell::new(0u64));
-    let latencies = std::rc::Rc::new(RefCellVec::default());
+    let samples = std::rc::Rc::new(OpLog::default());
+    let in_flight = std::rc::Rc::new(std::cell::Cell::new(0u64));
     let start = sim.now();
+
+    // Streaming telemetry sampler: one deterministic probe per bucket,
+    // reading shared counters only (it never mutates sim state beyond
+    // its own timer, so same-seed runs sample identically).
+    let probes = std::rc::Rc::new(std::cell::RefCell::new(Vec::<Probe>::new()));
+    if params.timeline {
+        let sim2 = sim.clone();
+        let bed2 = bed.clone();
+        let in_flight2 = in_flight.clone();
+        let probes2 = probes.clone();
+        sim.spawn(async move {
+            loop {
+                sim2.sleep(SimDuration::from_micros(TIMELINE_BUCKET_US))
+                    .await;
+                if bed2.stop.get() {
+                    break;
+                }
+                let serving = &bed2.nodes[bed2.mount.primary()];
+                let log_len = serving.repl.log_len();
+                let applied = bed2
+                    .session
+                    .borrow()
+                    .as_ref()
+                    .map_or(0, |s| s.applied.get());
+                let credits = serving
+                    .shipper
+                    .borrow()
+                    .as_ref()
+                    .map_or(0, |s| s.stats.credit_returns.get());
+                probes2.borrow_mut().push(Probe {
+                    at: sim2.now(),
+                    in_flight: in_flight2.get(),
+                    ring_occupancy: log_len.saturating_sub(applied),
+                    wal_lag: log_len.saturating_sub(serving.repl.durable_seq()),
+                    credit_grants: credits,
+                });
+            }
+        });
+    }
+
     for (ci, client) in bed.clients.iter().enumerate() {
         let nfs = client.nfs.clone();
         let mem = client.mem.clone();
         let done = done.clone();
         let sim2 = sim.clone();
         let corrupt_total = corrupt_total.clone();
-        let latencies = latencies.clone();
+        let samples = samples.clone();
+        let in_flight = in_flight.clone();
         let (records, record, commit_every) = (
             params.records_per_client,
             params.record,
@@ -244,21 +335,27 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: FailoverParams) -> Fail
             for r in 0..records {
                 buf.write(0, Payload::synthetic(record_seed(ci, r), record));
                 let t0 = sim2.now();
+                in_flight.set(in_flight.get() + 1);
                 nfs.write(fh, r * record, &buf, 0, record as u32, false)
                     .await
                     .expect("unstable write survives failover");
-                latencies.push(sim2.now() - t0);
+                in_flight.set(in_flight.get() - 1);
+                samples.push(true, t0, sim2.now());
                 if (r + 1) % commit_every == 0 {
                     let t0 = sim2.now();
+                    in_flight.set(in_flight.get() + 1);
                     nfs.commit(fh).await.expect("commit survives failover");
-                    latencies.push(sim2.now() - t0);
+                    in_flight.set(in_flight.get() - 1);
+                    samples.push(false, t0, sim2.now());
                 }
             }
             let t0 = sim2.now();
+            in_flight.set(in_flight.get() + 1);
             nfs.commit(fh)
                 .await
                 .expect("final commit survives failover");
-            latencies.push(sim2.now() - t0);
+            in_flight.set(in_flight.get() - 1);
+            samples.push(false, t0, sim2.now());
             for r in 0..records {
                 let (data, _) = nfs
                     .read(fh, r * record, record as u32, None)
@@ -296,7 +393,8 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: FailoverParams) -> Fail
         redriven_writes += c.nfs.stats.redriven_writes.get();
         verf_mismatches += c.nfs.stats.verf_mismatches.get();
     }
-    let mut lat: Vec<SimDuration> = latencies.take();
+    let ops: Vec<OpSample> = samples.take();
+    let mut lat: Vec<SimDuration> = ops.iter().map(|s| s.end - s.start).collect();
     lat.sort();
     let pick = |q: f64| -> u64 {
         if lat.is_empty() {
@@ -304,6 +402,11 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: FailoverParams) -> Fail
         }
         let i = ((lat.len() - 1) as f64 * q) as usize;
         lat[i].as_micros()
+    };
+    let timeline = if params.timeline {
+        build_timeline(&ops, &probes.borrow(), start, params.record)
+    } else {
+        Vec::new()
     };
 
     let serving = bed.nodes[bed.mount.primary()].clone();
@@ -363,18 +466,107 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: FailoverParams) -> Fail
         },
         fingerprint: 0,
         metrics_snapshot: Vec::new(),
+        killed_at_us: bed.killed_at.get().map_or(0, |t| (t - start).as_micros()),
+        promoted_at_us: bed.promoted_at.get().map_or(0, |t| (t - start).as_micros()),
+        spans: Vec::new(),
+        timeline,
+        flight: Vec::new(),
     }
 }
 
-/// Tiny interior-mutable latency collector shared by client tasks.
-#[derive(Default)]
-struct RefCellVec(std::cell::RefCell<Vec<SimDuration>>);
+/// One timed client op (WRITE or COMMIT).
+#[derive(Clone, Copy)]
+struct OpSample {
+    is_write: bool,
+    start: SimTime,
+    end: SimTime,
+}
 
-impl RefCellVec {
-    fn push(&self, d: SimDuration) {
-        self.0.borrow_mut().push(d);
+/// Tiny interior-mutable op-sample collector shared by client tasks.
+#[derive(Default)]
+struct OpLog(std::cell::RefCell<Vec<OpSample>>);
+
+impl OpLog {
+    fn push(&self, is_write: bool, start: SimTime, end: SimTime) {
+        self.0.borrow_mut().push(OpSample {
+            is_write,
+            start,
+            end,
+        });
     }
-    fn take(&self) -> Vec<SimDuration> {
+    fn take(&self) -> Vec<OpSample> {
         std::mem::take(&mut self.0.borrow_mut())
     }
+}
+
+/// One sampler probe of the shared cluster counters.
+#[derive(Clone, Copy)]
+struct Probe {
+    at: SimTime,
+    in_flight: u64,
+    ring_occupancy: u64,
+    wal_lag: u64,
+    credit_grants: u64,
+}
+
+/// Merge per-op completion samples and sampler probes into the
+/// fixed-width telemetry timeline.
+fn build_timeline(
+    ops: &[OpSample],
+    probes: &[Probe],
+    start: SimTime,
+    record: u64,
+) -> Vec<TimelineBucket> {
+    let width = SimDuration::from_micros(TIMELINE_BUCKET_US);
+    let end = ops
+        .iter()
+        .map(|s| s.end)
+        .chain(probes.iter().map(|p| p.at))
+        .max()
+        .unwrap_or(start);
+    let n = ((end - start).as_micros() / TIMELINE_BUCKET_US + 1) as usize;
+    let mut out: Vec<TimelineBucket> = (0..n)
+        .map(|i| TimelineBucket {
+            t_us: i as u64 * TIMELINE_BUCKET_US,
+            ..TimelineBucket::default()
+        })
+        .collect();
+    let mut lats: Vec<Vec<SimDuration>> = vec![Vec::new(); n];
+    for s in ops {
+        let i = ((s.end - start).as_micros() / TIMELINE_BUCKET_US) as usize;
+        let b = &mut out[i];
+        b.ops += 1;
+        if s.is_write {
+            b.goodput_mbps += record as f64;
+        }
+        lats[i].push(s.end - s.start);
+    }
+    let bucket_secs = width.as_nanos() as f64 / 1e9;
+    for (b, mut l) in out.iter_mut().zip(lats) {
+        b.goodput_mbps = b.goodput_mbps / bucket_secs / 1e6;
+        l.sort();
+        if !l.is_empty() {
+            b.p99_us = l[(l.len() - 1) * 99 / 100].as_micros();
+        }
+    }
+    // Each bucket carries the latest probe at or before its end; a
+    // bucket with no probe of its own inherits the previous gauge
+    // levels (the counters are level-style, not deltas).
+    let mut pi = 0;
+    let mut last: Option<Probe> = None;
+    for (i, b) in out.iter_mut().enumerate() {
+        while pi < probes.len()
+            && ((probes[pi].at - start).as_micros() / TIMELINE_BUCKET_US) as usize <= i
+        {
+            last = Some(probes[pi]);
+            pi += 1;
+        }
+        if let Some(p) = last {
+            b.in_flight = p.in_flight;
+            b.ring_occupancy = p.ring_occupancy;
+            b.wal_lag = p.wal_lag;
+            b.credit_grants = p.credit_grants;
+        }
+    }
+    out
 }

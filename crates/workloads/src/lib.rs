@@ -28,7 +28,9 @@ pub mod testbed;
 pub use adversary::{run_adversary, AdversaryParams, AdversaryResult};
 pub use chaos::{run_chaos, ChaosParams, ChaosResult};
 pub use cluster::{build_cluster, ClusterConfig, ClusterTestbed, ServerNode};
-pub use failover::{run_failover, FailoverParams, FailoverResult};
+pub use failover::{
+    run_failover, FailoverParams, FailoverResult, TimelineBucket, TIMELINE_BUCKET_US,
+};
 pub use iozone::{run_iozone, IoMode, IozoneParams, IozoneResult};
 pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClientResult};
 pub use oltp::{run_oltp, OltpParams, OltpResult};

@@ -88,6 +88,79 @@ fn same_seed_failover_replays_bit_for_bit() {
     assert_eq!(a.corrupt_records, 0);
 }
 
+/// Tentpole acceptance: with span tracing *enabled*, a seeded failover
+/// run still replays byte-for-byte, and one client op's causal tree
+/// spans client → primary → backup across the epoch bump.
+#[test]
+fn traced_failover_links_all_roles_and_replays_bit_for_bit() {
+    let mut p = base();
+    p.kill_at = Some(SimDuration::from_millis(2));
+    p.span_trace = true;
+    p.timeline = true;
+    let a = run_failover(42, &linux_sdr(), p);
+    let b = run_failover(42, &linux_sdr(), p);
+
+    // Every exported artifact is byte-identical across same-seed runs
+    // with tracing on.
+    assert_eq!(a.fingerprint, b.fingerprint, "trace fingerprints diverged");
+    let json = sim_core::chrome_trace_json(&a.spans);
+    assert_eq!(
+        json,
+        sim_core::chrome_trace_json(&b.spans),
+        "span exports diverged"
+    );
+    assert_eq!(
+        format!("{:?}", a.timeline),
+        format!("{:?}", b.timeline),
+        "timelines diverged"
+    );
+    assert_eq!(
+        sim_core::format_flight(&a.flight),
+        sim_core::format_flight(&b.flight),
+        "flight recordings diverged"
+    );
+    assert_eq!(a.metrics_snapshot, b.metrics_snapshot);
+
+    // One trace id collects spans from all three roles: the client's
+    // call, the (possibly promoted) server's op, and the backup apply.
+    use std::collections::{HashMap, HashSet};
+    let mut roles: HashMap<u64, HashSet<&str>> = HashMap::new();
+    for s in &a.spans {
+        if s.trace_id != 0 {
+            roles.entry(s.trace_id).or_default().insert(s.component);
+        }
+    }
+    assert!(
+        roles
+            .values()
+            .any(|r| r.contains("client") && r.contains("server") && r.contains("backup")),
+        "no trace id links client, primary and backup spans"
+    );
+
+    // The export is Perfetto-loadable and carries flow events.
+    sim_core::validate_json(&json).expect("cluster trace must be valid JSON");
+    assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\",\"bp\":\"e\""));
+
+    // Promotion is visible to the always-on flight recorder and the
+    // timeline saw the stall window.
+    assert!(a.flight.iter().any(|f| f.event == "promoted"));
+    assert!(a.flight.iter().any(|f| f.event == "kill_primary"));
+    assert!(!a.timeline.is_empty());
+    assert!(a.promoted_at_us > a.killed_at_us && a.killed_at_us > 0);
+}
+
+/// Tracing off stays tracing off: no spans, no timeline, and the
+/// flight recorder still captured the chaos events.
+#[test]
+fn untraced_failover_exports_nothing_but_flight_records() {
+    let mut p = base();
+    p.kill_at = Some(SimDuration::from_millis(2));
+    let r = run_failover(23, &linux_sdr(), p);
+    assert!(r.spans.is_empty());
+    assert!(r.timeline.is_empty());
+    assert!(r.flight.iter().any(|f| f.event == "promoted"));
+}
+
 #[test]
 fn killed_node_rejoins_and_resyncs() {
     let mut p = base();

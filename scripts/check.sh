@@ -21,7 +21,7 @@ if [ "${SKIP_TESTS:-0}" != "1" ]; then
     cargo test -q
 fi
 
-echo "==> simperf --smoke (includes disabled-tracing hot-path gate)"
+echo "==> simperf --smoke (disabled-tracing hot-path gate + span-tracing overhead gate <=10%)"
 cargo run --release -p bench --bin simperf -- --smoke
 
 echo "==> ablation --batching --smoke (zero-copy >= 1.3x; doorbells/op and interrupts/op < 1 at depth 4)"
@@ -36,8 +36,21 @@ cargo run --release -p bench --bin chaos -- --smoke
 echo "==> adversary --smoke (hostile-client catalog, 20% goodput bound)"
 cargo run --release -p bench --bin adversary -- --smoke
 
-echo "==> chaos --failover --smoke (replicated-cluster kill matrix: promotion, zero corruption, exactly-once, <=15% replication overhead, same-seed determinism)"
+echo "==> chaos --failover --smoke (replicated-cluster kill matrix: promotion, zero corruption, exactly-once, <=15% replication overhead, same-seed determinism, observability exports)"
 cargo run --release -p bench --bin chaos -- --failover --smoke
+# The observability leg of the failover gate exports the cluster-wide
+# causal trace and the promotion timeline; make sure they landed and
+# the trace carries Perfetto flow events (client -> primary -> backup).
+for f in results/trace_failover_cluster.json results/timeline_failover.csv results/BENCH_failover.json; do
+    [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" results/trace_failover_cluster.json
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" results/BENCH_failover.json
+fi
+grep -q '"ph":"s"' results/trace_failover_cluster.json || {
+    echo "trace_failover_cluster.json has no flow events" >&2; exit 1; }
+echo "    results/trace_failover_cluster.json ok (flow events present)"
 
 echo "==> fig5 --anatomy (traced-workload smoke + trace JSON validation)"
 cargo run --release -p bench --bin fig5 -- --anatomy >/dev/null

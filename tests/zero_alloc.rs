@@ -9,6 +9,9 @@
 //!   vectors at capacity) must poll tasks without per-event
 //!   allocations; only the `run()`-scoped batch buffer may grow, so the
 //!   bound is a small constant independent of the poll count.
+//! - With span tracing **disabled**, the observability hooks on the
+//!   RPC hot path (span/inject/adopt/current_ctx) and the always-on
+//!   flight-recorder ring must perform **zero** heap allocations.
 //! - A steady-state **cached NFS READ** on the Read-Write design with
 //!   the server's zero-copy gather path must move zero payload bytes
 //!   through host copies (`copied_bytes` frozen, `zero_copy_bytes`
@@ -105,15 +108,25 @@ fn spawn_churn(sim: &mut Simulation) {
 #[test]
 fn steady_state_hot_paths_do_not_allocate() {
     // ---- RPC/RDMA header encode into a warmed scratch encoder. ------
+    // The counter is process-wide, so a libtest harness thread can
+    // slip a stray allocation into the window. Take the minimum over a
+    // few attempts: noise only ever adds, while a real hot-path
+    // allocation shows up in every attempt.
     let hdr = sample_header();
     let mut enc = Encoder::new();
     hdr.encode_into(&mut enc); // warm the buffer to message size
     let wire_len = enc.len();
-    let before = allocs();
-    for _ in 0..1_000 {
-        hdr.encode_into(&mut enc);
+    let mut encode_allocs = u64::MAX;
+    for _ in 0..5 {
+        let before = allocs();
+        for _ in 0..1_000 {
+            hdr.encode_into(&mut enc);
+        }
+        encode_allocs = encode_allocs.min(allocs() - before);
+        if encode_allocs == 0 {
+            break;
+        }
     }
-    let encode_allocs = allocs() - before;
     assert_eq!(enc.len(), wire_len);
     assert_eq!(
         encode_allocs, 0,
@@ -152,6 +165,47 @@ fn steady_state_hot_paths_do_not_allocate() {
         run_allocs <= 64,
         "steady-state executor run allocated {run_allocs} times for {polls} polls"
     );
+
+    // ---- Tracing plumbing + flight recorder, tracing DISABLED. ------
+    // The observability hooks ride every RPC leg and replication
+    // record, so their disabled fast path must be allocation-free:
+    // span/inject/adopt/current_ctx collapse to one flag read, and the
+    // always-on flight recorder stores plain-old-data into its
+    // preallocated ring. Warm the ring past capacity first so the
+    // measured window exercises the overwrite path, then demand ZERO
+    // heap traffic — not merely "small".
+    let mut sim = Simulation::new(0x0B5E);
+    let h = sim.handle();
+    sim.spawn(async move {
+        for i in 0..(2 * sim_core::FLIGHT_CAPACITY as u64) {
+            h.flight("warmup", "fill", i, 0);
+        }
+        // Min-over-attempts for the same reason as the encode section:
+        // the process-wide counter can pick up harness-thread noise.
+        let mut trace_allocs = u64::MAX;
+        let mut trace_bytes = u64::MAX;
+        for _ in 0..5 {
+            let before_allocs = allocs();
+            let before_bytes = alloc_bytes();
+            for i in 0..10_000u64 {
+                let _op = h.span_remote("test", "op", Some(7), h.current_ctx());
+                h.trace_inject(i);
+                let _ctx = h.trace_adopt(i);
+                h.flight("test", "event", i, i ^ 0xFF);
+            }
+            trace_allocs = trace_allocs.min(allocs() - before_allocs);
+            trace_bytes = trace_bytes.min(alloc_bytes() - before_bytes);
+            if trace_allocs == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            trace_allocs, 0,
+            "disabled-tracing hooks allocated {trace_allocs} times \
+             ({trace_bytes} bytes) over 10k op cycles"
+        );
+    });
+    sim.run();
 
     // ---- Cached READ through the zero-copy server pipeline. ---------
     // Read-Write design, all-physical server window: the reply gathers
