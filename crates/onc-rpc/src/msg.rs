@@ -76,6 +76,10 @@ pub enum AcceptStat {
     ProcUnavail,
     /// Arguments failed to decode.
     GarbageArgs,
+    /// Server could not service the call right now (overload shed).
+    /// RFC 5531's SYSTEM_ERR: transient, retryable — transports back
+    /// off and retransmit rather than surfacing it to the caller.
+    SystemErr,
 }
 
 impl AcceptStat {
@@ -85,6 +89,7 @@ impl AcceptStat {
             AcceptStat::ProgUnavail => 1,
             AcceptStat::ProcUnavail => 3,
             AcceptStat::GarbageArgs => 4,
+            AcceptStat::SystemErr => 5,
         }
     }
 
@@ -94,6 +99,7 @@ impl AcceptStat {
             1 => AcceptStat::ProgUnavail,
             3 => AcceptStat::ProcUnavail,
             4 => AcceptStat::GarbageArgs,
+            5 => AcceptStat::SystemErr,
             d => return Err(XdrError::BadDiscriminant(d)),
         })
     }

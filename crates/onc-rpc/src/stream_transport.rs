@@ -49,6 +49,19 @@ pub enum TransportError {
     },
     /// The connection died and no recovery path is configured.
     ConnectionLost,
+    /// The server shed the call (SYSTEM_ERR busy replies) more times
+    /// than the retry budget allows: it is overloaded and backing off
+    /// further is the caller's problem. Distinct from [`TimedOut`]
+    /// (no reply at all) — here the server answered every attempt,
+    /// with "go away".
+    ///
+    /// [`TimedOut`]: TransportError::TimedOut
+    Overloaded {
+        /// XID of the abandoned call.
+        xid: u32,
+        /// Busy replies received before giving up.
+        rejections: u32,
+    },
     /// Two in-flight operations claimed the same work-request id — a
     /// transport-state corruption that used to abort the process.
     DuplicateWaiter(u64),
@@ -61,6 +74,9 @@ impl std::fmt::Display for TransportError {
                 write!(f, "call xid={xid} timed out after {attempts} attempts")
             }
             TransportError::ConnectionLost => write!(f, "connection lost"),
+            TransportError::Overloaded { xid, rejections } => {
+                write!(f, "call xid={xid} shed by server {rejections} times")
+            }
             TransportError::DuplicateWaiter(wr) => {
                 write!(f, "duplicate completion waiter for wr_id {wr}")
             }

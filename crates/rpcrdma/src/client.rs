@@ -79,6 +79,10 @@ pub struct ClientStats {
     /// Reply timeouts observed (each one precedes a retransmission or
     /// the call's final failure).
     pub timeouts: u64,
+    /// Busy (shed) replies received from an overloaded server; each
+    /// one precedes a backed-off re-offer or the call's final
+    /// [`onc_rpc::TransportError::Overloaded`] failure.
+    pub busy_replies: u64,
     /// Successful connection recoveries (fresh QP after an error).
     pub reconnects: u64,
 }
@@ -99,6 +103,7 @@ struct ClientMetrics {
     retransmits: Rc<Counter>,
     timeouts: Rc<Counter>,
     reconnects: Rc<Counter>,
+    busy_replies: Rc<Counter>,
 }
 
 impl ClientMetrics {
@@ -109,6 +114,7 @@ impl ClientMetrics {
             retransmits: m.counter("client.retransmits"),
             timeouts: m.counter("client.timeouts"),
             reconnects: m.counter("client.reconnects"),
+            busy_replies: m.counter("client.busy_replies"),
         }
     }
 }
@@ -437,6 +443,10 @@ impl RdmaRpcClient {
         // recovery: the TPT is per-HCA, not per-QP), so advertised
         // rkeys in the retransmitted call still work.
         let mut attempt: u32 = 0;
+        // Busy (shed) replies answered so far: a separate budget from
+        // reply timeouts — the server *is* responding, just refusing —
+        // exhausted as `TransportError::Overloaded`, not `TimedOut`.
+        let mut sheds: u32 = 0;
         // Out-of-band trace propagation: the call span's context is
         // stashed under (node, xid) for whichever server task adopts
         // the call — never a wire byte, so modeled transfer times are
@@ -495,6 +505,29 @@ impl RdmaRpcClient {
                         // error mid chunk-pull): retransmit; the server
                         // replays from its DRC with fresh exposures.
                         Err(RpcError::Disconnected) if !inner.dead.get() => {}
+                        // The server shed the call (overload): back off
+                        // and re-offer the same XID. The shed reply
+                        // never touched the server's DRC, so the
+                        // retransmission executes fresh when admitted.
+                        Err(RpcError::Rejected(AcceptStat::SystemErr)) if !inner.dead.get() => {
+                            sheds += 1;
+                            inner.stats.borrow_mut().busy_replies += 1;
+                            inner.metrics.busy_replies.inc();
+                            inner.sim.trace("rpc", || {
+                                format!("client busy-reply xid={xid} sheds={sheds}")
+                            });
+                            inner.pending.borrow_mut().remove(&xid);
+                            if sheds > inner.cfg.qos_max_rejections {
+                                break Err(TransportError::Overloaded {
+                                    xid,
+                                    rejections: sheds,
+                                }
+                                .into());
+                            }
+                            let _s = inner.sim.span("client", "shed_backoff");
+                            inner.sim.sleep(self.shed_backoff(sheds)).await;
+                            continue;
+                        }
                         other => break other,
                     }
                 }
@@ -556,6 +589,25 @@ impl RdmaRpcClient {
         let mut wait = SimDuration::from_nanos(base << attempt.min(6));
         let jitter = inner.cfg.retrans_jitter;
         if attempt > 0 && !jitter.is_zero() {
+            let extra = inner
+                .retrans_rng
+                .borrow_mut()
+                .gen_range(jitter.as_nanos() + 1);
+            wait += SimDuration::from_nanos(extra);
+        }
+        wait
+    }
+
+    /// Wait after busy (shed) reply `n` (1-based): exponential on the
+    /// configured base, doubling up to 64x, plus uniform jitter so a
+    /// fleet of shed clients de-synchronizes instead of re-offering in
+    /// lockstep — the client half of the load-shedding loop.
+    fn shed_backoff(&self, sheds: u32) -> SimDuration {
+        let inner = &self.inner;
+        let base = inner.cfg.qos_shed_backoff.as_nanos().max(1);
+        let mut wait = SimDuration::from_nanos(base << sheds.min(6));
+        let jitter = inner.cfg.retrans_jitter;
+        if !jitter.is_zero() {
             let extra = inner
                 .retrans_rng
                 .borrow_mut()

@@ -114,6 +114,35 @@ pub struct RpcRdmaConfig {
     /// concurrent ops posting within the window share the doorbell.
     /// The latency each op trades for the shared ring.
     pub server_doorbell_flush: SimDuration,
+    /// OVERLOAD CONTROL: route admitted calls through the per-tenant
+    /// weighted fair dispatch queue ([`crate::qos`]) instead of
+    /// spawning one handler task per call. Off by default — the direct
+    /// path reproduces the historical dispatch order exactly.
+    pub qos_enabled: bool,
+    /// Dispatcher tasks draining the QoS queue: the server's effective
+    /// service concurrency under overload. (The serialized task queue
+    /// still bounds per-op dispatch below this.)
+    pub qos_workers: u32,
+    /// Calls the QoS queue holds across all tenants before enqueue
+    /// itself sheds (busy reply, no dispatch).
+    pub qos_queue_cap: u32,
+    /// Calls one tenant may hold in the QoS queue before its surplus
+    /// sheds — hog isolation: one connection's burst cannot consume
+    /// the shared queue. Also the backlog at which the tenant's credit
+    /// grant is clamped, pushing back through flow control.
+    pub qos_tenant_backlog: u32,
+    /// CoDel-style sojourn target: a queued call older than this at
+    /// dispatch time is shed instead of serviced — under sustained
+    /// overload the queue delay the server adds is bounded by this
+    /// target instead of growing without bound.
+    pub qos_target_delay: SimDuration,
+    /// Base client back-off after a busy (shed) reply; rejection `n`
+    /// waits `qos_shed_backoff << min(n, 6)` plus the retransmission
+    /// jitter before re-offering the same XID.
+    pub qos_shed_backoff: SimDuration,
+    /// Busy replies tolerated per call before it fails with
+    /// [`onc_rpc::TransportError::Overloaded`].
+    pub qos_max_rejections: u32,
 }
 
 impl RpcRdmaConfig {
@@ -144,6 +173,20 @@ impl RpcRdmaConfig {
             server_zero_copy: true,
             server_doorbell_batch: 1,
             server_doorbell_flush: SimDuration::from_micros(8),
+            qos_enabled: false,
+            // Small on purpose: each worker occupies the serialized
+            // task queue when it dispatches, so the pool depth bounds
+            // how much in-service work a backlogged tenant can put in
+            // front of a just-arrived one — the fairness harness's
+            // honest-p99 bound depends on it. Enough workers remain to
+            // cover per-op wire/CPU latency and keep the serial stage
+            // saturated.
+            qos_workers: 8,
+            qos_queue_cap: 256,
+            qos_tenant_backlog: 64,
+            qos_target_delay: SimDuration::from_millis(2),
+            qos_shed_backoff: SimDuration::from_micros(400),
+            qos_max_rejections: 64,
         }
     }
 

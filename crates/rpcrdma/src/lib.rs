@@ -22,6 +22,7 @@
 pub mod client;
 pub mod config;
 pub mod header;
+pub mod qos;
 pub mod reg;
 pub mod repl;
 pub mod router;
@@ -34,6 +35,7 @@ pub use config::{Design, RpcRdmaConfig};
 pub use header::{
     MsgType, RdmaHeader, ReadChunk, Segment, MAX_WIRE_CHUNKS, MAX_WIRE_SEGMENTS, RPCRDMA_VERSION,
 };
+pub use qos::{ShedReason, TenantScheduler};
 pub use reg::{IoBuf, RegCache, Registrar, StrategyKind};
 pub use repl::{CtrlTarget, CtrlWriter, LogRing, ReplError, RingTarget, Shipper, RING_SENTINEL};
 pub use sanitize::{sanitize_header, ProtocolViolation};

@@ -40,13 +40,15 @@ use std::rc::Rc;
 use bytes::Bytes;
 use ib_verbs::{Access, Buffer, Hca, Opcode, Qp, Sge, Srq, WrId};
 use onc_rpc::msg::{decode_call, encode_reply};
-use onc_rpc::{CallContext, DrcKey, DrcOutcome, DuplicateRequestCache, ReplyHeader};
+use onc_rpc::{AcceptStat, CallContext, DrcKey, DrcOutcome, DuplicateRequestCache, ReplyHeader};
 use sim_core::stats::Counter;
+use sim_core::sync::Semaphore;
 use sim_core::{Payload, Resource, SgList, Sim, SimDuration, SimTime};
 use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
 use crate::header::{MsgType, RdmaHeader, ReadChunk, Segment};
+use crate::qos::{ShedReason, TenantScheduler};
 use crate::reg::{IoBuf, Registrar};
 use crate::router::CompletionRouter;
 use crate::sanitize::{sanitize_header, ProtocolViolation};
@@ -55,6 +57,13 @@ use crate::service::RdmaService;
 /// Good calls a clamped connection must complete before its credit
 /// window doubles back toward the server's base grant.
 const GOOD_OPS_PER_RESTORE: u32 = 8;
+
+/// Executor scheduling class the QoS dispatch workers run in. Nothing
+/// spawns here unless `cfg.qos_enabled`, so default-configuration
+/// schedules (and their pinned fingerprints) are untouched; with QoS
+/// on, dispatch workers interleave fairly with connection receive
+/// loops instead of queueing behind whatever woke first.
+const QOS_DISPATCH_CLASS: usize = 1;
 
 /// Server-side statistics (shared across connections).
 #[derive(Default)]
@@ -105,6 +114,11 @@ pub struct ServerStats {
     /// Read-Read exposures force-revoked by the TTL reaper because the
     /// client never sent `RDMA_DONE`.
     pub exposures_revoked: Cell<u64>,
+    /// Calls shed by the overload controller (answered with a
+    /// retryable busy reply instead of being serviced).
+    pub sheds: Cell<u64>,
+    /// High-water mark of the QoS dispatch queue depth.
+    pub qos_peak_depth: Cell<u64>,
 }
 
 /// Registry-backed server counters (the [`ServerStats`] cells remain
@@ -119,6 +133,32 @@ struct ServerMetrics {
     exposures_revoked: Rc<Counter>,
     zero_copy_bytes: Rc<Counter>,
     write_zero_copy_bytes: Rc<Counter>,
+    qos_enqueued: Rc<Counter>,
+    qos_dispatched: Rc<Counter>,
+    qos_shed_queue_full: Rc<Counter>,
+    qos_shed_tenant_backlog: Rc<Counter>,
+    qos_shed_deadline: Rc<Counter>,
+    qos_credit_clamps: Rc<Counter>,
+}
+
+/// One admitted call parked in the QoS dispatch queue.
+struct QueuedCall {
+    hdr: RdmaHeader,
+    body: Bytes,
+    qp: Qp,
+    conn: Rc<ConnState>,
+    /// Arrival instant; the dispatch worker sheds the call if its
+    /// sojourn exceeds `cfg.qos_target_delay` (CoDel-style).
+    enq: SimTime,
+}
+
+/// Overload-control state (present when `cfg.qos_enabled`): the
+/// per-tenant weighted fair dispatch queue plus the signal the worker
+/// pool parks on.
+struct QosState {
+    sched: TenantScheduler<QueuedCall>,
+    /// One permit per queued call; idle workers park here.
+    work: Semaphore,
 }
 
 /// A server endpoint shared by all client connections: the service,
@@ -149,6 +189,9 @@ pub struct RdmaRpcServer {
     service_epoch: Cell<u32>,
     /// Registry-backed counters.
     metrics: ServerMetrics,
+    /// Overload control (per-tenant fair dispatch queue + shedding);
+    /// `None` unless `cfg.qos_enabled`.
+    qos: Option<Rc<QosState>>,
     /// Statistics.
     pub stats: Rc<ServerStats>,
 }
@@ -177,7 +220,13 @@ impl RdmaRpcServer {
         let drc = DuplicateRequestCache::new(cfg.drc_capacity);
         drc.bind_metrics(&sim.metrics(), "server.drc");
         let registry = sim.metrics();
-        Rc::new(RdmaRpcServer {
+        let qos = cfg.qos_enabled.then(|| {
+            Rc::new(QosState {
+                sched: TenantScheduler::new(cfg.qos_queue_cap, cfg.qos_tenant_backlog),
+                work: Semaphore::new(0),
+            })
+        });
+        let server = Rc::new(RdmaRpcServer {
             sim: sim.clone(),
             hca: hca.clone(),
             service,
@@ -197,9 +246,28 @@ impl RdmaRpcServer {
                 exposures_revoked: registry.counter("server.exposures.revoked"),
                 zero_copy_bytes: registry.counter("server.read.zero_copy_bytes"),
                 write_zero_copy_bytes: registry.counter("server.write.zero_copy_bytes"),
+                qos_enqueued: registry.counter("server.qos.enqueued"),
+                qos_dispatched: registry.counter("server.qos.dispatched"),
+                qos_shed_queue_full: registry.counter("server.qos.shed.queue_full"),
+                qos_shed_tenant_backlog: registry.counter("server.qos.shed.tenant_backlog"),
+                qos_shed_deadline: registry.counter("server.qos.shed.deadline"),
+                qos_credit_clamps: registry.counter("server.qos.credit_clamps"),
             },
+            qos,
             stats: Rc::new(ServerStats::default()),
-        })
+        });
+        if server.qos.is_some() {
+            for _ in 0..cfg.qos_workers.max(1) {
+                let server = server.clone();
+                server
+                    .sim
+                    .clone()
+                    .spawn_class(QOS_DISPATCH_CLASS, async move {
+                        qos_worker(server).await;
+                    });
+            }
+        }
+        server
     }
 
     /// The shared receive queue, when enabled.
@@ -222,6 +290,29 @@ impl RdmaRpcServer {
     /// The grant currently in force.
     pub fn credit_grant(&self) -> u32 {
         self.credit_grant.get()
+    }
+
+    /// Set a tenant's weight in the QoS dispatch queue (dispatches per
+    /// fair-queue visit while backlogged; clamped to ≥ 1). No-op when
+    /// QoS is disabled. Tenants are keyed by peer node id.
+    pub fn set_tenant_weight(&self, peer: u32, weight: u32) {
+        if let Some(qos) = &self.qos {
+            qos.sched.set_weight(peer, weight);
+        }
+    }
+
+    /// Calls currently parked in the QoS dispatch queue (0 when QoS is
+    /// disabled) — the telemetry probe's queue-depth series.
+    pub fn qos_depth(&self) -> u32 {
+        self.qos.as_ref().map(|q| q.sched.queued()).unwrap_or(0)
+    }
+
+    /// One tenant's lifetime QoS dispatch count (fairness accounting).
+    pub fn qos_dispatched(&self, peer: u32) -> u64 {
+        self.qos
+            .as_ref()
+            .map(|q| q.sched.dispatched(peer))
+            .unwrap_or(0)
     }
 
     /// The duplicate request cache (diagnostics).
@@ -494,14 +585,68 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
                     continue;
                 }
                 conn.in_flight.set(conn.in_flight.get() + 1);
-                let server = server.clone();
-                let qp = qp.clone();
-                let conn = conn.clone();
                 let peer = qp.peer_node().0;
-                server.sim.clone().spawn(async move {
-                    handle_op(server.clone(), qp, conn.clone(), hdr, body, peer).await;
-                    conn.in_flight.set(conn.in_flight.get() - 1);
-                });
+                if let Some(qos) = &server.qos {
+                    // Overload control: park the call in the per-tenant
+                    // fair dispatch queue (or shed it) instead of
+                    // spawning an unbounded handler task.
+                    let call = QueuedCall {
+                        hdr,
+                        body,
+                        qp: qp.clone(),
+                        conn: conn.clone(),
+                        enq: server.sim.now(),
+                    };
+                    match qos.sched.enqueue(peer, call) {
+                        Ok(backlog) => {
+                            server.metrics.qos_enqueued.inc();
+                            let depth = qos.sched.queued() as u64;
+                            if depth > server.stats.qos_peak_depth.get() {
+                                server.stats.qos_peak_depth.set(depth);
+                            }
+                            // Hog pressure: a tenant holding more than
+                            // half its backlog cap gets its credit
+                            // grant halved, pushing back through flow
+                            // control before the hard cap sheds.
+                            if backlog > cfg.qos_tenant_backlog / 2 {
+                                let g = conn.granted.get();
+                                if g > 1 {
+                                    conn.granted.set((g / 2).max(1));
+                                    server.metrics.qos_credit_clamps.inc();
+                                    server
+                                        .stats
+                                        .credit_clamps
+                                        .set(server.stats.credit_clamps.get() + 1);
+                                    server.sim.flight(
+                                        "qos",
+                                        "credit_clamp",
+                                        peer as u64,
+                                        backlog as u64,
+                                    );
+                                }
+                            }
+                            qos.work.add_permits(1);
+                        }
+                        Err((reason, call)) => {
+                            conn.in_flight.set(conn.in_flight.get() - 1);
+                            match reason {
+                                ShedReason::QueueFull => server.metrics.qos_shed_queue_full.inc(),
+                                ShedReason::TenantBacklog => {
+                                    server.metrics.qos_shed_tenant_backlog.inc()
+                                }
+                            }
+                            shed_call(&server, "shed_arrival", call);
+                        }
+                    }
+                } else {
+                    let server = server.clone();
+                    let qp = qp.clone();
+                    let conn = conn.clone();
+                    server.sim.clone().spawn(async move {
+                        handle_op(server.clone(), qp, conn.clone(), hdr, body, peer).await;
+                        conn.in_flight.set(conn.in_flight.get() - 1);
+                    });
+                }
             }
         }
     }
@@ -600,6 +745,79 @@ fn spawn_exposure_reaper(server: &Rc<RdmaRpcServer>, conn: &Rc<ConnState>) {
             }
         }
     });
+}
+
+/// Answer a shed call immediately with a retryable busy reply
+/// (RFC 5531 `SYSTEM_ERR`), bypassing the duplicate request cache so a
+/// later retransmission of the same XID executes fresh. Fire-and-
+/// forget: shedding must stay cheap under exactly the load that
+/// triggers it, so no taskq pass, no CPU charge, no completion wait —
+/// just a small inline send.
+fn shed_call(server: &Rc<RdmaRpcServer>, why: &'static str, call: QueuedCall) {
+    let QueuedCall { hdr, qp, conn, .. } = call;
+    server.stats.sheds.set(server.stats.sheds.get() + 1);
+    let peer = qp.peer_node().0;
+    server.sim.flight("qos", why, peer as u64, hdr.xid as u64);
+    server.sim.trace("rpc", || {
+        format!("server {why} peer={peer} xid={}", hdr.xid)
+    });
+    let reply = encode_reply(
+        &ReplyHeader {
+            xid: hdr.xid,
+            stat: AcceptStat::SystemErr,
+        },
+        &Bytes::new(),
+    );
+    // Busy replies still carry the (possibly clamped) credit grant:
+    // a shed client also learns to shrink its window.
+    let grant = conn.granted.get().min(server.credit_grant.get());
+    let rhdr = RdmaHeader::new(hdr.xid, grant, MsgType::Msg);
+    let wire = {
+        let mut enc = conn.send_scratch.borrow_mut();
+        rhdr.encode_into(&mut enc);
+        enc.put_raw(&reply);
+        Bytes::copy_from_slice(enc.as_slice())
+    };
+    let _ = qp.post_send(Payload::real(wire), conn.alloc_wr(), false);
+    if server.cfg.server_doorbell_batch > 1 {
+        qp.flush();
+    }
+}
+
+/// One QoS dispatch worker: parks on the work signal, takes the next
+/// call in weighted fair order, sheds it if its queue sojourn blew the
+/// CoDel-style target, and otherwise services it inline — the worker
+/// pool size is the server's service concurrency under overload.
+async fn qos_worker(server: Rc<RdmaRpcServer>) {
+    let qos = server.qos.clone().expect("qos worker without qos state");
+    let target = server.cfg.qos_target_delay;
+    loop {
+        qos.work.acquire().await.forget();
+        let Some((peer, call)) = qos.sched.dequeue() else {
+            continue;
+        };
+        if !target.is_zero() && server.sim.now() - call.enq > target {
+            // The queue already added more delay than the target;
+            // answering "busy" now is cheaper for everyone than
+            // servicing stale work the client may have given up on.
+            call.conn.in_flight.set(call.conn.in_flight.get() - 1);
+            server.metrics.qos_shed_deadline.inc();
+            shed_call(&server, "shed_deadline", call);
+            continue;
+        }
+        server.metrics.qos_dispatched.inc();
+        let conn = call.conn.clone();
+        handle_op(
+            server.clone(),
+            call.qp,
+            call.conn,
+            call.hdr,
+            call.body,
+            peer,
+        )
+        .await;
+        conn.in_flight.set(conn.in_flight.get() - 1);
+    }
 }
 
 /// Decrements the in-flight gauge on every exit path of `handle_op`.

@@ -82,34 +82,120 @@ fn task_gen(id: TaskId) -> u32 {
     (id >> 32) as u32
 }
 
-/// Queue of tasks woken and awaiting a poll. Shared with [`Waker`]s,
-/// which must be `Send + Sync`, hence the `Mutex` — it is never
-/// contended because the executor is single-threaded.
-#[derive(Default)]
+/// The scheduling class every task belongs to unless spawned with
+/// [`Sim::spawn_class`]. Plain [`Sim::spawn`] always lands here.
+pub const DEFAULT_CLASS: usize = 0;
+
+/// One scheduling class's slice of the ready queue.
+struct ClassLane {
+    queue: Vec<TaskId>,
+    /// Tasks this class may contribute per interleave round when more
+    /// than one class is ready (weighted round-robin quantum).
+    weight: u32,
+}
+
+/// Queue of tasks woken and awaiting a poll, partitioned into weighted
+/// scheduling classes. Shared with [`Waker`]s, which must be
+/// `Send + Sync`, hence the `Mutex` — it is never contended because the
+/// executor is single-threaded.
+///
+/// Class [`DEFAULT_CLASS`] always exists. When it is the only class
+/// with queued tasks (the overwhelmingly common case — every component
+/// predating QoS spawns there), the drain is the historical whole-queue
+/// swap and the batch order is exactly the old FIFO order; the
+/// golden-schedule gate pins this. Only when two or more classes hold
+/// ready tasks does the drain interleave them, `weight` tasks per class
+/// per round, in ascending class index — deterministic, starvation-free
+/// (every positive-weight class contributes to every round), and
+/// proportional to the configured weights within a batch.
 struct ReadyQueue {
-    queue: Mutex<Vec<TaskId>>,
-    /// Mirrors `queue.len()`; lets the executor's drain loop detect
-    /// emptiness with one atomic load instead of a lock round-trip.
+    lanes: Mutex<Vec<ClassLane>>,
+    /// Mirrors the total queued count across lanes; lets the executor's
+    /// drain loop detect emptiness with one atomic load instead of a
+    /// lock round-trip.
     len: AtomicUsize,
 }
 
+impl Default for ReadyQueue {
+    fn default() -> Self {
+        ReadyQueue {
+            lanes: Mutex::new(vec![ClassLane {
+                queue: Vec::new(),
+                weight: 1,
+            }]),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
 impl ReadyQueue {
-    fn push(&self, id: TaskId) {
-        let mut q = self.queue.lock();
-        q.push(id);
-        self.len.store(q.len(), Ordering::Release);
+    fn push(&self, class: usize, id: TaskId) {
+        let mut lanes = self.lanes.lock();
+        // Wakes can outlive weight configuration; grow on demand.
+        while lanes.len() <= class {
+            lanes.push(ClassLane {
+                queue: Vec::new(),
+                weight: 1,
+            });
+        }
+        lanes[class].queue.push(id);
+        self.len.fetch_add(1, Ordering::Release);
     }
 
-    /// Swap the queued batch into `buf` (cleared first), taking the
-    /// lock once — or zero locks when the queue is empty. Preserves
-    /// FIFO order across batches.
+    fn set_weight(&self, class: usize, weight: u32) {
+        let mut lanes = self.lanes.lock();
+        while lanes.len() <= class {
+            lanes.push(ClassLane {
+                queue: Vec::new(),
+                weight: 1,
+            });
+        }
+        lanes[class].weight = weight.max(1);
+    }
+
+    /// Move the queued batch into `buf` (cleared first), taking the
+    /// lock once — or zero locks when the queue is empty. With a single
+    /// non-empty lane this swaps the whole queue (the historical FIFO
+    /// drain, zero-alloc in steady state); with several it interleaves
+    /// them weight-proportionally.
     fn drain_into(&self, buf: &mut Vec<TaskId>) {
         buf.clear();
         if self.len.load(Ordering::Acquire) == 0 {
             return;
         }
-        let mut q = self.queue.lock();
-        std::mem::swap(&mut *q, buf);
+        let mut lanes = self.lanes.lock();
+        let mut nonempty = lanes.iter_mut().filter(|l| !l.queue.is_empty());
+        let (first, second) = (nonempty.next(), nonempty.next());
+        match (first, second) {
+            (Some(only), None) => std::mem::swap(&mut only.queue, buf),
+            (Some(first), Some(second)) => {
+                // Weighted round-robin interleave: each round visits
+                // classes in index order and takes up to `weight` tasks
+                // from each, so a positive-weight class waits at most
+                // one round's worth of higher-priority work.
+                let rest = nonempty;
+                let mut ready: Vec<(&mut ClassLane, usize)> = Vec::with_capacity(4);
+                ready.push((first, 0));
+                ready.push((second, 0));
+                ready.extend(rest.map(|l| (l, 0)));
+                loop {
+                    let mut moved = false;
+                    for (lane, cursor) in ready.iter_mut() {
+                        let take = (lane.weight as usize).min(lane.queue.len() - *cursor);
+                        buf.extend_from_slice(&lane.queue[*cursor..*cursor + take]);
+                        *cursor += take;
+                        moved |= take > 0;
+                    }
+                    if !moved {
+                        break;
+                    }
+                }
+                for (lane, _) in ready {
+                    lane.queue.clear();
+                }
+            }
+            (None, _) => {}
+        }
         self.len.store(0, Ordering::Release);
     }
 }
@@ -117,6 +203,8 @@ impl ReadyQueue {
 /// One waker per task, created at spawn and cached in the task's slot.
 struct TaskWaker {
     id: TaskId,
+    /// Scheduling class the task was spawned into; fixed for life.
+    class: usize,
     ready: Arc<ReadyQueue>,
     /// True while the task sits in the ready queue; extra wakes are
     /// no-ops. Cleared by the executor just before polling.
@@ -129,7 +217,7 @@ impl Wake for TaskWaker {
     }
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.scheduled.swap(true, Ordering::Relaxed) {
-            self.ready.push(self.id);
+            self.ready.push(self.class, self.id);
         }
     }
 }
@@ -239,6 +327,17 @@ impl Simulation {
     /// Spawn a root task.
     pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
         self.handle().spawn(fut);
+    }
+
+    /// Spawn a root task in scheduling class `class` (see
+    /// [`Sim::spawn_class`]).
+    pub fn spawn_class(&self, class: usize, fut: impl Future<Output = ()> + 'static) {
+        self.handle().spawn_class(class, fut);
+    }
+
+    /// Set a scheduling class's weight (see [`Sim::set_class_weight`]).
+    pub fn set_class_weight(&self, class: usize, weight: u32) {
+        self.ready.set_weight(class, weight);
     }
 
     /// Current virtual time.
@@ -398,8 +497,17 @@ impl Sim {
         self.core.now.get()
     }
 
-    /// Spawn a detached task.
+    /// Spawn a detached task in the default scheduling class.
     pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.spawn_class(DEFAULT_CLASS, fut);
+    }
+
+    /// Spawn a detached task in scheduling class `class`. Classes are
+    /// created on first use with weight 1; see
+    /// [`Sim::set_class_weight`]. Tasks in different classes that are
+    /// ready at the same instant are polled interleaved in proportion
+    /// to their class weights instead of global FIFO order.
+    pub fn spawn_class(&self, class: usize, fut: impl Future<Output = ()> + 'static) {
         let id = {
             let mut slab = self.core.tasks.borrow_mut();
             let idx = match slab.free.pop() {
@@ -413,6 +521,7 @@ impl Sim {
             let id = ((slot.gen as u64) << 32) | idx as u64;
             let flag = Arc::new(TaskWaker {
                 id,
+                class,
                 ready: self.ready.clone(),
                 // Born scheduled: pushed directly below.
                 scheduled: AtomicBool::new(true),
@@ -425,7 +534,16 @@ impl Sim {
             });
             id
         };
-        self.ready.push(id);
+        self.ready.push(class, id);
+    }
+
+    /// Set the weight of scheduling class `class` (clamped to ≥ 1):
+    /// the number of tasks the class contributes per interleave round
+    /// when several classes are ready at once. Uniform weights (the
+    /// default) reproduce round-robin; the default class alone
+    /// reproduces the historical FIFO drain exactly.
+    pub fn set_class_weight(&self, class: usize, weight: u32) {
+        self.ready.set_weight(class, weight);
     }
 
     /// Sleep for a span of virtual time.
@@ -978,6 +1096,117 @@ mod tests {
             "slab grew to {} slots for 4 concurrent tasks",
             slab.slots.len()
         );
+    }
+
+    #[test]
+    fn ten_k_concurrent_sleepers_bound_slab_and_keep_order() {
+        // Open-loop arrival audit: 10k tasks pending at once, each
+        // parked on its own staggered timer. The task slab must be
+        // sized by peak concurrency, the timer wheel must fire them in
+        // deadline order, and a second same-seed run must produce the
+        // identical completion sequence.
+        const N: u64 = 10_000;
+        let run = || {
+            let mut sim = Simulation::new(7);
+            let order: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..N {
+                let h = sim.handle();
+                let order = order.clone();
+                sim.spawn(async move {
+                    h.sleep(SimDuration::from_nanos((i + 1) * 997)).await;
+                    order.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let slots = sim.core.tasks.borrow().slots.len();
+            (Rc::try_unwrap(order).unwrap().into_inner(), slots)
+        };
+        let (order, slots) = run();
+        assert_eq!(order.len(), N as usize);
+        assert!(
+            order.windows(2).all(|p| p[0] < p[1]),
+            "staggered sleepers completed out of deadline order"
+        );
+        assert!(
+            slots <= N as usize + 64,
+            "task slab grew to {slots} slots for {N} concurrent tasks"
+        );
+        let (order2, _) = run();
+        assert_eq!(order, order2, "same-seed completion order diverged");
+    }
+
+    #[test]
+    fn class_interleave_follows_weights() {
+        // Nine tasks ready at the same instant: 3 in class 0, 3 in
+        // class 1 (weight 2), 3 in class 2 (weight 1). One interleave
+        // round takes 1 from class 0, 2 from class 1, 1 from class 2.
+        let mut sim = Simulation::new(1);
+        sim.set_class_weight(1, 2);
+        let log: Rc<RefCell<Vec<(usize, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        for class in 0..3usize {
+            for i in 0..3u32 {
+                let log = log.clone();
+                sim.spawn_class(class, async move {
+                    log.borrow_mut().push((class, i));
+                });
+            }
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (0, 0),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (0, 1),
+                (1, 2),
+                (2, 1),
+                (0, 2),
+                (2, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_class_drain_is_plain_fifo() {
+        // Tasks spawned into one non-default class behave exactly like
+        // the default class alone: plain FIFO.
+        let mut sim = Simulation::new(1);
+        sim.set_class_weight(3, 7);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..6u32 {
+            let log = log.clone();
+            sim.spawn_class(3, async move {
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn positive_weight_class_is_not_starved() {
+        // A huge-weight class cannot push a weight-1 class out of a
+        // batch: every round still visits every non-empty lane.
+        let mut sim = Simulation::new(1);
+        sim.set_class_weight(1, 1000);
+        let log: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..50u32 {
+            let log = log.clone();
+            sim.spawn_class(1, async move {
+                log.borrow_mut().push(1);
+            });
+        }
+        let log0 = log.clone();
+        sim.spawn_class(0, async move {
+            log0.borrow_mut().push(0);
+        });
+        sim.run();
+        // The lone class-0 task runs in the very first round, i.e.
+        // before the bulk of the 50 class-1 tasks completes.
+        let pos = log.borrow().iter().position(|&c| c == 0).unwrap();
+        assert!(pos <= 1, "class-0 task ran at position {pos}");
     }
 
     #[test]

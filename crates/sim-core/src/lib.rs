@@ -57,7 +57,7 @@ pub mod timer_wheel;
 pub mod trace;
 
 pub use cpu::{Cpu, CpuCosts};
-pub use executor::{yield_now, Sim, Simulation, Span, Timeout, TraceEvent};
+pub use executor::{yield_now, Sim, Simulation, Span, Timeout, TraceEvent, DEFAULT_CLASS};
 pub use extent::ExtentMap;
 pub use flight::{format_flight, FlightRecord, FLIGHT_CAPACITY};
 pub use metrics::MetricsRegistry;

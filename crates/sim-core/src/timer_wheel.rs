@@ -553,6 +553,67 @@ mod tests {
     }
 
     #[test]
+    fn ten_k_staggered_timers_no_rescan_per_tick() {
+        // The open-loop overload pattern: 10k+ pending deadlines at
+        // once, spanning many wheel windows into the far heap, with new
+        // arrivals replacing fired ones. Guards three properties: the
+        // slab is bounded by peak concurrency (not total
+        // registrations), the drain never approaches the live
+        // population (each tick touches O(bucket) keys, no O(n)
+        // rescan), and the firing order is exactly the deadline order.
+        const N: usize = 10_000;
+        const GAP: u64 = 1_000; // sub-grain stagger, ~4 buckets/5 keys
+        let mut wh = TimerWheel::new();
+        let mut next = GAP;
+        for _ in 0..N {
+            wh.register(t(next), w());
+            next += GAP;
+        }
+        assert_eq!(wh.live(), N);
+        let mut fired = Vec::new();
+        let mut now = 0;
+        let mut max_drain = 0;
+        for i in 0..2 * N {
+            let (at, _) = wh.pop_due(t(u64::MAX), t(now)).expect("timer pending");
+            now = at.as_nanos();
+            fired.push(now);
+            max_drain = max_drain.max(wh.drain.len());
+            if i < N {
+                wh.register(t(next), w());
+                next += GAP;
+            }
+        }
+        assert_eq!(wh.live(), 0);
+        let expect: Vec<u64> = (1..=2 * N as u64).map(|i| i * GAP).collect();
+        assert_eq!(
+            fingerprint(&fired),
+            fingerprint(&expect),
+            "firing order diverged"
+        );
+        assert!(
+            wh.slots.len() <= N + 64,
+            "slab grew to {} slots for {N} concurrent timers",
+            wh.slots.len()
+        );
+        assert!(
+            max_drain <= 64,
+            "drain held {max_drain} keys at once — per-tick collect is rescanning"
+        );
+    }
+
+    /// FNV-1a over a deadline sequence (firing-order fingerprint).
+    fn fingerprint(seq: &[u64]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in seq {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    #[test]
     fn slab_slots_are_reused() {
         let mut wh = TimerWheel::new();
         for round in 0..100u64 {

@@ -21,6 +21,7 @@ pub mod failover;
 pub mod iozone;
 pub mod multiclient;
 pub mod oltp;
+pub mod openloop;
 pub mod profiles;
 pub mod report;
 pub mod testbed;
@@ -34,6 +35,9 @@ pub use failover::{
 pub use iozone::{run_iozone, IoMode, IozoneParams, IozoneResult};
 pub use multiclient::{run_multiclient, McTransport, MultiClientParams, MultiClientResult};
 pub use oltp::{run_oltp, OltpParams, OltpResult};
+pub use openloop::{
+    load_timeline_csv, run_openloop, Arrival, LoadBucket, OpMix, OpenLoopParams, OpenLoopResult,
+};
 pub use profiles::{linux_ddr_raid, linux_sdr, solaris_sdr, Profile};
 pub use report::{mb, pct, Table};
 pub use testbed::{

@@ -52,6 +52,15 @@ grep -q '"ph":"s"' results/trace_failover_cluster.json || {
     echo "trace_failover_cluster.json has no flow events" >&2; exit 1; }
 echo "    results/trace_failover_cluster.json ok (flow events present)"
 
+echo "==> loadcurve --smoke (open-loop overload gate: p99 bounded past saturation, goodput plateau, collapse demonstrated with shedding off, 1-hog fairness, same-seed determinism)"
+cargo run --release -p bench --bin loadcurve -- --smoke
+for f in results/loadcurve.csv results/BENCH_loadcurve.json; do
+    [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" results/BENCH_loadcurve.json
+fi
+
 echo "==> fig5 --anatomy (traced-workload smoke + trace JSON validation)"
 cargo run --release -p bench --bin fig5 -- --anatomy >/dev/null
 for f in results/trace_fig5_rr.json results/trace_fig5_rw.json; do
