@@ -19,6 +19,7 @@ fn bench_header_codec(c: &mut Criterion) {
         credits: 32,
         msg_type: MsgType::Msg,
         msgp: None,
+        rfp_ad: None,
         read_chunks: vec![ReadChunk {
             position: 128,
             segment: Segment {

@@ -18,8 +18,9 @@ use rpcrdma::{Design, StrategyKind};
 use sim_core::sweep::parallel_sweep;
 use sim_core::{SimDuration, Simulation};
 use workloads::{
-    build_rdma, build_rdma_custom, mb, pct, run_iozone, solaris_sdr, Backend, IoMode, IozoneParams,
-    Profile, RdmaOpts, Table,
+    build_rdma, build_rdma_custom, linux_sdr, mb, pct, run_iozone, run_openloop, solaris_sdr,
+    Arrival, Backend, IoMode, IozoneParams, OpMix, OpenLoopParams, OpenLoopResult, Profile,
+    RdmaOpts, Table,
 };
 
 const FILE: u64 = 32 << 20;
@@ -778,6 +779,207 @@ fn write_path_sweep() {
     );
 }
 
+/// One closed-loop metadata run for the RFP ablation: same seed, same
+/// personality, only the reply path differs. At saturation the
+/// serialized server stage pins closed-loop p50 (queue wait absorbs
+/// any reply-leg difference), so the latency gate runs a single
+/// stream — one connection, one worker — where the reply path shows
+/// up directly in every op, the way the remote-fetching papers
+/// measure small-RPC latency. The sweep adds saturated points for
+/// throughput and per-op server-cost rates.
+///
+/// Both modes run on an RFP-era read engine: the paper's 2005 SDR HCA
+/// charges 107 us of responder turnaround per RDMA Read, which buries
+/// any fetch-based reply path; the remote-fetching literature targets
+/// the later generation where a small read costs ~2 us. The override
+/// applies to baseline and RFP alike, so the comparison stays fair.
+fn rfp_point(
+    mix: OpMix,
+    rfp: bool,
+    duration_ms: u64,
+    connections: usize,
+    workers: u32,
+) -> OpenLoopResult {
+    let mut profile = linux_sdr();
+    profile.hca.read_turnaround = SimDuration::from_micros(2);
+    profile.rpc.rfp_poll_initial = SimDuration::from_micros(2);
+    run_openloop(
+        0xAB1A,
+        &profile,
+        OpenLoopParams {
+            design: Design::ReadWrite,
+            strategy: StrategyKind::AllPhysical,
+            connections,
+            arrival: Arrival::ClosedLoop { workers },
+            mix,
+            duration: SimDuration::from_millis(duration_ms),
+            grace: SimDuration::from_millis(5),
+            qos: false,
+            waiting_room: 0,
+            rfp,
+            ..OpenLoopParams::default()
+        },
+    )
+}
+
+/// Derived per-op rates for one RFP ablation point. Server counters
+/// span prepopulation too, so rates use the server's own op count.
+struct RfpRates {
+    sends_per_op: f64,
+    deposits_per_op: f64,
+    doorbells_per_op: f64,
+    interrupts_per_op: f64,
+}
+
+fn rfp_rates(r: &OpenLoopResult) -> RfpRates {
+    let ops = r.server_ops.max(1) as f64;
+    RfpRates {
+        sends_per_op: (r.server_ops - r.rfp_deposits) as f64 / ops,
+        deposits_per_op: r.rfp_deposits as f64 / ops,
+        doorbells_per_op: r.server_doorbells as f64 / ops,
+        interrupts_per_op: r.server_interrupts as f64 / ops,
+    }
+}
+
+/// RFP acceptance gates for `check.sh`: on a pure metadata storm the
+/// reply-slot path must all but eliminate server Sends (and with them
+/// doorbells), beat the RPC baseline's small-op p50, and replay
+/// byte-identically under the same seed.
+fn rfp_smoke() {
+    let runs = parallel_sweep(vec![false, true, true], |rfp| {
+        rfp_point(OpMix::stat_storm(), rfp, 20, 1, 1)
+    });
+    let (rpc, rfp, rfp2) = (&runs[0], &runs[1], &runs[2]);
+    let (rr, fr) = (rfp_rates(rpc), rfp_rates(rfp));
+    println!(
+        "rfp smoke: p50 {} -> {} us, p99 {} -> {} us; deposits/op {:.3}, \
+         sends/op {:.3} -> {:.4}, doorbells/op {:.3} -> {:.3}",
+        rpc.p50_us,
+        rfp.p50_us,
+        rpc.p99_us,
+        rfp.p99_us,
+        fr.deposits_per_op,
+        rr.sends_per_op,
+        fr.sends_per_op,
+        rr.doorbells_per_op,
+        fr.doorbells_per_op,
+    );
+    assert!(
+        rpc.rfp_deposits == 0,
+        "baseline deposited {} replies with rfp off",
+        rpc.rfp_deposits
+    );
+    assert!(
+        fr.deposits_per_op > 0.9,
+        "deposits/op {:.3} not > 0.9 — the metadata storm should ride the slots",
+        fr.deposits_per_op
+    );
+    assert!(
+        fr.sends_per_op < 0.05,
+        "server Sends/op {:.4} not < 0.05 in RFP mode",
+        fr.sends_per_op
+    );
+    assert!(
+        fr.doorbells_per_op < rr.doorbells_per_op,
+        "RFP doorbells/op {:.3} not below RPC baseline {:.3}",
+        fr.doorbells_per_op,
+        rr.doorbells_per_op
+    );
+    assert!(
+        rfp.p50_us <= rpc.p50_us,
+        "RFP small-op p50 {} us above RPC baseline {} us",
+        rfp.p50_us,
+        rpc.p50_us
+    );
+    assert!(
+        rfp.p50_us == rfp2.p50_us
+            && rfp.p99_us == rfp2.p99_us
+            && rfp.completed == rfp2.completed
+            && rfp.metrics_snapshot == rfp2.metrics_snapshot,
+        "same-seed RFP runs diverged"
+    );
+    bench::emit_bench_json(
+        "rfp",
+        &format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"rfp\",\n",
+                "  \"mode\": \"smoke\",\n",
+                "  \"rpc\": {{ \"p50_us\": {}, \"p99_us\": {}, \"goodput_ops\": {:.0}, ",
+                "\"sends_per_op\": {:.4}, \"doorbells_per_op\": {:.4} }},\n",
+                "  \"rfp\": {{ \"p50_us\": {}, \"p99_us\": {}, \"goodput_ops\": {:.0}, ",
+                "\"sends_per_op\": {:.4}, \"doorbells_per_op\": {:.4}, ",
+                "\"deposits_per_op\": {:.4} }}\n",
+                "}}\n"
+            ),
+            rpc.p50_us,
+            rpc.p99_us,
+            rpc.goodput_ops,
+            rr.sends_per_op,
+            rr.doorbells_per_op,
+            rfp.p50_us,
+            rfp.p99_us,
+            rfp.goodput_ops,
+            fr.sends_per_op,
+            fr.doorbells_per_op,
+            fr.deposits_per_op,
+        ),
+    );
+    println!("rfp smoke OK");
+}
+
+fn rfp_sweep() {
+    let mixes: Vec<(&str, OpMix)> = vec![
+        ("varmail", OpMix::varmail()),
+        ("webserver", OpMix::webserver()),
+        ("stat-storm", OpMix::stat_storm()),
+        ("oltp", OpMix::oltp()),
+    ];
+    let points: Vec<(&str, OpMix, bool)> = mixes
+        .iter()
+        .flat_map(|&(name, mix)| [(name, mix, false), (name, mix, true)])
+        .collect();
+    let results = parallel_sweep(points.clone(), |(_, mix, rfp)| {
+        rfp_point(mix, rfp, 60, 2, 4)
+    });
+    let mut t = Table::new(
+        "Ablation 8 — RFP reply slots vs Send replies (RW design, closed loop, \
+         2 conns x 4 workers)",
+        &[
+            "mix",
+            "replies",
+            "ops/s",
+            "p50 us",
+            "p99 us",
+            "deposits/op",
+            "sends/op",
+            "doorbells/op",
+            "interrupts/op",
+        ],
+    );
+    for ((name, _, rfp), r) in points.iter().zip(&results) {
+        let rates = rfp_rates(r);
+        t.row(&[
+            name.to_string(),
+            if *rfp { "RFP slots" } else { "Send" }.to_string(),
+            format!("{:.0}", r.goodput_ops),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            format!("{:.3}", rates.deposits_per_op),
+            format!("{:.3}", rates.sends_per_op),
+            format!("{:.3}", rates.doorbells_per_op),
+            format!("{:.3}", rates.interrupts_per_op),
+        ]);
+    }
+    bench::emit("ablation_rfp", &t);
+    println!(
+        "Takeaway: letting the client fetch small replies out of registered \
+         slots removes the server's Send (doorbell + completion) from every \
+         metadata op; bulk READ/WRITE replies keep their chunks and fall \
+         back, so mixed personalities land between the extremes.\n"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--batching") {
@@ -796,6 +998,14 @@ fn main() {
         }
         return;
     }
+    if args.iter().any(|a| a == "--rfp") {
+        if args.iter().any(|a| a == "--smoke") {
+            rfp_smoke();
+        } else {
+            rfp_sweep();
+        }
+        return;
+    }
     zero_copy_decomposition();
     ord_sensitivity();
     inline_threshold_sweep();
@@ -803,4 +1013,5 @@ fn main() {
     msgp_small_write_fast_path();
     batching_sweep();
     write_path_sweep();
+    rfp_sweep();
 }

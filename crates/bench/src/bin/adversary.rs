@@ -146,6 +146,42 @@ fn smoke() {
             atk.stale_reads_refused,
         );
     }
+    // RFP leg: the reply-slot ring is one more piece of server memory a
+    // session leaves behind. Attackers capture their ring advertisement
+    // and fetch through it after their connection dies; teardown must
+    // have revoked the ring (every probe NAKs, none lands), and the
+    // same hygiene invariants hold with the fast path on.
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut p = params(design, StrategyKind::Dynamic);
+        p.records_per_client = 16;
+        p.attack_rounds = 4;
+        p.rfp = true;
+        let base = run_adversary(SEED, &profile, AdversaryParams { attackers: 0, ..p });
+        let atk = run_adversary(SEED, &profile, p);
+        check(&format!("{design:?}+rfp"), &base, &atk);
+        if atk.rfp_stale_ok != 0 {
+            fail(
+                &format!("{design:?}+rfp"),
+                &format!(
+                    "{} dead-session reply-slot probes read server memory",
+                    atk.rfp_stale_ok
+                ),
+                &atk.flight,
+            );
+        }
+        if atk.rfp_stale_refused == 0 {
+            fail(
+                &format!("{design:?}+rfp"),
+                "no reply-slot probe was ever fired and refused",
+                &atk.flight,
+            );
+        }
+        println!(
+            "adversary smoke {design:?}+rfp: ok (goodput {:.0}%, {} ring probes refused, 0 landed)",
+            100.0 * atk.goodput_mb_s / base.goodput_mb_s,
+            atk.rfp_stale_refused,
+        );
+    }
     println!("adversary smoke: bounded damage, zero corruption, accounting consistent");
 }
 
@@ -169,10 +205,16 @@ fn main() {
             "stale ok",
             "stale nak",
             "scan ok",
+            "rfp ok",
+            "rfp nak",
             "pending",
             "corrupt",
         ],
     );
+    // Every (design x strategy) point, plus an RFP row per design: the
+    // Dynamic strategy with the reply-slot fast path on, where the
+    // attackers also probe their dead session's ring advertisement.
+    let mut points: Vec<(Design, StrategyKind, bool)> = Vec::new();
     for design in [Design::ReadWrite, Design::ReadRead] {
         for strategy in [
             StrategyKind::Dynamic,
@@ -180,30 +222,57 @@ fn main() {
             StrategyKind::Cache,
             StrategyKind::AllPhysical,
         ] {
-            let p = params(design, strategy);
-            let base = run_adversary(SEED, &profile, AdversaryParams { attackers: 0, ..p });
-            let atk = run_adversary(SEED, &profile, p);
-            check(&format!("{design:?}/{strategy:?}"), &base, &atk);
-            t.row(&[
-                format!("{design:?}"),
-                format!("{strategy:?}"),
-                format!("{:.1}", base.goodput_mb_s),
-                format!("{:.1}", atk.goodput_mb_s),
-                format!("{:.2}", atk.goodput_mb_s / base.goodput_mb_s),
-                atk.violations.to_string(),
-                atk.quarantines.to_string(),
-                atk.exposures_revoked.to_string(),
-                atk.stale_reads_ok.to_string(),
-                atk.stale_reads_refused.to_string(),
-                atk.scan_reads_ok.to_string(),
-                atk.exposures_pending.to_string(),
-                atk.corrupt_records.to_string(),
-            ]);
+            points.push((design, strategy, false));
         }
+        points.push((design, StrategyKind::Dynamic, true));
+    }
+    for (design, strategy, rfp) in points {
+        let mut p = params(design, strategy);
+        p.rfp = rfp;
+        let tag = if rfp {
+            format!("{design:?}/{strategy:?}+rfp")
+        } else {
+            format!("{design:?}/{strategy:?}")
+        };
+        let base = run_adversary(SEED, &profile, AdversaryParams { attackers: 0, ..p });
+        let atk = run_adversary(SEED, &profile, p);
+        check(&tag, &base, &atk);
+        if rfp && (atk.rfp_stale_ok != 0 || atk.rfp_stale_refused == 0) {
+            fail(
+                &tag,
+                &format!(
+                    "reply-slot probes: {} landed, {} refused (want 0 landed, > 0 refused)",
+                    atk.rfp_stale_ok, atk.rfp_stale_refused
+                ),
+                &atk.flight,
+            );
+        }
+        t.row(&[
+            format!("{design:?}"),
+            if rfp {
+                format!("{strategy:?}+RFP")
+            } else {
+                format!("{strategy:?}")
+            },
+            format!("{:.1}", base.goodput_mb_s),
+            format!("{:.1}", atk.goodput_mb_s),
+            format!("{:.2}", atk.goodput_mb_s / base.goodput_mb_s),
+            atk.violations.to_string(),
+            atk.quarantines.to_string(),
+            atk.exposures_revoked.to_string(),
+            atk.stale_reads_ok.to_string(),
+            atk.stale_reads_refused.to_string(),
+            atk.scan_reads_ok.to_string(),
+            atk.rfp_stale_ok.to_string(),
+            atk.rfp_stale_refused.to_string(),
+            atk.exposures_pending.to_string(),
+            atk.corrupt_records.to_string(),
+        ]);
     }
     bench::emit("adversary_sweep", &t);
     println!(
         "All points held the 20% goodput bound with zero corruption; \
-         only all-physical Read-Read leaks via its global rkey (scan ok > 0)."
+         only all-physical Read-Read leaks via its global rkey (scan ok > 0), \
+         and every dead-session reply-slot probe was refused."
     );
 }

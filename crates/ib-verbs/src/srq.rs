@@ -12,6 +12,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use sim_core::stats::Counter;
+
 use crate::memory::Buffer;
 use crate::qp::PostedRecv;
 use crate::types::{VerbsError, WrId};
@@ -24,6 +26,10 @@ struct SrqInner {
     limit: Cell<usize>,
     /// Times the queue dipped below the limit after a pop.
     limit_events: Cell<u64>,
+    /// Registry mirrors of `consumed` / `limit_events`, when bound:
+    /// the pool's burn rate and low-water pressure become visible in
+    /// metric snapshots without polling the private cells.
+    metrics: RefCell<Option<(Rc<Counter>, Rc<Counter>)>>,
 }
 
 /// A shared receive queue; attach to QPs at connect time.
@@ -47,6 +53,7 @@ impl Srq {
                 consumed: Cell::new(0),
                 limit: Cell::new(0),
                 limit_events: Cell::new(0),
+                metrics: RefCell::new(None),
             }),
         }
     }
@@ -93,16 +100,63 @@ impl Srq {
         self.inner.limit_events.get()
     }
 
+    /// Mirror `consumed` / `limit_events` onto registry counters
+    /// (conventionally `hca.srq.consumed` / `hca.srq.limit_events`).
+    /// Increments happen at pop time, so the registry stays exact
+    /// without any sampling task.
+    pub fn bind_metrics(&self, consumed: Rc<Counter>, limit_events: Rc<Counter>) {
+        *self.inner.metrics.borrow_mut() = Some((consumed, limit_events));
+    }
+
     pub(crate) fn pop(&self) -> Option<PostedRecv> {
         let r = self.inner.queue.borrow_mut().pop_front();
         if r.is_some() {
             self.inner.consumed.set(self.inner.consumed.get() + 1);
-            if self.inner.queue.borrow().len() < self.inner.limit.get() {
+            let dipped = self.inner.queue.borrow().len() < self.inner.limit.get();
+            if dipped {
                 self.inner
                     .limit_events
                     .set(self.inner.limit_events.get() + 1);
             }
+            if let Some((consumed, limit_events)) = self.inner.metrics.borrow().as_ref() {
+                consumed.inc();
+                if dipped {
+                    limit_events.inc();
+                }
+            }
         }
         r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{HostMem, PhysLayout};
+    use crate::types::NodeId;
+    use sim_core::SimRng;
+
+    #[test]
+    fn bound_metrics_mirror_pool_counters() {
+        let mem = HostMem::new(NodeId(0), PhysLayout::default(), SimRng::new(3));
+        let srq = Srq::new();
+        for i in 0..4u64 {
+            srq.post_recv(mem.alloc(256), 0, 256, WrId(i)).unwrap();
+        }
+        srq.set_limit(2);
+        let registry = sim_core::MetricsRegistry::new();
+        srq.bind_metrics(
+            registry.counter("hca.srq.consumed"),
+            registry.counter("hca.srq.limit_events"),
+        );
+        for _ in 0..3 {
+            assert!(srq.pop().is_some());
+        }
+        // Three buffers burned; only the pop that left 1 < limit(2)
+        // posted buffers counts as a limit event.
+        assert_eq!(srq.consumed(), 3);
+        assert_eq!(srq.limit_events(), 1);
+        assert_eq!(registry.get("hca.srq.consumed"), Some(3));
+        assert_eq!(registry.get("hca.srq.limit_events"), Some(1));
     }
 }

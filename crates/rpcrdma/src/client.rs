@@ -25,12 +25,13 @@ use onc_rpc::msg::{decode_reply, encode_call};
 use onc_rpc::{AcceptStat, CallHeader, RpcError, TransportError};
 use sim_core::stats::Counter;
 use sim_core::sync::{oneshot, OneshotSender, Semaphore};
-use sim_core::{Payload, Sim, SimDuration, SimRng};
+use sim_core::{Payload, Sim, SimDuration, SimRng, SimTime};
 use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
-use crate::header::{MsgType, RdmaHeader, ReadChunk};
+use crate::header::{MsgType, RdmaHeader, ReadChunk, RfpAd};
 use crate::reg::{IoBuf, Registrar};
+use crate::rfp::{decode_slot, SlotView, SLOT_OVERHEAD};
 use crate::router::CompletionRouter;
 
 /// Bulk-data parameters for one call.
@@ -85,6 +86,14 @@ pub struct ClientStats {
     pub busy_replies: u64,
     /// Successful connection recoveries (fresh QP after an error).
     pub reconnects: u64,
+    /// Calls sent RFP-marked: the reply was fetched from the reply
+    /// slot (or fell back to the Send path) instead of arriving as an
+    /// unsolicited Send.
+    pub rfp_marked: u64,
+    /// Reply-slot fetches issued (RDMA Reads by the pollers).
+    pub rfp_polls: u64,
+    /// Calls completed from a fetched reply slot.
+    pub rfp_hits: u64,
 }
 
 /// Rebuilds a client connection after a QP error: tears down the old
@@ -154,6 +163,24 @@ struct ClientInner {
     /// (RPC/RDMA header + inline body). Reused across calls so the
     /// steady-state encode path performs no heap allocation.
     send_scratch: RefCell<Encoder>,
+    /// The server's reply-slot ring advertisement, once received
+    /// (refreshed by every `MsgRfpAd` reply; cleared on recovery —
+    /// rings are per-connection).
+    rfp_ad: RefCell<Option<RfpAd>>,
+    /// Last RFP activity (ad received, marked call sent, or slot
+    /// fetched): calls stop being marked once this goes stale relative
+    /// to the server's idle-revocation horizon.
+    rfp_last: Cell<SimTime>,
+    /// Bounds outstanding reply-slot fetches across all pollers to the
+    /// HCA's IRD/ORD window (paper §4.1: responders execute reads
+    /// serially past that depth, so issuing more only queues).
+    rfp_reads: Semaphore,
+    /// EWMA of when replies become fetchable, measured as the call-
+    /// relative post time of the earliest probe that hit; `ZERO` until
+    /// the first hit. Pollers sleep through most of it before the
+    /// first probe, so steady-state polls land just after the reply
+    /// deposits instead of walking the whole backoff ladder.
+    rfp_lat_ewma: Cell<SimDuration>,
 }
 
 /// Handle to an RPC/RDMA client endpoint (one per connection).
@@ -190,7 +217,7 @@ impl RdmaRpcClient {
             credits: Semaphore::new(cfg.credits as usize),
             granted: Cell::new(cfg.credits),
             credit_deficit: Cell::new(0),
-            router: RefCell::new(CompletionRouter::spawn(sim, qp.send_cq().clone())),
+            router: RefCell::new(spawn_router(sim, hca, &qp, &cfg)),
             stats: RefCell::new(ClientStats::default()),
             metrics: ClientMetrics::new(sim),
             dead: Cell::new(false),
@@ -198,6 +225,13 @@ impl RdmaRpcClient {
             connector: RefCell::new(None),
             retrans_rng: RefCell::new(SimRng::new(retrans_seed)),
             send_scratch: RefCell::new(Encoder::with_capacity(256)),
+            rfp_ad: RefCell::new(None),
+            rfp_last: Cell::new(SimTime::ZERO),
+            rfp_reads: Semaphore::new({
+                let hc = hca.config();
+                hc.max_ord.min(hc.max_ird).max(1)
+            }),
+            rfp_lat_ewma: Cell::new(SimDuration::ZERO),
         });
         install_error_handler(&inner);
         // Pre-posted receive pool; buffers are registered once at setup
@@ -424,6 +458,24 @@ impl RdmaRpcClient {
         }
         drop(reg_span);
 
+        // --- RFP marking (hybrid transport). -------------------------
+        // A chunkless inline call whose reply will also be small can be
+        // *marked*: the server deposits the reply in this client's
+        // reply-slot ring and posts no Send at all; a poller fetches it
+        // with RDMA Read. Only once the server has advertised a ring,
+        // and only while that ring is fresh enough that the server's
+        // idle reaper cannot be close to revoking it.
+        let rfp_marked = inner.cfg.rfp_enabled
+            && hdr.msg_type == MsgType::Msg
+            && hdr.read_chunks.is_empty()
+            && hdr.write_chunks.is_empty()
+            && hdr.reply_chunk.is_none()
+            && self.rfp_ready();
+        if rfp_marked {
+            hdr.msg_type = MsgType::MsgRfp;
+            inner.stats.borrow_mut().rfp_marked += 1;
+        }
+
         // --- Send the call; retransmit on timeout. -------------------
         // Header + inline body are assembled in the per-connection
         // scratch encoder (no allocation in steady state); the single
@@ -474,6 +526,12 @@ impl RdmaRpcClient {
                         inner.pending.borrow_mut().remove(&xid);
                         break Err(RpcError::Disconnected);
                     }
+                } else if rfp_marked {
+                    // One poller per transmission attempt; it exits as
+                    // soon as the call is no longer pending (slot hit,
+                    // Send fallback, or a retransmission taking over).
+                    inner.rfp_last.set(inner.sim.now());
+                    spawn_slot_poller(self.inner.clone(), xid);
                 }
             }
             if attempt > 0 {
@@ -578,6 +636,20 @@ impl RdmaRpcClient {
             inner.metrics.calls.inc();
         }
         result
+    }
+
+    /// Whether calls may be RFP-marked right now: a ring has been
+    /// advertised on this connection and saw activity within half the
+    /// exposure TTL — far inside the server's idle-revocation horizon
+    /// (TTL plus two poll periods), so a marked call can never race a
+    /// ring revocation.
+    fn rfp_ready(&self) -> bool {
+        let inner = &self.inner;
+        if inner.recovering.get() || inner.rfp_ad.borrow().is_none() {
+            return false;
+        }
+        let ttl = inner.cfg.exposure_ttl;
+        ttl.is_zero() || inner.sim.now().saturating_since(inner.rfp_last.get()) < ttl / 2
     }
 
     /// Reply wait for send attempt `n` (0-based): exponential backoff
@@ -820,12 +892,165 @@ async fn reply_dispatcher(inner: Rc<ClientInner>, qp: Qp, recv_bufs: Vec<Buffer>
         let Ok(hdr) = RdmaHeader::decode(&mut dec) else {
             continue;
         };
+        // A reply carrying a reply-slot ring advertisement: capture it
+        // (geometry sanity-checked) so subsequent small calls can be
+        // RFP-marked, then deliver the inline reply as usual.
+        if hdr.msg_type == MsgType::MsgRfpAd {
+            if let Some(ad) = hdr.rfp_ad {
+                if ad.nslots > 0
+                    && ad.slot_size as u64 > SLOT_OVERHEAD
+                    && ad.seg.len == ad.nslots as u64 * ad.slot_size as u64
+                {
+                    *inner.rfp_ad.borrow_mut() = Some(ad);
+                    inner.rfp_last.set(inner.sim.now());
+                }
+            }
+        }
         let at = dec.position();
         let body = raw.slice(at..);
         if let Some(tx) = inner.pending.borrow_mut().remove(&hdr.xid) {
             tx.send((hdr, body));
         }
     }
+}
+
+/// Build the send-CQ completion router for this transport mode. The
+/// classic Send-reply client is interrupt-driven: the router parks on
+/// the CQ and each wakeup costs one interrupt. In RFP mode the client
+/// follows the remote-fetching discipline end to end — a dedicated
+/// completion thread busy-polls the send CQ on a short quantum, so
+/// slot-fetch (and call-send) completions are consumed interrupt-free
+/// at the price of burning the polling core.
+fn spawn_router(sim: &Sim, hca: &Hca, qp: &Qp, cfg: &RpcRdmaConfig) -> CompletionRouter {
+    if cfg.rfp_enabled {
+        CompletionRouter::spawn_polling(
+            sim,
+            qp.send_cq().clone(),
+            hca.cpu().clone(),
+            SimDuration::from_micros(1),
+        )
+    } else {
+        CompletionRouter::spawn(sim, qp.send_cq().clone())
+    }
+}
+
+/// Poll a marked call's reply slot with RDMA Read. The first probe is
+/// paced off an EWMA of past fetch latencies — the poller sleeps
+/// through most of the expected turnaround, then probes at the
+/// `rfp_poll_initial` floor while inside the expected window and backs
+/// off exponentially to `rfp_poll_max` once past it (cold start, with
+/// no estimate yet, goes straight to the exponential ladder). Spawned
+/// once per transmission attempt; exits as soon as the call is no
+/// longer pending, the connection is recovering, or the ring ad it
+/// captured at spawn is no longer current. Outstanding fetches across
+/// all of this client's pollers share the IRD/ORD-sized permit pool.
+fn spawn_slot_poller(inner: Rc<ClientInner>, xid: u32) {
+    inner.sim.clone().spawn(async move {
+        let Some(ad) = *inner.rfp_ad.borrow() else {
+            return;
+        };
+        let nslots = ad.nslots.max(1);
+        let slot_size = ad.slot_size as u64;
+        let slot_addr = ad.seg.addr + (xid % nslots) as u64 * slot_size;
+        // Local landing buffer for the fetched slot image (allocation
+        // is outside the per-op cost model, like the recv pool).
+        let fetch_buf = inner.hca.mem().alloc(slot_size);
+        let t0 = inner.sim.now();
+        let floor = inner.cfg.rfp_poll_initial.max(SimDuration::from_nanos(1));
+        let est = inner.rfp_lat_ewma.get();
+        let mut waited = SimDuration::ZERO;
+        // `est` tracks when past replies became fetchable (the post
+        // time of the earliest probe that hit). Aim one floor-interval
+        // early: a hit at the shaved time walks the estimate down
+        // toward true readiness, the occasional miss pulls it back up.
+        let mut wait = if est > SimDuration::ZERO {
+            (est - floor).max(floor)
+        } else {
+            floor
+        };
+        loop {
+            inner.sim.sleep(wait).await;
+            waited += wait;
+            wait = if est > SimDuration::ZERO && waited < est * 2 {
+                floor
+            } else {
+                (wait + wait).min(inner.cfg.rfp_poll_max)
+            };
+            if inner.dead.get() || inner.recovering.get() {
+                return;
+            }
+            if (*inner.rfp_ad.borrow()).map(|a| a.seg.rkey) != Some(ad.seg.rkey) {
+                return; // ring changed under us (recovery / re-ad)
+            }
+            if !inner.pending.borrow().contains_key(&xid) {
+                return; // reply already delivered, or between attempts
+            }
+            // IRD/ORD pacing: a fetch holds a permit until it completes.
+            let permit = inner.rfp_reads.acquire().await;
+            if !inner.pending.borrow().contains_key(&xid) {
+                return;
+            }
+            let wr = {
+                let id = inner.next_wr.get();
+                inner.next_wr.set(id + 1);
+                WrId(id)
+            };
+            let Ok(rx) = inner.router.borrow().expect(wr) else {
+                return;
+            };
+            let posted_rel = inner.sim.now().saturating_since(t0);
+            if inner
+                .qp
+                .borrow()
+                .post_rdma_read(fetch_buf.clone(), 0, slot_addr, ad.seg.rkey, slot_size, wr)
+                .is_err()
+            {
+                return;
+            }
+            inner.stats.borrow_mut().rfp_polls += 1;
+            let Ok(c) = rx.await else { return };
+            drop(permit);
+            if c.result.is_err() {
+                // The fetch was refused (ring revoked): the router's
+                // error handler is already driving recovery, and the
+                // retransmit machinery re-delivers the call.
+                return;
+            }
+            let image = fetch_buf.read(0, slot_size).materialize();
+            if let SlotView::Valid {
+                xid: sxid, payload, ..
+            } = decode_slot(&image)
+            {
+                if sxid != xid {
+                    continue; // slot held by another call (ring reuse)
+                }
+                let mut dec = xdr::Decoder::new(&payload);
+                let Ok(rhdr) = RdmaHeader::decode(&mut dec) else {
+                    continue;
+                };
+                if rhdr.xid != xid {
+                    continue;
+                }
+                let body = payload.slice(dec.position()..);
+                inner.rfp_last.set(inner.sim.now());
+                // Fold this hit's post time into the pacing estimate
+                // (3:1 EWMA): it bounds when the reply was fetchable.
+                let sample = posted_rel;
+                let prev = inner.rfp_lat_ewma.get();
+                inner.rfp_lat_ewma.set(if prev == SimDuration::ZERO {
+                    sample
+                } else {
+                    (prev * 3 + sample) / 4
+                });
+                let tx = inner.pending.borrow_mut().remove(&xid);
+                if let Some(tx) = tx {
+                    inner.stats.borrow_mut().rfp_hits += 1;
+                    tx.send((rhdr, body));
+                }
+                return;
+            }
+        }
+    });
 }
 
 /// Route error completions on the current send CQ into the recovery
@@ -859,6 +1084,10 @@ fn start_recovery(inner: &Rc<ClientInner>) {
         return;
     }
     inner.recovering.set(true);
+    // Reply-slot rings are per-connection: the old ring dies with the
+    // QP, so forget its ad. The first inline reply on the fresh
+    // connection re-advertises before any call is marked again.
+    *inner.rfp_ad.borrow_mut() = None;
     inner
         .sim
         .trace("rpc", || "client starting qp recovery".to_string());
@@ -906,7 +1135,7 @@ fn start_recovery(inner: &Rc<ClientInner>) {
             inner.pending.borrow_mut().clear();
             return;
         }
-        *inner.router.borrow_mut() = CompletionRouter::spawn(&inner.sim, qp.send_cq().clone());
+        *inner.router.borrow_mut() = spawn_router(&inner.sim, &inner.hca, &qp, &inner.cfg);
         install_error_handler(&inner);
         *inner.qp.borrow_mut() = qp.clone();
         inner.stats.borrow_mut().reconnects += 1;

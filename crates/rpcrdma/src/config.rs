@@ -143,6 +143,31 @@ pub struct RpcRdmaConfig {
     /// Busy replies tolerated per call before it fails with
     /// [`onc_rpc::TransportError::Overloaded`].
     pub qos_max_rejections: u32,
+    /// REMOTE FETCHING PARADIGM (RFP): deposit small replies into a
+    /// per-connection registered reply-slot ring instead of posting a
+    /// Send, and let the *client* pull them with RDMA Read — the
+    /// server pays zero doorbells, zero Send completions and zero
+    /// interrupts per small reply. Replies that don't fit a slot (or
+    /// that carry chunks/exposures) fall back to the Send path
+    /// transparently. Off by default: the Send/Send reply path
+    /// reproduces the historical figures byte-for-byte.
+    pub rfp_enabled: bool,
+    /// Largest wire-format reply (RPC/RDMA header + inline body) the
+    /// server will deposit into a reply slot; anything bigger takes
+    /// the Send path. Each ring slot also carries the 16-byte seqlock
+    /// frame ([`crate::rfp`]) on top of this payload budget.
+    pub rfp_slot_size: u64,
+    /// Slots in the per-connection reply ring. Must be at least the
+    /// credit window or an in-flight call could be assigned the slot
+    /// (`xid % rfp_slots`) of another outstanding call.
+    pub rfp_slots: u32,
+    /// First client poll of the reply slot fires this long after the
+    /// call is posted (roughly the no-load server turnaround for a
+    /// metadata op); each subsequent miss doubles the wait.
+    pub rfp_poll_initial: SimDuration,
+    /// Cap on the exponential poll backoff — bounds worst-case added
+    /// latency once the reply does land.
+    pub rfp_poll_max: SimDuration,
 }
 
 impl RpcRdmaConfig {
@@ -187,6 +212,11 @@ impl RpcRdmaConfig {
             qos_target_delay: SimDuration::from_millis(2),
             qos_shed_backoff: SimDuration::from_micros(400),
             qos_max_rejections: 64,
+            rfp_enabled: false,
+            rfp_slot_size: 512,
+            rfp_slots: 64,
+            rfp_poll_initial: SimDuration::from_micros(30),
+            rfp_poll_max: SimDuration::from_micros(240),
         }
     }
 
@@ -224,5 +254,11 @@ mod tests {
         // simulated timing).
         assert_eq!(s.server_doorbell_batch, 1);
         assert!(s.server_zero_copy);
+        // RFP is opt-in: the Send/Send reply path stays the default so
+        // every historical figure reproduces byte-for-byte.
+        assert!(!s.rfp_enabled);
+        assert_eq!(s.rfp_slot_size, 512);
+        assert!(s.rfp_slots >= s.credits, "ring must cover the window");
+        assert!(!l.rfp_enabled);
     }
 }

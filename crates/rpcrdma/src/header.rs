@@ -40,6 +40,16 @@ pub enum MsgType {
     /// Client signals read-chunk completion so the server may free its
     /// exposed buffers (Read-Read design only).
     Done,
+    /// RFP-marked call: the client will *fetch* the reply from its
+    /// reply slot with RDMA Read instead of waiting for a Send.
+    /// Otherwise identical to `Msg`. Only sent after the server has
+    /// advertised a reply-slot ring (`MsgRfpAd`).
+    MsgRfp,
+    /// Send reply carrying a reply-slot ring advertisement
+    /// ([`RfpAd`]) alongside the inline RPC reply: the steering tag,
+    /// geometry and slot size of the per-connection ring the client
+    /// may poll for subsequent small replies.
+    MsgRfpAd,
 }
 
 impl MsgType {
@@ -49,6 +59,8 @@ impl MsgType {
             MsgType::Nomsg => 1,
             MsgType::Msgp => 2,
             MsgType::Done => 3,
+            MsgType::MsgRfp => 4,
+            MsgType::MsgRfpAd => 5,
         }
     }
 
@@ -58,6 +70,8 @@ impl MsgType {
             1 => MsgType::Nomsg,
             2 => MsgType::Msgp,
             3 => MsgType::Done,
+            4 => MsgType::MsgRfp,
+            5 => MsgType::MsgRfpAd,
             d => return Err(XdrError::BadDiscriminant(d)),
         })
     }
@@ -86,6 +100,35 @@ impl XdrCodec for Segment {
             rkey: Rkey(dec.get_u32()?),
             len: dec.get_u32()? as u64,
             addr: dec.get_u64()?,
+        })
+    }
+}
+
+/// A reply-slot ring advertisement (RFP hybrid transport): everything
+/// the client needs to poll its replies out of server memory. Carried
+/// on a `MsgRfpAd` Send reply; the segment spans the *whole* ring, the
+/// client computes its slot as `xid % nslots`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RfpAd {
+    /// The ring's steering tag, total length and base address.
+    pub seg: Segment,
+    /// Number of slots in the ring.
+    pub nslots: u32,
+    /// Bytes per slot, seqlock frame included.
+    pub slot_size: u32,
+}
+
+impl XdrCodec for RfpAd {
+    fn encode(&self, enc: &mut Encoder) {
+        self.seg.encode(enc);
+        enc.put_u32(self.nslots).put_u32(self.slot_size);
+    }
+
+    fn decode(dec: &mut Decoder) -> XdrResult<Self> {
+        Ok(RfpAd {
+            seg: Segment::decode(dec)?,
+            nslots: dec.get_u32()?,
+            slot_size: dec.get_u32()?,
         })
     }
 }
@@ -129,6 +172,10 @@ pub struct RdmaHeader {
     /// the alignment boundary, letting the receiver place them without
     /// a pull-up copy.
     pub msgp: Option<(u32, u32)>,
+    /// For `MsgRfpAd`: the reply-slot ring advertisement. Encoded only
+    /// for that message type, so every pre-RFP encoding is
+    /// byte-identical to what it was before the field existed.
+    pub rfp_ad: Option<RfpAd>,
     /// Read chunk list: data the *receiver* of this header may RDMA
     /// Read from the sender.
     pub read_chunks: Vec<ReadChunk>,
@@ -147,6 +194,7 @@ impl RdmaHeader {
             credits,
             msg_type,
             msgp: None,
+            rfp_ad: None,
             read_chunks: Vec::new(),
             write_chunks: Vec::new(),
             reply_chunk: None,
@@ -191,6 +239,9 @@ impl XdrCodec for RdmaHeader {
             let (align, head_len) = self.msgp.expect("RDMA_MSGP without align info");
             enc.put_u32(align).put_u32(head_len);
         }
+        if self.msg_type == MsgType::MsgRfpAd {
+            self.rfp_ad.expect("MsgRfpAd without ring ad").encode(enc);
+        }
         // Read list: (bool, chunk)* false
         for c in &self.read_chunks {
             enc.put_bool(true).put_u32(c.position);
@@ -222,6 +273,11 @@ impl XdrCodec for RdmaHeader {
         } else {
             None
         };
+        let rfp_ad = if msg_type == MsgType::MsgRfpAd {
+            Some(RfpAd::decode(dec)?)
+        } else {
+            None
+        };
         let mut read_chunks = Vec::new();
         while dec.get_bool()? {
             if read_chunks.len() as u32 >= MAX_WIRE_SEGMENTS {
@@ -244,6 +300,7 @@ impl XdrCodec for RdmaHeader {
             credits,
             msg_type,
             msgp,
+            rfp_ad,
             read_chunks,
             write_chunks,
             reply_chunk,
@@ -277,6 +334,7 @@ mod tests {
             credits: 16,
             msg_type: MsgType::Nomsg,
             msgp: None,
+            rfp_ad: None,
             read_chunks: vec![
                 ReadChunk {
                     position: 0,
@@ -302,6 +360,42 @@ mod tests {
         let h = RdmaHeader::new(1, 0, MsgType::Done);
         // xid+vers+credits+type + 2 list terminators + option = 28 bytes.
         assert_eq!(h.to_bytes().len(), 28);
+    }
+
+    #[test]
+    fn rfp_call_encoding_matches_msg_shape() {
+        // A MsgRfp call is a Msg call with a different discriminant:
+        // same length, and pre-RFP types never pay for the new field.
+        let msg = RdmaHeader::new(9, 4, MsgType::Msg);
+        let rfp = RdmaHeader::new(9, 4, MsgType::MsgRfp);
+        assert_eq!(msg.to_bytes().len(), rfp.to_bytes().len());
+        assert_eq!(RdmaHeader::from_bytes(&rfp.to_bytes()).unwrap(), rfp);
+    }
+
+    #[test]
+    fn rfp_ad_roundtrip() {
+        let mut h = RdmaHeader::new(3, 32, MsgType::MsgRfpAd);
+        h.rfp_ad = Some(RfpAd {
+            seg: seg(0xbeef, 64 * 544, 0x9000),
+            nslots: 64,
+            slot_size: 544,
+        });
+        let got = RdmaHeader::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(got, h);
+        assert_eq!(got.rfp_ad.unwrap().nslots, 64);
+    }
+
+    #[test]
+    fn rfp_ad_truncated_rejected() {
+        let mut h = RdmaHeader::new(3, 32, MsgType::MsgRfpAd);
+        h.rfp_ad = Some(RfpAd {
+            seg: seg(1, 64, 0),
+            nslots: 8,
+            slot_size: 8,
+        });
+        let wire = h.to_bytes();
+        // Chop inside the ad body: decode must error, not mis-parse.
+        assert!(RdmaHeader::from_bytes(&wire[..20]).is_err());
     }
 
     #[test]

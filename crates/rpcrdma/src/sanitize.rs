@@ -67,6 +67,14 @@ pub enum ProtocolViolation {
         /// The window the client was granted.
         window: u32,
     },
+    /// An RFP-marked call (`MsgRfp`) on a server that never advertised
+    /// a reply-slot ring — either RFP is disabled or the peer is
+    /// probing for one.
+    RfpNotAdvertised,
+    /// A `MsgRfpAd` header arriving *at* the server: the ring
+    /// advertisement is strictly a server-to-client message, so an
+    /// inbound one is a forgery attempt.
+    RfpAdFromClient,
 }
 
 impl ProtocolViolation {
@@ -82,6 +90,8 @@ impl ProtocolViolation {
             ProtocolViolation::BadMsgp => "bad_msgp",
             ProtocolViolation::CreditOverflow { .. } => "credit_overflow",
             ProtocolViolation::WindowExceeded { .. } => "window_exceeded",
+            ProtocolViolation::RfpNotAdvertised => "rfp_not_advertised",
+            ProtocolViolation::RfpAdFromClient => "rfp_ad_from_client",
         }
     }
 }
@@ -105,6 +115,12 @@ impl std::fmt::Display for ProtocolViolation {
             ProtocolViolation::WindowExceeded { in_flight, window } => {
                 write!(f, "{in_flight} calls in flight (window {window})")
             }
+            ProtocolViolation::RfpNotAdvertised => {
+                write!(f, "RFP-marked call without an advertised reply ring")
+            }
+            ProtocolViolation::RfpAdFromClient => {
+                write!(f, "client sent a reply-ring advertisement")
+            }
         }
     }
 }
@@ -121,6 +137,13 @@ pub fn sanitize_header(hdr: &RdmaHeader, cfg: &RpcRdmaConfig) -> Result<(), Prot
         return Err(ProtocolViolation::CreditOverflow {
             requested: hdr.credits,
         });
+    }
+    if hdr.msg_type == MsgType::MsgRfpAd {
+        // Ring advertisements only ever flow server -> client.
+        return Err(ProtocolViolation::RfpAdFromClient);
+    }
+    if hdr.msg_type == MsgType::MsgRfp && !cfg.rfp_enabled {
+        return Err(ProtocolViolation::RfpNotAdvertised);
     }
     if hdr.msg_type == MsgType::Msgp {
         // Full placement arithmetic needs the message length; here we
@@ -299,6 +322,37 @@ mod tests {
             sanitize_header(&h, &cfg()),
             Err(ProtocolViolation::CreditOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn rfp_call_rejected_when_disabled() {
+        // rfp_enabled defaults to false: an RFP-marked call is a probe.
+        let h = RdmaHeader::new(1, 1, MsgType::MsgRfp);
+        assert_eq!(
+            sanitize_header(&h, &cfg()),
+            Err(ProtocolViolation::RfpNotAdvertised)
+        );
+        let mut on = cfg();
+        on.rfp_enabled = true;
+        assert!(sanitize_header(&h, &on).is_ok());
+    }
+
+    #[test]
+    fn client_sent_ring_ad_rejected() {
+        use crate::header::RfpAd;
+        let mut h = RdmaHeader::new(1, 1, MsgType::MsgRfpAd);
+        h.rfp_ad = Some(RfpAd {
+            seg: seg(4096, 0x8000),
+            nslots: 8,
+            slot_size: 512,
+        });
+        let mut on = cfg();
+        on.rfp_enabled = true;
+        // Forged even with RFP on: the ad direction is server->client.
+        assert_eq!(
+            sanitize_header(&h, &on),
+            Err(ProtocolViolation::RfpAdFromClient)
+        );
     }
 
     #[test]

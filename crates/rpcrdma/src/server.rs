@@ -47,9 +47,10 @@ use sim_core::{Payload, Resource, SgList, Sim, SimDuration, SimTime};
 use xdr::{Encoder, XdrCodec};
 
 use crate::config::{Design, RpcRdmaConfig};
-use crate::header::{MsgType, RdmaHeader, ReadChunk, Segment};
+use crate::header::{MsgType, RdmaHeader, ReadChunk, RfpAd, Segment};
 use crate::qos::{ShedReason, TenantScheduler};
 use crate::reg::{IoBuf, Registrar};
+use crate::rfp::{encode_slot, encode_torn_marker, RingLayout};
 use crate::router::CompletionRouter;
 use crate::sanitize::{sanitize_header, ProtocolViolation};
 use crate::service::RdmaService;
@@ -119,6 +120,20 @@ pub struct ServerStats {
     pub sheds: Cell<u64>,
     /// High-water mark of the QoS dispatch queue depth.
     pub qos_peak_depth: Cell<u64>,
+    /// Small replies deposited into reply-slot rings instead of being
+    /// sent (RFP fast path): each one is a server doorbell, a send
+    /// completion and a client interrupt that never happened.
+    pub rfp_deposits: Cell<u64>,
+    /// RFP-marked calls whose reply went out on the Send path anyway
+    /// (reply too large for a slot, ring revoked mid-call, or the ring
+    /// was never advertised on this connection).
+    pub rfp_fallback_sends: Cell<u64>,
+    /// Reply-slot ring advertisements piggybacked on Send replies.
+    pub rfp_ads: Cell<u64>,
+    /// Reply-slot rings revoked (idle past the exposure TTL, or at
+    /// connection teardown) — each one invalidates the advertised
+    /// steering tag, so later fetches are refused by the HCA.
+    pub rfp_rings_revoked: Cell<u64>,
 }
 
 /// Registry-backed server counters (the [`ServerStats`] cells remain
@@ -139,6 +154,10 @@ struct ServerMetrics {
     qos_shed_tenant_backlog: Rc<Counter>,
     qos_shed_deadline: Rc<Counter>,
     qos_credit_clamps: Rc<Counter>,
+    rfp_deposits: Rc<Counter>,
+    rfp_fallback_sends: Rc<Counter>,
+    rfp_ads: Rc<Counter>,
+    rfp_rings_revoked: Rc<Counter>,
 }
 
 /// One admitted call parked in the QoS dispatch queue.
@@ -215,6 +234,10 @@ impl RdmaRpcServer {
                 bufs.push(buf);
             }
             srq.set_limit(cfg.credits as usize / 2);
+            srq.bind_metrics(
+                sim.metrics().counter("hca.srq.consumed"),
+                sim.metrics().counter("hca.srq.limit_events"),
+            );
             (srq, bufs)
         });
         let drc = DuplicateRequestCache::new(cfg.drc_capacity);
@@ -252,6 +275,10 @@ impl RdmaRpcServer {
                 qos_shed_tenant_backlog: registry.counter("server.qos.shed.tenant_backlog"),
                 qos_shed_deadline: registry.counter("server.qos.shed.deadline"),
                 qos_credit_clamps: registry.counter("server.qos.credit_clamps"),
+                rfp_deposits: registry.counter("server.rfp.deposits"),
+                rfp_fallback_sends: registry.counter("server.rfp.fallback_sends"),
+                rfp_ads: registry.counter("server.rfp.ads"),
+                rfp_rings_revoked: registry.counter("server.rfp.rings_revoked"),
             },
             qos,
             stats: Rc::new(ServerStats::default()),
@@ -398,6 +425,30 @@ struct ConnState {
     /// pending exposures — an idle timer loop would keep the whole
     /// simulation from ever quiescing.
     exposure_signal: sim_core::sync::Semaphore,
+    /// The RFP reply-slot ring, once built (`cfg.rfp_enabled` only).
+    rfp: RefCell<Option<RfpRing>>,
+    /// Ring construction in progress (registration awaits); calls
+    /// arriving meanwhile just reply without an advertisement.
+    rfp_building: Cell<bool>,
+    /// The *current* ring's ad has been carried on a Send reply.
+    /// Deposits are gated on this: a reply must never go into a ring
+    /// the client was never told about — it would simply never arrive.
+    rfp_ad_sent: Cell<bool>,
+    /// Wakes the ring reaper when a ring is created (or at teardown);
+    /// it parks here while the connection has no ring.
+    rfp_signal: sim_core::sync::Semaphore,
+}
+
+/// A connection's RFP reply-slot ring: registered, remotely readable
+/// memory the server deposits small marshalled replies into, plus the
+/// generation bookkeeping and the advertisement sent to the client.
+struct RfpRing {
+    io: IoBuf,
+    layout: RingLayout,
+    ad: RfpAd,
+    /// Last deposit (or creation) instant; the ring reaper revokes a
+    /// ring that has idled past the exposure TTL.
+    last_activity: Cell<SimTime>,
 }
 
 impl ConnState {
@@ -513,9 +564,16 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
         closed: Cell::new(false),
         in_flight: Cell::new(0),
         exposure_signal: sim_core::sync::Semaphore::new(0),
+        rfp: RefCell::new(None),
+        rfp_building: Cell::new(false),
+        rfp_ad_sent: Cell::new(false),
+        rfp_signal: sim_core::sync::Semaphore::new(0),
     });
     if cfg.exposure_ttl > SimDuration::ZERO {
         spawn_exposure_reaper(&server, &conn);
+        if cfg.rfp_enabled {
+            spawn_rfp_reaper(&server, &conn);
+        }
     }
 
     loop {
@@ -567,7 +625,10 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
                     });
                 }
             }
-            MsgType::Msg | MsgType::Nomsg | MsgType::Msgp => {
+            // A client never sends `MsgRfpAd`; the sanitizer rejected
+            // it above, so this arm is unreachable.
+            MsgType::MsgRfpAd => {}
+            MsgType::Msg | MsgType::Nomsg | MsgType::Msgp | MsgType::MsgRfp => {
                 // Enforce the credit window: the base grant bounds how
                 // many calls any client may have in flight, whatever it
                 // chooses to believe about its credits.
@@ -660,6 +721,13 @@ async fn connection_loop(server: Rc<RdmaRpcServer>, qp: Qp) {
     // the dead peer knows about would be a standing leak.
     conn.closed.set(true);
     conn.exposure_signal.add_permits(1); // unpark the reaper so it exits
+    conn.rfp_signal.add_permits(1);
+    // The reply-slot ring's rkey was advertised to the dead peer:
+    // revoke it like any other outstanding exposure.
+    let ring = conn.rfp.borrow_mut().take();
+    if let Some(ring) = ring {
+        revoke_ring(&server, &conn, ring).await;
+    }
     let leftover: Vec<Exposure> = conn
         .pending_exposures
         .borrow_mut()
@@ -741,6 +809,186 @@ fn spawn_exposure_reaper(server: &Rc<RdmaRpcServer>, conn: &Rc<ConnState>) {
                         .set(server.stats.exposures_revoked.get() + 1);
                     server.metrics.exposures_revoked.inc();
                     server.registrar.revoke(io).await;
+                }
+            }
+        }
+    });
+}
+
+/// Build the connection's reply-slot ring if it doesn't exist yet:
+/// one registered, remotely readable buffer of `rfp_slots` seqlock
+/// slots (at least the credit window, so concurrent in-flight calls
+/// never share a slot). Registration strategies that fan the range
+/// out into multiple segments (all-physical) can't be described by a
+/// single advertisement, so RFP quietly stays off there.
+async fn ensure_rfp_ring(server: &Rc<RdmaRpcServer>, conn: &Rc<ConnState>) {
+    if conn.rfp.borrow().is_some() || conn.rfp_building.get() || conn.closed.get() {
+        return;
+    }
+    conn.rfp_building.set(true);
+    let cfg = &server.cfg;
+    let nslots = cfg.rfp_slots.max(cfg.credits);
+    let layout = RingLayout::new(nslots, cfg.rfp_slot_size);
+    let io = server
+        .registrar
+        .acquire_scratch(layout.ring_bytes(), Access::REMOTE_READ)
+        .await;
+    let segs = io.segments(0, layout.ring_bytes(), &server.hca);
+    if conn.closed.get() || segs.len() != 1 {
+        server.registrar.release(io).await;
+        conn.rfp_building.set(false);
+        return;
+    }
+    let ad = RfpAd {
+        seg: segs[0],
+        nslots: layout.nslots(),
+        slot_size: layout.slot_size() as u32,
+    };
+    server.sim.trace("rpc", || {
+        format!(
+            "server rfp ring up nslots={} slot={}B rkey={:?}",
+            ad.nslots, ad.slot_size, ad.seg.rkey
+        )
+    });
+    *conn.rfp.borrow_mut() = Some(RfpRing {
+        io,
+        layout,
+        ad,
+        last_activity: Cell::new(server.sim.now()),
+    });
+    conn.rfp_building.set(false);
+    conn.rfp_signal.add_permits(1);
+}
+
+/// Deposit a marshalled reply into the connection's reply-slot ring.
+/// Seqlock discipline: the odd torn marker lands first, the host copy
+/// of the reply bytes is the torn window, and the committed frame
+/// (even generation) lands last — a concurrent fetch decodes Torn,
+/// never a splice of two occupants. Returns `false` (caller falls
+/// back to the Send path) if the ring is gone or the reply is too
+/// large for a slot.
+async fn deposit_reply(
+    server: &Rc<RdmaRpcServer>,
+    conn: &Rc<ConnState>,
+    xid: u32,
+    wire: &Bytes,
+) -> bool {
+    let len = wire.len() as u64;
+    let (off, marker) = {
+        let mut ring = conn.rfp.borrow_mut();
+        let Some(ring) = ring.as_mut() else {
+            return false;
+        };
+        if len > ring.layout.payload_cap() {
+            return false;
+        }
+        let slot = ring.layout.slot_of(xid);
+        let marker = ring.layout.begin_deposit(slot);
+        let off = ring.layout.slot_offset(slot);
+        ring.io.write(
+            off,
+            Payload::real(Bytes::copy_from_slice(&encode_torn_marker(marker))),
+        );
+        (off, marker)
+    };
+    // The copy into the ring is the deposit's only host cost — and the
+    // torn window a racing fetch can land in.
+    server.hca.cpu().copy(len).await;
+    let mut ringref = conn.rfp.borrow_mut();
+    let Some(ring) = ringref.as_mut() else {
+        // Ring revoked mid-deposit (reaper/teardown): the caller's
+        // Send fallback still delivers the reply.
+        return false;
+    };
+    let slot = ring.layout.slot_of(xid);
+    // A concurrent deposit can race into the same slot (an old-XID DRC
+    // replay colliding with a newer call); if our marker is no longer
+    // the current generation, re-begin so the parity discipline holds.
+    if ring.layout.generation(slot) != marker {
+        ring.layout.begin_deposit(slot);
+    }
+    let gen = ring.layout.commit_deposit(slot);
+    ring.io
+        .write(off, Payload::real(encode_slot(gen, xid, wire)));
+    ring.last_activity.set(server.sim.now());
+    drop(ringref);
+    server
+        .stats
+        .rfp_deposits
+        .set(server.stats.rfp_deposits.get() + 1);
+    server.metrics.rfp_deposits.inc();
+    server
+        .sim
+        .trace("rpc", || format!("server rfp deposit xid={xid} len={len}"));
+    true
+}
+
+/// Invalidate a reply-slot ring. The rkey was advertised to the peer,
+/// so this is a *revocation* (TPT ledger invalidation, counted with
+/// the other exposure revocations), not a quiet release: any fetch
+/// arriving afterwards — honest straggler or replayed advertisement —
+/// is refused by the HCA.
+async fn revoke_ring(server: &Rc<RdmaRpcServer>, conn: &ConnState, ring: RfpRing) {
+    conn.rfp_ad_sent.set(false);
+    server
+        .stats
+        .rfp_rings_revoked
+        .set(server.stats.rfp_rings_revoked.get() + 1);
+    server.metrics.rfp_rings_revoked.inc();
+    server
+        .stats
+        .exposures_revoked
+        .set(server.stats.exposures_revoked.get() + 1);
+    server.metrics.exposures_revoked.inc();
+    server.sim.trace("rpc", || {
+        format!("server rfp ring revoked rkey={:?}", ring.ad.seg.rkey)
+    });
+    server.registrar.revoke(ring.io).await;
+}
+
+/// Spawn the per-connection ring reaper: once the connection has gone
+/// fully idle — no calls in flight and no deposit for an exposure TTL
+/// *plus two poll periods* — revoke the ring's registration. The
+/// margin covers the largest gap between a deposit and the honest
+/// client's final backed-off fetch, so a well-behaved client can
+/// never have a fetch refused; the next inline reply re-advertises a
+/// fresh ring. Gated on `cfg.exposure_ttl` like the exposure reaper.
+fn spawn_rfp_reaper(server: &Rc<RdmaRpcServer>, conn: &Rc<ConnState>) {
+    let server = server.clone();
+    let conn = conn.clone();
+    let ttl = server.cfg.exposure_ttl;
+    let idle = ttl + server.cfg.rfp_poll_max * 2;
+    let tick = (ttl / 4).max(SimDuration::from_micros(1));
+    let sim = server.sim.clone();
+    sim.clone().spawn(async move {
+        loop {
+            if conn.closed.get() {
+                break;
+            }
+            if conn.rfp.borrow().is_none() {
+                // No ring to watch: park until one is built (or
+                // teardown) instead of spinning the timer wheel.
+                conn.rfp_signal.acquire().await.forget();
+                continue;
+            }
+            sim.sleep(tick).await;
+            if conn.closed.get() {
+                break;
+            }
+            let expired = {
+                let ring = conn.rfp.borrow();
+                match ring.as_ref() {
+                    Some(r) => {
+                        conn.in_flight.get() == 0
+                            && sim.now().saturating_since(r.last_activity.get()) >= idle
+                    }
+                    None => false,
+                }
+            };
+            if expired {
+                let ring = conn.rfp.borrow_mut().take();
+                if let Some(ring) = ring {
+                    revoke_ring(&server, &conn, ring).await;
                 }
             }
         }
@@ -1214,6 +1462,40 @@ async fn handle_op(
         }
     }
 
+    // ---- RFP reply-slot fast path. ------------------------------------
+    // A small chunkless reply can be *deposited* into the reply-slot
+    // ring for the client to fetch, skipping the Send entirely; any
+    // other inline reply piggybacks the ring advertisement so the
+    // client learns (or refreshes) the ring's steering tag.
+    let mut rfp_deposit = false;
+    if cfg.rfp_enabled {
+        ensure_rfp_ring(&server, &conn).await;
+        if rhdr.msg_type == MsgType::Msg
+            && rhdr.read_chunks.is_empty()
+            && rhdr.write_chunks.is_empty()
+            && rhdr.reply_chunk.is_none()
+        {
+            let have_ring = conn.rfp.borrow().is_some();
+            if have_ring {
+                if hdr.msg_type == MsgType::MsgRfp && conn.rfp_ad_sent.get() {
+                    rfp_deposit = true;
+                } else {
+                    // Unmarked call (or a marked retransmission onto a
+                    // connection that never advertised — e.g. after
+                    // client recovery): reply via Send, ad attached.
+                    let ad = conn.rfp.borrow().as_ref().map(|r| r.ad);
+                    if let Some(ad) = ad {
+                        rhdr.msg_type = MsgType::MsgRfpAd;
+                        rhdr.rfp_ad = Some(ad);
+                        conn.rfp_ad_sent.set(true);
+                        server.stats.rfp_ads.set(server.stats.rfp_ads.get() + 1);
+                        server.metrics.rfp_ads.inc();
+                    }
+                }
+            }
+        }
+    }
+
     // ---- Send the RPC Reply. ------------------------------------------
     let inline: Bytes = if rhdr.msg_type == MsgType::Nomsg {
         Bytes::new()
@@ -1229,6 +1511,25 @@ async fn handle_op(
         enc.put_raw(&inline);
         (Bytes::copy_from_slice(enc.as_slice()), enc.len() as u64)
     };
+    if rfp_deposit {
+        if deposit_reply(&server, &conn, call_hdr.xid, &wire).await {
+            // No Send, no doorbell, no completion: the client's Read
+            // engine does the rest. Nothing was exposed (chunkless),
+            // so only the staging buffers remain to release.
+            debug_assert!(to_expose.is_empty());
+            for io in to_release {
+                server.registrar.release(io).await;
+            }
+            return;
+        }
+        // Reply outgrew the slot or the ring vanished mid-call: the
+        // Send path below still delivers it.
+        server
+            .stats
+            .rfp_fallback_sends
+            .set(server.stats.rfp_fallback_sends.get() + 1);
+        server.metrics.rfp_fallback_sends.inc();
+    }
     cpu.copy(wire_len).await;
 
     let wr = conn.alloc_wr();

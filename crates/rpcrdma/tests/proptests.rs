@@ -3,7 +3,7 @@
 
 use ib_verbs::Rkey;
 use proptest::prelude::*;
-use rpcrdma::{MsgType, RdmaHeader, ReadChunk, Segment};
+use rpcrdma::{MsgType, RdmaHeader, ReadChunk, RfpAd, Segment};
 use xdr::XdrCodec;
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
@@ -20,6 +20,8 @@ fn arb_msg_type() -> impl Strategy<Value = MsgType> {
         Just(MsgType::Nomsg),
         Just(MsgType::Msgp),
         Just(MsgType::Done),
+        Just(MsgType::MsgRfp),
+        Just(MsgType::MsgRfpAd),
     ]
 }
 
@@ -38,6 +40,15 @@ fn arb_header() -> impl Strategy<Value = RdmaHeader> {
                 credits,
                 msg_type,
                 msgp: (msg_type == MsgType::Msgp).then_some((64, 1024)),
+                rfp_ad: (msg_type == MsgType::MsgRfpAd).then_some(RfpAd {
+                    seg: Segment {
+                        rkey: Rkey(0x5107),
+                        len: 64 * 544,
+                        addr: 0x9000,
+                    },
+                    nslots: 64,
+                    slot_size: 544,
+                }),
                 read_chunks: reads
                     .into_iter()
                     .map(|(position, segment)| ReadChunk { position, segment })

@@ -1062,3 +1062,153 @@ fn credit_window_bounds_outstanding_calls() {
     assert!(!bed.client.qp().is_error(), "flow control was violated");
     assert_eq!(bed.server.stats.ops.get(), 100);
 }
+
+/// Build a testbed with the RFP hybrid transport enabled.
+fn setup_rfp(sim: &Sim, design: Design, strategy: StrategyKind) -> TestBed {
+    let fabric = Fabric::new(sim);
+    let mk = |id: u32| {
+        let node = NodeId(id);
+        let cpu = Cpu::new(sim, format!("cpu{id}"), 2, CpuCosts::default());
+        let mem = Rc::new(HostMem::new(node, PhysLayout::default(), sim.fork_rng()));
+        let hca = Hca::new(sim, node, HcaConfig::sdr(), cpu, mem.clone(), &fabric);
+        (hca, mem)
+    };
+    let (client_hca, client_mem) = mk(0);
+    let (server_hca, _server_mem) = mk(1);
+    let mut cfg = RpcRdmaConfig::solaris().with_design(design);
+    cfg.rfp_enabled = true;
+    let (qc, qs) = connect(&client_hca, &server_hca);
+    let server = RdmaRpcServer::new(
+        sim,
+        &server_hca,
+        Rc::new(ToyFs { seed: 42 }),
+        Registrar::new(&server_hca, strategy),
+        cfg,
+    );
+    server.serve_connection(qs);
+    let client = RdmaRpcClient::new(
+        sim,
+        &client_hca,
+        qc,
+        Registrar::new(&client_hca, strategy),
+        cfg,
+        PROG,
+        VERS,
+    );
+    TestBed {
+        client,
+        server,
+        client_hca,
+        server_hca,
+        client_mem,
+    }
+}
+
+#[test]
+fn rfp_small_replies_are_fetched_not_sent() {
+    for design in [Design::ReadWrite, Design::ReadRead] {
+        let mut sim = Simulation::new(11);
+        let h = sim.handle();
+        let bed = setup_rfp(&h, design, StrategyKind::Dynamic);
+        let client = bed.client.clone();
+        sim.block_on(async move {
+            for i in 0..20u32 {
+                // 8 bytes: XDR-aligned, so the echoed head is exact.
+                let got = client
+                    .call(3, Bytes::from(format!("ping{i:04}")), BulkParams::default())
+                    .await
+                    .unwrap();
+                assert_eq!(&got.body[..], format!("ping{i:04}").as_bytes());
+            }
+        });
+        // Call 0 ran unmarked (no ad yet) and carried the ring ad back;
+        // every later call's reply was deposited, not sent.
+        assert!(
+            bed.server.stats.rfp_ads.get() >= 1,
+            "{design:?}: no ring advertisement"
+        );
+        assert_eq!(
+            bed.server.stats.rfp_deposits.get(),
+            19,
+            "{design:?}: calls after the ad handshake must deposit"
+        );
+        assert_eq!(bed.server.stats.rfp_fallback_sends.get(), 0);
+        let cs = bed.client.stats();
+        assert_eq!(cs.rfp_marked, 19, "{design:?}");
+        assert_eq!(cs.rfp_hits, 19, "{design:?}: every marked call slot-hit");
+        assert!(cs.rfp_polls >= cs.rfp_hits, "{design:?}");
+        assert_eq!(cs.calls, 20, "{design:?}");
+        assert_eq!(cs.retransmits, 0, "{design:?}");
+    }
+}
+
+#[test]
+fn rfp_large_replies_fall_back_to_send() {
+    let mut sim = Simulation::new(13);
+    let h = sim.handle();
+    let bed = setup_rfp(&h, Design::ReadWrite, StrategyKind::Dynamic);
+    let client = bed.client.clone();
+    sim.block_on(async move {
+        // Handshake: the first reply carries the ring ad.
+        client
+            .call(3, Bytes::from_static(b"hi"), BulkParams::default())
+            .await
+            .unwrap();
+        // A marked call whose reply (~700 B head) outgrows the 512 B
+        // slot but stays inline: the server must fall back to Send and
+        // the call must still complete with the full payload.
+        let mut enc = xdr::Encoder::new();
+        enc.put_u32(700);
+        let got = client
+            .call(4, enc.finish(), BulkParams::default())
+            .await
+            .unwrap();
+        let mut dec = xdr::Decoder::new(&got.body);
+        assert_eq!(dec.get_opaque().unwrap().len(), 700);
+    });
+    assert_eq!(bed.server.stats.rfp_fallback_sends.get(), 1);
+    assert_eq!(bed.server.stats.rfp_deposits.get(), 0);
+    let cs = bed.client.stats();
+    assert_eq!(cs.rfp_marked, 1);
+    assert_eq!(cs.rfp_hits, 0);
+    assert_eq!(cs.calls, 2);
+    assert_eq!(cs.retransmits, 0, "fallback must not cost a timeout");
+}
+
+#[test]
+fn rfp_saves_server_doorbells_and_interrupts() {
+    // Same 32-call echo workload, RPC vs RFP: the RFP run must ring
+    // strictly fewer server doorbells and take strictly fewer client
+    // receive interrupts (replies arrive by the client's own Read).
+    let run = |rfp: bool| {
+        let mut sim = Simulation::new(17);
+        let h = sim.handle();
+        let bed = if rfp {
+            setup_rfp(&h, Design::ReadWrite, StrategyKind::Dynamic)
+        } else {
+            setup(&h, Design::ReadWrite, StrategyKind::Dynamic)
+        };
+        let client = bed.client.clone();
+        sim.block_on(async move {
+            for i in 0..32u32 {
+                client
+                    .call(3, Bytes::from(format!("op {i}")), BulkParams::default())
+                    .await
+                    .unwrap();
+            }
+        });
+        (
+            bed.server_hca.doorbells(),
+            bed.server.stats.rfp_deposits.get(),
+        )
+    };
+    let (rpc_doorbells, rpc_deposits) = run(false);
+    let (rfp_doorbells, rfp_deposits) = run(true);
+    assert_eq!(rpc_deposits, 0);
+    assert_eq!(rfp_deposits, 31);
+    assert!(
+        rfp_doorbells + rfp_deposits <= rpc_doorbells,
+        "every deposit should have saved (at least) a server doorbell: \
+         rpc={rpc_doorbells} rfp={rfp_doorbells}"
+    );
+}

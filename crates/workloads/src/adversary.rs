@@ -15,7 +15,11 @@
 //!   until the exposure TTL reaper revokes them;
 //! * **stale steering tags** — RDMA Reads against rkeys captured from
 //!   earlier replies, after the TTL should have killed them. A probe
-//!   that *succeeds* is a real data leak and is counted separately.
+//!   that *succeeds* is a real data leak and is counted separately;
+//! * **stale reply-slot rings** (RFP mode) — RDMA Reads against the
+//!   ring advertisement captured from this session's first reply,
+//!   fired after the owning connection died. Teardown revokes the
+//!   ring with the rest of the session's exposures, so these must NAK.
 //!
 //! The run is fully deterministic under [`sim_core::SimRng`]; the
 //! result carries the honest clients' goodput (compare against an
@@ -59,6 +63,11 @@ pub struct AdversaryParams {
     /// Exposure TTL installed on the server (`ZERO` = reaper off,
     /// the paper's original pin-forever behavior).
     pub exposure_ttl: SimDuration,
+    /// Enable the RFP reply-slot fast path on the server and the
+    /// honest clients. Attackers then also capture their session's
+    /// ring advertisement and probe it after teardown should have
+    /// revoked it.
+    pub rfp: bool,
     /// Record a trace and return its FNV-1a fingerprint.
     pub fingerprint: bool,
 }
@@ -74,6 +83,7 @@ impl Default for AdversaryParams {
             record: 8192,
             attack_rounds: 6,
             exposure_ttl: SimDuration::from_micros(200),
+            rfp: false,
             fingerprint: false,
         }
     }
@@ -111,6 +121,12 @@ pub struct AdversaryResult {
     pub stale_reads_ok: u64,
     /// Stale-rkey probes refused with a NAK.
     pub stale_reads_refused: u64,
+    /// Reply-slot ring probes that succeeded after the ring should
+    /// have been revoked (teardown/reaper). A non-zero count means a
+    /// dead session's reply memory stayed remotely readable.
+    pub rfp_stale_ok: u64,
+    /// Reply-slot ring probes refused with a NAK.
+    pub rfp_stale_refused: u64,
     /// Phys-scan probes that succeeded: a captured steering tag read
     /// the *bottom* of the server's memory. Only the all-physical
     /// strategy's global rkey can do this; it is the paper's argument
@@ -148,6 +164,7 @@ pub fn run_adversary(seed: u64, profile: &Profile, params: AdversaryParams) -> A
     let h = sim.handle();
     let mut profile = *profile;
     profile.rpc.exposure_ttl = params.exposure_ttl;
+    profile.rpc.rfp_enabled = params.rfp;
     let mut result = sim.block_on(async move { run_inner(&h, &profile, params).await });
     if params.fingerprint {
         result.fingerprint = fingerprint(&sim.take_trace());
@@ -183,6 +200,8 @@ struct Ledger {
     stale_ok: Cell<u64>,
     stale_refused: Cell<u64>,
     scan_ok: Cell<u64>,
+    rfp_stale_ok: Cell<u64>,
+    rfp_stale_refused: Cell<u64>,
 }
 
 /// Bottom of the simulated server's virtual address space: the first
@@ -201,6 +220,10 @@ enum ProbeKind {
     /// under all-physical registration the captured tag is the global
     /// rkey, so this reads live server state that was never exposed.
     Scan,
+    /// The session's advertised reply-slot ring, probed after the
+    /// connection that owned it was torn down (teardown revokes the
+    /// ring alongside every other exposure).
+    RfpSlot,
 }
 
 async fn run_inner(sim: &Sim, profile: &Profile, params: AdversaryParams) -> AdversaryResult {
@@ -341,6 +364,8 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: AdversaryParams) -> Adv
         attacker_reconnects: ledger.reconnects.get(),
         stale_reads_ok: ledger.stale_ok.get(),
         stale_reads_refused: ledger.stale_refused.get(),
+        rfp_stale_ok: ledger.rfp_stale_ok.get(),
+        rfp_stale_refused: ledger.rfp_stale_refused.get(),
         scan_reads_ok: ledger.scan_ok.get(),
         corrupt_records: corrupt_total.get(),
         honest_bytes,
@@ -386,6 +411,9 @@ impl AttackerTask {
         // Steering tags captured from withheld-DONE replies, probed
         // after the TTL has had time to kill them.
         let mut captured: Vec<Segment> = Vec::new();
+        // The reply-slot ring the server advertised to *this* session
+        // (RFP mode only), probed once the owning connection is dead.
+        let mut ring: Option<Segment> = None;
         for round in 0..self.rounds {
             // The previous round's violations error the QP from the
             // server side; a failed send then errors it locally too.
@@ -396,13 +424,18 @@ impl AttackerTask {
             let base_xid = 0x4000_0000 + (round as u32) * 256;
 
             // 1. XID replay: the same NULL call twice; the DRC must
-            // answer the duplicate without re-executing.
+            // answer the duplicate without re-executing. In RFP mode
+            // the first small reply carries the session's reply-slot
+            // ring advertisement — capture its steering tag too.
             let call = null_call(&self.cfg, base_xid);
             match self
                 .call_and_wait(&qp, call.clone(), &recv_bufs, &mut wr)
                 .await
             {
-                Some(_) => {
+                Some(raw) => {
+                    if let Some(ad) = decode_header_prefix(&raw).and_then(|h| h.rfp_ad) {
+                        ring = Some(ad.seg);
+                    }
                     if self
                         .call_and_wait(&qp, call, &recv_bufs, &mut wr)
                         .await
@@ -503,6 +536,23 @@ impl AttackerTask {
                 },
                 ProbeKind::Guess,
             ));
+            // 5. Reply-slot ring probe: once the connection the ring
+            // was advertised to is dead, teardown must have revoked
+            // it — fetching through the captured tag has to NAK. (A
+            // live session reading its own ring is the granted fast
+            // path, not a leak, so only dead-session rings count.)
+            if dead || qp.is_error() {
+                if let Some(seg) = ring.take() {
+                    probes.push((
+                        Segment {
+                            rkey: seg.rkey,
+                            len: seg.len.min(8192),
+                            addr: seg.addr,
+                        },
+                        ProbeKind::RfpSlot,
+                    ));
+                }
+            }
             for (seg, kind) in probes {
                 if dead || qp.is_error() {
                     qp = self.reconnect(&recv_bufs).await;
@@ -525,6 +575,10 @@ impl AttackerTask {
                             self.ledger.stale_ok.set(self.ledger.stale_ok.get() + 1)
                         }
                         ProbeKind::Scan => self.ledger.scan_ok.set(self.ledger.scan_ok.get() + 1),
+                        ProbeKind::RfpSlot => self
+                            .ledger
+                            .rfp_stale_ok
+                            .set(self.ledger.rfp_stale_ok.get() + 1),
                         ProbeKind::Guess => {}
                     }
                 } else {
@@ -532,6 +586,11 @@ impl AttackerTask {
                         self.ledger
                             .stale_refused
                             .set(self.ledger.stale_refused.get() + 1);
+                    }
+                    if kind == ProbeKind::RfpSlot {
+                        self.ledger
+                            .rfp_stale_refused
+                            .set(self.ledger.rfp_stale_refused.get() + 1);
                     }
                     dead = true; // the NAK killed this QP
                 }

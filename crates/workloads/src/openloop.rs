@@ -67,6 +67,12 @@ pub enum Arrival {
 pub struct OpMix {
     /// GETATTR share, percent.
     pub getattr_pct: u32,
+    /// LOOKUP share, percent (walks the prepopulated metadata tree).
+    pub lookup_pct: u32,
+    /// READDIR share, percent (lists one tree directory).
+    pub readdir_pct: u32,
+    /// ACCESS share, percent (permission check on a tree file).
+    pub access_pct: u32,
     /// READ share, percent.
     pub read_pct: u32,
     /// FILE_SYNC WRITE share, percent.
@@ -82,6 +88,9 @@ impl OpMix {
     pub fn oltp() -> OpMix {
         OpMix {
             getattr_pct: 20,
+            lookup_pct: 0,
+            readdir_pct: 0,
+            access_pct: 0,
             read_pct: 50,
             write_pct: 30,
             io_size: 8192,
@@ -92,10 +101,61 @@ impl OpMix {
     pub fn metadata() -> OpMix {
         OpMix {
             getattr_pct: 70,
+            lookup_pct: 0,
+            readdir_pct: 0,
+            access_pct: 0,
             read_pct: 25,
             write_pct: 5,
             io_size: 4096,
         }
+    }
+
+    /// Mail-server personality (filebench varmail's stat-heavy half):
+    /// attribute and name-resolution storms over the deep small-file
+    /// tree with a thin stream of small appends.
+    pub fn varmail() -> OpMix {
+        OpMix {
+            getattr_pct: 30,
+            lookup_pct: 25,
+            readdir_pct: 10,
+            access_pct: 10,
+            read_pct: 15,
+            write_pct: 10,
+            io_size: 2048,
+        }
+    }
+
+    /// Web-server personality: path resolution (LOOKUP + ACCESS per
+    /// component) dominating, small reads, no writes.
+    pub fn webserver() -> OpMix {
+        OpMix {
+            getattr_pct: 15,
+            lookup_pct: 35,
+            readdir_pct: 5,
+            access_pct: 25,
+            read_pct: 20,
+            write_pct: 0,
+            io_size: 4096,
+        }
+    }
+
+    /// Pure metadata storm: every op is a small-reply NFS call — the
+    /// RFP ablation's best case (no READ/WRITE bulk traffic at all).
+    pub fn stat_storm() -> OpMix {
+        OpMix {
+            getattr_pct: 50,
+            lookup_pct: 30,
+            readdir_pct: 0,
+            access_pct: 20,
+            read_pct: 0,
+            write_pct: 0,
+            io_size: 4096,
+        }
+    }
+
+    /// Combined share of the ops that need the metadata tree.
+    pub fn meta_pct(&self) -> u32 {
+        self.lookup_pct + self.readdir_pct + self.access_pct
     }
 }
 
@@ -139,6 +199,9 @@ pub struct OpenLoopParams {
     pub timeline: bool,
     /// Record a trace and return its FNV-1a fingerprint.
     pub fingerprint: bool,
+    /// Enable the RFP reply-slot fast path ([`rpcrdma`]'s
+    /// `rfp_enabled`) on the run's transport config.
+    pub rfp: bool,
 }
 
 impl Default for OpenLoopParams {
@@ -160,6 +223,7 @@ impl Default for OpenLoopParams {
             honest_weight: 1,
             timeline: false,
             fingerprint: false,
+            rfp: false,
         }
     }
 }
@@ -237,6 +301,17 @@ pub struct OpenLoopResult {
     pub hog_completed: u64,
     /// Virtual elapsed time of the whole run, µs.
     pub elapsed_us: u64,
+    /// RPC operations the server executed during the measurement
+    /// phase (prepopulation traffic excluded).
+    pub server_ops: u64,
+    /// Server HCA doorbell rings over the measurement phase.
+    pub server_doorbells: u64,
+    /// Server HCA completion interrupts over the measurement phase.
+    pub server_interrupts: u64,
+    /// Replies deposited into RFP reply slots (0 with `rfp` off).
+    pub rfp_deposits: u64,
+    /// RFP-marked calls whose replies fell back to Send.
+    pub rfp_fallbacks: u64,
     /// Telemetry timeline (empty unless [`OpenLoopParams::timeline`]).
     pub timeline: Vec<LoadBucket>,
     /// Flight-recorder snapshot (always captured).
@@ -278,16 +353,36 @@ impl Zipf {
 #[derive(Clone, Copy)]
 enum Op {
     Getattr,
+    Lookup,
+    Readdir,
+    Access,
     Read,
     Write,
 }
 
 impl OpMix {
     fn draw(&self, rng: &mut SimRng) -> Op {
+        // One draw regardless of mix: personalities with zero metadata
+        // shares consume the RNG identically to the pre-metadata code,
+        // so existing mixes stay trace-identical.
         let p = rng.gen_range(100) as u32;
-        if p < self.getattr_pct {
-            Op::Getattr
-        } else if p < self.getattr_pct + self.read_pct {
+        let mut edge = self.getattr_pct;
+        if p < edge {
+            return Op::Getattr;
+        }
+        edge += self.lookup_pct;
+        if p < edge {
+            return Op::Lookup;
+        }
+        edge += self.readdir_pct;
+        if p < edge {
+            return Op::Readdir;
+        }
+        edge += self.access_pct;
+        if p < edge {
+            return Op::Access;
+        }
+        if p < edge + self.read_pct {
             Op::Read
         } else {
             Op::Write
@@ -316,6 +411,21 @@ struct Shared {
     stop: Cell<bool>,
 }
 
+/// Per-connection slice of the metadata tree: the directory chain plus
+/// every `(parent dir, name, handle)` file triple, so LOOKUP walks by
+/// name while ACCESS goes straight at a handle.
+struct MetaTree {
+    dirs: Vec<FileHandle>,
+    files: Vec<(FileHandle, String, FileHandle)>,
+}
+
+/// Directory-chain depth of the metadata tree.
+const META_DEPTH: usize = 6;
+/// Small files created in each tree directory.
+const META_FILES_PER_DIR: usize = 8;
+/// Bytes written to each tree file (small-file regime).
+const META_FILE_BYTES: u64 = 512;
+
 /// Everything an op needs: per-connection mounts, handles, reusable
 /// I/O buffers (op payloads are synthetic, so concurrent ops on one
 /// connection share them), and the accounting cells.
@@ -326,6 +436,9 @@ struct OpCtx {
     read_bufs: Vec<Buffer>,
     write_bufs: Vec<Buffer>,
     io: u64,
+    /// One tree per connection; empty unless the mix draws metadata
+    /// ops, so non-metadata runs skip the prepopulation entirely.
+    meta: Vec<MetaTree>,
     shared: Rc<Shared>,
 }
 
@@ -339,6 +452,21 @@ impl OpCtx {
         let off = (tenant as u64 % FILE_SLOTS) * io;
         let r = match op {
             Op::Getattr => self.nfs[conn].getattr(fh).await.map(|_| 0u64),
+            Op::Lookup => {
+                let t = &self.meta[conn];
+                let (dir, name, _) = &t.files[tenant as usize % t.files.len()];
+                self.nfs[conn].lookup(*dir, name).await.map(|_| 0u64)
+            }
+            Op::Readdir => {
+                let t = &self.meta[conn];
+                let dir = t.dirs[tenant as usize % t.dirs.len()];
+                self.nfs[conn].readdir(dir).await.map(|_| 0u64)
+            }
+            Op::Access => {
+                let t = &self.meta[conn];
+                let file = t.files[tenant as usize % t.files.len()].2;
+                self.nfs[conn].access(file, 0x3f).await.map(|_| 0u64)
+            }
             Op::Read => self.nfs[conn]
                 .read(fh, off, io as u32, Some((&self.read_bufs[conn], 0)))
                 .await
@@ -401,6 +529,7 @@ pub fn run_openloop(seed: u64, profile: &Profile, params: OpenLoopParams) -> Ope
 async fn run_inner(sim: &Sim, profile: &Profile, params: OpenLoopParams) -> OpenLoopResult {
     let mut cfg = profile.rpc.with_design(params.design);
     cfg.qos_enabled = params.qos;
+    cfg.rfp_enabled = params.rfp;
     let bed: Rc<Testbed> = Rc::new(build_rdma_custom(
         sim,
         profile,
@@ -455,6 +584,58 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: OpenLoopParams) -> Open
         read_bufs.push(client.mem.alloc(io));
     }
 
+    // Deep small-file tree for the metadata personalities: a
+    // META_DEPTH-long directory chain per connection, each level
+    // holding META_FILES_PER_DIR 512-byte files. Skipped entirely for
+    // mixes with no metadata share, so pre-metadata runs replay
+    // byte-identically.
+    let mut meta: Vec<MetaTree> = Vec::new();
+    if params.mix.meta_pct() > 0 {
+        for (ci, client) in bed.clients.iter().enumerate() {
+            let mut dirs = Vec::new();
+            let mut files = Vec::new();
+            let small = client.mem.alloc(META_FILE_BYTES);
+            small.write(0, Payload::synthetic(0x3E7A + ci as u64, META_FILE_BYTES));
+            let mut parent = root;
+            for d in 0..META_DEPTH {
+                let dir = client
+                    .nfs
+                    .mkdir(parent, &format!("md{ci}-{d}"))
+                    .await
+                    .expect("meta mkdir")
+                    .handle();
+                for f in 0..META_FILES_PER_DIR {
+                    let name = format!("f{f:02}");
+                    let fh = client
+                        .nfs
+                        .create(dir, &name)
+                        .await
+                        .expect("meta create")
+                        .handle();
+                    client
+                        .nfs
+                        .write(fh, 0, &small, 0, META_FILE_BYTES as u32, true)
+                        .await
+                        .expect("meta write");
+                    files.push((dir, name, fh));
+                }
+                dirs.push(dir);
+                parent = dir;
+            }
+            meta.push(MetaTree { dirs, files });
+        }
+    }
+
+    // Per-op server rates cover the measurement phase only: snapshot
+    // the counters the prepopulation traffic already burned.
+    let (doorbells0, interrupts0) = bed
+        .server_hca
+        .as_ref()
+        .map_or((0, 0), |h| (h.doorbells(), h.cq_interrupts()));
+    let ops0 = rpc.stats.ops.get();
+    let deposits0 = rpc.stats.rfp_deposits.get();
+    let fallbacks0 = rpc.stats.rfp_fallback_sends.get();
+
     let shared = Rc::new(Shared {
         samples: RefCell::new(Vec::new()),
         outstanding: (0..params.connections).map(|_| Cell::new(0)).collect(),
@@ -501,6 +682,7 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: OpenLoopParams) -> Open
         read_bufs,
         write_bufs,
         io,
+        meta,
         shared: shared.clone(),
     });
 
@@ -700,6 +882,17 @@ async fn run_inner(sim: &Sim, profile: &Profile, params: OpenLoopParams) -> Open
         honest_completed: honest.len() as u64,
         hog_completed: hog.len() as u64,
         elapsed_us: elapsed.as_micros(),
+        server_ops: rpc.stats.ops.get() - ops0,
+        server_doorbells: bed
+            .server_hca
+            .as_ref()
+            .map_or(0, |h| h.doorbells() - doorbells0),
+        server_interrupts: bed
+            .server_hca
+            .as_ref()
+            .map_or(0, |h| h.cq_interrupts() - interrupts0),
+        rfp_deposits: rpc.stats.rfp_deposits.get() - deposits0,
+        rfp_fallbacks: rpc.stats.rfp_fallback_sends.get() - fallbacks0,
         timeline,
         flight: Vec::new(),
         metrics_snapshot: Vec::new(),

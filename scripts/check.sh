@@ -30,6 +30,15 @@ cargo run --release -p bench --bin ablation -- --batching --smoke
 echo "==> ablation --write-path --smoke (zero-copy WRITE >= 1.3x; copied_bytes frozen; Cache still the one bouncing strategy)"
 cargo run --release -p bench --bin ablation -- --write-path --smoke
 
+echo "==> ablation --rfp --smoke (reply-slot gate: metadata p50 at or below Send baseline, server sends/op ~0 and doorbells/op 0 in RFP mode, same-seed determinism)"
+cargo run --release -p bench --bin ablation -- --rfp --smoke
+for f in results/BENCH_rfp.json; do
+    [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" results/BENCH_rfp.json
+fi
+
 echo "==> chaos --smoke (fault sweep + crash-matrix gate: power-fail mid-burst, WAL replay, re-drive, zero corruption)"
 cargo run --release -p bench --bin chaos -- --smoke
 
